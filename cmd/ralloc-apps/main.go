@@ -1,0 +1,113 @@
+// Command ralloc-apps regenerates the application figures of the paper:
+// Vacation (Fig. 5e, persistent allocators only, seconds) and Memcached
+// with YCSB (Fig. 5f, K ops/sec; workload A by default, workload B for the
+// in-text read-dominant comparison).
+//
+// Examples:
+//
+//	ralloc-apps -app vacation
+//	ralloc-apps -app memcached -workload a
+//	ralloc-apps -app memcached -workload b -threads 1,2,4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/bench"
+	"repro/internal/pmem"
+	"repro/internal/ycsb"
+)
+
+func main() {
+	var (
+		app       = flag.String("app", "vacation", "vacation | memcached")
+		workload  = flag.String("workload", "a", "YCSB workload: a (50/50) or b (95/5)")
+		threadStr = flag.String("threads", "", "comma-separated thread counts")
+		scale     = flag.Float64("scale", 1.0, "workload scale factor")
+		records   = flag.Int("records", 100_000, "memcached record count (paper: 100K)")
+		relations = flag.Int("relations", 16384, "vacation relations (paper: 16384)")
+		flushNs   = flag.Int("flushns", int(bench.DefaultNVM.FlushLatency/time.Nanosecond), "simulated flush latency (ns)")
+		heapMB    = flag.Uint64("heapmb", 1024, "heap size per allocator instance (MB)")
+	)
+	flag.Parse()
+
+	threads := bench.DefaultThreads()
+	if *threadStr != "" {
+		threads = nil
+		for _, p := range strings.Split(*threadStr, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			threads = append(threads, v)
+		}
+	}
+	pcfg := pmem.Config{
+		FlushLatency: time.Duration(*flushNs) * time.Nanosecond,
+		FenceLatency: bench.DefaultNVM.FenceLatency,
+	}
+	factories := bench.Factories(pcfg)
+	scaleN := func(n int) int {
+		v := int(float64(n) * *scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+
+	switch *app {
+	case "vacation":
+		// The paper tests only persistent allocators on Vacation
+		// (§6.3): the code is explicitly persistence-instrumented.
+		cfg := bench.DefaultVacation()
+		cfg.Vac.Relations = *relations
+		cfg.TxPerThread = scaleN(cfg.TxPerThread)
+		fmt.Printf("# Figure 5e: Vacation — seconds (lower is better); relations=%d, 5 queries/txn, 90%% coverage\n", *relations)
+		printSweep(factories, bench.PersistentAllocNames, threads, *heapMB<<20,
+			func(a alloc.Allocator, t int) bench.Result { return bench.Vacation(a, t, cfg) },
+			func(r bench.Result) float64 { return r.Seconds() })
+	case "memcached":
+		w := ycsb.WorkloadA(*records)
+		if *workload == "b" {
+			w = ycsb.WorkloadB(*records)
+		}
+		cfg := bench.MemcachedConfig{Workload: w, OpsPerTh: scaleN(20000)}
+		fmt.Printf("# Figure 5f: Memcached YCSB-%s — K ops/sec (higher is better); %d records\n",
+			strings.ToUpper(*workload), *records)
+		printSweep(factories, bench.AllocNames, threads, *heapMB<<20,
+			func(a alloc.Allocator, t int) bench.Result { return bench.Memcached(a, t, cfg) },
+			func(r bench.Result) float64 { return r.Kops() })
+	default:
+		fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
+		os.Exit(2)
+	}
+}
+
+func printSweep(factories map[string]bench.Factory, allocs []string, threads []int,
+	heap uint64, fn func(alloc.Allocator, int) bench.Result, val func(bench.Result) float64) {
+
+	fmt.Printf("%-8s", "threads")
+	for _, a := range allocs {
+		fmt.Printf(" %12s", a)
+	}
+	fmt.Println()
+	for _, t := range threads {
+		fmt.Printf("%-8d", t)
+		for _, name := range allocs {
+			series, err := bench.Sweep(factories[name], name, heap, []int{t}, fn)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf(" %12.3f", val(series.Points[0].Result))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,168 @@
+// Command ralloc-bench regenerates the allocator microbenchmark figures of
+// the paper (Fig. 5a–5d): Threadtest, Shbench, Larson and Prod-con, swept
+// over thread counts for all five allocators. Output is a table with one
+// row per thread count and one column per allocator, in the paper's units.
+//
+// Examples:
+//
+//	ralloc-bench -bench threadtest
+//	ralloc-bench -bench larson -maxsize 2048        # in-text Larson variant
+//	ralloc-bench -bench prodcon -threads 2,4,8
+//	ralloc-bench -bench all -scale 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/bench"
+	"repro/internal/pmem"
+)
+
+func parseThreads(s string) ([]int, error) {
+	if s == "" {
+		return bench.DefaultThreads(), nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		benchName = flag.String("bench", "threadtest", "threadtest | shbench | larson | prodcon | all")
+		threadStr = flag.String("threads", "", "comma-separated thread counts (default: host-scaled grid)")
+		allocStr  = flag.String("allocs", strings.Join(bench.AllocNames, ","), "allocators to run")
+		scale     = flag.Float64("scale", 1.0, "workload scale factor relative to the paper")
+		maxSize   = flag.Uint64("maxsize", 400, "Larson max object size (400 paper, 2048 in-text variant)")
+		flushNs   = flag.Int("flushns", int(bench.DefaultNVM.FlushLatency/time.Nanosecond), "simulated flush latency (ns)")
+		fenceNs   = flag.Int("fencens", int(bench.DefaultNVM.FenceLatency/time.Nanosecond), "simulated fence latency (ns)")
+		heapMB    = flag.Uint64("heapmb", 512, "heap size per allocator instance (MB)")
+	)
+	flag.Parse()
+
+	threads, err := parseThreads(*threadStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pcfg := pmem.Config{
+		FlushLatency: time.Duration(*flushNs) * time.Nanosecond,
+		FenceLatency: time.Duration(*fenceNs) * time.Nanosecond,
+	}
+	factories := bench.Factories(pcfg)
+	var allocs []string
+	for _, a := range strings.Split(*allocStr, ",") {
+		a = strings.TrimSpace(a)
+		if _, ok := factories[a]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown allocator %q\n", a)
+			os.Exit(2)
+		}
+		allocs = append(allocs, a)
+	}
+
+	names := []string{*benchName}
+	if *benchName == "all" {
+		names = []string{"threadtest", "shbench", "larson", "prodcon"}
+	}
+	for _, name := range names {
+		runFigure(name, factories, allocs, threads, *scale, *maxSize, *heapMB<<20)
+	}
+}
+
+func runFigure(name string, factories map[string]bench.Factory, allocs []string,
+	threads []int, scale float64, larsonMax uint64, heap uint64) {
+
+	type runner struct {
+		unit string
+		fn   func(a alloc.Allocator, t int) bench.Result
+		val  func(r bench.Result) float64
+	}
+	scaleN := func(n int) int {
+		v := int(float64(n) * scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	runners := map[string]runner{
+		// Paper: 10^4 iterations × 10^5 objects; we default to 1/100
+		// of that per unit scale and report seconds.
+		"threadtest": {
+			unit: "seconds (lower is better)",
+			fn: func(a alloc.Allocator, t int) bench.Result {
+				return bench.Threadtest(a, t, scaleN(20), scaleN(10000), 64)
+			},
+			val: func(r bench.Result) float64 { return r.Seconds() },
+		},
+		"shbench": {
+			unit: "seconds (lower is better)",
+			fn: func(a alloc.Allocator, t int) bench.Result {
+				return bench.Shbench(a, t, scaleN(20000))
+			},
+			val: func(r bench.Result) float64 { return r.Seconds() },
+		},
+		"larson": {
+			unit: "M ops/sec (higher is better)",
+			fn: func(a alloc.Allocator, t int) bench.Result {
+				cfg := bench.DefaultLarson()
+				cfg.MaxSize = larsonMax
+				cfg.OpsPerTh = scaleN(cfg.OpsPerTh)
+				return bench.Larson(a, t, cfg)
+			},
+			val: func(r bench.Result) float64 { return r.Mops() },
+		},
+		"prodcon": {
+			unit: "seconds (lower is better)",
+			fn: func(a alloc.Allocator, t int) bench.Result {
+				pairs := t / 2
+				if pairs < 1 {
+					pairs = 1
+				}
+				return bench.Prodcon(a, pairs, scaleN(2_000_000), 64)
+			},
+			val: func(r bench.Result) float64 { return r.Seconds() },
+		},
+	}
+	r, ok := runners[name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", name)
+		os.Exit(2)
+	}
+
+	fig := map[string]string{
+		"threadtest": "Figure 5a", "shbench": "Figure 5b",
+		"larson": "Figure 5c", "prodcon": "Figure 5d",
+	}[name]
+	fmt.Printf("# %s: %s — %s\n", fig, name, r.unit)
+	fmt.Printf("%-8s", "threads")
+	for _, a := range allocs {
+		fmt.Printf(" %12s", a)
+	}
+	fmt.Println()
+
+	for _, t := range threads {
+		fmt.Printf("%-8d", t)
+		for _, aName := range allocs {
+			series, err := bench.Sweep(factories[aName], aName, heap, []int{t}, r.fn)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", aName, err)
+				os.Exit(1)
+			}
+			fmt.Printf(" %12.3f", r.val(series.Points[0].Result))
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}

@@ -1,0 +1,101 @@
+// Command ralloc-crash is an interactive demonstration of Ralloc's
+// recoverability: it builds a persistent key-value store, injects a
+// full-system crash (losing everything not explicitly written back, plus —
+// optionally — randomly evicting some unflushed cache lines), runs recovery,
+// and verifies that all and only the reachable blocks survived.
+//
+//	ralloc-crash -keys 10000 -leak 5000 -evict 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/kvstore"
+	"repro/internal/pmem"
+	"repro/internal/ralloc"
+)
+
+func main() {
+	var (
+		keys  = flag.Int("keys", 10000, "records to store before the crash")
+		leak  = flag.Int("leak", 5000, "blocks allocated but never attached (simulated in-flight work)")
+		evict = flag.Float64("evict", 0, "probability each unflushed cache line survives the crash anyway")
+	)
+	flag.Parse()
+
+	h, _, err := ralloc.Open("", ralloc.Config{
+		SBRegion: 256 << 20,
+		Pmem:     pmem.Config{Mode: pmem.ModeCrashSim, EvictProb: *evict},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+
+	fmt.Printf("building store with %d records...\n", *keys)
+	store, root := kvstore.Open(a, hd, *keys)
+	for i := 0; i < *keys; i++ {
+		if !store.Set(hd, fmt.Sprintf("key-%08d", i), fmt.Sprintf("value-%08d", i)) {
+			fmt.Fprintln(os.Stderr, "out of memory")
+			os.Exit(1)
+		}
+	}
+	h.SetRoot(0, root)
+
+	fmt.Printf("leaking %d unattached blocks (work in flight at crash time)...\n", *leak)
+	for i := 0; i < *leak; i++ {
+		hd.Malloc(64)
+	}
+	usedBefore := h.SBUsed()
+
+	fmt.Printf("CRASH (evict probability %.2f)\n", *evict)
+	if err := h.Region().Crash(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println("recovering: tracing from persistent roots, rebuilding metadata...")
+	h.GetRoot(0, kvstore.Attach(a, root).Filter())
+	stats, err := h.Recover()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("  reachable blocks : %d (%d KB)\n", stats.ReachableBlocks, stats.ReachableBytes/1024)
+	fmt.Printf("  free superblocks : %d\n", stats.FreeSuperblocks)
+	fmt.Printf("  partial sbs      : %d, full sbs: %d\n", stats.PartialSBs, stats.FullSBs)
+	fmt.Printf("  gc time          : %v\n", stats.Duration)
+
+	fmt.Println("verifying every record...")
+	s2 := kvstore.Attach(a, root)
+	for i := 0; i < *keys; i++ {
+		v, ok := s2.Get(fmt.Sprintf("key-%08d", i))
+		if !ok || v != fmt.Sprintf("value-%08d", i) {
+			fmt.Fprintf(os.Stderr, "record %d lost or corrupt: (%q,%v)\n", i, v, ok)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("all %d records intact\n", *keys)
+
+	fmt.Println("verifying leaked blocks were reclaimed...")
+	hd2 := a.NewHandle()
+	for i := 0; i < *leak; i++ {
+		if hd2.Malloc(64) == 0 {
+			fmt.Fprintln(os.Stderr, "allocation failed: leaks not reclaimed")
+			os.Exit(1)
+		}
+	}
+	if h.SBUsed() > usedBefore {
+		fmt.Fprintln(os.Stderr, "heap grew: leaks not reclaimed")
+		os.Exit(1)
+	}
+	if _, err := h.CheckInvariants(); err != nil {
+		fmt.Fprintf(os.Stderr, "allocator invariants violated: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("allocator metadata consistent; leaked memory reused. recoverability holds.")
+}

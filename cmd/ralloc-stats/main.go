@@ -1,0 +1,81 @@
+// Command ralloc-stats prints the persistence-event accounting behind the
+// paper's §6.2 explanation of Figures 5a–5d: per malloc/free pair, how many
+// flushes, fences and CAS operations each allocator issues. Ralloc's
+// near-zero flush rate versus Makalu's and PMDK's O(1)-per-op rates *is*
+// the performance story; this tool measures it directly instead of
+// inferring it from wall-clock time.
+//
+//	ralloc-stats -ops 100000 -size 64
+//	ralloc-stats -workload larson
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/alloc"
+	"repro/internal/bench"
+	"repro/internal/pmem"
+)
+
+func main() {
+	var (
+		ops      = flag.Int("ops", 100_000, "malloc/free pairs to run")
+		size     = flag.Uint64("size", 64, "object size for the churn workload")
+		workload = flag.String("workload", "churn", "churn | threadtest | larson")
+		threads  = flag.Int("threads", 4, "threads for threadtest/larson")
+	)
+	flag.Parse()
+
+	// No latency injection: we are counting events, not timing them.
+	factories := bench.Factories(pmem.Config{})
+
+	fmt.Printf("# persistence events per malloc/free pair (%s, %d ops)\n", *workload, *ops)
+	fmt.Printf("%-10s %12s %12s %12s %12s\n", "allocator", "flush/op", "fence/op", "cas/op", "store/op")
+	for _, name := range bench.AllocNames {
+		a, err := factories[name](512 << 20)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		before := a.Region().Stats()
+		nops := runWorkload(a, *workload, *ops, *size, *threads)
+		s := a.Region().Stats()
+		d := func(b, e uint64) float64 { return float64(e-b) / float64(nops) }
+		fmt.Printf("%-10s %12.4f %12.4f %12.4f %12.4f\n", name,
+			d(before.Flushes, s.Flushes),
+			d(before.Fences, s.Fences),
+			d(before.CASes, s.CASes),
+			d(before.Stores, s.Stores))
+		a.Close()
+	}
+}
+
+// runWorkload returns the number of allocator operations performed.
+func runWorkload(a alloc.Allocator, workload string, ops int, size uint64, threads int) int {
+	switch workload {
+	case "churn":
+		hd := a.NewHandle()
+		for i := 0; i < ops; i++ {
+			off := hd.Malloc(size)
+			if off == 0 {
+				panic("OOM")
+			}
+			hd.Free(off)
+		}
+		return 2 * ops
+	case "threadtest":
+		res := bench.Threadtest(a, threads, 1, ops/threads, size)
+		return int(res.Ops)
+	case "larson":
+		cfg := bench.DefaultLarson()
+		cfg.OpsPerTh = ops / threads
+		res := bench.Larson(a, threads, cfg)
+		return int(res.Ops) * 2
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", workload)
+		os.Exit(2)
+		return 0
+	}
+}

@@ -1,0 +1,8 @@
+// Package repro is a Go reproduction of "Understanding and Optimizing
+// Persistent Memory Allocation" (Cai, Wen, Beadle, Kjellqvist, Hedayati,
+// Scott; U. Rochester TR #1008 / PPoPP 2020 BA).
+//
+// The root package carries only the repository-level benchmarks
+// (bench_test.go), one per table/figure of the paper; the implementation
+// lives under internal/ — see README.md and DESIGN.md for the map.
+package repro

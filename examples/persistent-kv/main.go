@@ -1,0 +1,83 @@
+// Persistent key-value store: a memcached-like store whose contents survive
+// process restarts via the heap's DAX-file image, including restarts after
+// a crash (dirty heap → recovery).
+//
+//	go run ./examples/persistent-kv            # first run: creates the store
+//	go run ./examples/persistent-kv            # second run: reopens it
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/kvstore"
+	"repro/internal/pmem"
+	"repro/internal/ralloc"
+)
+
+const rootKV = 0
+
+func main() {
+	path := filepath.Join(os.TempDir(), "ralloc-example-kv.heap")
+	cfg := ralloc.Config{
+		SBRegion: 64 << 20,
+		Pmem:     pmem.Config{Mode: pmem.ModeCrashSim},
+	}
+	heap, dirty, err := ralloc.Open(path, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := heap.AsAllocator()
+	hd := heap.NewHandle()
+
+	var store *kvstore.Store
+	root := heap.GetRoot(rootKV, nil)
+	switch {
+	case root == 0:
+		// Fresh heap: create the store and register it.
+		store, root = kvstore.Open(a, hd, 1024)
+		heap.SetRoot(rootKV, root)
+		fmt.Println("created a new store")
+	case dirty:
+		// Crashed last time: recover with the store's filter first.
+		heap.GetRoot(rootKV, kvstore.Attach(a, root).Filter())
+		stats, err := heap.Recover()
+		if err != nil {
+			log.Fatal(err)
+		}
+		store = kvstore.Attach(a, root)
+		fmt.Printf("recovered store after crash: %d reachable blocks, %v\n",
+			stats.ReachableBlocks, stats.Duration)
+	default:
+		store = kvstore.Attach(a, root)
+		fmt.Println("reopened store after clean shutdown")
+	}
+
+	// Show what survived from previous runs, then add to it.
+	if v, ok := store.Get("runs"); ok {
+		fmt.Printf("store remembers: runs=%s, greeting=%q\n", v, firstOr(store, "greeting"))
+	}
+	runs := 0
+	if v, ok := store.Get("runs"); ok {
+		fmt.Sscanf(v, "%d", &runs)
+	}
+	runs++
+	if !store.Set(hd, "runs", fmt.Sprintf("%d", runs)) ||
+		!store.Set(hd, "greeting", "hello from persistent memory") {
+		log.Fatal("out of memory")
+	}
+	fmt.Printf("this is run #%d; store holds %d records\n", runs, store.Len())
+
+	// Clean shutdown writes the heap back to its file.
+	if err := heap.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved to %s\n", path)
+}
+
+func firstOr(s *kvstore.Store, key string) string {
+	v, _ := s.Get(key)
+	return v
+}

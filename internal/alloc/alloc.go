@@ -1,0 +1,56 @@
+// Package alloc defines the allocator interface shared by Ralloc and the
+// four baseline allocators, so that workloads, applications and data
+// structures can be written once and run against any of them — mirroring how
+// the paper's benchmarks link against five different malloc implementations.
+//
+// All allocators hand out *byte offsets* into a pmem.Region rather than Go
+// pointers. Offset 0 is the null pointer. This keeps every allocator's data
+// position-independent (the heap can be saved, reloaded and re-based freely)
+// and keeps Go's garbage collector entirely out of the picture: persistent
+// blocks are invisible to the runtime, which is the closest Go analog of
+// manual persistent allocation in C/C++.
+package alloc
+
+import "repro/internal/pmem"
+
+// Nil is the null block offset.
+const Nil = uint64(0)
+
+// Allocator is a dynamic memory allocator over a simulated persistent
+// region.
+type Allocator interface {
+	// Name identifies the allocator in benchmark output
+	// (e.g. "ralloc", "makalu", "pmdk", "lrmalloc", "jemalloc").
+	Name() string
+	// Region exposes the underlying memory so data structures can read
+	// and write their blocks.
+	Region() *pmem.Region
+	// NewHandle returns a per-thread allocation context. Handles are the
+	// Go analog of thread-local caches: each goroutine must use its own.
+	NewHandle() Handle
+	// Close cleanly shuts the allocator down: caches are returned, the
+	// heap is flushed, and (for persistent allocators) the dirty flag is
+	// cleared.
+	Close() error
+}
+
+// Handle is a per-goroutine allocation context. Handles are not safe for
+// concurrent use; goroutines must not share them.
+type Handle interface {
+	// Malloc allocates size bytes and returns the block's byte offset,
+	// or Nil if the heap is exhausted.
+	Malloc(size uint64) uint64
+	// Free deallocates a block previously returned by Malloc on any
+	// handle of the same allocator.
+	Free(off uint64)
+}
+
+// Recoverable is implemented by persistent allocators that support
+// post-crash recovery (Ralloc, and the Makalu/PMDK models).
+type Recoverable interface {
+	Allocator
+	// Recover brings the allocator's metadata to a state where all and
+	// only the in-use blocks are allocated (the paper's recoverability
+	// criterion), after the region has crashed.
+	Recover() error
+}

@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/pmem"
+)
+
+// Small-scale smoke runs of every figure's workload against every
+// allocator: the harness itself must be correct before its numbers mean
+// anything.
+
+func TestThreadtestAllAllocators(t *testing.T) {
+	for name, f := range Factories(pmem.Config{}) {
+		a, err := f(64 << 20)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res := Threadtest(a, 2, 5, 1000, 64)
+		if res.Ops != 2*5*1000*2 {
+			t.Fatalf("%s: ops = %d", name, res.Ops)
+		}
+		if res.Elapsed <= 0 {
+			t.Fatalf("%s: no elapsed time", name)
+		}
+		if err := a.Close(); err != nil {
+			t.Fatalf("%s: close: %v", name, err)
+		}
+	}
+}
+
+func TestShbenchAllAllocators(t *testing.T) {
+	for name, f := range Factories(pmem.Config{}) {
+		a, err := f(64 << 20)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res := Shbench(a, 2, 200)
+		if res.Elapsed <= 0 {
+			t.Fatalf("%s: no elapsed time", name)
+		}
+		a.Close()
+	}
+}
+
+func TestShbenchSizeDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	small, large := 0, 0
+	for i := 0; i < 10000; i++ {
+		s := ShbenchSizes(rng)
+		if s < 64 || s > 400 {
+			t.Fatalf("size %d out of [64,400]", s)
+		}
+		if s < 150 {
+			small++
+		} else if s > 300 {
+			large++
+		}
+	}
+	if small <= large {
+		t.Fatalf("sizes not skewed small: %d small vs %d large", small, large)
+	}
+}
+
+func TestLarsonAllAllocators(t *testing.T) {
+	cfg := LarsonConfig{Live: 100, MinSize: 64, MaxSize: 400, Handoff: 500, OpsPerTh: 2000}
+	for name, f := range Factories(pmem.Config{}) {
+		a, err := f(64 << 20)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res := Larson(a, 2, cfg)
+		if res.Ops != 2*2000 {
+			t.Fatalf("%s: ops = %d", name, res.Ops)
+		}
+		a.Close()
+	}
+}
+
+func TestProdconAllAllocators(t *testing.T) {
+	for name, f := range Factories(pmem.Config{}) {
+		a, err := f(64 << 20)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res := Prodcon(a, 2, 4000, 64)
+		if res.Ops == 0 {
+			t.Fatalf("%s: no ops", name)
+		}
+		a.Close()
+	}
+}
+
+func TestVacationPersistentAllocators(t *testing.T) {
+	cfg := VacationConfig{TxPerThread: 300, CancelFrac: 0.25}
+	cfg.Vac.Relations = 512
+	fs := Factories(pmem.Config{})
+	for _, name := range PersistentAllocNames {
+		a, err := fs[name](128 << 20)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res := Vacation(a, 2, cfg)
+		if res.Ops == 0 {
+			t.Fatalf("%s: no transactions", name)
+		}
+		a.Close()
+	}
+}
+
+func TestMemcachedAllAllocators(t *testing.T) {
+	cfg := MemcachedConfig{Workload: DefaultMemcached(2000).Workload, OpsPerTh: 1000}
+	cfg.Workload.Records = 2000
+	for name, f := range Factories(pmem.Config{}) {
+		a, err := f(256 << 20)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res := Memcached(a, 2, cfg)
+		if res.Ops != 2*1000 {
+			t.Fatalf("%s: ops = %d", name, res.Ops)
+		}
+		a.Close()
+	}
+}
+
+func TestGCStackLinearity(t *testing.T) {
+	small, err := GCStack(2000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := GCStack(300000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.ReachableBlocks != 2001 || big.ReachableBlocks != 300001 {
+		t.Fatalf("reachable = %d / %d", small.ReachableBlocks, big.ReachableBlocks)
+	}
+	// 150× the blocks must cost measurably more time, despite the fixed
+	// per-recovery sweep floor (compare with slack to stay robust).
+	if big.GCTime < small.GCTime*3/2 {
+		t.Fatalf("GC time not growing with heap: %v vs %v", small.GCTime, big.GCTime)
+	}
+}
+
+func TestGCTreeCounts(t *testing.T) {
+	res, err := GCTree(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 sentinels + 2 blocks per key.
+	if res.ReachableBlocks != 5+2*3000 {
+		t.Fatalf("reachable = %d, want %d", res.ReachableBlocks, 5+2*3000)
+	}
+}
+
+func TestGCStackConservativeAlsoExact(t *testing.T) {
+	// Stack node links are off-holders: conservative tracing should find
+	// the same node set (modulo false positives, absent here).
+	res, err := GCStack(2000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReachableBlocks != 2001 {
+		t.Fatalf("conservative reachable = %d, want 2001", res.ReachableBlocks)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	fs := Factories(pmem.Config{})
+	s, err := Sweep(fs["ralloc"], "ralloc", 64<<20, []int{1, 2}, func(a alloc.Allocator, tt int) Result {
+		return Threadtest(a, tt, 2, 100, 64)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 2 || s.Points[0].Threads != 1 || s.Points[1].Threads != 2 {
+		t.Fatalf("sweep points = %+v", s.Points)
+	}
+}
+
+func TestDefaultThreadsMonotone(t *testing.T) {
+	ts := DefaultThreads()
+	if len(ts) == 0 {
+		t.Fatal("empty grid")
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatalf("grid not increasing: %v", ts)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package dstruct
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ralloc"
+)
+
+// Structure micro-benchmarks: the per-operation cost of the persistent data
+// structures over Ralloc, including their durability flushes. These are the
+// building blocks whose costs compose into Figures 5d–5f.
+
+func benchHeap(b *testing.B) *ralloc.Heap {
+	b.Helper()
+	h, _, err := ralloc.Open("", ralloc.Config{SBRegion: 512 << 20, GrowthChunk: 8 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h
+}
+
+func BenchmarkStackPushPop(b *testing.B) {
+	h := benchHeap(b)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	s, _ := NewStack(a, hd)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Push(hd, uint64(i))
+		s.Pop(hd)
+	}
+}
+
+func BenchmarkQueueEnqDeq(b *testing.B) {
+	h := benchHeap(b)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	q, _ := NewQueue(a, hd)
+	g := q.Guard(hd)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(hd, uint64(i))
+		q.Dequeue(g)
+	}
+}
+
+func BenchmarkTreeInsert(b *testing.B) {
+	h := benchHeap(b)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	tr, _ := NewTree(a, hd)
+	g := tr.Guard(hd)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(g, rng.Uint64()%(Inf0-1)+1, uint64(i))
+	}
+}
+
+func BenchmarkTreeLookup(b *testing.B) {
+	h := benchHeap(b)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	tr, _ := NewTree(a, hd)
+	g := tr.Guard(hd)
+	keys := make([]uint64, 100000)
+	rng := rand.New(rand.NewSource(2))
+	for i := range keys {
+		keys[i] = rng.Uint64()%(Inf0-1) + 1
+		tr.Insert(g, keys[i], uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkRBTreePut(b *testing.B) {
+	h := benchHeap(b)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	tr, _ := NewRBTree(a, hd)
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put(hd, rng.Uint64()%1e9+1, uint64(i))
+	}
+}
+
+func BenchmarkRBTreeGet(b *testing.B) {
+	h := benchHeap(b)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	tr, _ := NewRBTree(a, hd)
+	for k := uint64(1); k <= 100000; k++ {
+		tr.Put(hd, k, k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(uint64(i%100000) + 1)
+	}
+}
+
+func BenchmarkHashMapSet(b *testing.B) {
+	h := benchHeap(b)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	m, _ := NewHashMap(a, hd, 1<<16)
+	key := make([]byte, 16)
+	val := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key[0], key[1], key[2] = byte(i), byte(i>>8), byte(i>>16)
+		m.Set(hd, key, val)
+	}
+}
+
+func BenchmarkHashMapGet(b *testing.B) {
+	h := benchHeap(b)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	m, _ := NewHashMap(a, hd, 1<<14)
+	key := make([]byte, 16)
+	val := make([]byte, 100)
+	for i := 0; i < 10000; i++ {
+		key[0], key[1] = byte(i), byte(i>>8)
+		m.Set(hd, key, val)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key[0], key[1] = byte(i%10000), byte((i%10000)>>8)
+		m.Get(key)
+	}
+}

@@ -1,0 +1,130 @@
+// Package dstruct provides the persistent, position-independent data
+// structures used by the paper's benchmarks and recovery experiments: a
+// Treiber stack and the Natarajan–Mittal lock-free BST (Fig. 6), the
+// Michael–Scott queue (Prod-con, Fig. 5d), a red-black tree (Vacation,
+// Fig. 5e), and a chained hash map (Memcached, Fig. 5f).
+//
+// All structures store offsets, never Go pointers, so a heap image can be
+// saved, crashed, re-mapped and re-traversed. Each structure provides a
+// filter function (§4.5.1) enumerating its pointers for precise recovery
+// GC; structures whose links carry mark/tag bits (queue, BST) *require*
+// filters — exactly the nonstandard-pointer-representation scenario filter
+// functions were introduced for.
+package dstruct
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/alloc"
+)
+
+// EBR implements epoch-based safe memory reclamation — the "limbo lists"
+// the paper mentions as the application-level reclamation layered on top of
+// free (§3, §5). Deleted nodes are retired, not freed; a retired node is
+// passed to free only after every thread that might hold a reference has
+// moved past the epoch in which it was retired.
+//
+// Three epochs suffice: a node retired in epoch e can be reclaimed once the
+// global epoch reaches e+2, because any reader still using it would pin
+// epoch e or e+1.
+type EBR struct {
+	epoch atomic.Uint64
+
+	mu     sync.Mutex
+	guards []*Guard
+}
+
+// NewEBR creates a reclamation domain.
+func NewEBR() *EBR {
+	e := &EBR{}
+	e.epoch.Store(2) // start >0 so "unpinned" can be 0
+	return e
+}
+
+const ebrCollectEvery = 64
+
+// Guard is a per-goroutine participant in an EBR domain. A Guard owns an
+// allocator handle through which retired nodes are eventually freed.
+type Guard struct {
+	dom     *EBR
+	h       alloc.Handle
+	pinned  atomic.Uint64 // 0 = quiescent, otherwise the pinned epoch
+	retired [3][]uint64
+	nops    int
+}
+
+// Guard registers a new participant.
+func (e *EBR) Guard(h alloc.Handle) *Guard {
+	g := &Guard{dom: e, h: h}
+	e.mu.Lock()
+	e.guards = append(e.guards, g)
+	e.mu.Unlock()
+	return g
+}
+
+// Enter pins the current epoch; the caller may then traverse nodes that
+// concurrent deleters have retired. Must be paired with Exit.
+func (g *Guard) Enter() {
+	g.pinned.Store(g.dom.epoch.Load())
+}
+
+// Exit unpins the guard and occasionally attempts to advance the epoch and
+// reclaim quarantined nodes.
+func (g *Guard) Exit() {
+	g.pinned.Store(0)
+	g.nops++
+	if g.nops%ebrCollectEvery == 0 {
+		g.collect()
+	}
+}
+
+// Retire quarantines a node that has been unlinked from the structure. The
+// caller must be inside Enter/Exit.
+func (g *Guard) Retire(off uint64) {
+	e := g.dom.epoch.Load()
+	g.retired[e%3] = append(g.retired[e%3], off)
+}
+
+// collect tries to advance the global epoch; on success, nodes retired two
+// epochs ago become unreachable by any pinned reader and are freed.
+func (g *Guard) collect() {
+	d := g.dom
+	e := d.epoch.Load()
+	d.mu.Lock()
+	for _, other := range d.guards {
+		p := other.pinned.Load()
+		if p != 0 && p < e {
+			d.mu.Unlock()
+			return // a straggler still pins an older epoch
+		}
+	}
+	advanced := d.epoch.CompareAndSwap(e, e+1)
+	d.mu.Unlock()
+	if !advanced {
+		return
+	}
+	// Bucket (e+1)%3 holds nodes retired in epoch e-2: safe now.
+	bucket := &g.retired[(e+1)%3]
+	for _, off := range *bucket {
+		g.h.Free(off)
+	}
+	*bucket = (*bucket)[:0]
+}
+
+// Drain frees everything this guard has quarantined. Only safe when the
+// structure is quiescent (no concurrent readers), e.g. at shutdown or in
+// tests.
+func (g *Guard) Drain() {
+	for i := range g.retired {
+		for _, off := range g.retired[i] {
+			g.h.Free(off)
+		}
+		g.retired[i] = g.retired[i][:0]
+	}
+}
+
+// RetiredCount reports how many nodes are quarantined (for tests).
+func (g *Guard) RetiredCount() int {
+	return len(g.retired[0]) + len(g.retired[1]) + len(g.retired[2])
+}

@@ -1,0 +1,247 @@
+package dstruct
+
+import (
+	"sync"
+
+	"repro/internal/alloc"
+	"repro/internal/pmem"
+	"repro/internal/pptr"
+	"repro/internal/ralloc"
+)
+
+// HashMap is a persistent chained hash table with byte-string keys and
+// values — the storage engine of the memcached-as-a-library application
+// (§6.3). Bucket heads and node links are off-holders, so the map is fully
+// traceable by conservative GC; a precise filter is provided anyway.
+//
+// Concurrency uses striped locks (transient, like memcached's): writers to
+// the same bucket stripe serialize; updates are durably linearized by
+// flushing the new node before the bucket link swing and flushing the link
+// after.
+type HashMap struct {
+	a alloc.Allocator
+	r *pmem.Region
+	// hdr block: word 0 = bucket-array block offset, word 1 = nBuckets,
+	// word 2 = count.
+	hdr     uint64
+	buckets uint64
+	nB      uint64
+
+	stripes [64]sync.Mutex
+}
+
+// Node layout: word 0 = next (off-holder), word 1 = klen<<32 | vlen,
+// then key bytes, then value bytes (each padded to 8).
+const hmNodeHdr = 16
+
+func pad8(n uint64) uint64 { return (n + 7) &^ 7 }
+
+// NewHashMap allocates a map with nBuckets (rounded up to a power of two),
+// returning it and the header offset for root registration.
+func NewHashMap(a alloc.Allocator, h alloc.Handle, nBuckets int) (*HashMap, uint64) {
+	n := uint64(1)
+	for n < uint64(nBuckets) {
+		n <<= 1
+	}
+	hdr := h.Malloc(24)
+	arr := h.Malloc(n * 8)
+	if hdr == 0 || arr == 0 {
+		panic("dstruct: out of memory creating hashmap")
+	}
+	r := a.Region()
+	r.Zero(arr, n*8)
+	r.FlushRange(arr, n*8)
+	r.Store(hdr, pptr.Pack(hdr, arr))
+	r.Store(hdr+8, n)
+	r.Store(hdr+16, 0)
+	r.FlushRange(hdr, 24)
+	r.Fence()
+	return &HashMap{a: a, r: r, hdr: hdr, buckets: arr, nB: n}, hdr
+}
+
+// AttachHashMap re-attaches to a map whose header is at hdr.
+func AttachHashMap(a alloc.Allocator, hdr uint64) *HashMap {
+	r := a.Region()
+	arr, ok := pptr.Unpack(hdr, r.Load(hdr))
+	if !ok {
+		panic("dstruct: hashmap header corrupt")
+	}
+	return &HashMap{a: a, r: r, hdr: hdr, buckets: arr, nB: r.Load(hdr + 8)}
+}
+
+// fnv1a hashes key bytes.
+func fnv1a(key []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+func (m *HashMap) slot(key []byte) (bucketOff uint64, stripe *sync.Mutex) {
+	h := fnv1a(key)
+	b := m.buckets + (h&(m.nB-1))*8
+	return b, &m.stripes[h%uint64(len(m.stripes))]
+}
+
+// nodeKey reads the key bytes of the node at off.
+func (m *HashMap) nodeKey(off uint64) []byte {
+	lens := m.r.Load(off + 8)
+	klen := lens >> 32
+	key := make([]byte, klen)
+	m.r.ReadBytes(off+hmNodeHdr, key)
+	return key
+}
+
+func (m *HashMap) nodeValue(off uint64) []byte {
+	lens := m.r.Load(off + 8)
+	klen, vlen := lens>>32, lens&0xFFFFFFFF
+	val := make([]byte, vlen)
+	m.r.ReadBytes(off+hmNodeHdr+pad8(klen), val)
+	return val
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the value stored under key.
+func (m *HashMap) Get(key []byte) ([]byte, bool) {
+	bucket, mu := m.slot(key)
+	mu.Lock()
+	defer mu.Unlock()
+	off, _ := pptr.Unpack(bucket, m.r.Load(bucket))
+	for off != 0 {
+		if bytesEqual(m.nodeKey(off), key) {
+			return m.nodeValue(off), true
+		}
+		off, _ = pptr.Unpack(off, m.r.Load(off))
+	}
+	return nil, false
+}
+
+// Set inserts or replaces key→value. A replace allocates the new node,
+// swings the links durably, and frees the old node — the alloc/free churn
+// that makes YCSB workload A allocator-bound. ok=false reports exhaustion.
+func (m *HashMap) Set(h alloc.Handle, key, value []byte) bool {
+	r := m.r
+	size := hmNodeHdr + pad8(uint64(len(key))) + pad8(uint64(len(value)))
+	n := h.Malloc(size)
+	if n == 0 {
+		return false
+	}
+	r.Store(n+8, uint64(len(key))<<32|uint64(len(value)))
+	r.WriteBytes(n+hmNodeHdr, key)
+	r.WriteBytes(n+hmNodeHdr+pad8(uint64(len(key))), value)
+
+	bucket, mu := m.slot(key)
+	mu.Lock()
+	// Find predecessor of any existing node for key.
+	prev := bucket
+	off, _ := pptr.Unpack(bucket, r.Load(bucket))
+	var old uint64
+	for off != 0 {
+		if bytesEqual(m.nodeKey(off), key) {
+			old = off
+			break
+		}
+		prev = off
+		off, _ = pptr.Unpack(off, r.Load(off))
+	}
+	// New node takes over the successor of the node it replaces (or the
+	// whole chain on fresh insert).
+	var next uint64
+	if old != 0 {
+		next, _ = pptr.Unpack(old, r.Load(old))
+	} else {
+		next, _ = pptr.Unpack(bucket, r.Load(bucket))
+		prev = bucket
+	}
+	if next == 0 {
+		r.Store(n, pptr.Nil)
+	} else {
+		r.Store(n, pptr.Pack(n, next))
+	}
+	r.FlushRange(n, size)
+	r.Fence()
+	r.Store(prev, pptr.Pack(prev, n))
+	r.Flush(prev)
+	r.Fence()
+	if old != 0 {
+		h.Free(old)
+	} else {
+		r.Store(m.hdr+16, r.Load(m.hdr+16)+1)
+		r.Flush(m.hdr + 16)
+	}
+	mu.Unlock()
+	return true
+}
+
+// Delete removes key, reporting whether it was present.
+func (m *HashMap) Delete(h alloc.Handle, key []byte) bool {
+	r := m.r
+	bucket, mu := m.slot(key)
+	mu.Lock()
+	defer mu.Unlock()
+	prev := bucket
+	off, _ := pptr.Unpack(bucket, r.Load(bucket))
+	for off != 0 {
+		next, _ := pptr.Unpack(off, r.Load(off))
+		if bytesEqual(m.nodeKey(off), key) {
+			if next == 0 {
+				r.Store(prev, pptr.Nil)
+			} else {
+				r.Store(prev, pptr.Pack(prev, next))
+			}
+			r.Flush(prev)
+			r.Fence()
+			h.Free(off)
+			r.Store(m.hdr+16, r.Load(m.hdr+16)-1)
+			r.Flush(m.hdr + 16)
+			return true
+		}
+		prev = off
+		off = next
+	}
+	return false
+}
+
+// Len returns the number of keys.
+func (m *HashMap) Len() int { return int(m.r.Load(m.hdr + 16)) }
+
+// Filter returns the GC filter for the map header (bucket array → chains).
+func (m *HashMap) Filter() ralloc.Filter { return HashMapFilter(m.r) }
+
+// HashMapFilter builds the filter from a bare region.
+func HashMapFilter(r *pmem.Region) ralloc.Filter {
+	var node ralloc.Filter
+	node = func(g *ralloc.GC, off uint64) {
+		if next, ok := pptr.Unpack(off, r.Load(off)); ok {
+			g.Visit(next, node)
+		}
+	}
+	return func(g *ralloc.GC, hdr uint64) {
+		arr, ok := pptr.Unpack(hdr, r.Load(hdr))
+		if !ok {
+			return
+		}
+		nB := r.Load(hdr + 8)
+		g.Visit(arr, func(g *ralloc.GC, arrOff uint64) {
+			for i := uint64(0); i < nB; i++ {
+				slot := arrOff + i*8
+				if head, ok := pptr.Unpack(slot, r.Load(slot)); ok {
+					g.Visit(head, node)
+				}
+			}
+		})
+	}
+}

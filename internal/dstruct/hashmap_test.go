@@ -1,0 +1,201 @@
+package dstruct
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashMapBasic(t *testing.T) {
+	h := rheap(t)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	m, _ := NewHashMap(a, hd, 64)
+	if _, ok := m.Get([]byte("missing")); ok {
+		t.Fatal("empty map found a key")
+	}
+	if !m.Set(hd, []byte("k1"), []byte("v1")) {
+		t.Fatal("Set failed")
+	}
+	v, ok := m.Get([]byte("k1"))
+	if !ok || string(v) != "v1" {
+		t.Fatalf("Get = (%q,%v)", v, ok)
+	}
+	m.Set(hd, []byte("k1"), []byte("v2-longer-value"))
+	if v, _ := m.Get([]byte("k1")); string(v) != "v2-longer-value" {
+		t.Fatalf("updated value = %q", v)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+	if !m.Delete(hd, []byte("k1")) {
+		t.Fatal("Delete failed")
+	}
+	if m.Delete(hd, []byte("k1")) {
+		t.Fatal("double Delete succeeded")
+	}
+}
+
+func TestHashMapModel(t *testing.T) {
+	h := rheap(t)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	m, _ := NewHashMap(a, hd, 128)
+	model := map[string]string{}
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 10000; i++ {
+		key := fmt.Sprintf("key-%d", rng.Intn(300))
+		switch rng.Intn(3) {
+		case 0:
+			val := fmt.Sprintf("val-%d", rng.Intn(100000))
+			if !m.Set(hd, []byte(key), []byte(val)) {
+				t.Fatal("OOM")
+			}
+			model[key] = val
+		case 1:
+			del := m.Delete(hd, []byte(key))
+			_, existed := model[key]
+			if del != existed {
+				t.Fatalf("op %d: Delete(%s)=%v, existed=%v", i, key, del, existed)
+			}
+			delete(model, key)
+		default:
+			v, ok := m.Get([]byte(key))
+			mv, existed := model[key]
+			if ok != existed || (ok && string(v) != mv) {
+				t.Fatalf("op %d: Get(%s)=(%q,%v), want (%q,%v)", i, key, v, ok, mv, existed)
+			}
+		}
+	}
+	if m.Len() != len(model) {
+		t.Fatalf("Len = %d, want %d", m.Len(), len(model))
+	}
+}
+
+func TestHashMapQuickRoundTrip(t *testing.T) {
+	h := rheap(t)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	m, _ := NewHashMap(a, hd, 256)
+	f := func(key, val []byte) bool {
+		if len(key) == 0 || len(key) > 512 || len(val) > 512 {
+			return true
+		}
+		if !m.Set(hd, key, val) {
+			return false
+		}
+		got, ok := m.Get(key)
+		return ok && string(got) == string(val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashMapConcurrent(t *testing.T) {
+	h := rheap(t)
+	a := h.AsAllocator()
+	m, _ := NewHashMap(a, a.NewHandle(), 512)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hd := a.NewHandle()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 4000; i++ {
+				key := []byte(fmt.Sprintf("w%d-k%d", w, rng.Intn(200)))
+				switch rng.Intn(3) {
+				case 0:
+					if !m.Set(hd, key, []byte(fmt.Sprintf("v%d", i))) {
+						t.Error("OOM")
+						return
+					}
+				case 1:
+					m.Delete(hd, key)
+				default:
+					m.Get(key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if _, err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashMapCrashRecoveryConservative(t *testing.T) {
+	// The hash map links with off-holders, so it survives recovery even
+	// under purely conservative tracing — no filter registered at all.
+	h := rheap(t)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	m, hdrOff := NewHashMap(a, hd, 64)
+	want := map[string]string{}
+	for i := 0; i < 500; i++ {
+		k, v := fmt.Sprintf("key-%04d", i), fmt.Sprintf("value-%04d", i)
+		if !m.Set(hd, []byte(k), []byte(v)) {
+			t.Fatal("OOM")
+		}
+		want[k] = v
+	}
+	h.SetRoot(0, hdrOff)
+	if err := h.Region().Crash(); err != nil {
+		t.Fatal(err)
+	}
+	h.GetRoot(0, nil) // conservative
+	if _, err := h.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	m2 := AttachHashMap(a, hdrOff)
+	for k, v := range want {
+		got, ok := m2.Get([]byte(k))
+		if !ok || string(got) != v {
+			t.Fatalf("key %s = (%q,%v) after recovery, want %q", k, got, ok, v)
+		}
+	}
+	if m2.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", m2.Len(), len(want))
+	}
+}
+
+func TestHashMapCrashRecoveryWithFilter(t *testing.T) {
+	h := rheap(t)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	m, hdrOff := NewHashMap(a, hd, 64)
+	for i := 0; i < 300; i++ {
+		m.Set(hd, []byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	// Plus leaked blocks that must be reclaimed.
+	for i := 0; i < 1000; i++ {
+		hd.Malloc(64)
+	}
+	h.SetRoot(0, hdrOff)
+	if err := h.Region().Crash(); err != nil {
+		t.Fatal(err)
+	}
+	h.GetRoot(0, HashMapFilter(h.Region()))
+	stats, err := h.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + bucket array + 300 nodes.
+	if stats.ReachableBlocks != 302 {
+		t.Fatalf("reachable = %d, want 302", stats.ReachableBlocks)
+	}
+	m2 := AttachHashMap(a, hdrOff)
+	hd2 := a.NewHandle()
+	for i := 0; i < 300; i++ {
+		if v, ok := m2.Get([]byte(fmt.Sprintf("k%d", i))); !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key k%d lost or wrong: (%q,%v)", i, v, ok)
+		}
+	}
+	// Still writable.
+	if !m2.Set(hd2, []byte("post"), []byte("crash")) {
+		t.Fatal("Set after recovery failed")
+	}
+}

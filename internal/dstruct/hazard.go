@@ -1,0 +1,168 @@
+package dstruct
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/alloc"
+	"repro/internal/pptr"
+)
+
+// Hazard pointers (Michael, 2004) are the second safe-memory-reclamation
+// scheme the paper cites alongside limbo lists (§3, §5: "safe memory
+// reclamation [32,51] ... is layered on top of free"). Where EBR retires
+// nodes until all threads pass an epoch, hazard pointers protect individual
+// blocks: a reader publishes the offset it is about to dereference, and a
+// reclaimer only frees retired blocks no one has published.
+//
+// Offsets make the protocol simpler than in C: a stale read cannot fault,
+// so publication needs no validation loop beyond the usual re-check that
+// the structure still points at the protected node.
+type HazardDomain struct {
+	mu      sync.Mutex
+	records []*HazardRecord
+}
+
+// hazardSlots is the number of simultaneous protections per thread (two
+// suffice for stacks and queues; trees may need more, which callers can get
+// by acquiring several records).
+const hazardSlots = 4
+
+// scanThreshold is the retired-list length that triggers a scan.
+const scanThreshold = 64
+
+// HazardRecord is one thread's set of hazard slots plus its retired list.
+type HazardRecord struct {
+	dom     *HazardDomain
+	h       alloc.Handle
+	slots   [hazardSlots]atomic.Uint64
+	retired []uint64
+}
+
+// NewHazardDomain creates a reclamation domain.
+func NewHazardDomain() *HazardDomain { return &HazardDomain{} }
+
+// Record registers a participant owning an allocator handle.
+func (d *HazardDomain) Record(h alloc.Handle) *HazardRecord {
+	r := &HazardRecord{dom: d, h: h}
+	d.mu.Lock()
+	d.records = append(d.records, r)
+	d.mu.Unlock()
+	return r
+}
+
+// Protect publishes off in slot i and returns off for chaining. The caller
+// must re-validate afterwards that the structure still references off.
+func (r *HazardRecord) Protect(i int, off uint64) uint64 {
+	r.slots[i].Store(off)
+	return off
+}
+
+// Clear releases slot i.
+func (r *HazardRecord) Clear(i int) { r.slots[i].Store(0) }
+
+// ClearAll releases every slot (end of an operation).
+func (r *HazardRecord) ClearAll() {
+	for i := range r.slots {
+		r.slots[i].Store(0)
+	}
+}
+
+// Retire quarantines an unlinked block and scans when the quarantine grows.
+func (r *HazardRecord) Retire(off uint64) {
+	r.retired = append(r.retired, off)
+	if len(r.retired) >= scanThreshold {
+		r.scan()
+	}
+}
+
+// scan frees every retired block not currently protected by any record.
+func (r *HazardRecord) scan() {
+	hazards := make(map[uint64]bool)
+	r.dom.mu.Lock()
+	records := r.dom.records
+	r.dom.mu.Unlock()
+	for _, rec := range records {
+		for i := range rec.slots {
+			if v := rec.slots[i].Load(); v != 0 {
+				hazards[v] = true
+			}
+		}
+	}
+	kept := r.retired[:0]
+	for _, off := range r.retired {
+		if hazards[off] {
+			kept = append(kept, off)
+		} else {
+			r.h.Free(off)
+		}
+	}
+	r.retired = kept
+}
+
+// Drain frees all retired blocks regardless of hazards. Only safe when the
+// structure is quiescent (shutdown, tests).
+func (r *HazardRecord) Drain() {
+	for _, off := range r.retired {
+		r.h.Free(off)
+	}
+	r.retired = r.retired[:0]
+}
+
+// RetiredCount reports the quarantine size (tests).
+func (r *HazardRecord) RetiredCount() int { return len(r.retired) }
+
+// ----------------------------------------------------------------------
+// HStack: the Treiber stack re-done with hazard-pointer reclamation instead
+// of immediate free, demonstrating the alternative SMR layered on the same
+// allocator API. Push is identical to Stack; Pop protects the top node
+// before reading it and retires it instead of freeing.
+
+// HStack is a hazard-pointer-protected Treiber stack.
+type HStack struct {
+	*Stack
+	dom *HazardDomain
+}
+
+// NewHStack builds an empty stack plus its hazard domain.
+func NewHStack(a alloc.Allocator, h alloc.Handle) (*HStack, uint64) {
+	s, root := NewStack(a, h)
+	return &HStack{Stack: s, dom: NewHazardDomain()}, root
+}
+
+// Record creates a participant record for one goroutine.
+func (s *HStack) Record(h alloc.Handle) *HazardRecord { return s.dom.Record(h) }
+
+// Pop removes the top value, retiring the node through hazard pointers.
+func (s *HStack) Pop(rec *HazardRecord) (uint64, bool) {
+	r := s.r
+	defer rec.ClearAll()
+	for {
+		old := r.Load(s.hdr)
+		_, top := pptr.UnpackTag(old)
+		if top == 0 {
+			return 0, false
+		}
+		rec.Protect(0, top)
+		// Re-validate: if the head moved, top may already be retired
+		// (or even reused); retry with a fresh protection.
+		if r.Load(s.hdr) != old {
+			continue
+		}
+		next, _ := pptr.Unpack(top, r.Load(top))
+		value := r.Load(top + 8)
+		ctr, _ := pptr.UnpackTag(old)
+		var newHead uint64
+		if next == 0 {
+			newHead = pptr.PackTag(ctr+1, 0)
+		} else {
+			newHead = pptr.PackTag(ctr+1, next)
+		}
+		if r.CAS(s.hdr, old, newHead) {
+			r.Flush(s.hdr)
+			r.Fence()
+			rec.Retire(top)
+			return value, true
+		}
+	}
+}

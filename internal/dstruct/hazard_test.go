@@ -1,0 +1,120 @@
+package dstruct
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestHStackLIFO(t *testing.T) {
+	h := rheap(t)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	s, _ := NewHStack(a, hd)
+	rec := s.Record(hd)
+	for i := uint64(1); i <= 50; i++ {
+		if !s.Push(hd, i) {
+			t.Fatal("push failed")
+		}
+	}
+	for i := uint64(50); i >= 1; i-- {
+		v, ok := s.Pop(rec)
+		if !ok || v != i {
+			t.Fatalf("Pop = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := s.Pop(rec); ok {
+		t.Fatal("Pop on empty succeeded")
+	}
+}
+
+func TestHazardProtectionBlocksReclaim(t *testing.T) {
+	h := rheap(t)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	dom := NewHazardDomain()
+	reader := dom.Record(a.NewHandle())
+	writer := dom.Record(hd)
+
+	// Reader protects a block; writer retires it plus enough others to
+	// force scans. The protected block must stay quarantined.
+	victim := hd.Malloc(64)
+	reader.Protect(0, victim)
+	writer.Retire(victim)
+	for i := 0; i < scanThreshold*3; i++ {
+		writer.Retire(hd.Malloc(64))
+	}
+	if writer.RetiredCount() == 0 {
+		t.Fatal("scan freed everything including the protected block")
+	}
+	found := false
+	for _, off := range writer.retired {
+		if off == victim {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("protected block was freed during scan")
+	}
+	// Clearing the hazard lets the next scan free it.
+	reader.ClearAll()
+	for i := 0; i < scanThreshold; i++ {
+		writer.Retire(hd.Malloc(64))
+	}
+	for _, off := range writer.retired {
+		if off == victim {
+			t.Fatal("block still quarantined after hazard cleared")
+		}
+	}
+}
+
+func TestHStackConcurrentConservation(t *testing.T) {
+	h := rheap(t)
+	a := h.AsAllocator()
+	s, _ := NewHStack(a, a.NewHandle())
+	const goroutines = 8
+	var pushed, popped [goroutines]uint64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			hd := a.NewHandle()
+			rec := s.Record(hd)
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 4000; i++ {
+				if rng.Intn(2) == 0 {
+					v := uint64(rng.Intn(1000)) + 1
+					if s.Push(hd, v) {
+						pushed[g] += v
+					}
+				} else if v, ok := s.Pop(rec); ok {
+					popped[g] += v
+				}
+			}
+			rec.ClearAll()
+		}(g)
+	}
+	wg.Wait()
+	var totalPushed, totalPopped uint64
+	for g := range pushed {
+		totalPushed += pushed[g]
+		totalPopped += popped[g]
+	}
+	hd := a.NewHandle()
+	rec := s.Record(hd)
+	for {
+		v, ok := s.Pop(rec)
+		if !ok {
+			break
+		}
+		totalPopped += v
+	}
+	if totalPushed != totalPopped {
+		t.Fatalf("conservation violated: pushed %d popped %d", totalPushed, totalPopped)
+	}
+	rec.Drain()
+	if _, err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

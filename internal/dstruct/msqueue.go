@@ -1,0 +1,167 @@
+package dstruct
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/pmem"
+	"repro/internal/pptr"
+	"repro/internal/ralloc"
+)
+
+// Queue is a persistent Michael–Scott lock-free FIFO queue, used by the
+// paper's Prod-con benchmark (§6.2): one thread of each pair allocates
+// objects and enqueues pointers to them, the other dequeues and frees.
+//
+// Every link word (head, tail, node.next) is a counter-tagged offset: next
+// pointers are CAS targets and need ABA protection once nodes are recycled.
+// Tagged words are invisible to conservative GC, so the queue provides a
+// filter function for precise recovery.
+type Queue struct {
+	a alloc.Allocator
+	r *pmem.Region
+	// hdr: word 0 = head (tagged), word 1 = tail (tagged).
+	hdr uint64
+
+	ebr *EBR
+}
+
+// Node layout: word 0 = next (tagged), word 1 = value.
+const queueNodeSize = 16
+
+// NewQueue allocates an empty queue (with its dummy node), returning it and
+// the header offset for root registration.
+func NewQueue(a alloc.Allocator, h alloc.Handle) (*Queue, uint64) {
+	hdr := h.Malloc(16)
+	dummy := h.Malloc(queueNodeSize)
+	if hdr == 0 || dummy == 0 {
+		panic("dstruct: out of memory creating queue")
+	}
+	r := a.Region()
+	r.Store(dummy, pptr.TagNil)
+	r.Store(dummy+8, 0)
+	r.FlushRange(dummy, queueNodeSize)
+	r.Store(hdr, pptr.PackTag(0, dummy))
+	r.Store(hdr+8, pptr.PackTag(0, dummy))
+	r.FlushRange(hdr, 16)
+	r.Fence()
+	return &Queue{a: a, r: r, hdr: hdr, ebr: NewEBR()}, hdr
+}
+
+// AttachQueue re-attaches to a queue at hdr.
+func AttachQueue(a alloc.Allocator, hdr uint64) *Queue {
+	return &Queue{a: a, r: a.Region(), hdr: hdr, ebr: NewEBR()}
+}
+
+// Guard creates a reclamation guard for a consumer goroutine; pass it to
+// Dequeue so dequeued dummy nodes are retired through the limbo list
+// rather than freed while other threads may still traverse them.
+func (q *Queue) Guard(h alloc.Handle) *Guard { return q.ebr.Guard(h) }
+
+func (q *Queue) headOff() uint64 { return q.hdr }
+func (q *Queue) tailOff() uint64 { return q.hdr + 8 }
+
+// Enqueue appends value.
+func (q *Queue) Enqueue(h alloc.Handle, value uint64) bool {
+	n := h.Malloc(queueNodeSize)
+	if n == 0 {
+		return false
+	}
+	r := q.r
+	r.Store(n, pptr.TagNil)
+	r.Store(n+8, value)
+	r.FlushRange(n, queueNodeSize)
+	r.Fence()
+	for {
+		tail := r.Load(q.tailOff())
+		tctr, tOff := pptr.UnpackTag(tail)
+		next := r.Load(tOff)
+		nctr, nOff := pptr.UnpackTag(next)
+		if tail != r.Load(q.tailOff()) {
+			continue
+		}
+		if nOff == 0 {
+			if r.CAS(tOff, next, pptr.PackTag(nctr+1, n)) {
+				r.Flush(tOff)
+				r.Fence()
+				r.CAS(q.tailOff(), tail, pptr.PackTag(tctr+1, n))
+				r.Flush(q.tailOff())
+				return true
+			}
+		} else {
+			// Help swing the lagging tail.
+			r.CAS(q.tailOff(), tail, pptr.PackTag(tctr+1, nOff))
+		}
+	}
+}
+
+// Dequeue removes the oldest value. The displaced dummy node is retired via
+// the guard's limbo list.
+func (q *Queue) Dequeue(g *Guard) (uint64, bool) {
+	r := q.r
+	g.Enter()
+	defer g.Exit()
+	for {
+		head := r.Load(q.headOff())
+		hctr, hOff := pptr.UnpackTag(head)
+		tail := r.Load(q.tailOff())
+		tctr, tOff := pptr.UnpackTag(tail)
+		next := r.Load(hOff)
+		_, nOff := pptr.UnpackTag(next)
+		if head != r.Load(q.headOff()) {
+			continue
+		}
+		if hOff == tOff {
+			if nOff == 0 {
+				return 0, false
+			}
+			r.CAS(q.tailOff(), tail, pptr.PackTag(tctr+1, nOff))
+			continue
+		}
+		value := r.Load(nOff + 8)
+		if r.CAS(q.headOff(), head, pptr.PackTag(hctr+1, nOff)) {
+			r.Flush(q.headOff())
+			r.Fence()
+			g.Retire(hOff)
+			return value, true
+		}
+	}
+}
+
+// Len walks the queue (quiescent use only).
+func (q *Queue) Len() int {
+	r := q.r
+	_, off := pptr.UnpackTag(r.Load(q.headOff()))
+	n := 0
+	for {
+		_, next := pptr.UnpackTag(r.Load(off))
+		if next == 0 {
+			return n
+		}
+		n++
+		off = next
+	}
+}
+
+// Filter returns the GC filter for the queue header. Queue values are block
+// offsets in Prod-con (pointers to allocated objects), so the node filter
+// also visits the value word conservatively via g.Visit — if the value is
+// not a block, Visit rejects it.
+func (q *Queue) Filter(valuesArePointers bool) ralloc.Filter {
+	r := q.r
+	var nodeFilter ralloc.Filter
+	nodeFilter = func(g *ralloc.GC, off uint64) {
+		if _, next := pptr.UnpackTag(r.Load(off)); next != 0 {
+			g.Visit(next, nodeFilter)
+		}
+		if valuesArePointers {
+			g.Visit(r.Load(off+8), nil)
+		}
+	}
+	return func(g *ralloc.GC, off uint64) {
+		if _, head := pptr.UnpackTag(r.Load(off)); head != 0 {
+			g.Visit(head, nodeFilter)
+		}
+		if _, tail := pptr.UnpackTag(r.Load(off + 8)); tail != 0 {
+			g.Visit(tail, nodeFilter)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package dstruct
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	h := rheap(t)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	q, _ := NewQueue(a, hd)
+	g := q.Guard(hd)
+	for i := uint64(1); i <= 100; i++ {
+		if !q.Enqueue(hd, i) {
+			t.Fatal("enqueue failed")
+		}
+	}
+	for i := uint64(1); i <= 100; i++ {
+		v, ok := q.Dequeue(g)
+		if !ok || v != i {
+			t.Fatalf("Dequeue = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := q.Dequeue(g); ok {
+		t.Fatal("Dequeue on empty succeeded")
+	}
+}
+
+func TestQueueLen(t *testing.T) {
+	h := rheap(t)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	q, _ := NewQueue(a, hd)
+	g := q.Guard(hd)
+	for i := uint64(0); i < 10; i++ {
+		q.Enqueue(hd, i)
+	}
+	if q.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", q.Len())
+	}
+	q.Dequeue(g)
+	if q.Len() != 9 {
+		t.Fatalf("Len = %d, want 9", q.Len())
+	}
+}
+
+func TestQueueConcurrentProducersConsumers(t *testing.T) {
+	// The Prod-con pattern (§6.2): producers allocate objects and enqueue
+	// their offsets; consumers dequeue and free. Every produced object is
+	// consumed exactly once.
+	h := rheap(t)
+	a := h.AsAllocator()
+	init := a.NewHandle()
+	q, _ := NewQueue(a, init)
+	const pairs = 4
+	const perProducer = 10000
+
+	var wg sync.WaitGroup
+	consumed := make([][]uint64, pairs)
+	for p := 0; p < pairs; p++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			hd := a.NewHandle()
+			for i := 0; i < perProducer; i++ {
+				obj := hd.Malloc(64)
+				if obj == 0 {
+					t.Error("OOM")
+					return
+				}
+				a.Region().Store(obj, obj) // self-signature
+				for !q.Enqueue(hd, obj) {
+				}
+			}
+		}()
+		go func(p int) {
+			defer wg.Done()
+			hd := a.NewHandle()
+			g := q.Guard(hd)
+			var got []uint64
+			for len(got) < perProducer {
+				v, ok := q.Dequeue(g)
+				if !ok {
+					continue
+				}
+				if a.Region().Load(v) != v {
+					t.Errorf("consumed object %#x has bad signature", v)
+					return
+				}
+				got = append(got, v)
+				hd.Free(v)
+			}
+			consumed[p] = got
+			g.Drain()
+		}(p)
+	}
+	wg.Wait()
+	seen := map[uint64]bool{}
+	total := 0
+	for _, got := range consumed {
+		for _, v := range got {
+			total++
+			_ = seen[v] // objects may be reused after Free; only count
+		}
+	}
+	if total != pairs*perProducer {
+		t.Fatalf("consumed %d objects, want %d", total, pairs*perProducer)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty at end: %d", q.Len())
+	}
+}
+
+func TestQueueCrashRecoveryWithValues(t *testing.T) {
+	// Queue whose values are pointers to payload blocks: the filter
+	// traces nodes *and* payloads; recovery must preserve both.
+	h := rheap(t)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	r := a.Region()
+	q, hdrOff := NewQueue(a, hd)
+	const n = 500
+	for i := uint64(0); i < n; i++ {
+		obj := hd.Malloc(64)
+		r.Store(obj, 7700+i)
+		r.FlushRange(obj, 8)
+		r.Fence()
+		if !q.Enqueue(hd, obj) {
+			t.Fatal("enqueue failed")
+		}
+	}
+	h.SetRoot(0, hdrOff)
+	if err := h.Region().Crash(); err != nil {
+		t.Fatal(err)
+	}
+	h.GetRoot(0, AttachQueue(a, hdrOff).Filter(true))
+	stats, err := h.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + dummy + n nodes + n payloads.
+	want := uint64(2 + 2*n)
+	if stats.ReachableBlocks != want {
+		t.Fatalf("reachable = %d, want %d", stats.ReachableBlocks, want)
+	}
+	q2 := AttachQueue(a, hdrOff)
+	hd2 := a.NewHandle()
+	g2 := q2.Guard(hd2)
+	for i := uint64(0); i < n; i++ {
+		v, ok := q2.Dequeue(g2)
+		if !ok {
+			t.Fatalf("queue lost element %d", i)
+		}
+		if got := r.Load(v); got != 7700+i {
+			t.Fatalf("payload %d = %d, want %d", i, got, 7700+i)
+		}
+	}
+	if _, err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEBRReclaimsAfterQuiescence(t *testing.T) {
+	h := rheap(t)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	e := NewEBR()
+	g := e.Guard(hd)
+	// Retire a batch of blocks and cycle enough epochs for reclamation.
+	for i := 0; i < 300; i++ {
+		off := hd.Malloc(64)
+		g.Enter()
+		g.Retire(off)
+		g.Exit()
+	}
+	for i := 0; i < ebrCollectEvery*6; i++ {
+		g.Enter()
+		g.Exit()
+	}
+	if n := g.RetiredCount(); n >= 300 {
+		t.Fatalf("EBR reclaimed nothing: %d still retired", n)
+	}
+}
+
+func TestEBRBlocksWhilePinned(t *testing.T) {
+	h := rheap(t)
+	a := h.AsAllocator()
+	e := NewEBR()
+	g1 := e.Guard(a.NewHandle())
+	g2 := e.Guard(a.NewHandle())
+	g2.Enter() // pin an epoch and never exit
+	off := a.NewHandle().Malloc(64)
+	g1.Enter()
+	g1.Retire(off)
+	g1.Exit()
+	before := e.epoch.Load()
+	for i := 0; i < ebrCollectEvery*4; i++ {
+		g1.Enter()
+		g1.Exit()
+	}
+	// The epoch may advance at most once past the pinned reader.
+	if e.epoch.Load() > before+1 {
+		t.Fatalf("epoch advanced from %d to %d past a pinned guard", before, e.epoch.Load())
+	}
+	if g1.RetiredCount() == 0 && e.epoch.Load() <= before+1 {
+		// Retired in epoch e; must not be freed while g2 pins e.
+		t.Fatal("node reclaimed while a guard was pinned")
+	}
+	g2.Exit()
+}

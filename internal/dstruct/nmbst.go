@@ -1,0 +1,362 @@
+package dstruct
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/pmem"
+	"repro/internal/ralloc"
+)
+
+// Tree is a persistent version of the Natarajan–Mittal lock-free external
+// binary search tree (PPoPP 2014), the structure of the paper's second
+// recovery experiment (Fig. 6b).
+//
+// It is an external tree: all data lives in leaves; internal nodes route.
+// Synchronization is edge-based: child-pointer words carry a FLAG bit (the
+// edge below is being deleted) and a TAG bit (the edge must not grow), and
+// all updates are CASes on edge words. Edges store raw block offsets plus
+// mark bits — a nonstandard pointer representation that conservative GC
+// cannot trace, so the tree requires its filter function for recovery
+// (§4.5.1).
+//
+// Memory reclamation uses the EBR limbo lists. Under chains of concurrent
+// conflicting deletes the splice can unlink helper-flagged internal nodes
+// that no thread retires; in the persistent setting those are reclaimed by
+// the next recovery GC — the paper's safety net for exactly this kind of
+// transient leak.
+type Tree struct {
+	a alloc.Allocator
+	r *pmem.Region
+	// rootR is the offset of sentinel internal node R (the persistent
+	// root); S is R's left child.
+	rootR uint64
+	rootS uint64
+
+	ebr *EBR
+}
+
+// Sentinel keys: all user keys must be below Inf0.
+const (
+	Inf0 = ^uint64(0) - 2
+	Inf1 = ^uint64(0) - 1
+	Inf2 = ^uint64(0)
+)
+
+// Node layout (32 bytes): key, left edge, right edge, value.
+const (
+	treeNodeSize = 32
+	nOffKey      = 0
+	nOffLeft     = 8
+	nOffRight    = 16
+	nOffValue    = 24
+)
+
+// Edge mark bits. Offsets are 8-aligned, so the low bits are free.
+const (
+	edgeFlag = 1 // the leaf below this edge is being deleted
+	edgeTag  = 2 // this edge must not be grown
+	edgeBits = edgeFlag | edgeTag
+)
+
+func eAddr(v uint64) uint64  { return v &^ edgeBits }
+func eFlagged(v uint64) bool { return v&edgeFlag != 0 }
+func eTagged(v uint64) bool  { return v&edgeTag != 0 }
+
+type seekRec struct {
+	ancestor, successor, parent, leaf uint64
+}
+
+// NewTree builds the sentinel skeleton and returns the tree plus the offset
+// of R for root registration.
+func NewTree(a alloc.Allocator, h alloc.Handle) (*Tree, uint64) {
+	r := a.Region()
+	newNode := func(key, left, right, value uint64) uint64 {
+		off := h.Malloc(treeNodeSize)
+		if off == 0 {
+			panic("dstruct: out of memory creating tree")
+		}
+		r.Store(off+nOffKey, key)
+		r.Store(off+nOffLeft, left)
+		r.Store(off+nOffRight, right)
+		r.Store(off+nOffValue, value)
+		r.FlushRange(off, treeNodeSize)
+		return off
+	}
+	l0 := newNode(Inf0, 0, 0, 0)
+	l1 := newNode(Inf1, 0, 0, 0)
+	l2 := newNode(Inf2, 0, 0, 0)
+	s := newNode(Inf1, l0, l1, 0)
+	rt := newNode(Inf2, s, l2, 0)
+	r.Fence()
+	return &Tree{a: a, r: r, rootR: rt, rootS: s, ebr: NewEBR()}, rt
+}
+
+// AttachTree re-attaches to a tree whose R sentinel is at rootR.
+func AttachTree(a alloc.Allocator, rootR uint64) *Tree {
+	r := a.Region()
+	return &Tree{
+		a:     a,
+		r:     r,
+		rootR: rootR,
+		rootS: eAddr(r.Load(rootR + nOffLeft)),
+		ebr:   NewEBR(),
+	}
+}
+
+// Guard creates an EBR guard for a goroutine operating on the tree.
+func (t *Tree) Guard(h alloc.Handle) *Guard { return t.ebr.Guard(h) }
+
+func (t *Tree) key(n uint64) uint64 { return t.r.Load(n + nOffKey) }
+
+// edgeFor returns the address of n's child edge on key's search path.
+func (t *Tree) edgeFor(n, key uint64) uint64 {
+	if key < t.key(n) {
+		return n + nOffLeft
+	}
+	return n + nOffRight
+}
+
+// seek descends from the sentinels, maintaining the last untagged edge
+// (ancestor→successor) above the access path, per the NM algorithm.
+func (t *Tree) seek(key uint64) seekRec {
+	r := t.r
+	s := seekRec{ancestor: t.rootR, successor: t.rootS, parent: t.rootS}
+	parentField := r.Load(t.rootS + nOffLeft)
+	s.leaf = eAddr(parentField)
+	currentField := r.Load(t.edgeFor(s.leaf, key))
+	current := eAddr(currentField)
+	for current != 0 {
+		if !eTagged(parentField) {
+			s.ancestor = s.parent
+			s.successor = s.leaf
+		}
+		s.parent = s.leaf
+		s.leaf = current
+		parentField = currentField
+		currentField = r.Load(t.edgeFor(current, key))
+		current = eAddr(currentField)
+	}
+	return s
+}
+
+// Lookup returns the value stored under key.
+func (t *Tree) Lookup(key uint64) (uint64, bool) {
+	s := t.seek(key)
+	if t.key(s.leaf) == key {
+		return t.r.Load(s.leaf + nOffValue), true
+	}
+	return 0, false
+}
+
+// Insert adds key→value; it returns false if the key already exists (or
+// ok=false if the heap is exhausted).
+func (t *Tree) Insert(g *Guard, key, value uint64) (inserted, ok bool) {
+	if key >= Inf0 {
+		panic("dstruct: key collides with tree sentinels")
+	}
+	r := t.r
+	h := g.h
+	g.Enter()
+	defer g.Exit()
+	for {
+		s := t.seek(key)
+		leafKey := t.key(s.leaf)
+		if leafKey == key {
+			return false, true
+		}
+		newLeaf := h.Malloc(treeNodeSize)
+		newInternal := h.Malloc(treeNodeSize)
+		if newLeaf == 0 || newInternal == 0 {
+			if newLeaf != 0 {
+				h.Free(newLeaf)
+			}
+			return false, false
+		}
+		r.Store(newLeaf+nOffKey, key)
+		r.Store(newLeaf+nOffLeft, 0)
+		r.Store(newLeaf+nOffRight, 0)
+		r.Store(newLeaf+nOffValue, value)
+		ik, left, right := leafKey, s.leaf, newLeaf
+		if key < leafKey {
+			left, right = newLeaf, s.leaf
+		} else {
+			ik = key
+		}
+		r.Store(newInternal+nOffKey, ik)
+		r.Store(newInternal+nOffLeft, left)
+		r.Store(newInternal+nOffRight, right)
+		r.Store(newInternal+nOffValue, 0)
+		r.FlushRange(newLeaf, treeNodeSize)
+		r.FlushRange(newInternal, treeNodeSize)
+		r.Fence()
+
+		edge := t.edgeFor(s.parent, key)
+		if r.CAS(edge, s.leaf, newInternal) { // expects a clean edge
+			r.Flush(edge)
+			r.Fence()
+			return true, true
+		}
+		// Failed: undo the speculative nodes; help if the edge carries
+		// marks for our leaf.
+		h.Free(newLeaf)
+		h.Free(newInternal)
+		cur := r.Load(edge)
+		if eAddr(cur) == s.leaf && cur&edgeBits != 0 {
+			t.cleanup(g, key, s)
+		}
+	}
+}
+
+// Delete removes key, returning whether it was present.
+func (t *Tree) Delete(g *Guard, key uint64) bool {
+	r := t.r
+	g.Enter()
+	defer g.Exit()
+	injecting := true
+	var leaf uint64
+	for {
+		s := t.seek(key)
+		if injecting {
+			if t.key(s.leaf) != key {
+				return false
+			}
+			leaf = s.leaf
+			edge := t.edgeFor(s.parent, key)
+			cur := r.Load(edge)
+			if eAddr(cur) != leaf {
+				continue
+			}
+			if cur&edgeBits != 0 {
+				t.cleanup(g, key, s)
+				continue
+			}
+			if r.CAS(edge, leaf, leaf|edgeFlag) {
+				r.Flush(edge)
+				r.Fence()
+				injecting = false
+				if t.cleanup(g, key, s) {
+					return true
+				}
+			} else {
+				cur = r.Load(edge)
+				if eAddr(cur) == leaf && cur&edgeBits != 0 {
+					t.cleanup(g, key, s)
+				}
+			}
+		} else {
+			if s.leaf != leaf {
+				return true // another thread completed the removal
+			}
+			if t.cleanup(g, key, s) {
+				return true
+			}
+		}
+	}
+}
+
+// cleanup splices a flagged leaf (and its parent) out of the tree: tag the
+// sibling edge so it cannot grow, then swing the ancestor's edge from the
+// successor to the sibling. Returns true if this call performed the splice.
+func (t *Tree) cleanup(g *Guard, key uint64, s seekRec) bool {
+	r := t.r
+	var childAddr, sibAddr uint64
+	if key < t.key(s.parent) {
+		childAddr = s.parent + nOffLeft
+		sibAddr = s.parent + nOffRight
+	} else {
+		childAddr = s.parent + nOffRight
+		sibAddr = s.parent + nOffLeft
+	}
+	// If the child edge carries the flag, our leaf is the deletion target
+	// and the sibling survives; otherwise we are helping a deletion that
+	// flagged the other edge, and the survivor is on the child side.
+	flaggedAddr, survivorAddr := childAddr, sibAddr
+	if !eFlagged(r.Load(childAddr)) {
+		flaggedAddr, survivorAddr = sibAddr, childAddr
+	}
+	// Tag the survivor edge so it cannot grow (preserving its flag bit).
+	for {
+		v := r.Load(survivorAddr)
+		if eTagged(v) {
+			break
+		}
+		if r.CAS(survivorAddr, v, v|edgeTag) {
+			r.Flush(survivorAddr)
+			break
+		}
+	}
+	survivor := r.Load(survivorAddr)
+	newVal := eAddr(survivor) | (survivor & edgeFlag)
+	ancEdge := t.edgeFor(s.ancestor, key)
+	if r.CAS(ancEdge, s.successor, newVal) { // expects a clean edge
+		r.Flush(ancEdge)
+		r.Fence()
+		// Retire the spliced-out parent and the flagged leaf.
+		g.Retire(eAddr(r.Load(flaggedAddr)))
+		g.Retire(s.parent)
+		return true
+	}
+	return false
+}
+
+// Count walks the leaves in order (quiescent use only) and reports how many
+// user keys are present.
+func (t *Tree) Count() int {
+	n := 0
+	t.Ascend(func(k, v uint64) bool { n++; return true })
+	return n
+}
+
+// Ascend visits user leaves in key order (quiescent use only); fn returning
+// false stops the walk.
+func (t *Tree) Ascend(fn func(key, value uint64) bool) {
+	var walk func(n uint64) bool
+	r := t.r
+	walk = func(n uint64) bool {
+		if n == 0 {
+			return true
+		}
+		l := eAddr(r.Load(n + nOffLeft))
+		rr := eAddr(r.Load(n + nOffRight))
+		if l == 0 && rr == 0 { // leaf
+			k := t.key(n)
+			if k < Inf0 {
+				return fn(k, r.Load(n+nOffValue))
+			}
+			return true
+		}
+		return walk(l) && walk(rr)
+	}
+	walk(t.rootR)
+}
+
+// Filter returns the GC filter for the tree: it strips the edge mark bits
+// and visits both children, making recovery precise despite the nonstandard
+// pointer representation.
+func (t *Tree) Filter() ralloc.Filter {
+	r := t.r
+	var f ralloc.Filter
+	f = func(g *ralloc.GC, off uint64) {
+		if l := eAddr(r.Load(off + nOffLeft)); l != 0 {
+			g.Visit(l, f)
+		}
+		if rr := eAddr(r.Load(off + nOffRight)); rr != 0 {
+			g.Visit(rr, f)
+		}
+	}
+	return f
+}
+
+// TreeFilter rebuilds a tree filter from a bare region, for callers that
+// recovered a root offset but have not attached yet.
+func TreeFilter(r *pmem.Region) ralloc.Filter {
+	var f ralloc.Filter
+	f = func(g *ralloc.GC, off uint64) {
+		if l := eAddr(r.Load(off + nOffLeft)); l != 0 {
+			g.Visit(l, f)
+		}
+		if rr := eAddr(r.Load(off + nOffRight)); rr != 0 {
+			g.Visit(rr, f)
+		}
+	}
+	return f
+}

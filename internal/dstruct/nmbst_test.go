@@ -1,0 +1,290 @@
+package dstruct
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestTreeBasic(t *testing.T) {
+	h := rheap(t)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	tr, _ := NewTree(a, hd)
+	g := tr.Guard(hd)
+
+	if _, found := tr.Lookup(5); found {
+		t.Fatal("empty tree found a key")
+	}
+	ins, ok := tr.Insert(g, 5, 50)
+	if !ins || !ok {
+		t.Fatal("insert failed")
+	}
+	if ins, _ := tr.Insert(g, 5, 51); ins {
+		t.Fatal("duplicate insert succeeded")
+	}
+	v, found := tr.Lookup(5)
+	if !found || v != 50 {
+		t.Fatalf("Lookup = (%d,%v)", v, found)
+	}
+	if !tr.Delete(g, 5) {
+		t.Fatal("delete failed")
+	}
+	if tr.Delete(g, 5) {
+		t.Fatal("double delete succeeded")
+	}
+	if _, found := tr.Lookup(5); found {
+		t.Fatal("deleted key still present")
+	}
+}
+
+func TestTreeSequentialModel(t *testing.T) {
+	h := rheap(t)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	tr, _ := NewTree(a, hd)
+	g := tr.Guard(hd)
+	model := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 20000; i++ {
+		key := uint64(rng.Intn(500)) + 1
+		switch rng.Intn(3) {
+		case 0:
+			val := rng.Uint64() % 10000
+			ins, ok := tr.Insert(g, key, val)
+			if !ok {
+				t.Fatal("OOM")
+			}
+			_, existed := model[key]
+			if ins == existed {
+				t.Fatalf("op %d: Insert(%d) = %v but existed=%v", i, key, ins, existed)
+			}
+			if !existed {
+				model[key] = val
+			}
+		case 1:
+			del := tr.Delete(g, key)
+			_, existed := model[key]
+			if del != existed {
+				t.Fatalf("op %d: Delete(%d) = %v but existed=%v", i, key, del, existed)
+			}
+			delete(model, key)
+		default:
+			v, found := tr.Lookup(key)
+			mv, existed := model[key]
+			if found != existed || (found && v != mv) {
+				t.Fatalf("op %d: Lookup(%d) = (%d,%v), want (%d,%v)", i, key, v, found, mv, existed)
+			}
+		}
+	}
+	if tr.Count() != len(model) {
+		t.Fatalf("Count = %d, want %d", tr.Count(), len(model))
+	}
+	// In-order leaves must match the model exactly.
+	got := map[uint64]uint64{}
+	prev := uint64(0)
+	tr.Ascend(func(k, v uint64) bool {
+		if k <= prev && prev != 0 {
+			t.Fatalf("leaves out of order: %d after %d", k, prev)
+		}
+		prev = k
+		got[k] = v
+		return true
+	})
+	for k, v := range model {
+		if got[k] != v {
+			t.Fatalf("key %d: tree %d, model %d", k, got[k], v)
+		}
+	}
+}
+
+func TestTreeConcurrentDisjointRanges(t *testing.T) {
+	// Each goroutine owns a key range, so per-range results are exact.
+	h := rheap(t)
+	a := h.AsAllocator()
+	tr, _ := NewTree(a, a.NewHandle())
+	const goroutines = 8
+	const span = 1000
+	finals := make([]map[uint64]uint64, goroutines)
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hd := a.NewHandle()
+			g := tr.Guard(hd)
+			rng := rand.New(rand.NewSource(int64(w)))
+			model := map[uint64]uint64{}
+			base := uint64(w*span) + 1
+			for i := 0; i < 8000; i++ {
+				key := base + uint64(rng.Intn(span/2))
+				if rng.Intn(2) == 0 {
+					val := rng.Uint64() % 1e6
+					ins, ok := tr.Insert(g, key, val)
+					if !ok {
+						t.Error("OOM")
+						return
+					}
+					if ins {
+						model[key] = val
+					}
+				} else {
+					if tr.Delete(g, key) {
+						delete(model, key)
+					}
+				}
+			}
+			finals[w] = model
+		}(w)
+	}
+	wg.Wait()
+	for w, model := range finals {
+		for k, v := range model {
+			got, found := tr.Lookup(k)
+			if !found || got != v {
+				t.Fatalf("goroutine %d: key %d = (%d,%v), want (%d,true)", w, k, got, found, v)
+			}
+		}
+	}
+	total := 0
+	for _, m := range finals {
+		total += len(m)
+	}
+	if tr.Count() != total {
+		t.Fatalf("Count = %d, want %d", tr.Count(), total)
+	}
+}
+
+func TestTreeConcurrentSameRange(t *testing.T) {
+	// All goroutines fight over the same keys; afterwards the tree must
+	// be a well-formed BST whose keys are a subset of those inserted.
+	h := rheap(t)
+	a := h.AsAllocator()
+	tr, _ := NewTree(a, a.NewHandle())
+	const keys = 200
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hd := a.NewHandle()
+			g := tr.Guard(hd)
+			rng := rand.New(rand.NewSource(int64(w) * 77))
+			for i := 0; i < 6000; i++ {
+				key := uint64(rng.Intn(keys)) + 1
+				if rng.Intn(2) == 0 {
+					if _, ok := tr.Insert(g, key, key*10); !ok {
+						t.Error("OOM")
+						return
+					}
+				} else {
+					tr.Delete(g, key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	prev := uint64(0)
+	n := 0
+	tr.Ascend(func(k, v uint64) bool {
+		if prev != 0 && k <= prev {
+			t.Fatalf("leaves out of order: %d after %d", k, prev)
+		}
+		if k < 1 || k > keys {
+			t.Fatalf("foreign key %d in tree", k)
+		}
+		if v != k*10 {
+			t.Fatalf("key %d has value %d, want %d", k, v, k*10)
+		}
+		prev = k
+		n++
+		return true
+	})
+	// Every key Lookup agrees with Ascend membership.
+	for k := uint64(1); k <= keys; k++ {
+		_, found := tr.Lookup(k)
+		inAscend := false
+		tr.Ascend(func(kk, _ uint64) bool {
+			if kk == k {
+				inAscend = true
+				return false
+			}
+			return true
+		})
+		if found != inAscend {
+			t.Fatalf("key %d: Lookup=%v but Ascend=%v", k, found, inAscend)
+		}
+	}
+}
+
+func TestTreeCrashRecovery(t *testing.T) {
+	// The Fig. 6b scenario: insert key-value pairs into the N&M tree,
+	// crash, recover with the tree's filter, verify all pairs and
+	// continue operating without error.
+	h := rheap(t)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	tr, rootOff := NewTree(a, hd)
+	g := tr.Guard(hd)
+	rng := rand.New(rand.NewSource(9))
+	model := map[uint64]uint64{}
+	for i := 0; i < 2000; i++ {
+		k := uint64(rng.Intn(100000)) + 1
+		v := rng.Uint64() % 1e9
+		if ins, ok := tr.Insert(g, k, v); ok && ins {
+			model[k] = v
+		}
+	}
+	h.SetRoot(0, rootOff)
+	if err := h.Region().Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	h.GetRoot(0, TreeFilter(h.Region()))
+	stats, err := h.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sentinels: R,S + 3 sentinel leaves; per key: leaf + internal.
+	want := uint64(5 + 2*len(model))
+	if stats.ReachableBlocks != want {
+		t.Fatalf("reachable = %d, want %d", stats.ReachableBlocks, want)
+	}
+
+	tr2 := AttachTree(a, rootOff)
+	for k, v := range model {
+		got, found := tr2.Lookup(k)
+		if !found || got != v {
+			t.Fatalf("after recovery key %d = (%d,%v), want (%d,true)", k, got, found, v)
+		}
+	}
+	// The structure remains fully operational.
+	hd2 := a.NewHandle()
+	g2 := tr2.Guard(hd2)
+	if ins, ok := tr2.Insert(g2, Inf0-1, 42); !ins || !ok {
+		t.Fatal("insert after recovery failed")
+	}
+	for k := range model {
+		if !tr2.Delete(g2, k) {
+			t.Fatalf("delete of %d after recovery failed", k)
+		}
+		break
+	}
+	if _, err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeSentinelKeyPanics(t *testing.T) {
+	h := rheap(t)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	tr, _ := NewTree(a, hd)
+	g := tr.Guard(hd)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Insert(g, Inf0, 1)
+}

@@ -1,0 +1,385 @@
+package dstruct
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/pmem"
+	"repro/internal/ralloc"
+)
+
+// RBTree is a persistent red-black tree (left-leaning variant), the
+// "database" structure of the STAMP Vacation application (§6.3: "whose
+// internal database is implemented as a set of red-black trees").
+//
+// Vacation runs operations inside failure-atomic transactions guarded by a
+// per-table lock, so the tree itself is sequential; the persistent-memory
+// discipline is: every node modified by an operation is flushed before the
+// operation's single fence. Links are raw offsets, so the tree provides a
+// filter function for recovery.
+type RBTree struct {
+	a alloc.Allocator
+	r *pmem.Region
+	// hdr block: word 0 = root offset, word 1 = count.
+	hdr uint64
+
+	dirty []uint64 // node offsets touched by the current operation
+}
+
+// Node layout (40 bytes): key, value, left, right, color.
+const (
+	rbNodeSize = 40
+	rbKey      = 0
+	rbVal      = 8
+	rbLeft     = 16
+	rbRight    = 24
+	rbColor    = 32
+
+	rbRed   = 1
+	rbBlack = 0
+)
+
+// NewRBTree allocates an empty tree, returning it and the header offset for
+// root registration.
+func NewRBTree(a alloc.Allocator, h alloc.Handle) (*RBTree, uint64) {
+	hdr := h.Malloc(16)
+	if hdr == 0 {
+		panic("dstruct: out of memory creating rbtree")
+	}
+	r := a.Region()
+	r.Store(hdr, 0)
+	r.Store(hdr+8, 0)
+	r.FlushRange(hdr, 16)
+	r.Fence()
+	return &RBTree{a: a, r: r, hdr: hdr}, hdr
+}
+
+// AttachRBTree re-attaches to a tree whose header is at hdr.
+func AttachRBTree(a alloc.Allocator, hdr uint64) *RBTree {
+	return &RBTree{a: a, r: a.Region(), hdr: hdr}
+}
+
+func (t *RBTree) touch(n uint64) {
+	t.dirty = append(t.dirty, n)
+}
+
+func (t *RBTree) flushDirty() {
+	for _, n := range t.dirty {
+		t.r.FlushRange(n, rbNodeSize)
+	}
+	t.r.Flush(t.hdr)
+	t.r.Fence()
+	t.dirty = t.dirty[:0]
+}
+
+func (t *RBTree) isRed(n uint64) bool {
+	return n != 0 && t.r.Load(n+rbColor) == rbRed
+}
+
+func (t *RBTree) rotateLeft(n uint64) uint64 {
+	r := t.r
+	x := r.Load(n + rbRight)
+	r.Store(n+rbRight, r.Load(x+rbLeft))
+	r.Store(x+rbLeft, n)
+	r.Store(x+rbColor, r.Load(n+rbColor))
+	r.Store(n+rbColor, rbRed)
+	t.touch(n)
+	t.touch(x)
+	return x
+}
+
+func (t *RBTree) rotateRight(n uint64) uint64 {
+	r := t.r
+	x := r.Load(n + rbLeft)
+	r.Store(n+rbLeft, r.Load(x+rbRight))
+	r.Store(x+rbRight, n)
+	r.Store(x+rbColor, r.Load(n+rbColor))
+	r.Store(n+rbColor, rbRed)
+	t.touch(n)
+	t.touch(x)
+	return x
+}
+
+func (t *RBTree) flipColors(n uint64) {
+	r := t.r
+	flip := func(off uint64) {
+		if r.Load(off+rbColor) == rbRed {
+			r.Store(off+rbColor, rbBlack)
+		} else {
+			r.Store(off+rbColor, rbRed)
+		}
+		t.touch(off)
+	}
+	flip(n)
+	flip(r.Load(n + rbLeft))
+	flip(r.Load(n + rbRight))
+}
+
+func (t *RBTree) fixUp(n uint64) uint64 {
+	r := t.r
+	if t.isRed(r.Load(n+rbRight)) && !t.isRed(r.Load(n+rbLeft)) {
+		n = t.rotateLeft(n)
+	}
+	if t.isRed(r.Load(n+rbLeft)) && t.isRed(r.Load(r.Load(n+rbLeft)+rbLeft)) {
+		n = t.rotateRight(n)
+	}
+	if t.isRed(r.Load(n+rbLeft)) && t.isRed(r.Load(n+rbRight)) {
+		t.flipColors(n)
+	}
+	return n
+}
+
+// Get returns the value stored under key.
+func (t *RBTree) Get(key uint64) (uint64, bool) {
+	r := t.r
+	n := r.Load(t.hdr)
+	for n != 0 {
+		k := r.Load(n + rbKey)
+		switch {
+		case key < k:
+			n = r.Load(n + rbLeft)
+		case key > k:
+			n = r.Load(n + rbRight)
+		default:
+			return r.Load(n + rbVal), true
+		}
+	}
+	return 0, false
+}
+
+// Put inserts or updates key→value. ok=false reports heap exhaustion.
+func (t *RBTree) Put(h alloc.Handle, key, value uint64) (ok bool) {
+	r := t.r
+	root, inserted, ok := t.put(h, r.Load(t.hdr), key, value)
+	if !ok {
+		t.dirty = t.dirty[:0]
+		return false
+	}
+	r.Store(root+rbColor, rbBlack)
+	t.touch(root)
+	r.Store(t.hdr, root)
+	if inserted {
+		r.Store(t.hdr+8, r.Load(t.hdr+8)+1)
+	}
+	t.flushDirty()
+	return true
+}
+
+func (t *RBTree) put(h alloc.Handle, n, key, value uint64) (root uint64, inserted, ok bool) {
+	r := t.r
+	if n == 0 {
+		n = h.Malloc(rbNodeSize)
+		if n == 0 {
+			return 0, false, false
+		}
+		r.Store(n+rbKey, key)
+		r.Store(n+rbVal, value)
+		r.Store(n+rbLeft, 0)
+		r.Store(n+rbRight, 0)
+		r.Store(n+rbColor, rbRed)
+		t.touch(n)
+		return n, true, true
+	}
+	k := r.Load(n + rbKey)
+	switch {
+	case key < k:
+		child, ins, cok := t.put(h, r.Load(n+rbLeft), key, value)
+		if !cok {
+			return 0, false, false
+		}
+		r.Store(n+rbLeft, child)
+		t.touch(n)
+		inserted = ins
+	case key > k:
+		child, ins, cok := t.put(h, r.Load(n+rbRight), key, value)
+		if !cok {
+			return 0, false, false
+		}
+		r.Store(n+rbRight, child)
+		t.touch(n)
+		inserted = ins
+	default:
+		r.Store(n+rbVal, value)
+		t.touch(n)
+	}
+	return t.fixUp(n), inserted, true
+}
+
+func (t *RBTree) moveRedLeft(n uint64) uint64 {
+	r := t.r
+	t.flipColors(n)
+	if t.isRed(r.Load(r.Load(n+rbRight) + rbLeft)) {
+		r.Store(n+rbRight, t.rotateRight(r.Load(n+rbRight)))
+		t.touch(n)
+		n = t.rotateLeft(n)
+		t.flipColors(n)
+	}
+	return n
+}
+
+func (t *RBTree) moveRedRight(n uint64) uint64 {
+	r := t.r
+	t.flipColors(n)
+	if t.isRed(r.Load(r.Load(n+rbLeft) + rbLeft)) {
+		n = t.rotateRight(n)
+		t.flipColors(n)
+	}
+	return n
+}
+
+func (t *RBTree) minNode(n uint64) uint64 {
+	r := t.r
+	for r.Load(n+rbLeft) != 0 {
+		n = r.Load(n + rbLeft)
+	}
+	return n
+}
+
+func (t *RBTree) deleteMin(h alloc.Handle, n uint64) uint64 {
+	r := t.r
+	if r.Load(n+rbLeft) == 0 {
+		h.Free(n)
+		return 0
+	}
+	if !t.isRed(r.Load(n+rbLeft)) && !t.isRed(r.Load(r.Load(n+rbLeft)+rbLeft)) {
+		n = t.moveRedLeft(n)
+	}
+	r.Store(n+rbLeft, t.deleteMin(h, r.Load(n+rbLeft)))
+	t.touch(n)
+	return t.fixUp(n)
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *RBTree) Delete(h alloc.Handle, key uint64) bool {
+	r := t.r
+	if _, found := t.Get(key); !found {
+		return false
+	}
+	root := t.del(h, r.Load(t.hdr), key)
+	if root != 0 {
+		r.Store(root+rbColor, rbBlack)
+		t.touch(root)
+	}
+	r.Store(t.hdr, root)
+	r.Store(t.hdr+8, r.Load(t.hdr+8)-1)
+	t.flushDirty()
+	return true
+}
+
+func (t *RBTree) del(h alloc.Handle, n, key uint64) uint64 {
+	r := t.r
+	if key < r.Load(n+rbKey) {
+		if !t.isRed(r.Load(n+rbLeft)) && !t.isRed(r.Load(r.Load(n+rbLeft)+rbLeft)) {
+			n = t.moveRedLeft(n)
+		}
+		r.Store(n+rbLeft, t.del(h, r.Load(n+rbLeft), key))
+		t.touch(n)
+	} else {
+		if t.isRed(r.Load(n + rbLeft)) {
+			n = t.rotateRight(n)
+		}
+		if key == r.Load(n+rbKey) && r.Load(n+rbRight) == 0 {
+			h.Free(n)
+			return 0
+		}
+		if !t.isRed(r.Load(n+rbRight)) && !t.isRed(r.Load(r.Load(n+rbRight)+rbLeft)) {
+			n = t.moveRedRight(n)
+		}
+		if key == r.Load(n+rbKey) {
+			m := t.minNode(r.Load(n + rbRight))
+			r.Store(n+rbKey, r.Load(m+rbKey))
+			r.Store(n+rbVal, r.Load(m+rbVal))
+			r.Store(n+rbRight, t.deleteMin(h, r.Load(n+rbRight)))
+			t.touch(n)
+		} else {
+			r.Store(n+rbRight, t.del(h, r.Load(n+rbRight), key))
+			t.touch(n)
+		}
+	}
+	return t.fixUp(n)
+}
+
+// Len returns the number of keys.
+func (t *RBTree) Len() int { return int(t.r.Load(t.hdr + 8)) }
+
+// Ascend visits keys in order; fn returning false stops the walk.
+func (t *RBTree) Ascend(fn func(key, value uint64) bool) {
+	var walk func(n uint64) bool
+	r := t.r
+	walk = func(n uint64) bool {
+		if n == 0 {
+			return true
+		}
+		if !walk(r.Load(n + rbLeft)) {
+			return false
+		}
+		if !fn(r.Load(n+rbKey), r.Load(n+rbVal)) {
+			return false
+		}
+		return walk(r.Load(n + rbRight))
+	}
+	walk(r.Load(t.hdr))
+}
+
+// CheckInvariants verifies red-black properties (no red right links, no two
+// consecutive reds, uniform black height, BST order). For tests.
+func (t *RBTree) CheckInvariants() error {
+	r := t.r
+	var check func(n uint64, lo, hi uint64) (int, error)
+	check = func(n uint64, lo, hi uint64) (int, error) {
+		if n == 0 {
+			return 1, nil
+		}
+		k := r.Load(n + rbKey)
+		if k <= lo && lo != 0 || k >= hi {
+			return 0, errRB("BST order violated")
+		}
+		if t.isRed(r.Load(n + rbRight)) {
+			return 0, errRB("red right link")
+		}
+		if t.isRed(n) && t.isRed(r.Load(n+rbLeft)) {
+			return 0, errRB("two consecutive red links")
+		}
+		lh, err := check(r.Load(n+rbLeft), lo, k)
+		if err != nil {
+			return 0, err
+		}
+		rh, err := check(r.Load(n+rbRight), k, hi)
+		if err != nil {
+			return 0, err
+		}
+		if lh != rh {
+			return 0, errRB("black height mismatch")
+		}
+		if !t.isRed(n) {
+			lh++
+		}
+		return lh, nil
+	}
+	_, err := check(r.Load(t.hdr), 0, ^uint64(0))
+	return err
+}
+
+type errRB string
+
+func (e errRB) Error() string { return "rbtree: " + string(e) }
+
+// Filter returns the GC filter for the tree header; nodes chain through raw
+// offsets, so precise tracing needs it.
+func (t *RBTree) Filter() ralloc.Filter { return RBTreeFilter(t.r) }
+
+// RBTreeFilter builds the filter from a bare region.
+func RBTreeFilter(r *pmem.Region) ralloc.Filter {
+	var node ralloc.Filter
+	node = func(g *ralloc.GC, off uint64) {
+		if l := r.Load(off + rbLeft); l != 0 {
+			g.Visit(l, node)
+		}
+		if rr := r.Load(off + rbRight); rr != 0 {
+			g.Visit(rr, node)
+		}
+	}
+	return func(g *ralloc.GC, off uint64) {
+		if root := r.Load(off); root != 0 {
+			g.Visit(root, node)
+		}
+	}
+}

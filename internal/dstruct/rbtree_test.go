@@ -1,0 +1,153 @@
+package dstruct
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRBTreeBasic(t *testing.T) {
+	h := rheap(t)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	tr, _ := NewRBTree(a, hd)
+	if !tr.Put(hd, 10, 100) {
+		t.Fatal("Put failed")
+	}
+	v, ok := tr.Get(10)
+	if !ok || v != 100 {
+		t.Fatalf("Get = (%d,%v)", v, ok)
+	}
+	tr.Put(hd, 10, 200) // update
+	if v, _ := tr.Get(10); v != 200 {
+		t.Fatalf("updated value = %d", v)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	if !tr.Delete(hd, 10) {
+		t.Fatal("Delete failed")
+	}
+	if tr.Delete(hd, 10) {
+		t.Fatal("double Delete succeeded")
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+}
+
+func TestRBTreeModelWithInvariants(t *testing.T) {
+	h := rheap(t)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	tr, _ := NewRBTree(a, hd)
+	model := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 20000; i++ {
+		key := uint64(rng.Intn(800)) + 1
+		switch rng.Intn(3) {
+		case 0:
+			val := rng.Uint64() % 1e6
+			if !tr.Put(hd, key, val) {
+				t.Fatal("OOM")
+			}
+			model[key] = val
+		case 1:
+			del := tr.Delete(hd, key)
+			_, existed := model[key]
+			if del != existed {
+				t.Fatalf("op %d: Delete(%d)=%v, existed=%v", i, key, del, existed)
+			}
+			delete(model, key)
+		default:
+			v, ok := tr.Get(key)
+			mv, existed := model[key]
+			if ok != existed || (ok && v != mv) {
+				t.Fatalf("op %d: Get(%d)=(%d,%v), want (%d,%v)", i, key, v, ok, mv, existed)
+			}
+		}
+		if i%2000 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(model))
+	}
+	prev := uint64(0)
+	n := 0
+	tr.Ascend(func(k, v uint64) bool {
+		if prev != 0 && k <= prev {
+			t.Fatalf("Ascend out of order: %d after %d", k, prev)
+		}
+		if model[k] != v {
+			t.Fatalf("key %d: tree %d, model %d", k, v, model[k])
+		}
+		prev = k
+		n++
+		return true
+	})
+	if n != len(model) {
+		t.Fatalf("Ascend visited %d, want %d", n, len(model))
+	}
+}
+
+func TestRBTreeDeleteReleasesMemory(t *testing.T) {
+	h := rheap(t)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	tr, _ := NewRBTree(a, hd)
+	for k := uint64(1); k <= 5000; k++ {
+		tr.Put(hd, k, k)
+	}
+	used := h.SBUsed()
+	for k := uint64(1); k <= 5000; k++ {
+		tr.Delete(hd, k)
+	}
+	for k := uint64(1); k <= 5000; k++ {
+		tr.Put(hd, k, k)
+	}
+	if h.SBUsed() > used {
+		t.Fatal("delete did not release node memory for reuse")
+	}
+}
+
+func TestRBTreeCrashRecovery(t *testing.T) {
+	h := rheap(t)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	tr, hdrOff := NewRBTree(a, hd)
+	model := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 3000; i++ {
+		k := uint64(rng.Intn(10000)) + 1
+		v := rng.Uint64() % 1e9
+		tr.Put(hd, k, v)
+		model[k] = v
+	}
+	h.SetRoot(0, hdrOff)
+	if err := h.Region().Crash(); err != nil {
+		t.Fatal(err)
+	}
+	h.GetRoot(0, RBTreeFilter(h.Region()))
+	stats, err := h.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ReachableBlocks != uint64(1+len(model)) {
+		t.Fatalf("reachable = %d, want %d", stats.ReachableBlocks, 1+len(model))
+	}
+	tr2 := AttachRBTree(a, hdrOff)
+	if err := tr2.CheckInvariants(); err != nil {
+		t.Fatalf("tree invariants broken after recovery: %v", err)
+	}
+	for k, v := range model {
+		got, ok := tr2.Get(k)
+		if !ok || got != v {
+			t.Fatalf("key %d = (%d,%v) after recovery, want (%d,true)", k, got, ok, v)
+		}
+	}
+}

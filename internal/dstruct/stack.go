@@ -1,0 +1,135 @@
+package dstruct
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/pmem"
+	"repro/internal/pptr"
+	"repro/internal/ralloc"
+)
+
+// Stack is a persistent lock-free Treiber stack, the structure of the
+// paper's first recovery experiment (Fig. 6a). Nodes link with off-holders
+// (so conservative GC can trace them), but the head word is an ABA-counted
+// tagged offset — invisible to conservative tracing, which is why the stack
+// ships a filter function for its header.
+//
+// Durable linearizability: a node is flushed and fenced before the head CAS
+// publishes it, and the head is flushed after every successful CAS.
+type Stack struct {
+	a alloc.Allocator
+	r *pmem.Region
+	// hdr is the offset of the 16-byte header block; word 0 holds the
+	// counter-tagged top-of-stack offset, word 1 the element count hint.
+	hdr uint64
+}
+
+// Node layout: word 0 = next (off-holder or Nil), word 1 = value.
+const stackNodeSize = 16
+
+// NewStack allocates and persists an empty stack, returning it and the
+// header offset to be registered as a persistent root.
+func NewStack(a alloc.Allocator, h alloc.Handle) (*Stack, uint64) {
+	hdr := h.Malloc(stackNodeSize)
+	if hdr == 0 {
+		panic("dstruct: out of memory creating stack")
+	}
+	r := a.Region()
+	r.Store(hdr, pptr.TagNil)
+	r.Store(hdr+8, 0)
+	r.FlushRange(hdr, stackNodeSize)
+	r.Fence()
+	return &Stack{a: a, r: r, hdr: hdr}, hdr
+}
+
+// AttachStack re-attaches to a stack whose header block is at hdr (e.g.
+// after recovery, via GetRoot).
+func AttachStack(a alloc.Allocator, hdr uint64) *Stack {
+	return &Stack{a: a, r: a.Region(), hdr: hdr}
+}
+
+// Push adds value to the stack.
+func (s *Stack) Push(h alloc.Handle, value uint64) bool {
+	n := h.Malloc(stackNodeSize)
+	if n == 0 {
+		return false
+	}
+	r := s.r
+	r.Store(n+8, value)
+	for {
+		old := r.Load(s.hdr)
+		ctr, top := pptr.UnpackTag(old)
+		if top == 0 {
+			r.Store(n, pptr.Nil)
+		} else {
+			r.Store(n, pptr.Pack(n, top))
+		}
+		r.FlushRange(n, stackNodeSize)
+		r.Fence()
+		if r.CAS(s.hdr, old, pptr.PackTag(ctr+1, n)) {
+			r.Flush(s.hdr)
+			r.Fence()
+			return true
+		}
+	}
+}
+
+// Pop removes and returns the most recently pushed value. The popped node is
+// freed immediately: the ABA counter in the head word makes that safe (a
+// racing Pop that read the stale head will fail its CAS), and reading a
+// freed node's words is harmless in the offset world.
+func (s *Stack) Pop(h alloc.Handle) (uint64, bool) {
+	r := s.r
+	for {
+		old := r.Load(s.hdr)
+		ctr, top := pptr.UnpackTag(old)
+		if top == 0 {
+			return 0, false
+		}
+		next, _ := pptr.Unpack(top, r.Load(top))
+		value := r.Load(top + 8)
+		var newHead uint64
+		if next == 0 {
+			newHead = pptr.PackTag(ctr+1, 0)
+		} else {
+			newHead = pptr.PackTag(ctr+1, next)
+		}
+		if r.CAS(s.hdr, old, newHead) {
+			r.Flush(s.hdr)
+			r.Fence()
+			h.Free(top)
+			return value, true
+		}
+	}
+}
+
+// Len walks the stack (quiescent use only).
+func (s *Stack) Len() int {
+	n := 0
+	_, off := pptr.UnpackTag(s.r.Load(s.hdr))
+	for off != 0 {
+		n++
+		off, _ = pptr.Unpack(off, s.r.Load(off))
+	}
+	return n
+}
+
+// Filter returns the GC filter for the stack's header block: it decodes the
+// tagged head and visits the top node; node links are plain off-holders, so
+// the nodes themselves trace conservatively — but we hand GC a precise node
+// filter anyway, which skips the value word (faster, and immune to values
+// that masquerade as pointers).
+func (s *Stack) Filter() ralloc.Filter {
+	r := s.r
+	var nodeFilter ralloc.Filter
+	nodeFilter = func(g *ralloc.GC, off uint64) {
+		if next, ok := pptr.Unpack(off, r.Load(off)); ok {
+			g.Visit(next, nodeFilter)
+		}
+	}
+	return func(g *ralloc.GC, off uint64) {
+		_, top := pptr.UnpackTag(r.Load(off))
+		if top != 0 {
+			g.Visit(top, nodeFilter)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+// Package jemal models JEMalloc, the high-performance transient allocator
+// the paper uses as its performance ceiling (§6.1). The model follows
+// jemalloc's architecture at the granularity that matters for the
+// comparison: multiple arenas to spread contention, per-arena per-bin
+// mutexes, per-thread caches with batched fill/flush, and — being transient
+// — not a single flush or fence.
+//
+// Its allocator metadata lives in ordinary Go memory; only the blocks
+// themselves come from the shared region, so workloads and data structures
+// can use any allocator interchangeably.
+package jemal
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/alloc"
+	"repro/internal/pmem"
+	"repro/internal/sizeclass"
+)
+
+const (
+	// SlabBytes is the per-bin carve unit (a jemalloc "run").
+	SlabBytes = 1 << 16
+	headerSz  = 8 // per-block header: class index (or size for large)
+
+	tcacheCap  = 64
+	tcacheFill = 32
+)
+
+// Config controls the model.
+type Config struct {
+	HeapSize uint64 // default 64 MB
+	NArenas  int    // default GOMAXPROCS
+	Pmem     pmem.Config
+}
+
+type bin struct {
+	mu   sync.Mutex
+	free []uint64
+}
+
+type arena struct {
+	bins [sizeclass.NumClasses + 1]bin
+}
+
+// Heap is a jemalloc-model allocator.
+type Heap struct {
+	region *pmem.Region
+	bump   atomic.Uint64
+	end    uint64
+	arenas []*arena
+	next   atomic.Uint32 // round-robin arena assignment
+
+	largeMu   sync.Mutex
+	largeFree map[uint64][]uint64 // rounded size → blocks
+
+	closed atomic.Bool
+}
+
+// New creates a fresh heap.
+func New(cfg Config) (*Heap, error) {
+	if cfg.HeapSize == 0 {
+		cfg.HeapSize = 64 << 20
+	}
+	if cfg.HeapSize < SlabBytes*2 {
+		return nil, errors.New("jemal: heap too small")
+	}
+	if cfg.NArenas == 0 {
+		cfg.NArenas = runtime.GOMAXPROCS(0)
+	}
+	h := &Heap{
+		region:    pmem.NewRegion(cfg.HeapSize, cfg.Pmem),
+		end:       cfg.HeapSize,
+		largeFree: make(map[uint64][]uint64),
+	}
+	h.bump.Store(64) // offset 0 stays the null block
+	for i := 0; i < cfg.NArenas; i++ {
+		h.arenas = append(h.arenas, &arena{})
+	}
+	return h, nil
+}
+
+// Name implements alloc.Allocator.
+func (h *Heap) Name() string { return "jemalloc" }
+
+// Region implements alloc.Allocator.
+func (h *Heap) Region() *pmem.Region { return h.region }
+
+// Close implements alloc.Allocator (transient: nothing to persist).
+func (h *Heap) Close() error {
+	if h.closed.Swap(true) {
+		return errors.New("jemal: already closed")
+	}
+	return nil
+}
+
+// carve bump-allocates n bytes, returning 0 on exhaustion.
+func (h *Heap) carve(n uint64) uint64 {
+	for {
+		b := h.bump.Load()
+		if b+n > h.end {
+			return 0
+		}
+		if h.bump.CompareAndSwap(b, b+n) {
+			return b
+		}
+	}
+}
+
+// Handle is a per-goroutine thread cache bound to one arena.
+type Handle struct {
+	heap    *Heap
+	arena   *arena
+	invalid bool
+	cache   [sizeclass.NumClasses + 1][]uint64
+}
+
+// NewHandle implements alloc.Allocator.
+func (h *Heap) NewHandle() alloc.Handle {
+	i := h.next.Add(1)
+	return &Handle{heap: h, arena: h.arenas[int(i)%len(h.arenas)]}
+}
+
+// Malloc allocates size bytes.
+func (hd *Handle) Malloc(size uint64) uint64 {
+	if hd.invalid {
+		panic("jemal: stale handle")
+	}
+	c := sizeclass.SizeToClass(size)
+	if c == 0 {
+		return hd.heap.mallocLarge(size)
+	}
+	tc := &hd.cache[c]
+	if len(*tc) == 0 && !hd.fill(c) {
+		return 0
+	}
+	n := len(*tc) - 1
+	off := (*tc)[n]
+	*tc = (*tc)[:n]
+	return off
+}
+
+// fill grabs a batch from the arena bin, carving a new slab when empty.
+func (hd *Handle) fill(c int) bool {
+	b := &hd.arena.bins[c]
+	blockSize := sizeclass.ClassToSize(c)
+	b.mu.Lock()
+	if len(b.free) == 0 {
+		slab := hd.heap.carve(SlabBytes)
+		if slab == 0 {
+			b.mu.Unlock()
+			return false
+		}
+		r := hd.heap.region
+		stride := headerSz + blockSize
+		for off := slab; off+stride <= slab+SlabBytes; off += stride {
+			r.Store(off, uint64(c))
+			b.free = append(b.free, off+headerSz)
+		}
+	}
+	n := tcacheFill
+	if n > len(b.free) {
+		n = len(b.free)
+	}
+	hd.cache[c] = append(hd.cache[c], b.free[len(b.free)-n:]...)
+	b.free = b.free[:len(b.free)-n]
+	b.mu.Unlock()
+	return n > 0
+}
+
+// Free deallocates a block.
+func (hd *Handle) Free(off uint64) {
+	if off == 0 {
+		return
+	}
+	if hd.invalid {
+		panic("jemal: stale handle")
+	}
+	h := hd.heap
+	hdr := h.region.Load(off - headerSz)
+	if hdr == 0 || off >= h.end {
+		panic("jemal: Free of unallocated block")
+	}
+	if hdr > sizeclass.NumClasses {
+		h.freeLarge(off, hdr)
+		return
+	}
+	c := int(hdr)
+	tc := &hd.cache[c]
+	*tc = append(*tc, off)
+	if len(*tc) > tcacheCap {
+		b := &hd.arena.bins[c]
+		n := len(*tc) / 2
+		b.mu.Lock()
+		b.free = append(b.free, (*tc)[:n]...)
+		b.mu.Unlock()
+		*tc = append((*tc)[:0], (*tc)[n:]...)
+	}
+}
+
+// Flush returns every cached block to the arena bins (clean thread exit).
+// The handle remains usable.
+func (hd *Handle) Flush() {
+	for c := 1; c <= sizeclass.NumClasses; c++ {
+		if len(hd.cache[c]) == 0 {
+			continue
+		}
+		b := &hd.arena.bins[c]
+		b.mu.Lock()
+		b.free = append(b.free, hd.cache[c]...)
+		b.mu.Unlock()
+		hd.cache[c] = hd.cache[c][:0]
+	}
+}
+
+func (h *Heap) mallocLarge(size uint64) uint64 {
+	size = (size + 7) &^ 7
+	h.largeMu.Lock()
+	if lst := h.largeFree[size]; len(lst) > 0 {
+		off := lst[len(lst)-1]
+		h.largeFree[size] = lst[:len(lst)-1]
+		h.largeMu.Unlock()
+		return off
+	}
+	h.largeMu.Unlock()
+	off := h.carve(headerSz + size)
+	if off == 0 {
+		return 0
+	}
+	h.region.Store(off, size)
+	return off + headerSz
+}
+
+func (h *Heap) freeLarge(off, size uint64) {
+	h.largeMu.Lock()
+	h.largeFree[size] = append(h.largeFree[size], off)
+	h.largeMu.Unlock()
+}
+
+var _ alloc.Allocator = (*Heap)(nil)

@@ -1,0 +1,50 @@
+package jemal
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/alloctest"
+)
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, func(size uint64) (alloc.Allocator, error) {
+		return New(Config{HeapSize: size})
+	})
+}
+
+func TestTransientNeverFlushes(t *testing.T) {
+	h, err := New(Config{HeapSize: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd := h.NewHandle()
+	for i := 0; i < 10000; i++ {
+		hd.Free(hd.Malloc(64))
+	}
+	if s := h.Region().Stats(); s.Flushes != 0 || s.Fences != 0 {
+		t.Fatalf("transient allocator flushed %d / fenced %d", s.Flushes, s.Fences)
+	}
+}
+
+func TestArenaSpread(t *testing.T) {
+	h, err := New(Config{HeapSize: 16 << 20, NArenas: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arenas := map[*arena]bool{}
+	for i := 0; i < 8; i++ {
+		hd := h.NewHandle().(*Handle)
+		arenas[hd.arena] = true
+	}
+	if len(arenas) != 4 {
+		t.Fatalf("8 handles landed on %d arenas, want 4", len(arenas))
+	}
+}
+
+func TestName(t *testing.T) {
+	h, _ := New(Config{HeapSize: 4 << 20})
+	if h.Name() != "jemalloc" {
+		t.Fatalf("Name = %q", h.Name())
+	}
+}

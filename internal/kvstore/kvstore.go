@@ -1,0 +1,132 @@
+// Package kvstore is the memcached-as-a-library key-value store of the
+// paper's application study (§6.3): "we modified it to function as a
+// library rather than a stand-alone server: instead of sending requests
+// over a socket, the client application makes direct function calls into
+// the key-value code". The store keeps all data in a persistent hash map
+// over a pluggable allocator, so the YCSB experiment isolates allocator
+// behavior exactly as the paper's does.
+package kvstore
+
+import (
+	"sync/atomic"
+
+	"repro/internal/alloc"
+	"repro/internal/dstruct"
+	"repro/internal/ralloc"
+)
+
+// Store is a library-mode key-value store.
+type Store struct {
+	a   alloc.Allocator
+	m   *dstruct.HashMap
+	lru *lruIndex // nil when the store is unbounded
+
+	hits, misses, sets, deletes atomic.Uint64
+}
+
+// Stats is a snapshot of operation counters.
+type Stats struct {
+	Hits, Misses, Sets, Deletes, Evictions uint64
+	Bytes                                  uint64
+}
+
+// Open creates an unbounded store, returning it and the root offset of its
+// hash map header for persistent-root registration.
+func Open(a alloc.Allocator, h alloc.Handle, buckets int) (*Store, uint64) {
+	m, root := dstruct.NewHashMap(a, h, buckets)
+	return &Store{a: a, m: m}, root
+}
+
+// OpenBounded creates a store with a memory budget: once the (approximate)
+// footprint of the records exceeds maxBytes, Set evicts least-recently-used
+// records, memcached-style. Eviction frees the victims' blocks through the
+// allocator — the churn path of a full cache.
+func OpenBounded(a alloc.Allocator, h alloc.Handle, buckets int, maxBytes uint64) (*Store, uint64) {
+	s, root := Open(a, h, buckets)
+	s.lru = newLRUIndex(maxBytes)
+	return s, root
+}
+
+// Attach re-opens a store whose hash-map header is at root (after restart
+// or recovery). The store re-attaches unbounded; like memcached's, the LRU
+// recency state is transient and does not survive restarts.
+func Attach(a alloc.Allocator, root uint64) *Store {
+	return &Store{a: a, m: dstruct.AttachHashMap(a, root)}
+}
+
+// Get fetches a value.
+func (s *Store) Get(key string) (string, bool) {
+	v, ok := s.GetBytes([]byte(key))
+	if !ok {
+		return "", false
+	}
+	return string(v), true
+}
+
+// Set inserts or replaces a value; false reports heap exhaustion.
+func (s *Store) Set(h alloc.Handle, key, value string) bool {
+	return s.SetBytes(h, []byte(key), []byte(value))
+}
+
+// SetBytes avoids string conversion on hot update paths.
+func (s *Store) SetBytes(h alloc.Handle, key, value []byte) bool {
+	if !s.m.Set(h, key, value) {
+		return false
+	}
+	s.sets.Add(1)
+	if s.lru != nil {
+		for _, victim := range s.lru.update(string(key), footprint(len(key), len(value))) {
+			if s.m.Delete(h, []byte(victim)) {
+				s.deletes.Add(1)
+			}
+		}
+	}
+	return true
+}
+
+// GetBytes avoids string conversion on hot read paths.
+func (s *Store) GetBytes(key []byte) ([]byte, bool) {
+	v, ok := s.m.Get(key)
+	if ok {
+		s.hits.Add(1)
+		if s.lru != nil {
+			s.lru.touch(string(key))
+		}
+	} else {
+		s.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Delete removes a key.
+func (s *Store) Delete(h alloc.Handle, key string) bool {
+	if !s.m.Delete(h, []byte(key)) {
+		return false
+	}
+	s.deletes.Add(1)
+	if s.lru != nil {
+		s.lru.remove(key)
+	}
+	return true
+}
+
+// Len returns the number of records.
+func (s *Store) Len() int { return s.m.Len() }
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+		Sets:    s.sets.Load(),
+		Deletes: s.deletes.Load(),
+	}
+	if s.lru != nil {
+		st.Evictions = s.lru.Evicted()
+		st.Bytes = s.lru.Bytes()
+	}
+	return st
+}
+
+// Filter returns the recovery filter for the store's hash map.
+func (s *Store) Filter() ralloc.Filter { return s.m.Filter() }

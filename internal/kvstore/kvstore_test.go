@@ -1,0 +1,229 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/ralloc"
+	"repro/internal/ycsb"
+)
+
+func newStore(t *testing.T) (*ralloc.Heap, *Store, uint64) {
+	t.Helper()
+	h, _, err := ralloc.Open("", ralloc.Config{
+		SBRegion:    64 << 20,
+		GrowthChunk: 4 << 20,
+		Pmem:        pmem.Config{Mode: pmem.ModeCrashSim},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := h.AsAllocator()
+	s, root := Open(a, a.NewHandle(), 4096)
+	return h, s, root
+}
+
+func TestSetGetDelete(t *testing.T) {
+	h, s, _ := newStore(t)
+	_ = h
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	if !s.Set(hd, "hello", "world") {
+		t.Fatal("Set failed")
+	}
+	v, ok := s.Get("hello")
+	if !ok || v != "world" {
+		t.Fatalf("Get = (%q,%v)", v, ok)
+	}
+	if _, ok := s.Get("nope"); ok {
+		t.Fatal("missing key found")
+	}
+	if !s.Delete(hd, "hello") {
+		t.Fatal("Delete failed")
+	}
+	if _, ok := s.Get("hello"); ok {
+		t.Fatal("deleted key still present")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Sets != 1 || st.Deletes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestYCSBWorkloadDrives(t *testing.T) {
+	h, s, _ := newStore(t)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	w := ycsb.WorkloadA(1000)
+	gen := ycsb.NewGenerator(w, 9)
+	var buf []byte
+	for i := 0; i < w.Records; i++ {
+		buf = gen.Value(buf)
+		if !s.SetBytes(hd, []byte(ycsb.KeyAt(i)), buf) {
+			t.Fatal("load OOM")
+		}
+	}
+	if s.Len() != w.Records {
+		t.Fatalf("Len = %d, want %d", s.Len(), w.Records)
+	}
+	for i := 0; i < 20000; i++ {
+		op := gen.Next()
+		switch op.Kind {
+		case ycsb.Read:
+			if _, ok := s.GetBytes([]byte(op.Key)); !ok {
+				t.Fatalf("loaded key %q missing", op.Key)
+			}
+		case ycsb.Update:
+			buf = gen.Value(buf)
+			if !s.SetBytes(hd, []byte(op.Key), buf) {
+				t.Fatal("update OOM")
+			}
+		}
+	}
+	if s.Len() != w.Records {
+		t.Fatalf("record count drifted: %d", s.Len())
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	h, s, _ := newStore(t)
+	a := h.AsAllocator()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hd := a.NewHandle()
+			for i := 0; i < 3000; i++ {
+				key := fmt.Sprintf("w%d-%d", w, i%100)
+				if !s.Set(hd, key, fmt.Sprintf("v%d", i)) {
+					t.Error("OOM")
+					return
+				}
+				if _, ok := s.Get(key); !ok {
+					t.Errorf("own write to %q not visible", key)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if _, err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundedStoreEvictsLRU(t *testing.T) {
+	h, _, err := ralloc.Open("", ralloc.Config{SBRegion: 32 << 20, GrowthChunk: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	// Budget for roughly 100 records of this shape.
+	budget := 100 * footprint(10, 100)
+	s, _ := OpenBounded(a, hd, 256, budget)
+	val := make([]byte, 100)
+	for i := 0; i < 300; i++ {
+		if !s.Set(hd, fmt.Sprintf("key-%05d", i), string(val)) {
+			t.Fatal("OOM")
+		}
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite 3x budget")
+	}
+	if st.Bytes > budget {
+		t.Fatalf("footprint %d above budget %d", st.Bytes, budget)
+	}
+	// The most recent keys survive, the oldest are gone.
+	if _, ok := s.Get("key-00299"); !ok {
+		t.Fatal("newest key evicted")
+	}
+	if _, ok := s.Get("key-00000"); ok {
+		t.Fatal("oldest key survived a full eviction cycle")
+	}
+	if _, err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundedStoreTouchProtectsHotKeys(t *testing.T) {
+	h, _, err := ralloc.Open("", ralloc.Config{SBRegion: 32 << 20, GrowthChunk: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	budget := 50 * footprint(10, 100)
+	s, _ := OpenBounded(a, hd, 256, budget)
+	val := make([]byte, 100)
+	if !s.Set(hd, "hot-key", string(val)) {
+		t.Fatal("OOM")
+	}
+	for i := 0; i < 500; i++ {
+		if !s.Set(hd, fmt.Sprintf("cold-%05d", i), string(val)) {
+			t.Fatal("OOM")
+		}
+		s.Get("hot-key") // keep it recent
+	}
+	if _, ok := s.Get("hot-key"); !ok {
+		t.Fatal("hot key evicted despite constant touching")
+	}
+}
+
+func TestBoundedStoreEvictionFreesMemory(t *testing.T) {
+	// The whole point of the LRU for an allocator study: a bounded store
+	// under endless churn must not grow the heap without bound.
+	h, _, err := ralloc.Open("", ralloc.Config{SBRegion: 32 << 20, GrowthChunk: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	s, _ := OpenBounded(a, hd, 256, 100*footprint(10, 100))
+	val := make([]byte, 100)
+	for i := 0; i < 500; i++ {
+		s.Set(hd, fmt.Sprintf("w-%06d", i), string(val))
+	}
+	used := h.SBUsed()
+	for i := 500; i < 5000; i++ {
+		if !s.Set(hd, fmt.Sprintf("w-%06d", i), string(val)) {
+			t.Fatal("OOM")
+		}
+	}
+	if h.SBUsed() > used+h.SBUsed()/10 {
+		t.Fatalf("bounded store grew the heap: %d -> %d", used, h.SBUsed())
+	}
+}
+
+func TestStoreCrashRecovery(t *testing.T) {
+	h, s, root := newStore(t)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	for i := 0; i < 1000; i++ {
+		if !s.Set(hd, fmt.Sprintf("key%04d", i), fmt.Sprintf("value%04d", i)) {
+			t.Fatal("OOM")
+		}
+	}
+	h.SetRoot(0, root)
+	if err := h.Region().Crash(); err != nil {
+		t.Fatal(err)
+	}
+	h.GetRoot(0, Attach(a, root).Filter())
+	if _, err := h.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := Attach(a, root)
+	if s2.Len() != 1000 {
+		t.Fatalf("Len after recovery = %d, want 1000", s2.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := s2.Get(fmt.Sprintf("key%04d", i))
+		if !ok || v != fmt.Sprintf("value%04d", i) {
+			t.Fatalf("key%04d = (%q,%v) after recovery", i, v, ok)
+		}
+	}
+}

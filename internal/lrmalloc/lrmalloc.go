@@ -1,0 +1,22 @@
+// Package lrmalloc provides the LRMalloc baseline: the transient, lock-free
+// allocator of Leite and Rocha that Ralloc is built on. Following the
+// paper's evaluation setup (§6.1), LRMalloc is exactly "Ralloc without flush
+// and fence": we reuse the Ralloc implementation with persistence compiled
+// out, which both matches the paper and guarantees the two differ only in
+// persistence cost.
+package lrmalloc
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/ralloc"
+)
+
+// New creates a transient LRMalloc heap over a fresh region.
+func New(cfg ralloc.Config) (alloc.Allocator, error) {
+	cfg.NoFlush = true
+	h, _, err := ralloc.Open("", cfg)
+	if err != nil {
+		return nil, err
+	}
+	return h.AsAllocator(), nil
+}

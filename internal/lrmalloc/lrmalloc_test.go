@@ -1,0 +1,32 @@
+package lrmalloc
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/alloctest"
+	"repro/internal/ralloc"
+)
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, func(size uint64) (alloc.Allocator, error) {
+		return New(ralloc.Config{SBRegion: size, GrowthChunk: 1 << 20})
+	})
+}
+
+func TestNameAndNoPersistence(t *testing.T) {
+	a, err := New(ralloc.Config{SBRegion: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "lrmalloc" {
+		t.Fatalf("Name = %q", a.Name())
+	}
+	hd := a.NewHandle()
+	for i := 0; i < 5000; i++ {
+		hd.Free(hd.Malloc(64))
+	}
+	if s := a.Region().Stats(); s.Flushes != 0 || s.Fences != 0 {
+		t.Fatalf("LRMalloc flushed %d / fenced %d; must be zero", s.Flushes, s.Fences)
+	}
+}

@@ -1,0 +1,14 @@
+package makalu
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/alloctest"
+)
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, func(size uint64) (alloc.Allocator, error) {
+		return New(Config{HeapSize: size})
+	})
+}

@@ -1,0 +1,165 @@
+package makalu
+
+import (
+	"repro/internal/pptr"
+	"repro/internal/sizeclass"
+)
+
+// Recover performs Makalu's post-crash recovery: conservative garbage
+// collection from the persistent roots, followed by reconstruction of the
+// central free lists so that all and only the reachable blocks are
+// allocated. Makalu pioneered this GC-based approach for persistent
+// allocators; Ralloc adopts it (§1), so the models share the protocol while
+// differing — deliberately — in their normal-operation cost.
+func (h *Heap) Recover() error {
+	r := h.region
+	bump := r.Load(offBump)
+
+	// Index every block by walking the chunk headers. Chunk metadata is
+	// persisted before use, so this walk sees every block that can be
+	// reachable.
+	type chunkInfo struct {
+		kind      uint64
+		blockSize uint64
+		nChunks   uint64
+	}
+	nChunksTotal := (bump - carveOff) / ChunkBytes
+	chunks := make([]chunkInfo, nChunksTotal)
+	for i := range chunks {
+		c := carveOff + uint64(i)*ChunkBytes
+		chunks[i] = chunkInfo{r.Load(c), r.Load(c + 8), r.Load(c + 16)}
+	}
+
+	chunkIdx := func(off uint64) (int, bool) {
+		if off < carveOff+chunkHdr || off >= bump {
+			return 0, false
+		}
+		return int((off - carveOff) / ChunkBytes), true
+	}
+
+	// validBlock reports whether off is an allocatable block boundary.
+	validBlock := func(off uint64) (size uint64, ok bool) {
+		i, ok := chunkIdx(off)
+		if !ok {
+			return 0, false
+		}
+		ci := chunks[i]
+		base := carveOff + uint64(i)*ChunkBytes
+		switch ci.kind {
+		case chunkSmall:
+			if ci.blockSize == 0 || sizeclass.SizeToClass(ci.blockSize) == 0 {
+				return 0, false
+			}
+			d := off - base - chunkHdr
+			if off < base+chunkHdr || d%ci.blockSize != 0 ||
+				d/ci.blockSize >= blocksPerChunk(ci.blockSize) {
+				return 0, false
+			}
+			return ci.blockSize, true
+		case chunkLarge:
+			if off != base+chunkHdr || ci.blockSize == 0 {
+				return 0, false
+			}
+			return ci.blockSize, true
+		default:
+			return 0, false
+		}
+	}
+
+	// Conservative trace.
+	marked := make(map[uint64]bool)
+	var stack []uint64
+	visit := func(off uint64) {
+		if _, ok := validBlock(off); ok && !marked[off] {
+			marked[off] = true
+			stack = append(stack, off)
+		}
+	}
+	for i := 0; i < numRoots; i++ {
+		slot := rootOff(i)
+		if off, ok := pptr.Unpack(slot, r.Load(slot)); ok {
+			visit(off)
+		}
+	}
+	for len(stack) > 0 {
+		off := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		size, _ := validBlock(off)
+		end := off + size&^7
+		if end > bump {
+			end = bump
+		}
+		for o := off; o < end; o += 8 {
+			if t, ok := pptr.Unpack(o, r.Load(o)); ok {
+				visit(t)
+			}
+		}
+	}
+
+	// Reconstruct the free lists: all and only the unmarked blocks.
+	for c := 0; c <= sizeclass.NumClasses; c++ {
+		r.Store(classHeadOff(c), 0)
+	}
+	r.Store(offLarge, 0)
+	skip := uint64(0)
+	for i := 0; i < len(chunks); i++ {
+		if skip > 0 {
+			skip--
+			continue
+		}
+		base := carveOff + uint64(i)*ChunkBytes
+		ci := chunks[i]
+		switch ci.kind {
+		case chunkSmall:
+			c := sizeclass.SizeToClass(ci.blockSize)
+			if c == 0 || ci.blockSize != sizeclass.ClassToSize(c) {
+				h.retireChunkRun(base, 1)
+				continue
+			}
+			head := classHeadOff(c)
+			total := blocksPerChunk(ci.blockSize)
+			for b := uint64(0); b < total; b++ {
+				off := base + chunkHdr + b*ci.blockSize
+				if marked[off] {
+					continue
+				}
+				r.Store(off, r.Load(head))
+				r.Store(head, off)
+			}
+		case chunkLarge:
+			n := ci.nChunks
+			if n == 0 || uint64(i)+n > nChunksTotal {
+				h.retireChunkRun(base, 1)
+				continue
+			}
+			skip = n - 1
+			if !marked[base+chunkHdr] {
+				b := base + chunkHdr
+				r.Store(b, r.Load(offLarge))
+				r.Store(offLarge, b)
+			}
+		case chunkCont:
+			// Orphaned continuation (crash during a large carve):
+			// recycle it as a one-chunk large run.
+			h.retireChunkRun(base, 1)
+		default:
+			// Never initialized; recycle likewise.
+			h.retireChunkRun(base, 1)
+		}
+	}
+	r.FlushRange(0, r.Size())
+	r.Fence()
+	return nil
+}
+
+// retireChunkRun turns n contiguous chunks into a free large run on the
+// large list so no memory is stranded by crashes.
+func (h *Heap) retireChunkRun(base uint64, n uint64) {
+	r := h.region
+	r.Store(base, chunkLarge)
+	r.Store(base+8, n*ChunkBytes-chunkHdr)
+	r.Store(base+16, n)
+	b := base + chunkHdr
+	r.Store(b, r.Load(offLarge))
+	r.Store(offLarge, b)
+}

@@ -1,0 +1,464 @@
+// Package makalu models HPE's Makalu (Bhandari et al., OOPSLA 2016), the
+// lock-based persistent allocator the paper uses as its primary baseline.
+//
+// The model reproduces the cost structure the paper attributes Makalu's
+// performance to (§6.2: "the earlier systems must log and flush multiple
+// words in synchronized allocator operation"):
+//
+//   - central per-size-class free lists protected by mutexes, with a small
+//     persistent log written, flushed and fenced around every central-list
+//     operation, and persistent list links flushed on every push;
+//   - memory carved in 64 KB chunks whose class metadata is persisted
+//     (flushed + fenced) before any block is handed out, so post-crash GC
+//     can size every block;
+//   - small per-thread caches in front of the central lists that return
+//     only *half* of their blocks when they overflow — the locality detail
+//     the paper credits for Makalu's memcached edge (§6.3);
+//   - GC-based recovery: like Ralloc, Makalu supplements malloc/free with
+//     post-crash conservative collection from persistent roots.
+//
+// The intent is parity of algorithmic costs, not line-for-line fidelity:
+// what matters for reproducing Figures 5a–5f is lock-based synchronization
+// plus O(1) flushes+fences per operation, versus Ralloc's lock-free fast
+// path with near-zero flushes.
+package makalu
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/alloc"
+	"repro/internal/pmem"
+	"repro/internal/pptr"
+	"repro/internal/sizeclass"
+)
+
+// Heap-header field offsets.
+const (
+	offMagic = 0
+	offDirty = 8
+	offBump  = 16 // next free chunk byte                [flushed]
+	offEnd   = 24
+	offLarge = 32 // large free-list head                [flushed]
+	offClass = 64 // 40 entries × 16 B: free-list head, pad
+	offLog   = 768
+	offRoots = 4096
+	numRoots = 1024
+
+	// ChunkBytes is the carve granularity; chunk 0 starts at carveOff,
+	// which is chunk-aligned.
+	ChunkBytes = 1 << 16
+	carveOff   = ChunkBytes
+	chunkHdr   = 64 // per-chunk header: kind, blockSize, nChunks
+
+	makMagic  = 0x314B414D // "MAK1"
+	refillN   = 16
+	tcacheCap = 32
+)
+
+// Chunk kinds.
+const (
+	chunkFree  = 0 // never used
+	chunkSmall = 1 // holds blocks of one size class
+	chunkLarge = 2 // first chunk of a large run
+	chunkCont  = 3 // continuation of a large run
+)
+
+// Config controls the model.
+type Config struct {
+	HeapSize uint64 // total region size; default 64 MB
+	Pmem     pmem.Config
+}
+
+// Heap is a Makalu-model heap.
+type Heap struct {
+	region *pmem.Region
+	end    uint64
+
+	classMu [sizeclass.NumClasses + 1]sync.Mutex
+	largeMu sync.Mutex
+	logMu   sync.Mutex
+
+	mu      sync.Mutex
+	handles []*Handle
+	closed  bool
+}
+
+// New creates a fresh Makalu-model heap.
+func New(cfg Config) (*Heap, error) {
+	if cfg.HeapSize == 0 {
+		cfg.HeapSize = 64 << 20
+	}
+	if cfg.HeapSize < carveOff+ChunkBytes {
+		return nil, errors.New("makalu: heap too small")
+	}
+	size := cfg.HeapSize / ChunkBytes * ChunkBytes
+	region := pmem.NewRegion(size, cfg.Pmem)
+	h := &Heap{region: region, end: region.Size()}
+	region.Store(offEnd, h.end)
+	region.Store(offBump, carveOff)
+	region.Store(offDirty, 1)
+	region.Store(offMagic, makMagic)
+	region.FlushRange(0, offRoots+numRoots*8)
+	region.Fence()
+	return h, nil
+}
+
+// Attach re-attaches to an existing region image, returning whether the
+// previous session crashed (dirty).
+func Attach(region *pmem.Region) (*Heap, bool, error) {
+	if region.Load(offMagic) != makMagic {
+		return nil, false, errors.New("makalu: region is not a Makalu heap")
+	}
+	h := &Heap{region: region, end: region.Load(offEnd)}
+	dirty := region.Load(offDirty) != 0
+	region.Store(offDirty, 1)
+	region.Flush(offDirty)
+	region.Fence()
+	return h, dirty, nil
+}
+
+// Name implements alloc.Allocator.
+func (h *Heap) Name() string { return "makalu" }
+
+// Region implements alloc.Allocator.
+func (h *Heap) Region() *pmem.Region { return h.region }
+
+func classHeadOff(c int) uint64 { return offClass + uint64(c)*16 }
+func rootOff(i int) uint64      { return offRoots + uint64(i)*8 }
+
+func chunkStart(off uint64) uint64 { return off &^ (ChunkBytes - 1) }
+
+// blocksPerChunk returns the capacity of a small chunk of the given class.
+func blocksPerChunk(blockSize uint64) uint64 {
+	return (ChunkBytes - chunkHdr) / blockSize
+}
+
+// logOp writes a tiny redo record and flushes+fences it — the
+// per-operation persistence cost of a logging allocator.
+func (h *Heap) logOp(op, a, b uint64) {
+	r := h.region
+	h.logMu.Lock()
+	r.Store(offLog, op)
+	r.Store(offLog+8, a)
+	r.Store(offLog+16, b)
+	r.Flush(offLog)
+	r.Fence()
+	h.logMu.Unlock()
+}
+
+// carveChunks reserves n contiguous chunks, returning the offset of the
+// first or 0 when the heap is exhausted.
+func (h *Heap) carveChunks(n uint64) uint64 {
+	r := h.region
+	need := n * ChunkBytes
+	for {
+		bump := r.Load(offBump)
+		if bump+need > h.end {
+			return 0
+		}
+		if r.CAS(offBump, bump, bump+need) {
+			r.Flush(offBump)
+			r.Fence()
+			return bump
+		}
+	}
+}
+
+// Handle is a per-goroutine cache.
+type Handle struct {
+	heap    *Heap
+	invalid bool
+	cache   [sizeclass.NumClasses + 1][]uint64
+}
+
+// NewHandle implements alloc.Allocator.
+func (h *Heap) NewHandle() alloc.Handle {
+	hd := &Handle{heap: h}
+	h.mu.Lock()
+	h.handles = append(h.handles, hd)
+	h.mu.Unlock()
+	return hd
+}
+
+// Malloc allocates size bytes.
+func (hd *Handle) Malloc(size uint64) uint64 {
+	if hd.invalid {
+		panic("makalu: stale handle")
+	}
+	c := sizeclass.SizeToClass(size)
+	if c == 0 {
+		return hd.heap.mallocLarge(size)
+	}
+	tc := &hd.cache[c]
+	if len(*tc) == 0 && !hd.refill(c) {
+		return 0
+	}
+	n := len(*tc) - 1
+	off := (*tc)[n]
+	*tc = (*tc)[:n]
+	return off
+}
+
+// refill takes up to refillN blocks from the central list — logging and
+// flushing around each pop — carving a fresh chunk if the list runs dry.
+func (hd *Handle) refill(c int) bool {
+	h := hd.heap
+	r := h.region
+	blockSize := sizeclass.ClassToSize(c)
+	h.classMu[c].Lock()
+	defer h.classMu[c].Unlock()
+
+	head := classHeadOff(c)
+	got := 0
+	for got < refillN {
+		b := r.Load(head)
+		if b == 0 {
+			break
+		}
+		next := r.Load(b)
+		h.logOp(1, b, next)
+		r.Store(head, next)
+		r.Flush(head)
+		r.Fence()
+		hd.cache[c] = append(hd.cache[c], b)
+		got++
+	}
+	if got > 0 {
+		return true
+	}
+
+	// Carve a fresh chunk. Its class metadata is persisted before any
+	// block escapes, so recovery can size every block (same protocol as
+	// Ralloc's superblock init).
+	chunk := h.carveChunks(1)
+	if chunk == 0 {
+		return false
+	}
+	r.Store(chunk, chunkSmall)
+	r.Store(chunk+8, blockSize)
+	r.Store(chunk+16, 1)
+	r.Flush(chunk)
+	r.Fence()
+	total := blocksPerChunk(blockSize)
+	take := uint64(refillN)
+	if take > total {
+		take = total
+	}
+	for i := uint64(0); i < take; i++ {
+		hd.cache[c] = append(hd.cache[c], chunk+chunkHdr+i*blockSize)
+	}
+	// Surplus blocks go to the central list as one chained push.
+	if total > take {
+		var first, last uint64
+		for i := total; i > take; i-- {
+			b := chunk + chunkHdr + (i-1)*blockSize
+			r.Store(b, first)
+			if last == 0 {
+				last = b
+			}
+			first = b
+		}
+		old := r.Load(head)
+		r.Store(last, old)
+		r.Flush(last)
+		h.logOp(2, first, old)
+		r.Store(head, first)
+		r.Flush(head)
+		r.Fence()
+	}
+	return true
+}
+
+// Free deallocates a block.
+func (hd *Handle) Free(off uint64) {
+	if off == 0 {
+		return
+	}
+	if hd.invalid {
+		panic("makalu: stale handle")
+	}
+	h := hd.heap
+	if off < carveOff+chunkHdr || off >= h.end {
+		panic(fmt.Sprintf("makalu: Free(%#x): outside heap", off))
+	}
+	r := h.region
+	chunk := chunkStart(off)
+	kind := r.Load(chunk)
+	switch kind {
+	case chunkSmall:
+		blockSize := r.Load(chunk + 8)
+		if (off-chunk-chunkHdr)%blockSize != 0 {
+			panic(fmt.Sprintf("makalu: Free(%#x): not a block boundary", off))
+		}
+		c := sizeclass.SizeToClass(blockSize)
+		tc := &hd.cache[c]
+		*tc = append(*tc, off)
+		if len(*tc) > tcacheCap {
+			hd.drainHalf(c)
+		}
+	case chunkLarge:
+		if off != chunk+chunkHdr {
+			panic(fmt.Sprintf("makalu: Free(%#x): not the start of a large block", off))
+		}
+		h.freeLarge(chunk)
+	default:
+		panic(fmt.Sprintf("makalu: Free(%#x): block not allocated (chunk kind %d)", off, kind))
+	}
+}
+
+// Flush returns every cached block to the central lists (clean thread
+// exit). The handle remains usable.
+func (hd *Handle) Flush() {
+	for c := 1; c <= sizeclass.NumClasses; c++ {
+		if len(hd.cache[c]) > 0 {
+			hd.heap.pushCentral(c, hd.cache[c])
+			hd.cache[c] = hd.cache[c][:0]
+		}
+	}
+}
+
+// drainHalf returns the oldest half of the cache to the central list —
+// Makalu's locality-preserving policy (§6.3).
+func (hd *Handle) drainHalf(c int) {
+	blocks := hd.cache[c]
+	n := len(blocks) / 2
+	hd.heap.pushCentral(c, blocks[:n])
+	hd.cache[c] = append(hd.cache[c][:0], blocks[n:]...)
+}
+
+func (h *Heap) pushCentral(c int, blocks []uint64) {
+	r := h.region
+	head := classHeadOff(c)
+	h.classMu[c].Lock()
+	for _, b := range blocks {
+		old := r.Load(head)
+		r.Store(b, old)
+		r.Flush(b)
+		h.logOp(2, b, old)
+		r.Store(head, b)
+		r.Flush(head)
+		r.Fence()
+	}
+	h.classMu[c].Unlock()
+}
+
+// mallocLarge serves >14 KB requests from a first-fit run list, falling
+// back to carving whole chunks.
+func (h *Heap) mallocLarge(size uint64) uint64 {
+	r := h.region
+	nChunks := (size + chunkHdr + ChunkBytes - 1) / ChunkBytes
+	h.largeMu.Lock()
+	defer h.largeMu.Unlock()
+	// First fit over the run list (runs chain through their first data
+	// word).
+	prev := uint64(offLarge)
+	b := r.Load(offLarge)
+	for b != 0 {
+		chunk := chunkStart(b)
+		if r.Load(chunk+16) >= nChunks {
+			next := r.Load(b)
+			h.logOp(3, b, next)
+			r.Store(prev, next)
+			r.Flush(prev)
+			// Re-mark the run allocated.
+			r.Store(chunk, chunkLarge)
+			r.Flush(chunk)
+			r.Fence()
+			return b
+		}
+		prev = b
+		b = r.Load(b)
+	}
+	chunk := h.carveChunks(nChunks)
+	if chunk == 0 {
+		return 0
+	}
+	for i := uint64(1); i < nChunks; i++ {
+		cc := chunk + i*ChunkBytes
+		r.Store(cc, chunkCont)
+		r.Flush(cc)
+	}
+	if nChunks > 1 {
+		r.Fence()
+	}
+	r.Store(chunk, chunkLarge)
+	r.Store(chunk+8, size)
+	r.Store(chunk+16, nChunks)
+	r.Flush(chunk)
+	r.Fence()
+	return chunk + chunkHdr
+}
+
+// freeLarge pushes the run onto the large free list; the run keeps its
+// chunk count so it can be reused by first fit. The kind is flipped to a
+// free marker persistently so recovery does not resurrect it by accident —
+// although GC would reclaim it anyway if unreachable.
+func (h *Heap) freeLarge(chunk uint64) {
+	r := h.region
+	b := chunk + chunkHdr
+	h.largeMu.Lock()
+	old := r.Load(offLarge)
+	r.Store(b, old)
+	r.Flush(b)
+	h.logOp(4, b, old)
+	r.Store(offLarge, b)
+	r.Flush(offLarge)
+	r.Fence()
+	h.largeMu.Unlock()
+}
+
+// SetRoot registers a persistent root (off-holder, flushed).
+func (h *Heap) SetRoot(i int, off uint64) {
+	slot := rootOff(i)
+	if off == 0 {
+		h.region.Store(slot, pptr.Nil)
+	} else {
+		h.region.Store(slot, pptr.Pack(slot, off))
+	}
+	h.region.Flush(slot)
+	h.region.Fence()
+}
+
+// GetRoot reads a persistent root.
+func (h *Heap) GetRoot(i int) uint64 {
+	slot := rootOff(i)
+	off, ok := pptr.Unpack(slot, h.region.Load(slot))
+	if !ok {
+		return 0
+	}
+	return off
+}
+
+// Close cleanly shuts down: caches drained, everything written back, dirty
+// flag cleared.
+func (h *Heap) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return errors.New("makalu: already closed")
+	}
+	h.closed = true
+	handles := h.handles
+	h.handles = nil
+	h.mu.Unlock()
+	for _, hd := range handles {
+		for c := 1; c <= sizeclass.NumClasses; c++ {
+			if len(hd.cache[c]) > 0 {
+				h.pushCentral(c, hd.cache[c])
+				hd.cache[c] = nil
+			}
+		}
+		hd.invalid = true
+	}
+	h.region.Persist()
+	h.region.Store(offDirty, 0)
+	h.region.Flush(offDirty)
+	h.region.Fence()
+	h.region.Persist()
+	return nil
+}
+
+var _ alloc.Allocator = (*Heap)(nil)
+var _ alloc.Recoverable = (*Heap)(nil)

@@ -1,0 +1,296 @@
+package makalu
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/pptr"
+	"repro/internal/sizeclass"
+)
+
+func testHeap(t *testing.T, crashSim bool) *Heap {
+	t.Helper()
+	cfg := Config{HeapSize: 16 << 20}
+	if crashSim {
+		cfg.Pmem = pmem.Config{Mode: pmem.ModeCrashSim}
+	}
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestMallocBasic(t *testing.T) {
+	h := testHeap(t, false)
+	hd := h.NewHandle()
+	off := hd.Malloc(64)
+	if off == 0 || off%8 != 0 {
+		t.Fatalf("Malloc = %#x", off)
+	}
+	h.Region().Store(off, 0xFEED)
+	if h.Region().Load(off) != 0xFEED {
+		t.Fatal("block not usable")
+	}
+}
+
+func TestMallocDistinct(t *testing.T) {
+	h := testHeap(t, false)
+	hd := h.NewHandle()
+	type iv struct{ lo, hi uint64 }
+	var ivs []iv
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		size := uint64(8 + rng.Intn(393))
+		off := hd.Malloc(size)
+		if off == 0 {
+			t.Fatal("OOM")
+		}
+		ivs = append(ivs, iv{off, off + sizeclass.Round(size)})
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	for i := 1; i < len(ivs); i++ {
+		if ivs[i].lo < ivs[i-1].hi {
+			t.Fatalf("overlap at %#x", ivs[i].lo)
+		}
+	}
+}
+
+func TestFreeReuse(t *testing.T) {
+	h := testHeap(t, false)
+	hd := h.NewHandle()
+	a := hd.Malloc(64)
+	hd.Free(a)
+	if b := hd.Malloc(64); b != a {
+		t.Fatalf("cache reuse failed: %#x vs %#x", a, b)
+	}
+}
+
+func TestPerOpFlushCost(t *testing.T) {
+	// The defining contrast with Ralloc: Makalu flushes on the malloc/
+	// free slow paths at a per-operation rate (logging allocator).
+	h := testHeap(t, false)
+	hd := h.NewHandle()
+	base := h.Region().Stats().Flushes
+	const n = 10000
+	offs := make([]uint64, n)
+	for i := range offs {
+		offs[i] = hd.Malloc(64)
+	}
+	for _, o := range offs {
+		hd.Free(o)
+	}
+	perOp := float64(h.Region().Stats().Flushes-base) / float64(2*n)
+	if perOp < 0.2 {
+		t.Fatalf("Makalu model flushes %.3f/op; expected O(1) per op", perOp)
+	}
+}
+
+func TestLargeAllocFree(t *testing.T) {
+	h := testHeap(t, false)
+	hd := h.NewHandle()
+	off := hd.Malloc(200_000)
+	if off == 0 {
+		t.Fatal("OOM")
+	}
+	h.Region().Store(off, 1)
+	h.Region().Store(off+199_992, 2)
+	hd.Free(off)
+	// First-fit reuse.
+	if off2 := hd.Malloc(150_000); off2 != off {
+		t.Fatalf("first fit did not reuse the run: %#x vs %#x", off2, off)
+	}
+}
+
+func TestOOM(t *testing.T) {
+	h, err := New(Config{HeapSize: 4 * ChunkBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd := h.NewHandle()
+	n := 0
+	for hd.Malloc(14336) != 0 {
+		n++
+	}
+	if n == 0 {
+		t.Fatal("nothing allocated before OOM")
+	}
+}
+
+func TestCrossHandleFree(t *testing.T) {
+	h := testHeap(t, false)
+	a, b := h.NewHandle(), h.NewHandle()
+	var offs []uint64
+	for i := 0; i < 2000; i++ {
+		offs = append(offs, a.Malloc(128))
+	}
+	for _, o := range offs {
+		b.Free(o)
+	}
+	for i := 0; i < 2000; i++ {
+		if b.Malloc(128) == 0 {
+			t.Fatal("OOM")
+		}
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	h := testHeap(t, false)
+	var wg sync.WaitGroup
+	results := make([][]uint64, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			hd := h.NewHandle()
+			rng := rand.New(rand.NewSource(int64(g)))
+			var live []uint64
+			for i := 0; i < 5000; i++ {
+				if len(live) > 0 && rng.Intn(2) == 0 {
+					k := rng.Intn(len(live))
+					hd.Free(live[k])
+					live[k] = live[len(live)-1]
+					live = live[:len(live)-1]
+				} else {
+					off := hd.Malloc(uint64(8 + rng.Intn(393)))
+					if off == 0 {
+						t.Error("OOM")
+						return
+					}
+					live = append(live, off)
+				}
+			}
+			results[g] = live
+		}(g)
+	}
+	wg.Wait()
+	seen := map[uint64]bool{}
+	for _, live := range results {
+		for _, off := range live {
+			if seen[off] {
+				t.Fatalf("block %#x live twice", off)
+			}
+			seen[off] = true
+		}
+	}
+}
+
+func TestRecoverPreservesReachable(t *testing.T) {
+	h := testHeap(t, true)
+	hd := h.NewHandle()
+	r := h.Region()
+	// Durable linked list.
+	var prev uint64
+	for i := 0; i < 200; i++ {
+		off := hd.Malloc(64)
+		if prev == 0 {
+			r.Store(off, pptr.Nil)
+		} else {
+			r.Store(off, pptr.Pack(off, prev))
+		}
+		r.Store(off+8, uint64(i))
+		r.FlushRange(off, 16)
+		r.Fence()
+		prev = off
+	}
+	h.SetRoot(0, prev)
+	// Leak some unattached blocks.
+	for i := 0; i < 1000; i++ {
+		hd.Malloc(64)
+	}
+	if err := r.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	// Walk survives.
+	n := 0
+	off := h.GetRoot(0)
+	seen := map[uint64]bool{}
+	for off != 0 {
+		seen[off] = true
+		n++
+		next, ok := pptr.Unpack(off, r.Load(off))
+		if !ok {
+			break
+		}
+		off = next
+	}
+	if n != 200 {
+		t.Fatalf("list length after recovery = %d, want 200", n)
+	}
+	// Fresh allocations avoid the survivors.
+	hd2 := h.NewHandle()
+	for i := 0; i < 5000; i++ {
+		o := hd2.Malloc(64)
+		if o == 0 {
+			t.Fatal("OOM after recovery")
+		}
+		if seen[o] {
+			t.Fatalf("reachable block %#x re-allocated", o)
+		}
+	}
+}
+
+func TestRecoverReclaimsLeaks(t *testing.T) {
+	h := testHeap(t, true)
+	hd := h.NewHandle()
+	for i := 0; i < 3000; i++ {
+		hd.Malloc(64)
+	}
+	bumpBefore := h.Region().Load(offBump)
+	if err := h.Region().Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	hd2 := h.NewHandle()
+	for i := 0; i < 3000; i++ {
+		if hd2.Malloc(64) == 0 {
+			t.Fatal("OOM")
+		}
+	}
+	if h.Region().Load(offBump) > bumpBefore {
+		t.Fatal("leaked blocks were not reclaimed")
+	}
+}
+
+func TestCloseClearsDirty(t *testing.T) {
+	h := testHeap(t, true)
+	hd := h.NewHandle()
+	hd.Malloc(64)
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Region().Load(offDirty) != 0 {
+		t.Fatal("dirty flag still set after Close")
+	}
+	// Re-attach reports clean.
+	_, dirty, err := Attach(h.Region())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirty {
+		t.Fatal("clean heap reported dirty")
+	}
+}
+
+func TestAttachAfterCrashReportsDirty(t *testing.T) {
+	h := testHeap(t, true)
+	h.NewHandle().Malloc(64)
+	if err := h.Region().Crash(); err != nil {
+		t.Fatal(err)
+	}
+	_, dirty, err := Attach(h.Region())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dirty {
+		t.Fatal("crashed heap reported clean")
+	}
+}

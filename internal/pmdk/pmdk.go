@@ -1,0 +1,428 @@
+// Package pmdk models Intel PMDK's libpmemobj allocator, the second
+// persistent baseline of the paper's evaluation.
+//
+// PMDK exemplifies the alternative to GC-based recovery (§1): the allocator
+// provides a malloc-to operation that allocates a block and, atomically,
+// attaches it persistently at a specified address; free-from breaks the
+// last persistent pointer and, atomically, returns the block to the free
+// list. Atomicity is achieved with a persistent redo log: every operation
+// writes its intended stores to the log, flushes and fences it, marks it
+// valid (flush, fence), applies the stores (flush, fence), and retires the
+// log (flush, fence). Recovery replays or discards the log — no GC needed,
+// because the allocator metadata is always crash-consistent.
+//
+// That is precisely why PMDK pays several flushes and fences on every
+// allocation (§6.2), which — together with its lock-protected buckets — is
+// the behavior this model reproduces.
+//
+// The paper's benchmarks drive PMDK through plain malloc/free by attaching
+// to a dummy variable (§6.1); Handle.Malloc/Free do the same via a
+// per-handle persistent scratch slot.
+package pmdk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/alloc"
+	"repro/internal/pmem"
+	"repro/internal/pptr"
+	"repro/internal/sizeclass"
+)
+
+const (
+	offMagic    = 0
+	offDirty    = 8
+	offBump     = 16
+	offEnd      = 24
+	offLarge    = 32
+	offLogValid = 40
+	offLogCount = 48
+	offLogEnts  = 64  // up to maxLogEnts pairs of [target, value]
+	maxLogEnts  = 8   // 8 × 16 B = 128 B of log
+	offClass    = 256 // 40 entries × 16 B
+	offScratch  = 1024
+	maxHandles  = 256 // scratch slots, 8 B each → 2 KB
+	offRoots    = 4096
+	numRoots    = 1024
+
+	ChunkBytes = 1 << 16
+	carveOff   = ChunkBytes
+	chunkHdr   = 64
+
+	chunkSmall = 1
+	chunkLarge = 2
+	chunkCont  = 3
+
+	pmdkMagic = 0x314B444D50 // "PMDK1"
+)
+
+// Config controls the model.
+type Config struct {
+	HeapSize uint64 // default 64 MB
+	Pmem     pmem.Config
+}
+
+// Heap is a PMDK-model pool ("pmemobj pool").
+type Heap struct {
+	region *pmem.Region
+	end    uint64
+
+	// One big lock serializes allocator metadata and the redo log —
+	// deliberately coarse: the paper shows PMDK scaling flat.
+	opMu sync.Mutex
+
+	mu       sync.Mutex
+	nHandles int
+	closed   bool
+}
+
+// New creates a fresh pool.
+func New(cfg Config) (*Heap, error) {
+	if cfg.HeapSize == 0 {
+		cfg.HeapSize = 64 << 20
+	}
+	if cfg.HeapSize < carveOff+ChunkBytes {
+		return nil, errors.New("pmdk: heap too small")
+	}
+	region := pmem.NewRegion(cfg.HeapSize/ChunkBytes*ChunkBytes, cfg.Pmem)
+	h := &Heap{region: region, end: region.Size()}
+	region.Store(offEnd, h.end)
+	region.Store(offBump, carveOff)
+	region.Store(offDirty, 1)
+	region.Store(offMagic, pmdkMagic)
+	region.FlushRange(0, offRoots+numRoots*8)
+	region.Fence()
+	return h, nil
+}
+
+// Attach re-attaches to an existing region image. If the previous session
+// crashed mid-operation, the redo log is resolved immediately — PMDK-style
+// recovery is just log replay, reported via the dirty flag for symmetry
+// with the other allocators.
+func Attach(region *pmem.Region) (*Heap, bool, error) {
+	if region.Load(offMagic) != pmdkMagic {
+		return nil, false, errors.New("pmdk: region is not a PMDK pool")
+	}
+	h := &Heap{region: region, end: region.Load(offEnd)}
+	dirty := region.Load(offDirty) != 0
+	region.Store(offDirty, 1)
+	region.Flush(offDirty)
+	region.Fence()
+	return h, dirty, nil
+}
+
+// Name implements alloc.Allocator.
+func (h *Heap) Name() string { return "pmdk" }
+
+// Region implements alloc.Allocator.
+func (h *Heap) Region() *pmem.Region { return h.region }
+
+func classHeadOff(c int) uint64 { return offClass + uint64(c)*16 }
+func rootOff(i int) uint64      { return offRoots + uint64(i)*8 }
+
+func chunkStart(off uint64) uint64 { return off &^ (ChunkBytes - 1) }
+
+func blocksPerChunk(blockSize uint64) uint64 {
+	return (ChunkBytes - chunkHdr) / blockSize
+}
+
+// ----------------------------------------------------------------------
+// Redo log. Callers hold opMu.
+
+type logEntry struct{ target, value uint64 }
+
+// applyLogged runs one failure-atomic metadata transaction: log → validate →
+// apply → retire, with the flush/fence pattern PMDK uses. This is the
+// per-operation persistence cost of the malloc-to approach.
+func (h *Heap) applyLogged(ents []logEntry) {
+	if len(ents) > maxLogEnts {
+		panic("pmdk: redo log overflow")
+	}
+	r := h.region
+	for i, e := range ents {
+		r.Store(offLogEnts+uint64(i)*16, e.target)
+		r.Store(offLogEnts+uint64(i)*16+8, e.value)
+	}
+	r.Store(offLogCount, uint64(len(ents)))
+	r.FlushRange(offLogCount, 8+uint64(len(ents))*16)
+	r.Fence()
+	r.Store(offLogValid, 1)
+	r.Flush(offLogValid)
+	r.Fence()
+	for _, e := range ents {
+		r.Store(e.target, e.value)
+		r.Flush(e.target)
+	}
+	r.Fence()
+	r.Store(offLogValid, 0)
+	r.Flush(offLogValid)
+	r.Fence()
+}
+
+// replayLog resolves a valid redo log found at attach time.
+func (h *Heap) replayLog() {
+	r := h.region
+	if r.Load(offLogValid) == 0 {
+		return
+	}
+	n := r.Load(offLogCount)
+	if n > maxLogEnts {
+		n = maxLogEnts
+	}
+	for i := uint64(0); i < n; i++ {
+		t := r.Load(offLogEnts + i*16)
+		v := r.Load(offLogEnts + i*16 + 8)
+		r.Store(t, v)
+		r.Flush(t)
+	}
+	r.Fence()
+	r.Store(offLogValid, 0)
+	r.Flush(offLogValid)
+	r.Fence()
+}
+
+// Recover implements alloc.Recoverable: replay (or discard) the redo log.
+// Unlike the GC-based allocators, nothing else is needed — and also unlike
+// them, any block whose attach pointer the application had not yet made
+// persistent stays leaked forever; that is the trade-off the paper's
+// recoverability-with-GC design removes.
+func (h *Heap) Recover() error {
+	h.opMu.Lock()
+	defer h.opMu.Unlock()
+	h.replayLog()
+	return nil
+}
+
+// ----------------------------------------------------------------------
+// Allocation.
+
+// MallocTo allocates size bytes and atomically stores an off-holder to the
+// new block at destOff (the paper's malloc-to). Returns the block offset or
+// 0 when exhausted.
+func (h *Heap) MallocTo(size uint64, destOff uint64) uint64 {
+	r := h.region
+	h.opMu.Lock()
+	defer h.opMu.Unlock()
+
+	c := sizeclass.SizeToClass(size)
+	var block uint64
+	var ents []logEntry
+	if c != 0 {
+		head := classHeadOff(c)
+		block = r.Load(head)
+		if block == 0 {
+			if !h.carveSmallLocked(c) {
+				return 0
+			}
+			block = r.Load(head)
+			if block == 0 {
+				return 0
+			}
+		}
+		ents = append(ents, logEntry{head, r.Load(block)})
+	} else {
+		block = h.findLargeLocked(size)
+		if block == 0 {
+			return 0
+		}
+		// findLargeLocked already unlinked the run inside its own
+		// logged transaction.
+	}
+	ents = append(ents, logEntry{destOff, pptr.Pack(destOff, block)})
+	h.applyLogged(ents)
+	return block
+}
+
+// FreeFrom atomically clears the persistent pointer at holderOff and returns
+// the block it referenced to the free list (the paper's free-from).
+func (h *Heap) FreeFrom(holderOff uint64) {
+	r := h.region
+	h.opMu.Lock()
+	defer h.opMu.Unlock()
+
+	block, ok := pptr.Unpack(holderOff, r.Load(holderOff))
+	if !ok {
+		panic(fmt.Sprintf("pmdk: FreeFrom(%#x): no persistent pointer there", holderOff))
+	}
+	chunk := chunkStart(block)
+	kind := r.Load(chunk)
+	var ents []logEntry
+	switch kind {
+	case chunkSmall:
+		c := sizeclass.SizeToClass(r.Load(chunk + 8))
+		head := classHeadOff(c)
+		ents = append(ents,
+			logEntry{block, r.Load(head)},
+			logEntry{head, block},
+			logEntry{holderOff, pptr.Nil})
+	case chunkLarge:
+		ents = append(ents,
+			logEntry{block, r.Load(offLarge)},
+			logEntry{offLarge, block},
+			logEntry{holderOff, pptr.Nil})
+	default:
+		panic(fmt.Sprintf("pmdk: FreeFrom(%#x): block %#x not allocated", holderOff, block))
+	}
+	h.applyLogged(ents)
+}
+
+// carveSmallLocked carves one chunk for class c and chains its blocks onto
+// the class free list. Caller holds opMu.
+func (h *Heap) carveSmallLocked(c int) bool {
+	r := h.region
+	blockSize := sizeclass.ClassToSize(c)
+	bump := r.Load(offBump)
+	if bump+ChunkBytes > h.end {
+		return false
+	}
+	r.Store(offBump, bump+ChunkBytes)
+	r.Flush(offBump)
+	chunk := bump
+	r.Store(chunk, chunkSmall)
+	r.Store(chunk+8, blockSize)
+	r.Store(chunk+16, 1)
+	r.Flush(chunk)
+	r.Fence()
+	head := classHeadOff(c)
+	total := blocksPerChunk(blockSize)
+	prev := r.Load(head)
+	for i := total; i > 0; i-- {
+		b := chunk + chunkHdr + (i-1)*blockSize
+		r.Store(b, prev)
+		prev = b
+	}
+	r.FlushRange(chunk, ChunkBytes)
+	r.Store(head, prev)
+	r.Flush(head)
+	r.Fence()
+	return true
+}
+
+// findLargeLocked finds or carves a run of chunks for a large request and
+// unlinks it from the free list under the redo log. Caller holds opMu.
+func (h *Heap) findLargeLocked(size uint64) uint64 {
+	r := h.region
+	nChunks := (size + chunkHdr + ChunkBytes - 1) / ChunkBytes
+	prev := uint64(offLarge)
+	b := r.Load(offLarge)
+	for b != 0 {
+		chunk := chunkStart(b)
+		if r.Load(chunk+16) >= nChunks {
+			h.applyLogged([]logEntry{{prev, r.Load(b)}})
+			return b
+		}
+		prev = b
+		b = r.Load(b)
+	}
+	bump := r.Load(offBump)
+	if bump+nChunks*ChunkBytes > h.end {
+		return 0
+	}
+	r.Store(offBump, bump+nChunks*ChunkBytes)
+	r.Flush(offBump)
+	chunk := bump
+	for i := uint64(1); i < nChunks; i++ {
+		cc := chunk + i*ChunkBytes
+		r.Store(cc, chunkCont)
+		r.Flush(cc)
+	}
+	r.Store(chunk, chunkLarge)
+	r.Store(chunk+8, size)
+	r.Store(chunk+16, nChunks)
+	r.Flush(chunk)
+	r.Fence()
+	return chunk + chunkHdr
+}
+
+// ----------------------------------------------------------------------
+// Roots and the generic interface.
+
+// SetRoot registers a persistent root.
+func (h *Heap) SetRoot(i int, off uint64) {
+	slot := rootOff(i)
+	if off == 0 {
+		h.region.Store(slot, pptr.Nil)
+	} else {
+		h.region.Store(slot, pptr.Pack(slot, off))
+	}
+	h.region.Flush(slot)
+	h.region.Fence()
+}
+
+// GetRoot reads a persistent root.
+func (h *Heap) GetRoot(i int) uint64 {
+	slot := rootOff(i)
+	off, ok := pptr.Unpack(slot, h.region.Load(slot))
+	if !ok {
+		return 0
+	}
+	return off
+}
+
+// Handle adapts malloc-to/free-from to the plain malloc/free interface the
+// benchmarks use, via a persistent per-handle scratch slot — the "local
+// dummy variable" of §6.1.
+type Handle struct {
+	heap    *Heap
+	scratch uint64
+	invalid bool
+}
+
+// NewHandle implements alloc.Allocator.
+func (h *Heap) NewHandle() alloc.Handle {
+	h.mu.Lock()
+	if h.nHandles >= maxHandles {
+		h.mu.Unlock()
+		panic("pmdk: too many handles")
+	}
+	slot := uint64(offScratch) + uint64(h.nHandles)*8
+	h.nHandles++
+	h.mu.Unlock()
+	return &Handle{heap: h, scratch: slot}
+}
+
+// Malloc implements alloc.Handle: malloc-to the scratch slot.
+func (hd *Handle) Malloc(size uint64) uint64 {
+	if hd.invalid {
+		panic("pmdk: stale handle")
+	}
+	return hd.heap.MallocTo(size, hd.scratch)
+}
+
+// Free implements alloc.Handle: point the scratch slot at the block, then
+// free-from it.
+func (hd *Handle) Free(off uint64) {
+	if off == 0 {
+		return
+	}
+	if hd.invalid {
+		panic("pmdk: stale handle")
+	}
+	r := hd.heap.region
+	r.Store(hd.scratch, pptr.Pack(hd.scratch, off))
+	r.Flush(hd.scratch)
+	r.Fence()
+	hd.heap.FreeFrom(hd.scratch)
+}
+
+// Close writes everything back and clears the dirty flag.
+func (h *Heap) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return errors.New("pmdk: already closed")
+	}
+	h.closed = true
+	h.mu.Unlock()
+	h.region.Persist()
+	h.region.Store(offDirty, 0)
+	h.region.Flush(offDirty)
+	h.region.Fence()
+	h.region.Persist()
+	return nil
+}
+
+var _ alloc.Allocator = (*Heap)(nil)
+var _ alloc.Recoverable = (*Heap)(nil)

@@ -1,0 +1,172 @@
+package pmdk
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/alloctest"
+	"repro/internal/pmem"
+	"repro/internal/pptr"
+)
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, func(size uint64) (alloc.Allocator, error) {
+		h, err := New(Config{HeapSize: size})
+		return h, err
+	})
+}
+
+func testHeap(t *testing.T) *Heap {
+	t.Helper()
+	h, err := New(Config{HeapSize: 16 << 20, Pmem: pmem.Config{Mode: pmem.ModeCrashSim}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestMallocToAttachesAtomically(t *testing.T) {
+	h := testHeap(t)
+	r := h.Region()
+	// Destination slot: a persistent root cell.
+	dest := rootOff(3)
+	block := h.MallocTo(64, dest)
+	if block == 0 {
+		t.Fatal("MallocTo failed")
+	}
+	got, ok := pptr.Unpack(dest, r.Load(dest))
+	if !ok || got != block {
+		t.Fatalf("dest holds %#x ok=%v, want %#x", got, ok, block)
+	}
+	// The attach is immediately crash-persistent.
+	if err := r.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok = pptr.Unpack(dest, r.Load(dest))
+	if !ok || got != block {
+		t.Fatal("attach lost in crash: malloc-to must be failure-atomic")
+	}
+}
+
+func TestFreeFromDetachesAtomically(t *testing.T) {
+	h := testHeap(t)
+	r := h.Region()
+	dest := rootOff(4)
+	block := h.MallocTo(64, dest)
+	h.FreeFrom(dest)
+	if _, ok := pptr.Unpack(dest, r.Load(dest)); ok {
+		t.Fatal("FreeFrom left the pointer set")
+	}
+	// Block is reusable.
+	if again := h.MallocTo(64, dest); again != block {
+		t.Fatalf("freed block not at head of free list: %#x vs %#x", again, block)
+	}
+}
+
+func TestRedoLogReplayOnRecovery(t *testing.T) {
+	// Simulate a crash with a valid, un-applied redo log: recovery must
+	// replay it so the attach is never half done.
+	h := testHeap(t)
+	r := h.Region()
+	dest := rootOff(5)
+	block := h.MallocTo(64, dest)
+	h.FreeFrom(dest)
+
+	// Hand-craft a pending log: re-attach block to dest.
+	r.Store(offLogEnts, dest)
+	r.Store(offLogEnts+8, pptr.Pack(dest, block))
+	r.Store(offLogCount, 1)
+	r.FlushRange(offLogCount, 24)
+	r.Fence()
+	r.Store(offLogValid, 1)
+	r.Flush(offLogValid)
+	r.Fence()
+
+	if err := r.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := pptr.Unpack(dest, r.Load(dest))
+	if !ok || got != block {
+		t.Fatal("valid redo log was not replayed")
+	}
+	if r.Load(offLogValid) != 0 {
+		t.Fatal("log not retired after replay")
+	}
+}
+
+func TestPerOpFlushCost(t *testing.T) {
+	// PMDK's defining cost: several flushes and fences on every single
+	// operation (log, validate, apply, retire).
+	h := testHeap(t)
+	hd := h.NewHandle()
+	base := h.Region().Stats()
+	const n = 1000
+	offs := make([]uint64, n)
+	for i := range offs {
+		offs[i] = hd.Malloc(64)
+	}
+	for _, o := range offs {
+		hd.Free(o)
+	}
+	s := h.Region().Stats()
+	flushPerOp := float64(s.Flushes-base.Flushes) / float64(2*n)
+	fencePerOp := float64(s.Fences-base.Fences) / float64(2*n)
+	if flushPerOp < 2 || fencePerOp < 2 {
+		t.Fatalf("PMDK model: %.1f flushes, %.1f fences per op; expected several of each",
+			flushPerOp, fencePerOp)
+	}
+}
+
+func TestRootsRoundTrip(t *testing.T) {
+	h := testHeap(t)
+	hd := h.NewHandle()
+	off := hd.Malloc(64)
+	h.SetRoot(9, off)
+	if got := h.GetRoot(9); got != off {
+		t.Fatalf("root = %#x, want %#x", got, off)
+	}
+}
+
+func TestMetadataCrashConsistentWithoutGC(t *testing.T) {
+	// Unlike Ralloc, PMDK's free lists are persistent: after a crash at
+	// an operation boundary, allocation must work with no GC pass at all.
+	h := testHeap(t)
+	hd := h.NewHandle()
+	var offs []uint64
+	for i := 0; i < 500; i++ {
+		offs = append(offs, hd.Malloc(64))
+	}
+	for _, o := range offs[:250] {
+		hd.Free(o)
+	}
+	if err := h.Region().Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Recover(); err != nil { // log replay only
+		t.Fatal(err)
+	}
+	h2, dirty, err := Attach(h.Region())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dirty {
+		t.Fatal("crashed pool reported clean")
+	}
+	hd2 := h2.NewHandle()
+	seen := map[uint64]bool{}
+	for _, o := range offs[250:] {
+		seen[o] = true
+	}
+	for i := 0; i < 1000; i++ {
+		off := hd2.Malloc(64)
+		if off == 0 {
+			t.Fatal("OOM after crash")
+		}
+		if seen[off] {
+			t.Fatalf("still-attached block %#x re-allocated", off)
+		}
+	}
+}

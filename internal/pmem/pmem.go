@@ -1,0 +1,414 @@
+// Package pmem simulates byte-addressable persistent memory (NVM) with
+// x86-style cache-line write-back semantics.
+//
+// A Region models a DAX-mapped persistent segment. It keeps two images:
+//
+//   - the volatile image ("CPU caches + mapped view"): every Load/Store/CAS
+//     operates on it;
+//   - the shadow image ("NVM media"): only data explicitly written back with
+//     Flush (clwb) — or evicted by the simulated cache — reaches it.
+//
+// A full-system crash (Crash) discards the volatile image and resurrects the
+// region from the shadow, so any store that was not flushed (or luckily
+// evicted) is lost, at 64-byte cache-line granularity. Lines are never torn.
+//
+// This is the substitution for the Optane DIMMs + EXT4-DAX setup used in the
+// paper: what the experiments measure is how often each allocator flushes,
+// fences and synchronizes, and whether recovery reconstructs exactly the
+// reachable blocks — properties of the algorithms, not of the DIMM. See
+// DESIGN.md ("Substitutions").
+//
+// Two modes are provided. ModeFast keeps only the volatile image and counts
+// flushes/fences (optionally charging a configurable latency for each), for
+// performance experiments. ModeCrashSim additionally maintains the shadow
+// image and dirty-line tracking, for crash-injection and recovery testing.
+package pmem
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// LineBytes is the simulated cache-line size: write-back granularity.
+	LineBytes = 64
+	// WordBytes is the machine word size; all Load/Store/CAS offsets must
+	// be WordBytes-aligned.
+	WordBytes = 8
+	// LineWords is the number of words per cache line.
+	LineWords = LineBytes / WordBytes
+)
+
+// Mode selects how much machinery a Region carries.
+type Mode int
+
+const (
+	// ModeFast tracks statistics only; crashes are not supported.
+	ModeFast Mode = iota
+	// ModeCrashSim maintains a shadow (persistent) image and per-line
+	// dirty flags so that Crash and write-back semantics can be simulated.
+	ModeCrashSim
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeFast:
+		return "fast"
+	case ModeCrashSim:
+		return "crashsim"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config controls a Region's simulation fidelity and cost model.
+type Config struct {
+	// Mode selects fast (stats-only) or crash-simulation operation.
+	Mode Mode
+	// FlushLatency, if non-zero, is busy-waited on every Flush of a dirty
+	// line, modeling the cost of clwb to Optane media.
+	FlushLatency time.Duration
+	// FenceLatency, if non-zero, is busy-waited on every Fence (sfence).
+	FenceLatency time.Duration
+	// EvictProb is used by Crash: each dirty line survives the crash with
+	// this probability, modeling spontaneous cache eviction having written
+	// it back before the power failed. 0 = strict (only flushed data
+	// survives); 1 = everything survives (as if write-through).
+	EvictProb float64
+	// Seed seeds the eviction lottery; 0 means a fixed default so crash
+	// tests are reproducible.
+	Seed int64
+	// StoreHook, if non-nil, is invoked after every Store/CAS. Tests use
+	// it to inject crashes at precise points inside multi-step operations
+	// (typically by panicking with a sentinel that the test recovers).
+	StoreHook func()
+}
+
+// Stats counts the persistence-relevant events on a Region. All counters are
+// cumulative since the Region was created.
+type Stats struct {
+	Loads     uint64 // atomic word loads
+	Stores    uint64 // atomic word stores
+	CASes     uint64 // compare-and-swap attempts
+	Flushes   uint64 // line flushes requested
+	Fences    uint64 // store fences
+	LinesBack uint64 // dirty lines actually written back (crash-sim mode)
+}
+
+// Region is a simulated persistent memory segment. The zero value is not
+// usable; create Regions with NewRegion.
+//
+// Word accessors (Load, Store, CAS) are safe for concurrent use. Byte
+// accessors (ReadBytes, WriteBytes, Zero) are not atomic with respect to
+// concurrent word operations on the same words; callers must not mix them on
+// contended locations.
+type Region struct {
+	words  []uint64 // volatile image
+	shadow []uint64 // persistent image (ModeCrashSim only)
+	dirty  []uint32 // per-line dirty flags (ModeCrashSim only)
+	size   uint64   // bytes
+	cfg    Config
+
+	stats struct {
+		loads, stores, cases, flushes, fences, linesBack atomic.Uint64
+	}
+
+	crashMu sync.Mutex // serializes Crash/Persist against each other
+	rng     *rand.Rand
+}
+
+// NewRegion creates a Region of the given size in bytes (rounded up to a
+// whole number of cache lines). The region starts zeroed, and — in crash-sim
+// mode — fully persistent (the shadow is also zero).
+func NewRegion(size uint64, cfg Config) *Region {
+	if size == 0 {
+		panic("pmem: zero-sized region")
+	}
+	lines := (size + LineBytes - 1) / LineBytes
+	size = lines * LineBytes
+	r := &Region{
+		words: make([]uint64, size/WordBytes),
+		size:  size,
+		cfg:   cfg,
+	}
+	if cfg.Mode == ModeCrashSim {
+		r.shadow = make([]uint64, size/WordBytes)
+		r.dirty = make([]uint32, lines)
+		seed := cfg.Seed
+		if seed == 0 {
+			seed = 0x5851F42D4C957F2D
+		}
+		r.rng = rand.New(rand.NewSource(seed))
+	}
+	return r
+}
+
+// Size returns the region size in bytes.
+func (r *Region) Size() uint64 { return r.size }
+
+// Mode returns the region's simulation mode.
+func (r *Region) Mode() Mode { return r.cfg.Mode }
+
+// Config returns the configuration the region was created with.
+func (r *Region) Config() Config { return r.cfg }
+
+func (r *Region) checkWord(off uint64) uint64 {
+	if off%WordBytes != 0 {
+		panic(fmt.Sprintf("pmem: misaligned word access at offset %#x", off))
+	}
+	if off >= r.size {
+		panic(fmt.Sprintf("pmem: out-of-range access at offset %#x (size %#x)", off, r.size))
+	}
+	return off / WordBytes
+}
+
+// Load atomically reads the word at byte offset off.
+func (r *Region) Load(off uint64) uint64 {
+	i := r.checkWord(off)
+	r.stats.loads.Add(1)
+	return atomic.LoadUint64(&r.words[i])
+}
+
+// Store atomically writes v to the word at byte offset off and marks the
+// containing cache line dirty.
+func (r *Region) Store(off, v uint64) {
+	i := r.checkWord(off)
+	r.stats.stores.Add(1)
+	if r.dirty != nil {
+		atomic.StoreUint32(&r.dirty[off/LineBytes], 1)
+	}
+	atomic.StoreUint64(&r.words[i], v)
+	if r.cfg.StoreHook != nil {
+		r.cfg.StoreHook()
+	}
+}
+
+// CAS atomically compares-and-swaps the word at byte offset off. The line is
+// marked dirty whether or not the swap succeeds (matching real hardware,
+// where the line enters the cache in modified state only on success; marking
+// unconditionally is conservative for crash simulation).
+func (r *Region) CAS(off, old, new uint64) bool {
+	i := r.checkWord(off)
+	r.stats.cases.Add(1)
+	if r.dirty != nil {
+		atomic.StoreUint32(&r.dirty[off/LineBytes], 1)
+	}
+	ok := atomic.CompareAndSwapUint64(&r.words[i], old, new)
+	if r.cfg.StoreHook != nil {
+		r.cfg.StoreHook()
+	}
+	return ok
+}
+
+// Add atomically adds delta to the word at byte offset off and returns the
+// new value.
+func (r *Region) Add(off, delta uint64) uint64 {
+	i := r.checkWord(off)
+	r.stats.cases.Add(1)
+	if r.dirty != nil {
+		atomic.StoreUint32(&r.dirty[off/LineBytes], 1)
+	}
+	v := atomic.AddUint64(&r.words[i], delta)
+	if r.cfg.StoreHook != nil {
+		r.cfg.StoreHook()
+	}
+	return v
+}
+
+func spin(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t0 := time.Now()
+	for time.Since(t0) < d {
+	}
+}
+
+// Flush writes back the cache line containing byte offset off (clwb). In
+// fast mode this only counts (and charges FlushLatency); in crash-sim mode
+// the line's words are copied to the shadow image.
+func (r *Region) Flush(off uint64) {
+	if off >= r.size {
+		panic(fmt.Sprintf("pmem: flush out of range at %#x", off))
+	}
+	r.stats.flushes.Add(1)
+	if r.shadow != nil {
+		r.writeBackLine(off / LineBytes)
+	}
+	spin(r.cfg.FlushLatency)
+}
+
+// FlushRange flushes every cache line overlapping [off, off+n).
+func (r *Region) FlushRange(off, n uint64) {
+	if n == 0 {
+		return
+	}
+	if off+n > r.size {
+		panic(fmt.Sprintf("pmem: flush range out of bounds [%#x,%#x)", off, off+n))
+	}
+	first := off / LineBytes
+	last := (off + n - 1) / LineBytes
+	for l := first; l <= last; l++ {
+		r.stats.flushes.Add(1)
+		if r.shadow != nil {
+			r.writeBackLine(l)
+		}
+		spin(r.cfg.FlushLatency)
+	}
+}
+
+// writeBackLine copies line l from the volatile image to the shadow and
+// clears its dirty flag.
+func (r *Region) writeBackLine(l uint64) {
+	if atomic.LoadUint32(&r.dirty[l]) == 0 {
+		return
+	}
+	atomic.StoreUint32(&r.dirty[l], 0)
+	w := l * LineWords
+	for i := uint64(0); i < LineWords; i++ {
+		atomic.StoreUint64(&r.shadow[w+i], atomic.LoadUint64(&r.words[w+i]))
+	}
+	r.stats.linesBack.Add(1)
+}
+
+// Fence issues a store fence (sfence). Because simulated flushes complete
+// synchronously, Fence only counts (and charges FenceLatency); it is still
+// essential that callers place fences correctly, since crash-injection tests
+// verify recoverability under the strictest interpretation (nothing persists
+// without an explicit Flush).
+func (r *Region) Fence() {
+	r.stats.fences.Add(1)
+	spin(r.cfg.FenceLatency)
+}
+
+// Persist flushes every dirty line, modeling the write-back that happens on
+// a clean shutdown. In fast mode it is a no-op apart from statistics.
+func (r *Region) Persist() {
+	r.crashMu.Lock()
+	defer r.crashMu.Unlock()
+	if r.shadow == nil {
+		return
+	}
+	for l := range r.dirty {
+		r.writeBackLine(uint64(l))
+	}
+}
+
+// ErrFastMode is returned by Crash on a ModeFast region.
+var ErrFastMode = errors.New("pmem: crash simulation requires ModeCrashSim")
+
+// Crash simulates a full-system, fail-stop crash. Each dirty line survives
+// with probability EvictProb (it happened to be evicted and written back
+// before the failure); all other unflushed lines are lost. The volatile
+// image is then reloaded from the shadow, as if the segment had been
+// re-mapped after reboot. Concurrent accessors must have stopped: a real
+// crash has no surviving threads either.
+func (r *Region) Crash() error {
+	if r.cfg.Mode != ModeCrashSim {
+		return ErrFastMode
+	}
+	r.crashMu.Lock()
+	defer r.crashMu.Unlock()
+	for l := range r.dirty {
+		if atomic.LoadUint32(&r.dirty[uint64(l)]) != 0 &&
+			r.cfg.EvictProb > 0 && r.rng.Float64() < r.cfg.EvictProb {
+			r.writeBackLine(uint64(l))
+		}
+	}
+	for i := range r.words {
+		r.words[i] = r.shadow[i]
+		r.dirty[uint64(i)/LineWords] = 0
+	}
+	return nil
+}
+
+// DirtyLines reports how many cache lines are currently dirty (crash-sim
+// mode only; 0 otherwise). Useful in tests asserting that a clean shutdown
+// flushed everything.
+func (r *Region) DirtyLines() int {
+	n := 0
+	for l := range r.dirty {
+		if atomic.LoadUint32(&r.dirty[l]) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns a snapshot of the region's event counters.
+func (r *Region) Stats() Stats {
+	return Stats{
+		Loads:     r.stats.loads.Load(),
+		Stores:    r.stats.stores.Load(),
+		CASes:     r.stats.cases.Load(),
+		Flushes:   r.stats.flushes.Load(),
+		Fences:    r.stats.fences.Load(),
+		LinesBack: r.stats.linesBack.Load(),
+	}
+}
+
+// ReadBytes copies n = len(b) bytes starting at byte offset off into b.
+// It is not atomic with respect to concurrent word writes.
+func (r *Region) ReadBytes(off uint64, b []byte) {
+	if off+uint64(len(b)) > r.size {
+		panic(fmt.Sprintf("pmem: ReadBytes out of bounds [%#x,%#x)", off, off+uint64(len(b))))
+	}
+	for i := range b {
+		o := off + uint64(i)
+		w := r.words[o/WordBytes]
+		b[i] = byte(w >> ((o % WordBytes) * 8))
+	}
+}
+
+// WriteBytes copies b into the region starting at byte offset off, marking
+// the touched lines dirty. It is not atomic with respect to concurrent word
+// writes; callers use it only on uncontended payload memory.
+func (r *Region) WriteBytes(off uint64, b []byte) {
+	if off+uint64(len(b)) > r.size {
+		panic(fmt.Sprintf("pmem: WriteBytes out of bounds [%#x,%#x)", off, off+uint64(len(b))))
+	}
+	for i := 0; i < len(b); {
+		o := off + uint64(i)
+		wi := o / WordBytes
+		shift := (o % WordBytes) * 8
+		// Fast path: aligned full word.
+		if shift == 0 && len(b)-i >= WordBytes {
+			v := uint64(b[i]) | uint64(b[i+1])<<8 | uint64(b[i+2])<<16 | uint64(b[i+3])<<24 |
+				uint64(b[i+4])<<32 | uint64(b[i+5])<<40 | uint64(b[i+6])<<48 | uint64(b[i+7])<<56
+			if r.dirty != nil {
+				atomic.StoreUint32(&r.dirty[o/LineBytes], 1)
+			}
+			atomic.StoreUint64(&r.words[wi], v)
+			i += WordBytes
+			continue
+		}
+		w := atomic.LoadUint64(&r.words[wi])
+		w = (w &^ (0xFF << shift)) | uint64(b[i])<<shift
+		if r.dirty != nil {
+			atomic.StoreUint32(&r.dirty[o/LineBytes], 1)
+		}
+		atomic.StoreUint64(&r.words[wi], w)
+		i++
+	}
+}
+
+// Zero clears n bytes starting at off (both must be word-aligned), marking
+// the touched lines dirty.
+func (r *Region) Zero(off, n uint64) {
+	if off%WordBytes != 0 || n%WordBytes != 0 {
+		panic("pmem: Zero requires word alignment")
+	}
+	if off+n > r.size {
+		panic(fmt.Sprintf("pmem: Zero out of bounds [%#x,%#x)", off, off+n))
+	}
+	for o := off; o < off+n; o += WordBytes {
+		if r.dirty != nil {
+			atomic.StoreUint32(&r.dirty[o/LineBytes], 1)
+		}
+		atomic.StoreUint64(&r.words[o/WordBytes], 0)
+	}
+}

@@ -1,0 +1,174 @@
+package pptr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackBasic(t *testing.T) {
+	holder, target := uint64(0x1000), uint64(0x8000)
+	v := Pack(holder, target)
+	got, ok := Unpack(holder, v)
+	if !ok || got != target {
+		t.Fatalf("Unpack = (%#x,%v), want (%#x,true)", got, ok, target)
+	}
+}
+
+func TestPackBackwardDelta(t *testing.T) {
+	holder, target := uint64(0x8000), uint64(0x10)
+	v := Pack(holder, target)
+	got, ok := Unpack(holder, v)
+	if !ok || got != target {
+		t.Fatalf("backward Unpack = (%#x,%v), want (%#x,true)", got, ok, target)
+	}
+}
+
+func TestNilUnpacksToNotOK(t *testing.T) {
+	if _, ok := Unpack(123, Nil); ok {
+		t.Fatal("Nil must not unpack")
+	}
+}
+
+func TestSelfReferencePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Pack(64, 64)
+}
+
+func TestDeltaOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Pack(0, uint64(MaxDelta))
+}
+
+func TestCommonIntegersAreNotOffHolders(t *testing.T) {
+	// The magic pattern is the paper's defense against conservative GC
+	// mistaking frequent integer constants for pointers.
+	for _, v := range []uint64{0, 1, 2, 7, 42, 64, 1 << 20, 1 << 32, ^uint64(0), 0x3FF, 12345678901} {
+		if IsOffHolder(v) {
+			t.Fatalf("value %#x misidentified as off-holder", v)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	const tb = uint64(1) << 40
+	f := func(h, tRaw uint64) bool {
+		holder := h % tb
+		target := tRaw % tb
+		if holder == target {
+			target = (target + 8) % tb
+			if holder == target {
+				return true
+			}
+		}
+		v := Pack(holder, target)
+		got, ok := Unpack(holder, v)
+		return ok && got == target && IsOffHolder(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRandomWordsRejected(t *testing.T) {
+	// A uniformly random 64-bit word matches the 20-bit magic with
+	// probability 2^-20; quick should essentially never find one.
+	f := func(v uint64) bool {
+		if v>>44 == Magic {
+			return true // deliberately an off-holder pattern; skip
+		}
+		return !IsOffHolder(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeadPackUnpack(t *testing.T) {
+	h := PackHead(99, 1234)
+	c, idx, ok := UnpackHead(h)
+	if !ok || c != 99 || idx != 1234 {
+		t.Fatalf("UnpackHead = (%d,%d,%v)", c, idx, ok)
+	}
+}
+
+func TestHeadNilEmpty(t *testing.T) {
+	if _, _, ok := UnpackHead(HeadNil); ok {
+		t.Fatal("HeadNil must be empty")
+	}
+}
+
+func TestHeadIndexZeroIsValid(t *testing.T) {
+	h := PackHead(0, 0)
+	if h == HeadNil {
+		t.Fatal("index 0 must be distinguishable from empty")
+	}
+	_, idx, ok := UnpackHead(h)
+	if !ok || idx != 0 {
+		t.Fatalf("idx = %d ok=%v, want 0 true", idx, ok)
+	}
+}
+
+func TestHeadCounterWraps(t *testing.T) {
+	// Counters occupy the top 39 bits; packing a huge counter must not
+	// clobber the index.
+	h := PackHead(1<<39-1, 77)
+	_, idx, ok := UnpackHead(h)
+	if !ok || idx != 77 {
+		t.Fatalf("idx = %d ok=%v, want 77 true", idx, ok)
+	}
+}
+
+func TestQuickHeadRoundTrip(t *testing.T) {
+	f := func(c uint64, idx uint32) bool {
+		c %= 1 << 39
+		idx %= 1 << 24
+		gc, gi, ok := UnpackHead(PackHead(c, idx))
+		return ok && gc == c && gi == idx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagPackUnpack(t *testing.T) {
+	v := PackTag(5, 0x12340)
+	c, off := UnpackTag(v)
+	if c != 5 || off != 0x12340 {
+		t.Fatalf("UnpackTag = (%d,%#x)", c, off)
+	}
+}
+
+func TestTagNil(t *testing.T) {
+	if _, off := UnpackTag(TagNil); off != 0 {
+		t.Fatal("TagNil must carry offset 0")
+	}
+}
+
+func TestTagMisalignedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PackTag(0, 13)
+}
+
+func TestQuickTagRoundTrip(t *testing.T) {
+	f := func(c, off uint64) bool {
+		c %= 1 << 27
+		off = (off % (1 << 40)) &^ 7
+		gc, goff := UnpackTag(PackTag(c, off))
+		return gc == c && goff == off
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+package ralloc
+
+import (
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+func TestAttachCleanRegion(t *testing.T) {
+	h := crashHeap(t, 0)
+	hd := h.NewHandle()
+	buildList(t, h, hd, 50, 0)
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-attach to the same region, as a new process mapping the segment.
+	h2, dirty, err := Attach(h.Region(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirty {
+		t.Fatal("cleanly closed region reported dirty")
+	}
+	if got := len(walkList(h2, 0)); got != 50 {
+		t.Fatalf("list = %d nodes after attach, want 50", got)
+	}
+	// Clean restart: allocation works immediately, and the metadata that
+	// was written back at Close is directly usable (fast restart, §4.2).
+	if h2.NewHandle().Malloc(64) == 0 {
+		t.Fatal("OOM after clean attach")
+	}
+	if _, err := h2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttachDirtyRegionRequiresRecovery(t *testing.T) {
+	h := crashHeap(t, 0)
+	hd := h.NewHandle()
+	buildList(t, h, hd, 50, 0)
+	if err := h.Region().Crash(); err != nil {
+		t.Fatal(err)
+	}
+	h2, dirty, err := Attach(h.Region(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dirty {
+		t.Fatal("crashed region reported clean")
+	}
+	h2.GetRoot(0, nil)
+	if _, err := h2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(walkList(h2, 0)); got != 50 {
+		t.Fatalf("list = %d nodes after recovery, want 50", got)
+	}
+}
+
+func TestAttachRejectsForeignRegion(t *testing.T) {
+	r := pmem.NewRegion(1<<20, pmem.Config{})
+	if _, _, err := Attach(r, Config{}); err == nil {
+		t.Fatal("attached to a region with no heap in it")
+	}
+}
+
+func TestTraceIsReadOnly(t *testing.T) {
+	h := crashHeap(t, 0)
+	hd := h.NewHandle()
+	buildList(t, h, hd, 80, 0)
+	if err := h.Region().Crash(); err != nil {
+		t.Fatal(err)
+	}
+	h.GetRoot(0, nil)
+	b1, bytes1 := h.Trace()
+	b2, bytes2 := h.Trace() // repeatable: nothing was mutated
+	if b1 != 80 || b2 != 80 {
+		t.Fatalf("Trace = %d then %d, want 80", b1, b2)
+	}
+	if bytes1 != 80*64 || bytes2 != bytes1 {
+		t.Fatalf("Trace bytes = %d then %d", bytes1, bytes2)
+	}
+	// The real recovery still works afterwards.
+	if _, err := h.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if len(walkList(h, 0)) != 80 {
+		t.Fatal("list damaged")
+	}
+}

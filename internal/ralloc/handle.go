@@ -1,0 +1,359 @@
+package ralloc
+
+import (
+	"fmt"
+
+	"repro/internal/sizeclass"
+)
+
+// Handle is a per-goroutine allocation context holding the transient
+// thread-local caches of free blocks (§4.2). Most allocations and
+// deallocations are served from the cache without synchronization; the
+// cache is refilled from (and overflows to) the global lists with CAS.
+//
+// Handles are not safe for concurrent use. After a crash + Recover, old
+// handles are invalid (their cached blocks were reclaimed by GC) and any
+// use panics.
+type Handle struct {
+	heap    *Heap
+	invalid bool
+	cache   [sizeclass.NumClasses + 1][]uint64
+
+	// Stats
+	mallocs, frees, refills, drains uint64
+}
+
+func (hd *Handle) check() {
+	if hd.invalid {
+		panic("ralloc: use of handle invalidated by Close or Recover")
+	}
+}
+
+// Malloc allocates size bytes and returns the block's byte offset within
+// the heap region, or 0 if the heap is exhausted. The fast path — cache
+// non-empty — performs no synchronization, no flush and no fence: Ralloc
+// pays almost nothing for persistence during normal operation.
+func (hd *Handle) Malloc(size uint64) uint64 {
+	hd.check()
+	hd.mallocs++
+	c := sizeclass.SizeToClass(size)
+	if c == 0 {
+		return hd.heap.mallocLarge(size)
+	}
+	tc := &hd.cache[c]
+	if len(*tc) == 0 && !hd.refill(c) {
+		return 0
+	}
+	n := len(*tc) - 1
+	off := (*tc)[n]
+	*tc = (*tc)[:n]
+	return off
+}
+
+// Free deallocates a block previously returned by Malloc. Small blocks go
+// to the thread cache; when the cache overflows, blocks are pushed back to
+// their superblocks' free lists (flushCache).
+func (hd *Handle) Free(off uint64) {
+	if off == 0 {
+		return
+	}
+	hd.check()
+	hd.frees++
+	h := hd.heap
+	idx, ok := h.lay.descIndexOf(off)
+	if !ok {
+		panic(fmt.Sprintf("ralloc: Free(%#x) outside the superblock region", off))
+	}
+	d := h.lay.descOff(idx)
+	cls := h.region.Load(d + dOffClass)
+	switch cls {
+	case 0:
+		h.freeLarge(idx, off)
+		return
+	case contClass:
+		panic(fmt.Sprintf("ralloc: Free(%#x) points into the middle of a large run", off))
+	}
+	c := int(cls)
+	if bs := h.region.Load(d + dOffBlockSize); bs == 0 || (off-h.lay.sbOff(idx))%bs != 0 {
+		panic(fmt.Sprintf("ralloc: Free(%#x) is not a block boundary", off))
+	}
+	tc := &hd.cache[c]
+	*tc = append(*tc, off)
+	if len(*tc) > hd.capFor(c) {
+		hd.drain(c)
+	}
+}
+
+// capFor returns the thread-cache capacity for class c.
+func (hd *Handle) capFor(c int) int {
+	if hd.heap.cfg.CacheCap > 0 {
+		return hd.heap.cfg.CacheCap
+	}
+	return sizeclass.BlocksPerSuperblock(c, SuperblockBytes)
+}
+
+// refill recharges the class-c cache: first from a partially used superblock
+// on the class's partial list, then from a free superblock, and finally by
+// expanding the used space of the superblock region (§4.4).
+func (hd *Handle) refill(c int) bool {
+	h := hd.heap
+	r := h.region
+	hd.refills++
+
+	// 1. Partial superblock: reserve all of its free blocks with one CAS.
+partial:
+	for {
+		idx, ok := h.popDesc(partialHeadOff(c), dOffNextPartial)
+		if !ok {
+			break
+		}
+		d := h.lay.descOff(idx)
+		for {
+			a := r.Load(d + dOffAnchor)
+			st, avail, count := unpackAnchor(a)
+			if st == stateEmpty {
+				// PARTIAL→EMPTY while on the list: retire it
+				// now that we fetched it (§4.4), try the next.
+				h.retireDesc(idx)
+				continue partial
+			}
+			if count == 0 {
+				// Drained concurrently; nothing to take here.
+				continue partial
+			}
+			if !r.CAS(d+dOffAnchor, a, packAnchor(stateFull, anchorAvailNone, 0)) {
+				continue
+			}
+			// The chain of `count` blocks from `avail` is now
+			// privately owned: walk it into the cache.
+			blockSize := r.Load(d + dOffBlockSize)
+			sb := h.lay.sbOff(idx)
+			tc := &hd.cache[c]
+			bi := avail
+			for n := uint32(0); n < count; n++ {
+				boff := sb + uint64(bi)*blockSize
+				*tc = append(*tc, boff)
+				if n+1 < count {
+					next := r.Load(boff)
+					if next == 0 {
+						panic("ralloc: corrupt block free chain")
+					}
+					bi = uint32(next - 1)
+				}
+			}
+			return true
+		}
+	}
+
+	// 2. Free superblock.
+	if idx, ok := h.popDesc(offFreeHead, dOffNextFree); ok {
+		hd.initSuperblock(idx, c)
+		return true
+	}
+
+	// 3. Expand the used space of the superblock region.
+	first, count, ok := h.grow(SuperblockBytes)
+	if !ok {
+		return false
+	}
+	for i := first + count; i > first+1; i-- {
+		h.pushDesc(offFreeHead, dOffNextFree, i-1)
+	}
+	hd.initSuperblock(first, c)
+	return true
+}
+
+// initSuperblock formats the superblock at idx for size class c and moves
+// all of its blocks into the class-c cache. The size class and block size
+// are persisted *before* any block is handed out: recovery needs the size
+// information of every reachable block (§4.2). Both fields share the
+// descriptor's cache line, so this is the single flush on Ralloc's malloc
+// slow path.
+func (hd *Handle) initSuperblock(idx uint32, c int) {
+	h := hd.heap
+	r := h.region
+	d := h.lay.descOff(idx)
+	blockSize := sizeclass.ClassToSize(c)
+	r.Store(d+dOffClass, uint64(c))
+	r.Store(d+dOffBlockSize, blockSize)
+	r.Store(d+dOffNumSB, 1)
+	h.flush(d)
+	h.fence()
+	r.Store(d+dOffAnchor, packAnchor(stateFull, anchorAvailNone, 0))
+
+	sb := h.lay.sbOff(idx)
+	total := sizeclass.BlocksPerSuperblock(c, SuperblockBytes)
+	tc := &hd.cache[c]
+	// Append in reverse so the lowest-address blocks pop first.
+	for i := total; i > 0; i-- {
+		*tc = append(*tc, sb+uint64(i-1)*blockSize)
+	}
+}
+
+// drain returns cached class-c blocks to their superblocks: all of them by
+// default (Ralloc's published policy), or the oldest half under the
+// ReturnHalf ablation (§6.3 discusses Makalu's half-return locality edge).
+func (hd *Handle) drain(c int) {
+	hd.drains++
+	blocks := hd.cache[c]
+	n := len(blocks)
+	if hd.heap.cfg.ReturnHalf {
+		n = len(blocks) / 2
+	}
+	for _, b := range blocks[:n] {
+		hd.heap.freeToSuperblock(c, b)
+	}
+	hd.cache[c] = append(hd.cache[c][:0], blocks[n:]...)
+}
+
+// Flush returns every cached block to its superblock — what a thread's
+// cache destructor does on clean thread exit. The handle remains usable.
+func (hd *Handle) Flush() {
+	hd.check()
+	hd.returnAll()
+}
+
+// returnAll empties every cache (clean shutdown).
+func (hd *Handle) returnAll() {
+	for c := 1; c <= sizeclass.NumClasses; c++ {
+		for _, b := range hd.cache[c] {
+			hd.heap.freeToSuperblock(c, b)
+		}
+		hd.cache[c] = nil
+	}
+}
+
+// freeToSuperblock pushes one block back onto its superblock's internal free
+// chain with a CAS on the descriptor's anchor, and performs the resulting
+// state transition: FULL→PARTIAL descriptors are pushed to the class's
+// partial list; a superblock that becomes entirely free is retired to the
+// superblock free list if it was FULL (single-block classes), or lazily when
+// later fetched from the partial list (§4.4).
+func (h *Heap) freeToSuperblock(c int, off uint64) {
+	r := h.region
+	idx, ok := h.lay.descIndexOf(off)
+	if !ok {
+		panic("ralloc: freeToSuperblock out of range")
+	}
+	d := h.lay.descOff(idx)
+	sb := h.lay.sbOff(idx)
+	blockSize := r.Load(d + dOffBlockSize)
+	if blockSize == 0 || (off-sb)%blockSize != 0 {
+		panic(fmt.Sprintf("ralloc: Free(%#x) is not a block boundary", off))
+	}
+	total := uint32(SuperblockBytes / blockSize)
+	bi := uint32((off - sb) / blockSize)
+	for {
+		a := r.Load(d + dOffAnchor)
+		st, avail, count := unpackAnchor(a)
+		if count == 0 || avail == anchorAvailNone {
+			r.Store(off, 0)
+		} else {
+			r.Store(off, uint64(avail)+1)
+		}
+		newCount := count + 1
+		if newCount > total {
+			panic("ralloc: double free detected (free count exceeds superblock capacity)")
+		}
+		newState := uint64(statePartial)
+		if newCount == total {
+			newState = stateEmpty
+		}
+		if !r.CAS(d+dOffAnchor, a, packAnchor(newState, bi, newCount)) {
+			continue
+		}
+		if st == stateFull {
+			if newState == stateEmpty {
+				h.retireDesc(idx)
+			} else {
+				h.pushDesc(partialHeadOff(c), dOffNextPartial, idx)
+			}
+		}
+		return
+	}
+}
+
+// ----------------------------------------------------------------------
+// Large allocations (§4.4): any request above the largest size class is
+// rounded up to a whole number of superblocks and satisfied by expanding the
+// used space (or, for a single superblock, by reusing a free one). The run
+// length and actual size are persisted in the first descriptor.
+
+func (h *Heap) mallocLarge(size uint64) uint64 {
+	k := (size + SuperblockBytes - 1) / SuperblockBytes
+	if k == 1 {
+		if idx, ok := h.popDesc(offFreeHead, dOffNextFree); ok {
+			h.initLarge(idx, 1, size)
+			return h.lay.sbOff(idx)
+		}
+	}
+	first, count, ok := h.grow(k * SuperblockBytes)
+	if !ok {
+		return 0
+	}
+	for i := first + count; i > first+uint32(k); i-- {
+		h.pushDesc(offFreeHead, dOffNextFree, i-1)
+	}
+	h.initLarge(first, uint32(k), size)
+	return h.lay.sbOff(first)
+}
+
+// initLarge persists the run metadata. Continuation markers are persisted
+// (and fenced) before the first descriptor so that, at any crash point,
+// either the whole run is recognizable or the first descriptor still looks
+// uninitialized and the run is swept as free superblocks.
+func (h *Heap) initLarge(first, k uint32, size uint64) {
+	r := h.region
+	for i := first + 1; i < first+k; i++ {
+		d := h.lay.descOff(i)
+		r.Store(d+dOffClass, contClass)
+		r.Store(d+dOffBlockSize, 0)
+		r.Store(d+dOffNumSB, 0)
+		r.Store(d+dOffAnchor, packAnchor(stateFull, anchorAvailNone, 0))
+		h.flush(d)
+	}
+	if k > 1 {
+		h.fence()
+	}
+	d := h.lay.descOff(first)
+	r.Store(d+dOffClass, 0)
+	r.Store(d+dOffBlockSize, size)
+	r.Store(d+dOffNumSB, uint64(k))
+	r.Store(d+dOffAnchor, packAnchor(stateFull, anchorAvailNone, 0))
+	h.flush(d)
+	h.fence()
+}
+
+// freeLarge splits a large block into its constituent superblocks and pushes
+// them onto the superblock free list (§4.4). The run markers are cleared
+// persistently first so that a crash cannot misread a half-freed run.
+func (h *Heap) freeLarge(idx uint32, off uint64) {
+	r := h.region
+	d := h.lay.descOff(idx)
+	if off != h.lay.sbOff(idx) {
+		panic(fmt.Sprintf("ralloc: Free(%#x) is not the start of a large block", off))
+	}
+	k := r.Load(d + dOffNumSB)
+	if k == 0 {
+		panic(fmt.Sprintf("ralloc: Free(%#x): block is not allocated", off))
+	}
+	for i := uint32(0); i < uint32(k); i++ {
+		di := h.lay.descOff(idx + i)
+		r.Store(di+dOffClass, 0)
+		r.Store(di+dOffBlockSize, 0)
+		r.Store(di+dOffNumSB, 0)
+		h.flush(di)
+	}
+	h.fence()
+	for i := uint32(k); i > 0; i-- {
+		di := idx + i - 1
+		h.region.Store(h.lay.descOff(di)+dOffAnchor, packAnchor(stateEmpty, anchorAvailNone, 0))
+		h.pushDesc(offFreeHead, dOffNextFree, di)
+	}
+}
+
+// Stats returns the handle's operation counters (mallocs, frees, cache
+// refills, cache drains).
+func (hd *Handle) Stats() (mallocs, frees, refills, drains uint64) {
+	return hd.mallocs, hd.frees, hd.refills, hd.drains
+}

@@ -1,0 +1,337 @@
+package ralloc
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/pmem"
+	"repro/internal/pptr"
+	"repro/internal/sizeclass"
+)
+
+// Config controls a heap instance.
+type Config struct {
+	// SBRegion is the maximum size of the superblock region in bytes
+	// (the `size` argument of the paper's init()). Default 64 MB.
+	SBRegion uint64
+	// GrowthChunk is the increment by which the used portion of the
+	// superblock region is expanded (the paper uses 1 GB; our default is
+	// 4 MB so tests and examples stay small — §4.4 notes the expansion
+	// size does not significantly change performance).
+	GrowthChunk uint64
+	// NoFlush disables all flush and fence instructions, turning Ralloc
+	// back into its transient ancestor LRMalloc (the paper's LRMalloc
+	// baseline is exactly "Ralloc without flush and fence", §6.1).
+	NoFlush bool
+	// ReturnHalf makes an overflowing thread cache return only half of
+	// its blocks to the superblocks instead of all of them. The default
+	// (false) is Ralloc's published behavior; true is the Makalu-style
+	// policy the paper credits for better locality on memcached (§6.3) —
+	// exposed here for the ablation experiment.
+	ReturnHalf bool
+	// CacheCap caps each per-class thread cache; 0 means one superblock's
+	// worth of blocks, LRMalloc's natural refill unit.
+	CacheCap int
+	// Pmem configures the underlying simulated persistent region.
+	Pmem pmem.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.SBRegion == 0 {
+		c.SBRegion = 64 << 20
+	}
+	if c.GrowthChunk == 0 {
+		c.GrowthChunk = 4 << 20
+	}
+	c.GrowthChunk = (c.GrowthChunk + SuperblockBytes - 1) / SuperblockBytes * SuperblockBytes
+	return c
+}
+
+// Heap is a Ralloc persistent heap. All methods except NewHandle/handle
+// operations are safe for concurrent use; Malloc and Free go through
+// per-goroutine Handles.
+type Heap struct {
+	region *pmem.Region
+	cfg    Config
+	lay    layout
+	path   string
+
+	mu      sync.Mutex // guards handles and filters
+	handles []*Handle
+	filters [NumRoots]Filter
+	closed  bool
+}
+
+// ErrClosed is returned by operations on a closed heap.
+var ErrClosed = errors.New("ralloc: heap is closed")
+
+// Open creates or reopens a Ralloc heap.
+//
+// If path is empty the heap is volatile-backed (in-memory region only, still
+// with full crash simulation if cfg.Pmem.Mode is ModeCrashSim). If path names
+// an existing image the heap is re-mapped from it; otherwise a fresh heap is
+// created (and will be saved to path by Close).
+//
+// The returned dirty flag reports whether the previous session ended without
+// a clean Close — the paper's init() returning true, meaning the caller must
+// register its roots with GetRoot and then call Recover before allocating.
+func Open(path string, cfg Config) (h *Heap, dirty bool, err error) {
+	cfg = cfg.withDefaults()
+	lay, err := computeLayout(cfg.SBRegion)
+	if err != nil {
+		return nil, false, err
+	}
+
+	if path != "" {
+		if _, statErr := os.Stat(path); statErr == nil {
+			region, err := pmem.LoadFile(path, cfg.Pmem)
+			if err != nil {
+				return nil, false, err
+			}
+			return attach(region, cfg, path)
+		}
+	}
+
+	region := pmem.NewRegion(lay.total, cfg.Pmem)
+	h = &Heap{region: region, cfg: cfg, lay: lay, path: path}
+	h.initialize()
+	return h, false, nil
+}
+
+// Attach re-attaches to an existing region (for example after a simulated
+// crash followed by reconstruction of the process, or to demonstrate
+// position independence by re-mapping a loaded image). It performs the same
+// dirty-flag protocol as Open.
+func Attach(region *pmem.Region, cfg Config) (*Heap, bool, error) {
+	return attach(region, cfg.withDefaults(), "")
+}
+
+func attach(region *pmem.Region, cfg Config, path string) (*Heap, bool, error) {
+	if region.Load(offMagic) != heapMagic {
+		return nil, false, fmt.Errorf("ralloc: region does not contain a Ralloc heap")
+	}
+	if v := region.Load(offVersion); v != heapVersion {
+		return nil, false, fmt.Errorf("ralloc: heap version %d, want %d", v, heapVersion)
+	}
+	sbSize := region.Load(offSBSize)
+	lay, err := computeLayout(sbSize)
+	if err != nil {
+		return nil, false, err
+	}
+	if lay.total != region.Size() {
+		return nil, false, fmt.Errorf("ralloc: region size %d does not match layout %d", region.Size(), lay.total)
+	}
+	cfg.SBRegion = sbSize
+	h := &Heap{region: region, cfg: cfg, lay: lay, path: path}
+	wasDirty := region.Load(offDirty) != 0
+	// Set the dirty indicator for this session (cleared again by Close).
+	h.setDirty(1)
+	return h, wasDirty, nil
+}
+
+// initialize formats a fresh heap image.
+func (h *Heap) initialize() {
+	r := h.region
+	r.Store(offSBSize, h.lay.sbSize)
+	r.Store(offSBUsed, 0)
+	r.Store(offFreeHead, pptr.HeadNil)
+	for c := 0; c <= sizeclass.NumClasses; c++ {
+		e := classEntryOff(c)
+		r.Store(e, sizeclass.ClassToSize(c))
+		r.Store(e+8, pptr.HeadNil)
+	}
+	for i := 0; i < NumRoots; i++ {
+		r.Store(rootOff(i), pptr.Nil)
+	}
+	r.Store(offVersion, heapVersion)
+	r.Store(offDirty, 1)
+	r.Store(offMagic, heapMagic)
+	h.flushRange(0, MetaBytes)
+	h.fence()
+}
+
+func (h *Heap) setDirty(v uint64) {
+	h.region.Store(offDirty, v)
+	h.flush(offDirty)
+	h.fence()
+}
+
+// flush writes back the line containing off unless persistence is disabled.
+func (h *Heap) flush(off uint64) {
+	if !h.cfg.NoFlush {
+		h.region.Flush(off)
+	}
+}
+
+func (h *Heap) flushRange(off, n uint64) {
+	if !h.cfg.NoFlush {
+		h.region.FlushRange(off, n)
+	}
+}
+
+func (h *Heap) fence() {
+	if !h.cfg.NoFlush {
+		h.region.Fence()
+	}
+}
+
+// Region exposes the heap's underlying memory.
+func (h *Heap) Region() *pmem.Region { return h.region }
+
+// Layout accessors used by data structures and tests.
+
+// SBStart returns the byte offset where the superblock region begins.
+func (h *Heap) SBStart() uint64 { return h.lay.sbStart }
+
+// SBUsed returns the current used watermark of the superblock region.
+func (h *Heap) SBUsed() uint64 { return h.region.Load(offSBUsed) }
+
+// Name implements alloc.Allocator.
+func (h *Heap) Name() string {
+	if h.cfg.NoFlush {
+		return "lrmalloc"
+	}
+	return "ralloc"
+}
+
+// ----------------------------------------------------------------------
+// Persistent roots (§4.1).
+
+// SetRoot registers off as persistent root i (off may be 0 to clear). Roots
+// are stored as off-holders and flushed immediately: they are the anchors of
+// post-crash tracing.
+func (h *Heap) SetRoot(i int, off uint64) {
+	if i < 0 || i >= NumRoots {
+		panic("ralloc: root index out of range")
+	}
+	slot := rootOff(i)
+	if off == 0 {
+		h.region.Store(slot, pptr.Nil)
+	} else {
+		h.region.Store(slot, pptr.Pack(slot, off))
+	}
+	h.flush(slot)
+	h.fence()
+}
+
+// GetRoot returns the block registered as root i (0 if unset) and associates
+// filter f with the root for use by the next Recover. Passing a nil filter
+// selects conservative tracing for the structure. Mirroring the paper's
+// getRoot<T>(), the filter association is transient and must be re-established
+// (by calling GetRoot) after every restart, before Recover.
+func (h *Heap) GetRoot(i int, f Filter) uint64 {
+	if i < 0 || i >= NumRoots {
+		panic("ralloc: root index out of range")
+	}
+	h.mu.Lock()
+	h.filters[i] = f
+	h.mu.Unlock()
+	slot := rootOff(i)
+	v := h.region.Load(slot)
+	off, ok := pptr.Unpack(slot, v)
+	if !ok {
+		return 0
+	}
+	return off
+}
+
+// ----------------------------------------------------------------------
+// Growth of the used superblock region (§4.3).
+
+// grow expands the used watermark by at least want bytes (rounded up to the
+// growth chunk when possible) and returns the index of the first new
+// superblock and the number of superblocks obtained. ok=false means the heap
+// is exhausted.
+func (h *Heap) grow(want uint64) (first uint32, count uint32, ok bool) {
+	r := h.region
+	for {
+		used := r.Load(offSBUsed)
+		remaining := h.lay.sbSize - used
+		if remaining < want {
+			return 0, 0, false
+		}
+		take := h.cfg.GrowthChunk
+		if take < want {
+			take = want
+		}
+		if take > remaining {
+			take = remaining
+			if take < want {
+				return 0, 0, false
+			}
+		}
+		if r.CAS(offSBUsed, used, used+take) {
+			// Persist the watermark before any block in the new
+			// space can be handed out (§4.3: "with an explicit
+			// flush and fence").
+			h.flush(offSBUsed)
+			h.fence()
+			return uint32(used / SuperblockBytes), uint32(take / SuperblockBytes), true
+		}
+	}
+}
+
+// usedDescs returns the number of descriptors whose superblocks are within
+// the used watermark.
+func (h *Heap) usedDescs() uint32 {
+	return uint32(h.region.Load(offSBUsed) / SuperblockBytes)
+}
+
+// ----------------------------------------------------------------------
+// Handles and shutdown.
+
+// NewHandle returns a fresh per-goroutine allocation context.
+func (h *Heap) NewHandle() *Handle {
+	hd := &Handle{heap: h}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		panic(ErrClosed)
+	}
+	h.handles = append(h.handles, hd)
+	h.mu.Unlock()
+	return hd
+}
+
+// dropHandles invalidates all handles (crash recovery discards caches: the
+// blocks they held are reclaimed by GC, exactly as the paper's transient
+// thread caches are lost in a crash).
+func (h *Heap) dropHandles() {
+	h.mu.Lock()
+	for _, hd := range h.handles {
+		hd.invalid = true
+	}
+	h.handles = nil
+	h.mu.Unlock()
+}
+
+// Close cleanly shuts the allocator down (the paper's close()): all blocks
+// held in thread caches are returned to their superblocks, the heap is
+// written back to NVM, the dirty indicator is cleared, and — if the heap is
+// file-backed — the image is saved.
+func (h *Heap) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return ErrClosed
+	}
+	h.closed = true
+	handles := h.handles
+	h.handles = nil
+	h.mu.Unlock()
+
+	for _, hd := range handles {
+		hd.returnAll()
+		hd.invalid = true
+	}
+	// Write back the whole heap for fast clean restart.
+	h.region.Persist()
+	h.setDirty(0)
+	h.region.Persist()
+	if h.path != "" {
+		return h.region.SaveFile(h.path)
+	}
+	return nil
+}

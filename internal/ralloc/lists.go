@@ -1,0 +1,84 @@
+package ralloc
+
+import "repro/internal/pptr"
+
+// Ralloc's global lists — the superblock free list and the per-class partial
+// lists — are lock-free Treiber stacks of descriptors (§4.2). The head words
+// live in the metadata region and carry ABA counters (pptr.PackHead); the
+// links are the descriptors' nextFree / nextPartial fields, stored as
+// index+1 with 0 meaning nil. All of this state is transient: it is
+// reconstructed wholesale by recovery, so none of it is ever flushed.
+
+// pushDesc pushes descriptor idx onto the list with head word at headOff,
+// linking through the descriptor field at offset linkOff.
+func (h *Heap) pushDesc(headOff, linkOff uint64, idx uint32) {
+	r := h.region
+	link := h.lay.descOff(idx) + linkOff
+	for {
+		old := r.Load(headOff)
+		ctr, oldIdx, ok := pptr.UnpackHead(old)
+		if ok {
+			r.Store(link, uint64(oldIdx)+1)
+		} else {
+			r.Store(link, 0)
+		}
+		if r.CAS(headOff, old, pptr.PackHead(ctr+1, idx)) {
+			return
+		}
+	}
+}
+
+// popDesc pops a descriptor from the list with head word at headOff.
+func (h *Heap) popDesc(headOff, linkOff uint64) (uint32, bool) {
+	r := h.region
+	for {
+		old := r.Load(headOff)
+		ctr, idx, ok := pptr.UnpackHead(old)
+		if !ok {
+			return 0, false
+		}
+		next := r.Load(h.lay.descOff(idx) + linkOff)
+		var newHead uint64
+		if next == 0 {
+			newHead = pptr.PackEmptyHead(ctr + 1)
+		} else {
+			newHead = pptr.PackHead(ctr+1, uint32(next-1))
+		}
+		if r.CAS(headOff, old, newHead) {
+			return idx, true
+		}
+	}
+}
+
+// partialHeadOff returns the metadata offset of size class c's partial-list
+// head word.
+func partialHeadOff(c int) uint64 { return classEntryOff(c) + 8 }
+
+// retireDesc resets a fully-free superblock's descriptor and returns it to
+// the superblock free list, making it available for any size class (§4.4).
+// The caller must own the superblock (state EMPTY and off every list).
+func (h *Heap) retireDesc(idx uint32) {
+	r := h.region
+	d := h.lay.descOff(idx)
+	r.Store(d+dOffClass, 0)
+	r.Store(d+dOffBlockSize, 0)
+	r.Store(d+dOffNumSB, 0)
+	r.Store(d+dOffAnchor, packAnchor(stateEmpty, anchorAvailNone, 0))
+	h.pushDesc(offFreeHead, dOffNextFree, idx)
+}
+
+// listLen walks a descriptor list; used by tests and recovery verification.
+// Not safe against concurrent mutation.
+func (h *Heap) listLen(headOff, linkOff uint64) int {
+	n := 0
+	_, idx, ok := pptr.UnpackHead(h.region.Load(headOff))
+	for ok {
+		n++
+		next := h.region.Load(h.lay.descOff(idx) + linkOff)
+		if next == 0 {
+			break
+		}
+		idx = uint32(next - 1)
+	}
+	return n
+}

@@ -1,0 +1,130 @@
+package ralloc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sizeclass"
+)
+
+// Model-based testing: drive the allocator with random operation sequences
+// while maintaining a reference model of the live block set, checking after
+// every operation that new blocks never overlap live ones and that frees
+// only ever release live blocks. This complements the targeted tests with
+// breadth: size mixes, large/small interleavings, exhaustion and reuse.
+
+type liveModel struct {
+	t *testing.T
+	// live maps block start -> extent end (exclusive).
+	live map[uint64]uint64
+}
+
+func (m *liveModel) add(off, size uint64) {
+	end := off + size
+	for lo, hi := range m.live {
+		if off < hi && lo < end {
+			m.t.Fatalf("new block [%#x,%#x) overlaps live [%#x,%#x)", off, end, lo, hi)
+		}
+	}
+	m.live[off] = end
+}
+
+func (m *liveModel) remove(off uint64) {
+	if _, ok := m.live[off]; !ok {
+		m.t.Fatalf("model: freeing unknown block %#x", off)
+	}
+	delete(m.live, off)
+}
+
+func TestModelRandomOps(t *testing.T) {
+	for trial := 0; trial < 4; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) * 1313))
+		h := testHeap(t, Config{SBRegion: 16 << 20, GrowthChunk: 1 << 20})
+		hd := h.NewHandle()
+		model := &liveModel{t: t, live: map[uint64]uint64{}}
+		var order []uint64
+
+		for op := 0; op < 4000; op++ {
+			switch {
+			case len(order) > 0 && rng.Intn(5) == 0: // free
+				k := rng.Intn(len(order))
+				off := order[k]
+				order[k] = order[len(order)-1]
+				order = order[:len(order)-1]
+				model.remove(off)
+				hd.Free(off)
+			default: // malloc, mixed sizes incl. occasional large
+				var size uint64
+				switch rng.Intn(10) {
+				case 9:
+					size = uint64(15000 + rng.Intn(120000)) // large
+				case 8:
+					size = uint64(1024 + rng.Intn(13312)) // big small
+				default:
+					size = uint64(1 + rng.Intn(1024))
+				}
+				off := hd.Malloc(size)
+				if off == 0 {
+					// Exhaustion is legal; free something and go on.
+					if len(order) == 0 {
+						t.Fatal("OOM with nothing live")
+					}
+					continue
+				}
+				extent := sizeclass.Round(size)
+				if sizeclass.SizeToClass(size) == 0 {
+					extent = (size + SuperblockBytes - 1) / SuperblockBytes * SuperblockBytes
+				}
+				model.add(off, extent)
+				order = append(order, off)
+				// Scribble over the block: neighbors must not care.
+				h.Region().Store(off, ^off)
+				if extent >= 16 {
+					h.Region().Store(off+extent-8, off)
+				}
+			}
+		}
+		// Verify the scribbles survived all the neighboring churn.
+		for off, end := range model.live {
+			if got := h.Region().Load(off); got != ^off {
+				t.Fatalf("trial %d: block %#x first word clobbered: %#x", trial, off, got)
+			}
+			if end-off >= 16 {
+				if got := h.Region().Load(end - 8); got != off {
+					t.Fatalf("trial %d: block %#x last word clobbered: %#x", trial, off, got)
+				}
+			}
+		}
+		if _, err := h.CheckInvariants(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestModelFreeAllThenReuseEverything(t *testing.T) {
+	// After freeing every live block, the allocator must be able to serve
+	// the same demand again without growing the region (global leak
+	// check, stronger than per-superblock retirement).
+	h := testHeap(t, Config{SBRegion: 16 << 20, GrowthChunk: 1 << 20})
+	hd := h.NewHandle()
+	run := func() uint64 {
+		rng := rand.New(rand.NewSource(77))
+		var offs []uint64
+		for i := 0; i < 3000; i++ {
+			off := hd.Malloc(uint64(1 + rng.Intn(2048)))
+			if off == 0 {
+				t.Fatal("OOM")
+			}
+			offs = append(offs, off)
+		}
+		for _, off := range offs {
+			hd.Free(off)
+		}
+		return h.SBUsed()
+	}
+	used1 := run()
+	used2 := run()
+	if used2 > used1 {
+		t.Fatalf("second identical run grew the heap: %d -> %d", used1, used2)
+	}
+}

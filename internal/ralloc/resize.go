@@ -1,0 +1,84 @@
+package ralloc
+
+import (
+	"fmt"
+
+	"repro/internal/pmem"
+)
+
+// Heap resizing (§4.1): "Resizing currently requires an allocator restart
+// and an init() call with a larger size. As a practical matter, resizing
+// only changes the first word of the superblock region and calls mmap with
+// a larger size; no data rearrangement is required."
+//
+// The layout keeps the superblock region at a fixed base (directly after
+// the metadata region) precisely so that resizing is rearrangement-free:
+// block offsets, off-holders, counter-tagged offsets and roots are all
+// unchanged. Only the descriptor region — whose contents are pure indices —
+// relocates to the end of the larger mapping.
+
+// Resize returns a new heap whose superblock region can grow to newSBSize
+// bytes, carrying over all data from the (cleanly closed or just-recovered,
+// quiescent) source heap. The source heap must not be used afterwards.
+//
+// Root filter registrations are transient and do not carry over; re-register
+// via GetRoot as after any restart.
+func Resize(h *Heap, newSBSize uint64, cfg Config) (*Heap, error) {
+	cfg = cfg.withDefaults()
+	cfg.SBRegion = newSBSize
+	newLay, err := computeLayout(newSBSize)
+	if err != nil {
+		return nil, err
+	}
+	if newLay.sbSize < h.lay.sbSize {
+		return nil, fmt.Errorf("ralloc: cannot shrink heap from %d to %d", h.lay.sbSize, newLay.sbSize)
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, ErrClosed
+	}
+	h.closed = true // retire the old heap
+	handles := h.handles
+	h.handles = nil
+	h.mu.Unlock()
+	for _, hd := range handles {
+		hd.returnAll()
+		hd.invalid = true
+	}
+
+	old := h.region
+	region := pmem.NewRegion(newLay.total, cfg.Pmem)
+	nh := &Heap{region: region, cfg: cfg, lay: newLay, path: h.path}
+
+	// Metadata region: verbatim copy, then the one geometry word that
+	// changes (§4.1: "resizing only changes the first word of the
+	// superblock region"). Roots are off-holders from fixed metadata
+	// slots to a superblock region whose base is unchanged: copied as-is.
+	for off := uint64(0); off < MetaBytes; off += 8 {
+		region.Store(off, old.Load(off))
+	}
+	region.Store(offSBSize, newLay.sbSize)
+
+	// Superblock region: verbatim copy of the used prefix at the same
+	// base — no data rearrangement.
+	usedBytes := old.Load(offSBUsed)
+	for off := uint64(0); off < usedBytes; off += 8 {
+		region.Store(newLay.sbStart+off, old.Load(h.lay.sbStart+off))
+	}
+
+	// Descriptor region: relocated wholesale; its contents (anchors,
+	// class info, index-based list links) are position-independent.
+	usedDescs := uint32(usedBytes / SuperblockBytes)
+	for i := uint32(0); i < usedDescs; i++ {
+		src := h.lay.descOff(i)
+		dst := newLay.descOff(i)
+		for w := uint64(0); w < DescBytes; w += 8 {
+			region.Store(dst+w, old.Load(src+w))
+		}
+	}
+
+	region.FlushRange(0, region.Size())
+	region.Fence()
+	return nh, nil
+}

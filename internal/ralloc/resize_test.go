@@ -1,0 +1,161 @@
+package ralloc
+
+import (
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/pptr"
+)
+
+func TestResizePreservesDataAndGrowsCapacity(t *testing.T) {
+	h, _, err := Open("", Config{
+		SBRegion:    2 << 20,
+		GrowthChunk: 1 << 20,
+		Pmem:        pmem.Config{Mode: pmem.ModeCrashSim},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd := h.NewHandle()
+	nodes := buildList(t, h, hd, 200, 0)
+
+	// Exhaust the small heap.
+	var extra int
+	hd2 := h.NewHandle()
+	for hd2.Malloc(14336) != 0 {
+		extra++
+	}
+	if extra == 0 {
+		t.Fatal("heap never filled")
+	}
+
+	nh, err := Resize(h, 16<<20, Config{
+		GrowthChunk: 1 << 20,
+		Pmem:        pmem.Config{Mode: pmem.ModeCrashSim},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// All data intact, same offsets — zero rearrangement.
+	got := walkList(nh, 0)
+	if len(got) != len(nodes) {
+		t.Fatalf("list has %d nodes after resize, want %d", len(got), len(nodes))
+	}
+	for i, off := range got {
+		if off != nodes[len(nodes)-1-i] {
+			t.Fatalf("node %d moved: %#x vs %#x", i, off, nodes[len(nodes)-1-i])
+		}
+	}
+	// And there is room again.
+	nhd := nh.NewHandle()
+	ok := 0
+	for i := 0; i < 100; i++ {
+		if nhd.Malloc(14336) != 0 {
+			ok++
+		}
+	}
+	if ok != 100 {
+		t.Fatalf("only %d/100 allocations after resize", ok)
+	}
+	if _, err := nh.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResizePreservesTaggedOffsets(t *testing.T) {
+	// The reason the superblock base is pinned: absolute offsets inside
+	// counter-tagged words must survive a resize verbatim.
+	h, _, err := Open("", Config{SBRegion: 2 << 20, GrowthChunk: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd := h.NewHandle()
+	target := hd.Malloc(64)
+	h.Region().Store(target, 777)
+	holder := hd.Malloc(16)
+	h.Region().Store(holder, pptr.PackTag(5, target))
+	h.SetRoot(0, holder)
+
+	nh, err := Resize(h, 8<<20, Config{GrowthChunk: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := nh.GetRoot(0, nil)
+	if root != holder {
+		t.Fatalf("root moved: %#x vs %#x", root, holder)
+	}
+	_, off := pptr.UnpackTag(nh.Region().Load(root))
+	if off != target {
+		t.Fatalf("tagged offset moved: %#x vs %#x", off, target)
+	}
+	if v := nh.Region().Load(off); v != 777 {
+		t.Fatalf("target value = %d", v)
+	}
+}
+
+func TestResizeRecoveryStillWorks(t *testing.T) {
+	h, _, err := Open("", Config{
+		SBRegion: 2 << 20,
+		Pmem:     pmem.Config{Mode: pmem.ModeCrashSim},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd := h.NewHandle()
+	buildList(t, h, hd, 100, 0)
+	nh, err := Resize(h, 8<<20, Config{Pmem: pmem.Config{Mode: pmem.ModeCrashSim}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leak, crash, recover on the resized heap.
+	nhd := nh.NewHandle()
+	for i := 0; i < 1000; i++ {
+		nhd.Malloc(64)
+	}
+	if err := nh.Region().Crash(); err != nil {
+		t.Fatal(err)
+	}
+	nh.GetRoot(0, nil)
+	stats, err := nh.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ReachableBlocks != 100 {
+		t.Fatalf("reachable = %d, want 100", stats.ReachableBlocks)
+	}
+	if len(walkList(nh, 0)) != 100 {
+		t.Fatal("list damaged")
+	}
+}
+
+func TestResizeRejectsShrink(t *testing.T) {
+	h, _, err := Open("", Config{SBRegion: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resize(h, 2<<20, Config{}); err == nil {
+		t.Fatal("shrink accepted")
+	}
+}
+
+func TestResizeInvalidatesOldHeap(t *testing.T) {
+	h, _, err := Open("", Config{SBRegion: 2 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd := h.NewHandle()
+	hd.Malloc(64)
+	if _, err := Resize(h, 4<<20, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != ErrClosed {
+		t.Fatalf("old heap Close = %v, want ErrClosed", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("old handle must panic after resize")
+		}
+	}()
+	hd.Malloc(64)
+}

@@ -1,0 +1,140 @@
+// Package riv implements cross-heap persistent pointers — the Region ID in
+// Value (RIV) scheme of Chen et al. that the paper lists as its near-term
+// plan for general cross-heap references (§4.6): "Among our near-term plans
+// is to implement a Region ID in Value (RIV) variant of pptr, retaining the
+// smart pointer interface and the size of 64 bits."
+//
+// A Registry maps small persistent region ids to live mappings. Region ids
+// are chosen by the application and must be stable across runs (e.g. a
+// configuration constant per heap file); the registry itself is transient
+// and rebuilt at startup, exactly like the paper's per-run function-pointer
+// tables.
+package riv
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/pmem"
+	"repro/internal/pptr"
+)
+
+// Registry maps region ids to mapped regions. Safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	regions map[uint16]*pmem.Region
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{regions: make(map[uint16]*pmem.Region)}
+}
+
+// Errors returned by registry operations.
+var (
+	ErrDuplicateID   = errors.New("riv: region id already registered")
+	ErrUnknownRegion = errors.New("riv: region id not registered")
+	ErrNotRIV        = errors.New("riv: value is not a RIV pointer")
+)
+
+// Register binds id to a mapped region for this run.
+func (rg *Registry) Register(id uint16, r *pmem.Region) error {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	if _, dup := rg.regions[id]; dup {
+		return fmt.Errorf("%w: %d", ErrDuplicateID, id)
+	}
+	rg.regions[id] = r
+	return nil
+}
+
+// Unregister removes a binding (e.g. when a heap is closed).
+func (rg *Registry) Unregister(id uint16) {
+	rg.mu.Lock()
+	delete(rg.regions, id)
+	rg.mu.Unlock()
+}
+
+// Lookup resolves a region id.
+func (rg *Registry) Lookup(id uint16) (*pmem.Region, bool) {
+	rg.mu.RLock()
+	r, ok := rg.regions[id]
+	rg.mu.RUnlock()
+	return r, ok
+}
+
+// Ptr is the cross-heap smart pointer: a decoded (region, offset) pair.
+type Ptr struct {
+	Region uint16
+	Off    uint64
+}
+
+// Nil is the null cross-heap pointer (region 0, offset 0 — offset 0 is
+// never a valid block in any of this repository's allocators).
+var Nil = Ptr{}
+
+// IsNil reports whether p is null.
+func (p Ptr) IsNil() bool { return p.Off == 0 }
+
+// Word encodes p as a 64-bit RIV value suitable for storing in persistent
+// memory.
+func (p Ptr) Word() uint64 {
+	if p.IsNil() {
+		return pptr.Nil
+	}
+	return pptr.PackRIV(p.Region, p.Off)
+}
+
+// FromWord decodes a stored value; ok=false if v is not a RIV pointer.
+func FromWord(v uint64) (Ptr, bool) {
+	if v == pptr.Nil {
+		return Nil, true
+	}
+	id, off, ok := pptr.UnpackRIV(v)
+	if !ok {
+		return Nil, false
+	}
+	return Ptr{Region: id, Off: off}, true
+}
+
+// Load reads the RIV pointer stored at byte offset holderOff in region
+// holder and resolves it against the registry.
+func (rg *Registry) Load(holder *pmem.Region, holderOff uint64) (Ptr, *pmem.Region, error) {
+	v := holder.Load(holderOff)
+	p, ok := FromWord(v)
+	if !ok {
+		return Nil, nil, fmt.Errorf("%w: %#x", ErrNotRIV, v)
+	}
+	if p.IsNil() {
+		return Nil, nil, nil
+	}
+	target, found := rg.Lookup(p.Region)
+	if !found {
+		return Nil, nil, fmt.Errorf("%w: %d", ErrUnknownRegion, p.Region)
+	}
+	return p, target, nil
+}
+
+// Store writes a RIV pointer to byte offset holderOff in region holder,
+// flushing the holder word so the cross-heap edge is durable.
+func (rg *Registry) Store(holder *pmem.Region, holderOff uint64, p Ptr) error {
+	if !p.IsNil() {
+		if _, ok := rg.Lookup(p.Region); !ok {
+			return fmt.Errorf("%w: %d", ErrUnknownRegion, p.Region)
+		}
+	}
+	holder.Store(holderOff, p.Word())
+	holder.Flush(holderOff)
+	holder.Fence()
+	return nil
+}
+
+// Deref returns the word at the pointer's target.
+func (rg *Registry) Deref(p Ptr) (uint64, error) {
+	target, ok := rg.Lookup(p.Region)
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownRegion, p.Region)
+	}
+	return target.Load(p.Off), nil
+}

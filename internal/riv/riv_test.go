@@ -1,0 +1,205 @@
+package riv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pmem"
+	"repro/internal/pptr"
+	"repro/internal/ralloc"
+)
+
+func twoHeaps(t *testing.T) (*ralloc.Heap, *ralloc.Heap, *Registry) {
+	t.Helper()
+	mk := func() *ralloc.Heap {
+		h, _, err := ralloc.Open("", ralloc.Config{
+			SBRegion: 8 << 20,
+			Pmem:     pmem.Config{Mode: pmem.ModeCrashSim},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	a, b := mk(), mk()
+	rg := NewRegistry()
+	if err := rg.Register(1, a.Region()); err != nil {
+		t.Fatal(err)
+	}
+	if err := rg.Register(2, b.Region()); err != nil {
+		t.Fatal(err)
+	}
+	return a, b, rg
+}
+
+func TestCrossHeapReference(t *testing.T) {
+	ha, hb, rg := twoHeaps(t)
+	hdA, hdB := ha.NewHandle(), hb.NewHandle()
+
+	// A block in heap B holding a value.
+	target := hdB.Malloc(16)
+	hb.Region().Store(target, 0xB0B)
+	hb.Region().FlushRange(target, 8)
+	hb.Region().Fence()
+
+	// A block in heap A pointing at it across heaps.
+	holder := hdA.Malloc(16)
+	if err := rg.Store(ha.Region(), holder, Ptr{Region: 2, Off: target}); err != nil {
+		t.Fatal(err)
+	}
+
+	p, tr, err := rg.Load(ha.Region(), holder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr != hb.Region() || p.Off != target {
+		t.Fatalf("Load = (%+v,%p)", p, tr)
+	}
+	v, err := rg.Deref(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xB0B {
+		t.Fatalf("Deref = %#x", v)
+	}
+}
+
+func TestCrossHeapSurvivesBothCrashes(t *testing.T) {
+	ha, hb, rg := twoHeaps(t)
+	hdA, hdB := ha.NewHandle(), hb.NewHandle()
+
+	target := hdB.Malloc(16)
+	hb.Region().Store(target, 4242)
+	hb.Region().FlushRange(target, 8)
+	hb.Region().Fence()
+	hb.SetRoot(0, target)
+
+	holder := hdA.Malloc(16)
+	if err := rg.Store(ha.Region(), holder, Ptr{Region: 2, Off: target}); err != nil {
+		t.Fatal(err)
+	}
+	ha.SetRoot(0, holder)
+
+	// Crash both heaps; each recovers independently from its own roots
+	// (cross-heap edges are not traced — the RIV word is just data to
+	// heap A's GC, and heap B keeps its block alive via its own root).
+	if err := ha.Region().Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := hb.Region().Crash(); err != nil {
+		t.Fatal(err)
+	}
+	ha.GetRoot(0, nil)
+	hb.GetRoot(0, nil)
+	if _, err := ha.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hb.Recover(); err != nil {
+		t.Fatal(err)
+	}
+
+	p, _, err := rg.Load(ha.Region(), holder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := rg.Deref(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 4242 {
+		t.Fatalf("cross-heap value after double recovery = %d", v)
+	}
+}
+
+func TestRIVInvisibleToConservativeGC(t *testing.T) {
+	// A RIV word inside heap A must not be mistaken for an off-holder:
+	// heap A's conservative GC ignores it.
+	ha, hb, rg := twoHeaps(t)
+	hdA, hdB := ha.NewHandle(), hb.NewHandle()
+	target := hdB.Malloc(16)
+	holder := hdA.Malloc(16)
+	if err := rg.Store(ha.Region(), holder, Ptr{Region: 2, Off: target}); err != nil {
+		t.Fatal(err)
+	}
+	ha.SetRoot(0, holder)
+	if err := ha.Region().Crash(); err != nil {
+		t.Fatal(err)
+	}
+	ha.GetRoot(0, nil)
+	stats, err := ha.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ReachableBlocks != 1 {
+		t.Fatalf("reachable = %d; RIV word must not trace within heap A", stats.ReachableBlocks)
+	}
+}
+
+func TestNilRoundTrip(t *testing.T) {
+	if Nil.Word() != pptr.Nil {
+		t.Fatal("Nil must encode as the zero word")
+	}
+	p, ok := FromWord(pptr.Nil)
+	if !ok || !p.IsNil() {
+		t.Fatalf("FromWord(0) = (%+v,%v)", p, ok)
+	}
+}
+
+func TestUnknownRegionErrors(t *testing.T) {
+	rg := NewRegistry()
+	if _, err := rg.Deref(Ptr{Region: 7, Off: 64}); err == nil {
+		t.Fatal("Deref of unregistered region succeeded")
+	}
+	r := pmem.NewRegion(4096, pmem.Config{})
+	if err := rg.Store(r, 0, Ptr{Region: 7, Off: 64}); err == nil {
+		t.Fatal("Store of unregistered region succeeded")
+	}
+}
+
+func TestDuplicateRegistration(t *testing.T) {
+	rg := NewRegistry()
+	r := pmem.NewRegion(4096, pmem.Config{})
+	if err := rg.Register(3, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := rg.Register(3, r); err == nil {
+		t.Fatal("duplicate registration succeeded")
+	}
+	rg.Unregister(3)
+	if err := rg.Register(3, r); err != nil {
+		t.Fatalf("re-registration after Unregister failed: %v", err)
+	}
+}
+
+func TestLoadRejectsNonRIV(t *testing.T) {
+	rg := NewRegistry()
+	r := pmem.NewRegion(4096, pmem.Config{})
+	r.Store(0, pptr.Pack(0x40, 0x80)) // an off-holder, not a RIV
+	if _, _, err := rg.Load(r, 0); err == nil {
+		t.Fatal("Load accepted an off-holder as RIV")
+	}
+}
+
+func TestQuickRIVCodec(t *testing.T) {
+	f := func(id uint16, off uint64) bool {
+		id %= pptr.MaxRIVRegions
+		off %= 1 << 40
+		gid, goff, ok := pptr.UnpackRIV(pptr.PackRIV(id, off))
+		return ok && gid == id && goff == off
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRIVAndOffHolderMagicsDisjoint(t *testing.T) {
+	// Every RIV value must fail off-holder decoding and vice versa.
+	v := pptr.PackRIV(5, 0x1000)
+	if pptr.IsOffHolder(v) {
+		t.Fatal("RIV value decodes as off-holder")
+	}
+	w := pptr.Pack(0x40, 0x80)
+	if pptr.IsRIV(w) {
+		t.Fatal("off-holder decodes as RIV")
+	}
+}

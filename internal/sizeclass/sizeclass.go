@@ -1,0 +1,83 @@
+// Package sizeclass defines Ralloc's allocation size classes.
+//
+// Following the paper (§4.2) there are 39 standard classes covering block
+// sizes from 8 bytes to 14 KB, inherited from LRMalloc, plus class 0 for
+// blocks larger than any standard class ("large" allocations, which Ralloc
+// satisfies with whole superblocks). Every superblock holds blocks of
+// exactly one class.
+package sizeclass
+
+// NumClasses is the number of standard size classes (indices 1..NumClasses).
+// Index 0 is reserved for large allocations.
+const NumClasses = 39
+
+// MaxSmall is the largest size served by a standard class; anything bigger
+// is a large allocation.
+const MaxSmall = 14336
+
+// Sizes lists the block size of each class; Sizes[0] = 0 stands for "large".
+// The progression is the LRMalloc/jemalloc-style layout: fine 8-byte spacing
+// for tiny sizes, then four classes per power-of-two group.
+var Sizes = [NumClasses + 1]uint32{
+	0, // class 0: large
+	8, 16, 24, 32, 40, 48, 56, 64,
+	80, 96, 112, 128,
+	160, 192, 224, 256,
+	320, 384, 448, 512,
+	640, 768, 896, 1024,
+	1280, 1536, 1792, 2048,
+	2560, 3072, 3584, 4096,
+	5120, 6144, 7168, 8192,
+	10240, 12288, 14336,
+}
+
+// lut maps ceil(size/8) to a class index for size ≤ MaxSmall.
+var lut [MaxSmall/8 + 1]uint8
+
+func init() {
+	c := 1
+	for u := 1; u <= MaxSmall/8; u++ {
+		size := uint32(u * 8)
+		for Sizes[c] < size {
+			c++
+		}
+		lut[u] = uint8(c)
+	}
+}
+
+// SizeToClass returns the smallest class whose block size can hold size
+// bytes, or 0 if size exceeds MaxSmall (a large allocation). A size of 0 is
+// served by class 1 (8-byte blocks), matching malloc(0) returning a unique
+// pointer.
+func SizeToClass(size uint64) int {
+	if size > MaxSmall {
+		return 0
+	}
+	if size == 0 {
+		return 1
+	}
+	return int(lut[(size+7)/8])
+}
+
+// ClassToSize returns the block size of class c.
+func ClassToSize(c int) uint64 { return uint64(Sizes[c]) }
+
+// Round returns the block size that an allocation of size bytes actually
+// occupies in a standard class; for large sizes it returns size unchanged
+// (the allocator rounds those to superblocks itself).
+func Round(size uint64) uint64 {
+	c := SizeToClass(size)
+	if c == 0 {
+		return size
+	}
+	return ClassToSize(c)
+}
+
+// BlocksPerSuperblock returns how many blocks of class c tile one superblock
+// of the given size in bytes.
+func BlocksPerSuperblock(c int, superblockBytes uint64) int {
+	if c == 0 {
+		return 1
+	}
+	return int(superblockBytes / uint64(Sizes[c]))
+}

@@ -1,0 +1,122 @@
+package sizeclass
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNumClasses(t *testing.T) {
+	// The paper specifies 39 standard classes from 8 B to 14 KB (§4.2).
+	if NumClasses != 39 {
+		t.Fatalf("NumClasses = %d, want 39", NumClasses)
+	}
+	if Sizes[1] != 8 || Sizes[NumClasses] != 14336 {
+		t.Fatalf("class range = [%d,%d], want [8,14336]", Sizes[1], Sizes[NumClasses])
+	}
+}
+
+func TestSizesStrictlyIncreasing(t *testing.T) {
+	for c := 2; c <= NumClasses; c++ {
+		if Sizes[c] <= Sizes[c-1] {
+			t.Fatalf("Sizes[%d]=%d not greater than Sizes[%d]=%d", c, Sizes[c], c-1, Sizes[c-1])
+		}
+	}
+}
+
+func TestSizesWordAligned(t *testing.T) {
+	for c := 1; c <= NumClasses; c++ {
+		if Sizes[c]%8 != 0 {
+			t.Fatalf("class %d size %d is not 8-aligned", c, Sizes[c])
+		}
+	}
+}
+
+func TestSizeToClassExact(t *testing.T) {
+	for c := 1; c <= NumClasses; c++ {
+		if got := SizeToClass(uint64(Sizes[c])); got != c {
+			t.Fatalf("SizeToClass(%d) = %d, want %d", Sizes[c], got, c)
+		}
+	}
+}
+
+func TestSizeToClassBoundaries(t *testing.T) {
+	cases := []struct {
+		size uint64
+		want int
+	}{
+		{0, 1}, {1, 1}, {8, 1}, {9, 2}, {16, 2}, {17, 3},
+		{64, 8}, {65, 9}, {400, 19}, {14336, 39},
+		{14337, 0}, {1 << 20, 0},
+	}
+	for _, c := range cases {
+		if got := SizeToClass(c.size); got != c.want {
+			t.Errorf("SizeToClass(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestRound(t *testing.T) {
+	if Round(100) != 112 {
+		t.Fatalf("Round(100) = %d, want 112", Round(100))
+	}
+	if Round(20000) != 20000 {
+		t.Fatalf("Round(20000) = %d, want 20000 (large passes through)", Round(20000))
+	}
+}
+
+func TestQuickClassFits(t *testing.T) {
+	f := func(sz uint32) bool {
+		size := uint64(sz % (MaxSmall + 100))
+		c := SizeToClass(size)
+		if size > MaxSmall {
+			return c == 0
+		}
+		if c < 1 || c > NumClasses {
+			return false
+		}
+		// Block must fit the request...
+		if ClassToSize(c) < size {
+			return false
+		}
+		// ...and be the tightest class.
+		return c == 1 || uint64(Sizes[c-1]) < size || size == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlocksPerSuperblock(t *testing.T) {
+	const sb = 65536
+	if got := BlocksPerSuperblock(1, sb); got != 8192 {
+		t.Fatalf("class 1: %d blocks, want 8192", got)
+	}
+	if got := BlocksPerSuperblock(NumClasses, sb); got != 4 {
+		t.Fatalf("class 39 (14336 B): %d blocks, want 4", got)
+	}
+	if got := BlocksPerSuperblock(0, sb); got != 1 {
+		t.Fatalf("large class: %d, want 1", got)
+	}
+	for c := 1; c <= NumClasses; c++ {
+		if BlocksPerSuperblock(c, sb) < 1 {
+			t.Fatalf("class %d does not fit one block in a superblock", c)
+		}
+	}
+}
+
+func TestInternalFragmentationBounded(t *testing.T) {
+	// LRMalloc-style classes keep relative internal fragmentation low
+	// for sizes ≥ 64 (four classes per power-of-two group); below that,
+	// absolute waste is bounded by the 8-byte spacing.
+	for size := uint64(8); size <= MaxSmall; size++ {
+		c := SizeToClass(size)
+		waste := ClassToSize(c) - size
+		if size >= 64 {
+			if rel := float64(waste) / float64(size); rel > 0.34 {
+				t.Fatalf("size %d: fragmentation %.2f too high (class size %d)", size, rel, ClassToSize(c))
+			}
+		} else if waste >= 16 {
+			t.Fatalf("size %d: absolute waste %d too high (class size %d)", size, waste, ClassToSize(c))
+		}
+	}
+}

@@ -1,0 +1,280 @@
+// Package vacation ports the STAMP Vacation application (§6.3, Fig. 5e): a
+// simulated online travel-reservation system whose "database" is a set of
+// red-black trees (cars, flights, rooms, customers). Transactions query
+// relations and create reservations, allocating tree nodes and reservation
+// records as they go — making the workload allocator-bound once the tree
+// operations are cheap.
+//
+// The paper runs Vacation under Mnemosyne's failure-atomic transactions; we
+// use per-table locks as the failure-atomic sections (the locking camp of
+// §2.2), which preserves the allocation pattern the experiment measures.
+package vacation
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/alloc"
+	"repro/internal/dstruct"
+)
+
+// Table indices.
+const (
+	TableCars = iota
+	TableFlights
+	TableRooms
+	TableCustomers
+	numTables
+)
+
+// Config mirrors the paper's parameters: 16384 relations, 5 queries per
+// transaction, 90% of relations targeted, all queries creating reservations.
+type Config struct {
+	Relations    int     // default 16384
+	QueriesPerTx int     // default 5
+	QueryRange   float64 // default 0.90
+}
+
+func (c Config) withDefaults() Config {
+	if c.Relations == 0 {
+		c.Relations = 16384
+	}
+	if c.QueriesPerTx == 0 {
+		c.QueriesPerTx = 5
+	}
+	if c.QueryRange == 0 {
+		c.QueryRange = 0.90
+	}
+	return c
+}
+
+// Manager is the reservation system.
+type Manager struct {
+	cfg    Config
+	a      alloc.Allocator
+	tables [numTables]*dstruct.RBTree
+	locks  [numTables]sync.Mutex
+
+	txns     atomic.Uint64
+	reserved atomic.Uint64
+}
+
+// resource values pack price<<32 | available.
+func packRes(price, avail uint64) uint64       { return price<<32 | avail }
+func unpackRes(v uint64) (price, avail uint64) { return v >> 32, v & 0xFFFFFFFF }
+
+// New builds and populates the database: each resource table gets one entry
+// per relation with a random price and initial availability.
+func New(a alloc.Allocator, h alloc.Handle, cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{cfg: cfg, a: a}
+	rng := rand.New(rand.NewSource(100))
+	for t := 0; t < numTables; t++ {
+		m.tables[t], _ = dstruct.NewRBTree(a, h)
+	}
+	for t := TableCars; t <= TableRooms; t++ {
+		for id := 1; id <= cfg.Relations; id++ {
+			price := uint64(50 + rng.Intn(450))
+			if !m.tables[t].Put(h, uint64(id), packRes(price, 100)) {
+				panic("vacation: out of memory populating tables")
+			}
+		}
+	}
+	return m
+}
+
+// Client is a per-goroutine session.
+type Client struct {
+	m   *Manager
+	h   alloc.Handle
+	rng *rand.Rand
+	// outstanding reservation records, cancellable later.
+	reservations []uint64
+}
+
+// NewClient creates a session with its own allocator handle and seed.
+func (m *Manager) NewClient(h alloc.Handle, seed int64) *Client {
+	return &Client{m: m, h: h, rng: rand.New(rand.NewSource(seed))}
+}
+
+// reservationRecSize is the size of one reservation record (customer id,
+// table, resource id, price + padding), a typical small allocation.
+const reservationRecSize = 64
+
+// MakeReservation runs one transaction: QueriesPerTx queries over random
+// resource tables within the covered range, choosing the cheapest available
+// resource, then reserves it — updating the resource row, upserting the
+// customer row, and allocating a reservation record. Returns false on heap
+// exhaustion.
+func (c *Client) MakeReservation(customerID uint64) bool {
+	m := c.m
+	span := int(float64(m.cfg.Relations) * m.cfg.QueryRange)
+	if span < 1 {
+		span = 1
+	}
+	bestTable, bestID, bestPrice := -1, uint64(0), uint64(1<<32)
+	for q := 0; q < m.cfg.QueriesPerTx; q++ {
+		t := c.rng.Intn(3) // cars, flights, rooms
+		id := uint64(c.rng.Intn(span)) + 1
+		m.locks[t].Lock()
+		v, ok := m.tables[t].Get(id)
+		m.locks[t].Unlock()
+		if !ok {
+			continue
+		}
+		price, avail := unpackRes(v)
+		if avail > 0 && price < bestPrice {
+			bestTable, bestID, bestPrice = t, id, price
+		}
+	}
+	if bestTable < 0 {
+		m.txns.Add(1)
+		return true // nothing available: transaction still completes
+	}
+
+	// Failure-atomic section: update the resource row.
+	m.locks[bestTable].Lock()
+	v, _ := m.tables[bestTable].Get(bestID)
+	price, avail := unpackRes(v)
+	if avail > 0 {
+		if !m.tables[bestTable].Put(c.h, bestID, packRes(price, avail-1)) {
+			m.locks[bestTable].Unlock()
+			return false
+		}
+	}
+	m.locks[bestTable].Unlock()
+
+	// Upsert the customer row.
+	m.locks[TableCustomers].Lock()
+	old, _ := m.tables[TableCustomers].Get(customerID)
+	if !m.tables[TableCustomers].Put(c.h, customerID, old+1) {
+		m.locks[TableCustomers].Unlock()
+		return false
+	}
+	m.locks[TableCustomers].Unlock()
+
+	// Allocate the reservation record.
+	rec := c.h.Malloc(reservationRecSize)
+	if rec == 0 {
+		return false
+	}
+	r := m.a.Region()
+	r.Store(rec, customerID)
+	r.Store(rec+8, uint64(bestTable))
+	r.Store(rec+16, bestID)
+	r.Store(rec+24, price)
+	r.FlushRange(rec, 32)
+	r.Fence()
+	c.reservations = append(c.reservations, rec)
+
+	m.txns.Add(1)
+	m.reserved.Add(1)
+	return true
+}
+
+// DeleteCustomer removes a customer row and frees all of the client's
+// reservation records belonging to that customer — STAMP Vacation's second
+// transaction type, and the bulk-deallocation path of the workload.
+func (c *Client) DeleteCustomer(customerID uint64) bool {
+	m := c.m
+	m.locks[TableCustomers].Lock()
+	existed := m.tables[TableCustomers].Delete(c.h, customerID)
+	m.locks[TableCustomers].Unlock()
+	if !existed {
+		m.txns.Add(1)
+		return false
+	}
+	r := m.a.Region()
+	kept := c.reservations[:0]
+	for _, rec := range c.reservations {
+		if r.Load(rec) != customerID {
+			kept = append(kept, rec)
+			continue
+		}
+		t := int(r.Load(rec + 8))
+		id := r.Load(rec + 16)
+		m.locks[t].Lock()
+		if v, ok := m.tables[t].Get(id); ok {
+			price, avail := unpackRes(v)
+			m.tables[t].Put(c.h, id, packRes(price, avail+1))
+		}
+		m.locks[t].Unlock()
+		c.h.Free(rec)
+	}
+	c.reservations = kept
+	m.txns.Add(1)
+	return true
+}
+
+// UpdateTables changes prices (and occasionally adds or retires relations)
+// on a random resource table — STAMP Vacation's third transaction type,
+// exercising tree insertion and deletion under churn.
+func (c *Client) UpdateTables(nUpdates int) bool {
+	m := c.m
+	span := m.cfg.Relations
+	for u := 0; u < nUpdates; u++ {
+		t := c.rng.Intn(3)
+		id := uint64(c.rng.Intn(span)) + 1
+		newPrice := uint64(50 + c.rng.Intn(450))
+		m.locks[t].Lock()
+		if v, ok := m.tables[t].Get(id); ok {
+			_, avail := unpackRes(v)
+			if !m.tables[t].Put(c.h, id, packRes(newPrice, avail)) {
+				m.locks[t].Unlock()
+				return false
+			}
+		} else if !m.tables[t].Put(c.h, id, packRes(newPrice, 100)) {
+			m.locks[t].Unlock()
+			return false
+		}
+		m.locks[t].Unlock()
+	}
+	m.txns.Add(1)
+	return true
+}
+
+// CancelOldest frees the client's oldest reservation record, restoring the
+// resource availability — the deallocation half of the churn.
+func (c *Client) CancelOldest() bool {
+	if len(c.reservations) == 0 {
+		return false
+	}
+	m := c.m
+	rec := c.reservations[0]
+	c.reservations = c.reservations[1:]
+	r := m.a.Region()
+	t := int(r.Load(rec + 8))
+	id := r.Load(rec + 16)
+	m.locks[t].Lock()
+	if v, ok := m.tables[t].Get(id); ok {
+		price, avail := unpackRes(v)
+		m.tables[t].Put(c.h, id, packRes(price, avail+1))
+	}
+	m.locks[t].Unlock()
+	c.h.Free(rec)
+	m.txns.Add(1)
+	return true
+}
+
+// Transactions returns the number of completed transactions.
+func (m *Manager) Transactions() uint64 { return m.txns.Load() }
+
+// Reserved returns the number of successful reservations.
+func (m *Manager) Reserved() uint64 { return m.reserved.Load() }
+
+// CheckTables verifies the red-black invariants of every table (tests).
+func (m *Manager) CheckTables() error {
+	for t := 0; t < numTables; t++ {
+		m.locks[t].Lock()
+		err := m.tables[t].CheckInvariants()
+		m.locks[t].Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TableLen reports the entry count of a table (tests).
+func (m *Manager) TableLen(t int) int { return m.tables[t].Len() }

@@ -1,0 +1,198 @@
+package vacation
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/ralloc"
+)
+
+func newManager(t *testing.T, cfg Config) (*ralloc.Heap, *Manager) {
+	t.Helper()
+	h, _, err := ralloc.Open("", ralloc.Config{SBRegion: 64 << 20, GrowthChunk: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := h.AsAllocator()
+	return h, New(a, a.NewHandle(), cfg)
+}
+
+func TestPopulation(t *testing.T) {
+	_, m := newManager(t, Config{Relations: 500})
+	for tb := TableCars; tb <= TableRooms; tb++ {
+		if n := m.TableLen(tb); n != 500 {
+			t.Fatalf("table %d has %d relations, want 500", tb, n)
+		}
+	}
+	if m.TableLen(TableCustomers) != 0 {
+		t.Fatal("customers table not empty at start")
+	}
+	if err := m.CheckTables(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakeReservation(t *testing.T) {
+	h, m := newManager(t, Config{Relations: 200})
+	a := h.AsAllocator()
+	c := m.NewClient(a.NewHandle(), 1)
+	for i := 0; i < 100; i++ {
+		if !c.MakeReservation(uint64(i) + 1) {
+			t.Fatal("reservation failed")
+		}
+	}
+	if m.Transactions() != 100 {
+		t.Fatalf("transactions = %d, want 100", m.Transactions())
+	}
+	if m.Reserved() == 0 {
+		t.Fatal("no reservations made")
+	}
+	if m.TableLen(TableCustomers) == 0 {
+		t.Fatal("no customers recorded")
+	}
+	if err := m.CheckTables(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCancelRestoresAvailability(t *testing.T) {
+	h, m := newManager(t, Config{Relations: 10, QueriesPerTx: 5})
+	a := h.AsAllocator()
+	c := m.NewClient(a.NewHandle(), 2)
+	for i := 0; i < 50; i++ {
+		c.MakeReservation(1)
+	}
+	made := m.Reserved()
+	if made == 0 {
+		t.Fatal("no reservations")
+	}
+	cancelled := 0
+	for c.CancelOldest() {
+		cancelled++
+	}
+	if cancelled == 0 {
+		t.Fatal("nothing cancelled")
+	}
+	if err := m.CheckTables(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteCustomerFreesReservations(t *testing.T) {
+	h, m := newManager(t, Config{Relations: 100})
+	a := h.AsAllocator()
+	c := m.NewClient(a.NewHandle(), 3)
+	for i := 0; i < 40; i++ {
+		if !c.MakeReservation(7) {
+			t.Fatal("reservation failed")
+		}
+	}
+	if m.TableLen(TableCustomers) != 1 {
+		t.Fatalf("customers = %d, want 1", m.TableLen(TableCustomers))
+	}
+	if !c.DeleteCustomer(7) {
+		t.Fatal("DeleteCustomer failed")
+	}
+	if c.DeleteCustomer(7) {
+		t.Fatal("double DeleteCustomer succeeded")
+	}
+	if m.TableLen(TableCustomers) != 0 {
+		t.Fatal("customer row not removed")
+	}
+	if len(c.reservations) != 0 {
+		t.Fatalf("%d reservation records leaked", len(c.reservations))
+	}
+	if err := m.CheckTables(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateTables(t *testing.T) {
+	h, m := newManager(t, Config{Relations: 200})
+	a := h.AsAllocator()
+	c := m.NewClient(a.NewHandle(), 4)
+	for i := 0; i < 200; i++ {
+		if !c.UpdateTables(5) {
+			t.Fatal("UpdateTables failed")
+		}
+	}
+	if err := m.CheckTables(); err != nil {
+		t.Fatal(err)
+	}
+	// Tables may have grown (new relations added) but never below start.
+	for tb := TableCars; tb <= TableRooms; tb++ {
+		if m.TableLen(tb) < 200 {
+			t.Fatalf("table %d shrank to %d", tb, m.TableLen(tb))
+		}
+	}
+}
+
+func TestFullActionMixConcurrent(t *testing.T) {
+	// All three STAMP transaction types at once, like the real benchmark.
+	h, m := newManager(t, Config{Relations: 500})
+	a := h.AsAllocator()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := m.NewClient(a.NewHandle(), int64(w)+50)
+			for i := 0; i < 1500; i++ {
+				cust := uint64(w*100000+i%50) + 1
+				switch i % 10 {
+				case 8:
+					c.DeleteCustomer(cust)
+				case 9:
+					if !c.UpdateTables(3) {
+						t.Error("OOM")
+						return
+					}
+				default:
+					if !c.MakeReservation(cust) {
+						t.Error("OOM")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := m.CheckTables(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	h, m := newManager(t, Config{Relations: 1000})
+	a := h.AsAllocator()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := m.NewClient(a.NewHandle(), int64(w))
+			for i := 0; i < 2000; i++ {
+				if !c.MakeReservation(uint64(w*10000+i) + 1) {
+					t.Error("OOM")
+					return
+				}
+				if i%4 == 3 {
+					c.CancelOldest()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := m.CheckTables(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Transactions() == 0 {
+		t.Fatal("no transactions recorded")
+	}
+	if _, err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

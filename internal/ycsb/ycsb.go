@@ -1,0 +1,97 @@
+// Package ycsb generates Yahoo! Cloud Serving Benchmark workloads for the
+// memcached experiment (§6.3, Fig. 5f): zipfian-distributed keys over a
+// fixed record set with a configurable read/update mix.
+//
+//   - Workload A: 50% reads / 50% updates (write-dominant; Fig. 5f)
+//   - Workload B: 95% reads / 5% updates (read-dominant; discussed in-text)
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpKind is a workload operation type.
+type OpKind int
+
+const (
+	// Read fetches a record.
+	Read OpKind = iota
+	// Update rewrites a record's value.
+	Update
+)
+
+// Op is one generated operation.
+type Op struct {
+	Kind OpKind
+	Key  string
+}
+
+// Workload describes an YCSB core workload.
+type Workload struct {
+	Name      string
+	Records   int     // number of records pre-loaded
+	ReadFrac  float64 // fraction of reads
+	ValueSize int     // value bytes per record
+}
+
+// WorkloadA is the write-dominant core workload (50/50).
+func WorkloadA(records int) Workload {
+	return Workload{Name: "a", Records: records, ReadFrac: 0.5, ValueSize: 100}
+}
+
+// WorkloadB is the read-dominant core workload (95/5).
+func WorkloadB(records int) Workload {
+	return Workload{Name: "b", Records: records, ReadFrac: 0.95, ValueSize: 100}
+}
+
+// Generator produces operations for one client goroutine. Not safe for
+// concurrent use; give each goroutine its own (with distinct seeds).
+type Generator struct {
+	w    Workload
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+// NewGenerator creates a deterministic generator.
+func NewGenerator(w Workload, seed int64) *Generator {
+	rng := rand.New(rand.NewSource(seed))
+	// YCSB uses a zipfian request distribution with θ≈0.99; rand.Zipf's
+	// s plays the same skew role (s>1 required), so s=1.08 approximates
+	// the standard hot-key skew over the record space.
+	z := rand.NewZipf(rng, 1.08, 1, uint64(w.Records-1))
+	return &Generator{w: w, rng: rng, zipf: z}
+}
+
+// scramble spreads the zipfian head across the key space, as YCSB's
+// scrambled-zipfian does, so hot keys are not all in one hash bucket.
+func scramble(i, n uint64) uint64 {
+	x := i * 0x9E3779B97F4A7C15 >> 17
+	return x % n
+}
+
+// KeyAt formats record i's key ("user" + 10 digits, YCSB style).
+func KeyAt(i int) string { return fmt.Sprintf("user%010d", i) }
+
+// Next returns the next operation.
+func (g *Generator) Next() Op {
+	rec := scramble(g.zipf.Uint64(), uint64(g.w.Records))
+	op := Op{Key: KeyAt(int(rec))}
+	if g.rng.Float64() >= g.w.ReadFrac {
+		op.Kind = Update
+	}
+	return op
+}
+
+// Value produces a deterministic value body of the workload's size for an
+// update.
+func (g *Generator) Value(buf []byte) []byte {
+	if cap(buf) < g.w.ValueSize {
+		buf = make([]byte, g.w.ValueSize)
+	}
+	buf = buf[:g.w.ValueSize]
+	for i := range buf {
+		buf[i] = byte('a' + g.rng.Intn(26))
+	}
+	return buf
+}

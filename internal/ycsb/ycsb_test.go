@@ -1,0 +1,106 @@
+package ycsb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWorkloadMixes(t *testing.T) {
+	a := WorkloadA(1000)
+	if a.ReadFrac != 0.5 {
+		t.Fatalf("workload A read fraction = %v", a.ReadFrac)
+	}
+	b := WorkloadB(1000)
+	if b.ReadFrac != 0.95 {
+		t.Fatalf("workload B read fraction = %v", b.ReadFrac)
+	}
+}
+
+func TestGeneratorMixApproximatesFractions(t *testing.T) {
+	g := NewGenerator(WorkloadA(10000), 1)
+	reads := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if g.Next().Kind == Read {
+			reads++
+		}
+	}
+	frac := float64(reads) / n
+	if frac < 0.47 || frac > 0.53 {
+		t.Fatalf("workload A read fraction measured %.3f, want ≈0.5", frac)
+	}
+}
+
+func TestGeneratorKeysInRange(t *testing.T) {
+	const records = 500
+	g := NewGenerator(WorkloadA(records), 2)
+	valid := map[string]bool{}
+	for i := 0; i < records; i++ {
+		valid[KeyAt(i)] = true
+	}
+	for i := 0; i < 10000; i++ {
+		op := g.Next()
+		if !valid[op.Key] {
+			t.Fatalf("generated key %q outside the record set", op.Key)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	// The hottest key must receive far more than uniform share.
+	const records = 10000
+	g := NewGenerator(WorkloadA(records), 3)
+	counts := map[string]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Key]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	uniform := float64(n) / records
+	if float64(max) < 20*uniform {
+		t.Fatalf("hottest key got %d requests (uniform %d): not zipfian", max, int(uniform))
+	}
+	// But the hot keys must be scrambled across the key space, not all at
+	// the front.
+	if counts[KeyAt(0)] == max && counts[KeyAt(1)] > int(10*uniform) {
+		t.Fatal("hot keys not scrambled")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1 := NewGenerator(WorkloadA(1000), 42)
+	g2 := NewGenerator(WorkloadA(1000), 42)
+	for i := 0; i < 1000; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a != b {
+			t.Fatalf("op %d differs for equal seeds: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestValueSizeAndCharset(t *testing.T) {
+	g := NewGenerator(WorkloadA(100), 5)
+	v := g.Value(nil)
+	if len(v) != 100 {
+		t.Fatalf("value size = %d, want 100", len(v))
+	}
+	if strings.TrimFunc(string(v), func(r rune) bool { return r >= 'a' && r <= 'z' }) != "" {
+		t.Fatal("value has unexpected characters")
+	}
+	// Reuses the buffer.
+	v2 := g.Value(v)
+	if &v2[0] != &v[0] {
+		t.Fatal("Value did not reuse the buffer")
+	}
+}
+
+func TestKeyAtFormat(t *testing.T) {
+	if KeyAt(7) != "user0000000007" {
+		t.Fatalf("KeyAt(7) = %q", KeyAt(7))
+	}
+}
