@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/pmem"
+	"repro/internal/ralloc"
+)
+
+// Contended remote-free benchmark for the sharded/batched allocator paths.
+//
+// The workload is the prod-con shape (Fig. 5d): every block is allocated by
+// a producer and freed by a different thread, so every deallocation is
+// remote. A deliberately small thread cache forces the consumers through
+// the global path on every few frees, concentrating traffic on the
+// superblock anchors and the partial-list heads — exactly the shared
+// metadata that sharding (independent head words per handle home shard) and
+// batching (one anchor CAS per superblock group instead of per block)
+// relieve. Comparing ContendedFree(1, true, ...) against
+// ContendedFree(0, false, ...) at 8+ threads isolates the win.
+
+// contendedCacheCap keeps thread caches small so drains (and hence global
+// list traffic) are frequent; the default cap of a whole superblock's worth
+// of blocks would hide the contention this benchmark exists to measure.
+const contendedCacheCap = 64
+
+// ContendedConfig builds the ralloc configuration under test: shards as
+// given (0 = the GOMAXPROCS-based default) and batched remote frees unless
+// unbatched is set.
+func ContendedConfig(size uint64, shards int, unbatched bool, pcfg pmem.Config) ralloc.Config {
+	return ralloc.Config{
+		SBRegion:      size,
+		Shards:        shards,
+		UnbatchedFree: unbatched,
+		CacheCap:      contendedCacheCap,
+		Pmem:          pcfg,
+	}
+}
+
+// ContendedFreeFactory is the bench Factory for a contended-free ralloc
+// configuration.
+func ContendedFreeFactory(shards int, unbatched bool, pcfg pmem.Config) Factory {
+	return func(size uint64) (alloc.Allocator, error) {
+		h, _, err := ralloc.Open("", ContendedConfig(size, shards, unbatched, pcfg))
+		if err != nil {
+			return nil, err
+		}
+		return h.AsAllocator(), nil
+	}
+}
+
+// ContendedFree runs pairs producer/consumer pairs (2·pairs threads) moving
+// totalObjs 64-byte objects through M&S queues on a ralloc heap with the
+// given shard count and free-batching mode.
+func ContendedFree(shards int, unbatched bool, pairs, totalObjs int) (Result, error) {
+	a, err := ContendedFreeFactory(shards, unbatched, pmem.Config{})(512 << 20)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Prodcon(a, pairs, totalObjs, 64)
+	if err := a.Close(); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}

@@ -17,13 +17,35 @@ import (
 // against the number of reachable blocks; the paper finds it linear, with a
 // higher per-node constant for the tree (poorer locality).
 
-// GCResult is one Fig. 6 sample.
+// GCResult is one Fig. 6 sample. GCTime is total recovery wall time,
+// decomposed into TraceTime (steps 4–5) and SweepTime (steps 3, 6–10);
+// TraceWork and SweepUnits are the corresponding deterministic work
+// counters, suitable for linearity assertions that wall-clock ratios are
+// too noisy for.
 type GCResult struct {
 	Structure       string
 	RequestedNodes  int
 	ReachableBlocks uint64
 	GCTime          time.Duration
+	TraceTime       time.Duration
+	SweepTime       time.Duration
+	TraceWork       uint64
+	SweepUnits      uint64
 	Conservative    bool // tracing mode (filters off = ablation A1)
+}
+
+func gcResult(structure string, n int, conservative bool, stats ralloc.RecoveryStats) GCResult {
+	return GCResult{
+		Structure:       structure,
+		RequestedNodes:  n,
+		ReachableBlocks: stats.ReachableBlocks,
+		GCTime:          stats.Duration,
+		TraceTime:       stats.TraceTime,
+		SweepTime:       stats.SweepTime,
+		TraceWork:       stats.TraceWork,
+		SweepUnits:      stats.SweepUnits,
+		Conservative:    conservative,
+	}
 }
 
 func gcHeap(nodes int) (*ralloc.Heap, error) {
@@ -63,12 +85,7 @@ func GCStackParallel(n, workers int) (GCResult, error) {
 	if err != nil {
 		return GCResult{}, err
 	}
-	return GCResult{
-		Structure:       "stack",
-		RequestedNodes:  n,
-		ReachableBlocks: stats.ReachableBlocks,
-		GCTime:          stats.Duration,
-	}, nil
+	return gcResult("stack", n, false, stats), nil
 }
 
 // GCStack measures recovery time for a Treiber stack of n key-value nodes
@@ -102,13 +119,7 @@ func GCStack(n int, useFilter bool) (GCResult, error) {
 	if err != nil {
 		return GCResult{}, err
 	}
-	return GCResult{
-		Structure:       "stack",
-		RequestedNodes:  n,
-		ReachableBlocks: stats.ReachableBlocks,
-		GCTime:          stats.Duration,
-		Conservative:    !useFilter,
-	}, nil
+	return gcResult("stack", n, !useFilter, stats), nil
 }
 
 // conservativeStackHead decodes only the tagged head word, then lets the
@@ -155,10 +166,5 @@ func GCTree(n int) (GCResult, error) {
 	if err != nil {
 		return GCResult{}, err
 	}
-	return GCResult{
-		Structure:       "nmbst",
-		RequestedNodes:  n,
-		ReachableBlocks: stats.ReachableBlocks,
-		GCTime:          stats.Duration,
-	}, nil
+	return gcResult("nmbst", n, false, stats), nil
 }

@@ -38,6 +38,7 @@ type GC struct {
 
 	reachableBlocks uint64
 	reachableBytes  uint64
+	traceWork       uint64 // pointer candidates examined + words scanned
 }
 
 func newGC(h *Heap) *GC {
@@ -125,6 +126,7 @@ func (g *GC) blockInfo(off uint64) (size uint64, ok bool) {
 // it for scanning with filter f (nil = conservative). Filters call Visit for
 // every pointer they enumerate; Visit is idempotent per block.
 func (g *GC) Visit(off uint64, f Filter) {
+	g.traceWork++
 	size, ok := g.blockInfo(off)
 	if !ok || !g.mark(off) {
 		return
@@ -144,6 +146,7 @@ func (g *GC) conservative(off uint64) {
 	}
 	r := g.h.region
 	end := off + size&^7
+	g.traceWork += (end - off) / 8
 	for o := off; o < end; o += 8 {
 		if t, tok := pptr.Unpack(o, r.Load(o)); tok {
 			g.Visit(t, nil)
@@ -190,6 +193,11 @@ func (h *Heap) Trace() (blocks, bytes uint64) {
 }
 
 // RecoveryStats summarizes what Recover found and rebuilt.
+//
+// TraceWork and SweepUnits are deterministic work counters: for a fixed heap
+// image and filter registration they do not depend on scheduling or wall
+// time, so linearity properties of recovery cost can be asserted on them
+// without flaky clock-ratio comparisons.
 type RecoveryStats struct {
 	ReachableBlocks uint64
 	ReachableBytes  uint64
@@ -197,6 +205,10 @@ type RecoveryStats struct {
 	PartialSBs      uint64
 	FullSBs         uint64
 	LargeRuns       uint64
+	TraceWork       uint64 // pointer candidates examined + words scanned (trace)
+	SweepUnits      uint64 // superblocks/runs processed by the sweep
+	TraceTime       time.Duration
+	SweepTime       time.Duration
 	Duration        time.Duration
 }
 
@@ -213,8 +225,11 @@ func (h *Heap) Recover() (RecoveryStats, error) {
 	// Steps 4–5: trace.
 	g := newGC(h)
 	g.collect()
+	traceDone := time.Now()
 
 	stats := h.rebuildFromTrace(g)
+	stats.TraceTime = traceDone.Sub(start)
+	stats.SweepTime = time.Since(traceDone)
 	stats.Duration = time.Since(start)
 	return stats, nil
 }
@@ -226,19 +241,21 @@ func (h *Heap) Recover() (RecoveryStats, error) {
 // after partial, single-process crashes (Manager.Collect).
 func (h *Heap) rebuildFromTrace(g *GC) RecoveryStats {
 	r := h.region
-	// Step 3: fresh global lists.
-	r.Store(offFreeHead, pptr.HeadNil)
-	for c := 0; c <= sizeclass.NumClasses; c++ {
-		r.Store(partialHeadOff(c), pptr.HeadNil)
-	}
+	// Step 3: fresh global lists. Every shard slot up to MaxShards is
+	// cleared — not just the active h.shards — so that stale heads left by
+	// a crashed session that ran with a larger shard count can never leak
+	// descriptors into a later remap.
+	h.resetLists()
 
 	// Steps 6–9: sweep every used superblock and rebuild its metadata.
 	stats := RecoveryStats{
 		ReachableBlocks: g.reachableBlocks,
 		ReachableBytes:  g.reachableBytes,
+		TraceWork:       g.traceWork,
 	}
 	n := h.usedDescs()
 	for i := uint32(0); i < n; {
+		stats.SweepUnits++
 		d := h.lay.descOff(i)
 		cls := r.Load(d + dOffClass)
 		bs := r.Load(d + dOffBlockSize)
@@ -285,6 +302,19 @@ func (h *Heap) rebuildFromTrace(g *GC) RecoveryStats {
 	return stats
 }
 
+// resetLists clears the superblock free list and every partial-list shard
+// slot (all MaxShards of them, active or not).
+func (h *Heap) resetLists() {
+	r := h.region
+	r.Store(offFreeHead, pptr.HeadNil)
+	for c := 0; c <= sizeclass.NumClasses; c++ {
+		r.Store(classEntryOff(c)+8, pptr.HeadNil) // reserved pre-v2 slot
+		for s := uint32(0); s < MaxShards; s++ {
+			r.Store(partialHeadOff(c, s), pptr.HeadNil)
+		}
+	}
+}
+
 // clearAndRetire resets descriptor i to the uninitialized state and pushes
 // its superblock onto the free list.
 func (h *Heap) clearAndRetire(i uint32) {
@@ -325,7 +355,10 @@ func (h *Heap) sweepSmall(g *GC, i uint32, c int, bs uint64, stats *RecoveryStat
 		stats.FullSBs++
 	default:
 		r.Store(d+dOffAnchor, packAnchor(statePartial, uint32(chainHead-1), nFree))
-		h.pushDesc(partialHeadOff(c), dOffNextPartial, i)
+		// Deterministic shard placement (index mod shard count): the
+		// per-shard membership is the same whether the sweep runs
+		// sequentially or in parallel.
+		h.pushPartial(c, h.partialShardOf(i), i)
 		stats.PartialSBs++
 	}
 }
@@ -373,24 +406,31 @@ func (h *Heap) CheckInvariants() (HeapCheck, error) {
 
 	onPartial := make(map[uint32]int)
 	for c := 1; c <= sizeclass.NumClasses; c++ {
-		_, idx, ok := pptr.UnpackHead(r.Load(partialHeadOff(c)))
-		for ok {
-			if prev, dup := onPartial[idx]; dup {
-				return chk, fmt.Errorf("superblock %d on partial lists %d and %d", idx, prev, c)
+		// Walk every shard slot, active or not: a descriptor stranded on
+		// an inactive shard's list is a leak and must be reported.
+		for s := uint32(0); s < MaxShards; s++ {
+			_, idx, ok := pptr.UnpackHead(r.Load(partialHeadOff(c, s)))
+			if ok && s >= h.shards {
+				return chk, fmt.Errorf("superblock %d stranded on inactive shard %d of class %d", idx, s, c)
 			}
-			if onFree[idx] {
-				return chk, fmt.Errorf("superblock %d on both free and partial lists", idx)
+			for ok {
+				if prev, dup := onPartial[idx]; dup {
+					return chk, fmt.Errorf("superblock %d on partial lists %d and %d", idx, prev, c)
+				}
+				if onFree[idx] {
+					return chk, fmt.Errorf("superblock %d on both free and partial lists", idx)
+				}
+				if cls := r.Load(h.lay.descOff(idx) + dOffClass); cls != uint64(c) {
+					return chk, fmt.Errorf("superblock %d has class %d but is on partial list %d", idx, cls, c)
+				}
+				onPartial[idx] = c
+				chk.PartialLens[c]++
+				next := r.Load(h.lay.descOff(idx) + dOffNextPartial)
+				if next == 0 {
+					break
+				}
+				idx = uint32(next - 1)
 			}
-			if cls := r.Load(h.lay.descOff(idx) + dOffClass); cls != uint64(c) {
-				return chk, fmt.Errorf("superblock %d has class %d but is on partial list %d", idx, cls, c)
-			}
-			onPartial[idx] = c
-			chk.PartialLens[c]++
-			next := r.Load(h.lay.descOff(idx) + dOffNextPartial)
-			if next == 0 {
-				break
-			}
-			idx = uint32(next - 1)
 		}
 	}
 

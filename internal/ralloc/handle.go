@@ -16,6 +16,7 @@ import (
 // use panics.
 type Handle struct {
 	heap    *Heap
+	shard   uint32 // home partial-list shard
 	invalid bool
 	cache   [sizeclass.NumClasses + 1][]uint64
 
@@ -52,7 +53,8 @@ func (hd *Handle) Malloc(size uint64) uint64 {
 
 // Free deallocates a block previously returned by Malloc. Small blocks go
 // to the thread cache; when the cache overflows, blocks are pushed back to
-// their superblocks' free lists (flushCache).
+// their superblocks' free chains in per-superblock batches (drain →
+// flushBlocks).
 func (hd *Handle) Free(off uint64) {
 	if off == 0 {
 		return
@@ -101,9 +103,10 @@ func (hd *Handle) refill(c int) bool {
 	hd.refills++
 
 	// 1. Partial superblock: reserve all of its free blocks with one CAS.
+	// The pop prefers the handle's home shard and steals round-robin.
 partial:
 	for {
-		idx, ok := h.popDesc(partialHeadOff(c), dOffNextPartial)
+		idx, ok := h.popPartial(c, hd.shard)
 		if !ok {
 			break
 		}
@@ -200,10 +203,46 @@ func (hd *Handle) drain(c int) {
 	if hd.heap.cfg.ReturnHalf {
 		n = len(blocks) / 2
 	}
-	for _, b := range blocks[:n] {
-		hd.heap.freeToSuperblock(c, b)
-	}
+	hd.flushBlocks(c, blocks[:n])
 	hd.cache[c] = append(hd.cache[c][:0], blocks[n:]...)
+}
+
+// flushBlocks is the handle's remote-free buffer: it groups the outgoing
+// class-c blocks by superblock and splices each group into its superblock's
+// free chain with a single anchor CAS (mimalloc-style batched remote free).
+// Under the UnbatchedFree ablation each block pays its own CAS, the paper's
+// published per-block path.
+func (hd *Handle) flushBlocks(c int, blocks []uint64) {
+	h := hd.heap
+	if len(blocks) == 0 {
+		return
+	}
+	if h.cfg.UnbatchedFree {
+		for i := range blocks {
+			h.freeBatch(c, hd.shard, blocks[i:i+1])
+		}
+		return
+	}
+	// Group consecutive runs of same-superblock blocks, allocation-free.
+	// Refill fills the cache a superblock at a time and drains preserve
+	// order, so the runs are long in practice; an interleaved cache only
+	// degrades toward the per-block path, never below it.
+	start := 0
+	cur, ok := h.lay.descIndexOf(blocks[0])
+	if !ok {
+		panic(fmt.Sprintf("ralloc: Free(%#x) outside the superblock region", blocks[0]))
+	}
+	for i := 1; i < len(blocks); i++ {
+		idx, ok := h.lay.descIndexOf(blocks[i])
+		if !ok {
+			panic(fmt.Sprintf("ralloc: Free(%#x) outside the superblock region", blocks[i]))
+		}
+		if idx != cur {
+			h.freeBatch(c, hd.shard, blocks[start:i])
+			start, cur = i, idx
+		}
+	}
+	h.freeBatch(c, hd.shard, blocks[start:])
 }
 
 // Flush returns every cached block to its superblock — what a thread's
@@ -216,42 +255,54 @@ func (hd *Handle) Flush() {
 // returnAll empties every cache (clean shutdown).
 func (hd *Handle) returnAll() {
 	for c := 1; c <= sizeclass.NumClasses; c++ {
-		for _, b := range hd.cache[c] {
-			hd.heap.freeToSuperblock(c, b)
-		}
+		hd.flushBlocks(c, hd.cache[c])
 		hd.cache[c] = nil
 	}
 }
 
-// freeToSuperblock pushes one block back onto its superblock's internal free
-// chain with a CAS on the descriptor's anchor, and performs the resulting
-// state transition: FULL→PARTIAL descriptors are pushed to the class's
-// partial list; a superblock that becomes entirely free is retired to the
-// superblock free list if it was FULL (single-block classes), or lazily when
-// later fetched from the partial list (§4.4).
-func (h *Heap) freeToSuperblock(c int, off uint64) {
+// freeBatch pushes a group of blocks — all residing in the same superblock —
+// back onto that superblock's internal free chain with a single CAS on the
+// descriptor's anchor, and performs the resulting state transition:
+// FULL→PARTIAL descriptors are pushed to the freeing handle's home shard of
+// the class's partial list; a superblock that becomes entirely free is
+// retired to the superblock free list if it was FULL (possible for any class
+// now that a batch can return a full superblock's worth at once), or lazily
+// when later fetched from the partial list (§4.4). The group's internal links are written once, outside the retry
+// loop; only the tail link is rewritten per CAS attempt, so a group of n
+// blocks costs n+1 stores and one successful CAS instead of n.
+func (h *Heap) freeBatch(c int, shard uint32, blocks []uint64) {
 	r := h.region
-	idx, ok := h.lay.descIndexOf(off)
+	idx, ok := h.lay.descIndexOf(blocks[0])
 	if !ok {
-		panic("ralloc: freeToSuperblock out of range")
+		panic(fmt.Sprintf("ralloc: Free(%#x) outside the superblock region", blocks[0]))
 	}
 	d := h.lay.descOff(idx)
 	sb := h.lay.sbOff(idx)
 	blockSize := r.Load(d + dOffBlockSize)
-	if blockSize == 0 || (off-sb)%blockSize != 0 {
-		panic(fmt.Sprintf("ralloc: Free(%#x) is not a block boundary", off))
+	if blockSize == 0 {
+		panic(fmt.Sprintf("ralloc: Free(%#x) is not a block boundary", blocks[0]))
 	}
 	total := uint32(SuperblockBytes / blockSize)
-	bi := uint32((off - sb) / blockSize)
+	for _, b := range blocks {
+		if b < sb || b >= sb+SuperblockBytes || (b-sb)%blockSize != 0 {
+			panic(fmt.Sprintf("ralloc: Free(%#x) is not a block boundary", b))
+		}
+	}
+	for i := 0; i+1 < len(blocks); i++ {
+		r.Store(blocks[i], (blocks[i+1]-sb)/blockSize+1)
+	}
+	headBI := uint32((blocks[0] - sb) / blockSize)
+	tail := blocks[len(blocks)-1]
+	n := uint32(len(blocks))
 	for {
 		a := r.Load(d + dOffAnchor)
 		st, avail, count := unpackAnchor(a)
 		if count == 0 || avail == anchorAvailNone {
-			r.Store(off, 0)
+			r.Store(tail, 0)
 		} else {
-			r.Store(off, uint64(avail)+1)
+			r.Store(tail, uint64(avail)+1)
 		}
-		newCount := count + 1
+		newCount := count + n
 		if newCount > total {
 			panic("ralloc: double free detected (free count exceeds superblock capacity)")
 		}
@@ -259,14 +310,14 @@ func (h *Heap) freeToSuperblock(c int, off uint64) {
 		if newCount == total {
 			newState = stateEmpty
 		}
-		if !r.CAS(d+dOffAnchor, a, packAnchor(newState, bi, newCount)) {
+		if !r.CAS(d+dOffAnchor, a, packAnchor(newState, headBI, newCount)) {
 			continue
 		}
 		if st == stateFull {
 			if newState == stateEmpty {
 				h.retireDesc(idx)
 			} else {
-				h.pushDesc(partialHeadOff(c), dOffNextPartial, idx)
+				h.pushPartial(c, shard, idx)
 			}
 		}
 		return

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/pmem"
 	"repro/internal/pptr"
@@ -34,6 +36,18 @@ type Config struct {
 	// CacheCap caps each per-class thread cache; 0 means one superblock's
 	// worth of blocks, LRMalloc's natural refill unit.
 	CacheCap int
+	// Shards is the number of independent partial-list shards per size
+	// class (a power of two, at most MaxShards; other values are rounded
+	// up/clamped). Handles are pinned round-robin to a home shard and
+	// steal from the others on miss, so concurrent handles contend on
+	// distinct list heads. 0 selects a power of two near GOMAXPROCS;
+	// Shards=1 reproduces the paper's single global partial list.
+	Shards int
+	// UnbatchedFree disables batched remote frees: an overflowing thread
+	// cache returns blocks with one anchor CAS per block (the paper's
+	// published behavior, §4.2) instead of one CAS per superblock group.
+	// Exposed for the contended-free ablation.
+	UnbatchedFree bool
 	// Pmem configures the underlying simulated persistent region.
 	Pmem pmem.Config
 }
@@ -46,6 +60,15 @@ func (c Config) withDefaults() Config {
 		c.GrowthChunk = 4 << 20
 	}
 	c.GrowthChunk = (c.GrowthChunk + SuperblockBytes - 1) / SuperblockBytes * SuperblockBytes
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.Shards > MaxShards {
+		c.Shards = MaxShards
+	}
+	for c.Shards&(c.Shards-1) != 0 {
+		c.Shards++
+	}
 	return c
 }
 
@@ -57,6 +80,10 @@ type Heap struct {
 	cfg    Config
 	lay    layout
 	path   string
+
+	shards    uint32 // partial-list shards per class (power of two)
+	shardMask uint32 // shards - 1
+	nextShard atomic.Uint32
 
 	mu      sync.Mutex // guards handles and filters
 	handles []*Handle
@@ -96,8 +123,14 @@ func Open(path string, cfg Config) (h *Heap, dirty bool, err error) {
 
 	region := pmem.NewRegion(lay.total, cfg.Pmem)
 	h = &Heap{region: region, cfg: cfg, lay: lay, path: path}
+	h.setShards(uint32(cfg.Shards))
 	h.initialize()
 	return h, false, nil
+}
+
+func (h *Heap) setShards(n uint32) {
+	h.shards = n
+	h.shardMask = n - 1
 }
 
 // Attach re-attaches to an existing region (for example after a simulated
@@ -125,9 +158,28 @@ func attach(region *pmem.Region, cfg Config, path string) (*Heap, bool, error) {
 	}
 	cfg.SBRegion = sbSize
 	h := &Heap{region: region, cfg: cfg, lay: lay, path: path}
+	h.setShards(uint32(cfg.Shards))
 	wasDirty := region.Load(offDirty) != 0
-	// Set the dirty indicator for this session (cleared again by Close).
+	stored := region.Load(offShards)
+	if stored < 1 || stored > MaxShards || stored&(stored-1) != 0 {
+		return nil, false, fmt.Errorf("ralloc: corrupt shard count %d in heap image", stored)
+	}
+	// Set the dirty indicator for this session (cleared again by Close)
+	// *before* touching the lists below: a crash mid-remap must trigger
+	// recovery on the next attach, not leak the descriptors in flight.
 	h.setDirty(1)
+	// Reconcile the configured shard count with the geometry the stored
+	// lists were built under. A clean image's lists are remapped in place;
+	// a dirty image's lists are transient garbage that the mandatory
+	// Recover rebuilds under the new count anyway.
+	if uint32(stored) != h.shards {
+		if !wasDirty {
+			h.remapShards(uint32(stored))
+		}
+		region.Store(offShards, uint64(h.shards))
+		h.flush(offShards)
+		h.fence()
+	}
 	return h, wasDirty, nil
 }
 
@@ -137,10 +189,14 @@ func (h *Heap) initialize() {
 	r.Store(offSBSize, h.lay.sbSize)
 	r.Store(offSBUsed, 0)
 	r.Store(offFreeHead, pptr.HeadNil)
+	r.Store(offShards, uint64(h.shards))
 	for c := 0; c <= sizeclass.NumClasses; c++ {
 		e := classEntryOff(c)
 		r.Store(e, sizeclass.ClassToSize(c))
-		r.Store(e+8, pptr.HeadNil)
+		r.Store(e+8, pptr.HeadNil) // reserved (pre-v2 partial head)
+		for s := uint32(0); s < MaxShards; s++ {
+			r.Store(partialHeadOff(c, s), pptr.HeadNil)
+		}
 	}
 	for i := 0; i < NumRoots; i++ {
 		r.Store(rootOff(i), pptr.Nil)
@@ -282,9 +338,10 @@ func (h *Heap) usedDescs() uint32 {
 // ----------------------------------------------------------------------
 // Handles and shutdown.
 
-// NewHandle returns a fresh per-goroutine allocation context.
+// NewHandle returns a fresh per-goroutine allocation context, pinned
+// round-robin to a home partial-list shard.
 func (h *Heap) NewHandle() *Handle {
-	hd := &Handle{heap: h}
+	hd := &Handle{heap: h, shard: (h.nextShard.Add(1) - 1) & h.shardMask}
 	h.mu.Lock()
 	if h.closed {
 		h.mu.Unlock()
@@ -311,6 +368,11 @@ func (h *Heap) dropHandles() {
 // held in thread caches are returned to their superblocks, the heap is
 // written back to NVM, the dirty indicator is cleared, and — if the heap is
 // file-backed — the image is saved.
+//
+// If the final save fails, the dirty indicator is restored before the error
+// is returned: the on-disk image (if any) predates this shutdown, so the
+// session must not be recorded as a clean close. The heap stays closed; the
+// caller can retry persistence via Region().SaveFile.
 func (h *Heap) Close() error {
 	h.mu.Lock()
 	if h.closed {
@@ -331,7 +393,10 @@ func (h *Heap) Close() error {
 	h.setDirty(0)
 	h.region.Persist()
 	if h.path != "" {
-		return h.region.SaveFile(h.path)
+		if err := h.region.SaveFile(h.path); err != nil {
+			h.setDirty(1)
+			return fmt.Errorf("ralloc: close: saving heap image: %w", err)
+		}
 	}
 	return nil
 }

@@ -6,7 +6,8 @@
 //
 //   - the metadata region (fixed size): dirty indicator, superblock-region
 //     size and used watermark, the superblock free-list head, one record per
-//     size class (block size + partial-list head), and 1024 persistent roots;
+//     size class (block size), 1024 persistent roots, and the sharded
+//     partial-list heads (one head word per size class per shard);
 //   - the descriptor region: one 64-byte descriptor per superblock, the
 //     locus of synchronization for that superblock;
 //   - the superblock region: an array of 64 KB superblocks holding the
@@ -35,7 +36,14 @@ const (
 	// heapMagic identifies an initialized Ralloc heap image ("RALLOC1\0").
 	heapMagic = 0x0031434C4C4152
 	// heapVersion is bumped on incompatible layout changes.
-	heapVersion = 1
+	// v2: partial-list heads moved from the size-class records into the
+	// sharded head array at offShardHeads; shard count stored at offShards.
+	heapVersion = 2
+
+	// MaxShards bounds the number of partial-list shards per size class.
+	// 64 shard sets of 40 head words each fit comfortably in the metadata
+	// region after the roots (offShardHeads + 64*shardSetBytes < MetaBytes).
+	MaxShards = 64
 )
 
 // Metadata-region field offsets (bytes from the start of the region).
@@ -47,10 +55,20 @@ const (
 	offSBUsed   = 32 // bytes of the superblock region in use  [flushed]
 	offFreeHead = 40 // superblock free-list head (ABA-counted)
 
+	offShards = 48 // partial-list shard count the stored lists were built for
+
 	offClasses      = 64 // 40 size-class records
-	classEntryBytes = 16 // blockSize, partialHead
+	classEntryBytes = 16 // blockSize, reserved (pre-v2 partial head)
 	offRoots        = offClasses + 40*classEntryBytes
-	// roots occupy NumRoots*8 = 8192 bytes; offRoots+8192 = 8896 < MetaBytes.
+	// roots occupy NumRoots*8 = 8192 bytes; offRoots+8192 = 8896.
+
+	// offShardHeads starts the sharded partial-list heads: MaxShards sets,
+	// each holding one head word per size class. Laying the array out
+	// shard-major keeps different shards' heads of the same class at least
+	// shardSetBytes (320 B) apart, so contending handles never false-share
+	// a cache line. 8896 + 64*320 = 29376 < MetaBytes.
+	offShardHeads = offRoots + NumRoots*8
+	shardSetBytes = 40 * 8 // one head per size-class record
 )
 
 // Descriptor field offsets (bytes from the start of the descriptor).

@@ -1,6 +1,9 @@
 package ralloc
 
-import "repro/internal/pptr"
+import (
+	"repro/internal/pptr"
+	"repro/internal/sizeclass"
+)
 
 // Ralloc's global lists — the superblock free list and the per-class partial
 // lists — are lock-free Treiber stacks of descriptors (§4.2). The head words
@@ -51,8 +54,34 @@ func (h *Heap) popDesc(headOff, linkOff uint64) (uint32, bool) {
 }
 
 // partialHeadOff returns the metadata offset of size class c's partial-list
-// head word.
-func partialHeadOff(c int) uint64 { return classEntryOff(c) + 8 }
+// head word in shard s (§4.2, sharded: each class's transient partial list
+// is split into Config.Shards independent Treiber stacks so that concurrent
+// handles contend on distinct head words).
+func partialHeadOff(c int, s uint32) uint64 {
+	return offShardHeads + uint64(s)*shardSetBytes + uint64(c)*8
+}
+
+// partialShardOf maps a descriptor index to its recovery-deterministic
+// shard. Normal-operation pushes instead use the freeing handle's home
+// shard; both placements are valid because every pop falls back to stealing.
+func (h *Heap) partialShardOf(idx uint32) uint32 { return idx & h.shardMask }
+
+// pushPartial pushes descriptor idx onto class c's partial list in shard s.
+func (h *Heap) pushPartial(c int, s uint32, idx uint32) {
+	h.pushDesc(partialHeadOff(c, s), dOffNextPartial, idx)
+}
+
+// popPartial pops a descriptor from class c's partial list, trying the home
+// shard first and then stealing round-robin from the remaining shards.
+func (h *Heap) popPartial(c int, home uint32) (uint32, bool) {
+	for i := uint32(0); i < h.shards; i++ {
+		s := (home + i) & h.shardMask
+		if idx, ok := h.popDesc(partialHeadOff(c, s), dOffNextPartial); ok {
+			return idx, true
+		}
+	}
+	return 0, false
+}
 
 // retireDesc resets a fully-free superblock's descriptor and returns it to
 // the superblock free list, making it available for any size class (§4.4).
@@ -65,6 +94,29 @@ func (h *Heap) retireDesc(idx uint32) {
 	r.Store(d+dOffNumSB, 0)
 	r.Store(d+dOffAnchor, packAnchor(stateEmpty, anchorAvailNone, 0))
 	h.pushDesc(offFreeHead, dOffNextFree, idx)
+}
+
+// remapShards redistributes every partial list built under an oldShards
+// geometry onto the current h.shards geometry (descriptor index mod shard
+// count). The caller must hold the heap quiescent with trustworthy lists
+// (clean attach or resize); a dirty heap's lists are rebuilt by recovery
+// instead.
+func (h *Heap) remapShards(oldShards uint32) {
+	for c := 1; c <= sizeclass.NumClasses; c++ {
+		var descs []uint32
+		for s := uint32(0); s < oldShards; s++ {
+			for {
+				idx, ok := h.popDesc(partialHeadOff(c, s), dOffNextPartial)
+				if !ok {
+					break
+				}
+				descs = append(descs, idx)
+			}
+		}
+		for _, idx := range descs {
+			h.pushPartial(c, h.partialShardOf(idx), idx)
+		}
+	}
 }
 
 // listLen walks a descriptor list; used by tests and recovery verification.

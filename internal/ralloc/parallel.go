@@ -139,10 +139,6 @@ func (h *Heap) RecoverParallel(workers int) (RecoveryStats, error) {
 	h.dropHandles()
 
 	r := h.region
-	r.Store(offFreeHead, pptr.HeadNil)
-	for c := 0; c <= sizeclass.NumClasses; c++ {
-		r.Store(partialHeadOff(c), pptr.HeadNil)
-	}
 
 	// Step 5, parallel: one GC per worker over a shared bitmap.
 	used := h.SBUsed()
@@ -163,6 +159,7 @@ func (h *Heap) RecoverParallel(workers int) (RecoveryStats, error) {
 		if !ok {
 			continue
 		}
+		seq.traceWork++
 		size, valid := seq.blockInfo(target)
 		if !valid || !seq.mark(target) {
 			continue
@@ -184,11 +181,18 @@ func (h *Heap) RecoverParallel(workers int) (RecoveryStats, error) {
 		}(g)
 	}
 	wg.Wait()
+	traceDone := time.Now()
+
+	// Step 3: fresh global lists. Done on the sweep side of the timestamp,
+	// like the sequential path (rebuildFromTrace), so the TraceTime /
+	// SweepTime decomposition agrees between the two.
+	h.resetLists()
 
 	stats := RecoveryStats{}
 	for _, g := range append(gcs, seq) {
 		stats.ReachableBlocks += g.reachableBlocks
 		stats.ReachableBytes += g.reachableBytes
+		stats.TraceWork += g.traceWork
 	}
 
 	// Steps 6–9, parallel: partition into units, then fan out.
@@ -271,9 +275,12 @@ func (h *Heap) RecoverParallel(workers int) (RecoveryStats, error) {
 	stats.PartialSBs = partials.Load()
 	stats.FullSBs = fulls.Load()
 	stats.LargeRuns = runs.Load()
+	stats.SweepUnits = uint64(len(units))
 
 	h.flushRange(0, h.region.Size())
 	h.fence()
+	stats.TraceTime = traceDone.Sub(start)
+	stats.SweepTime = time.Since(traceDone)
 	stats.Duration = time.Since(start)
 	return stats, nil
 }

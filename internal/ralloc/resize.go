@@ -50,6 +50,7 @@ func Resize(h *Heap, newSBSize uint64, cfg Config) (*Heap, error) {
 	old := h.region
 	region := pmem.NewRegion(newLay.total, cfg.Pmem)
 	nh := &Heap{region: region, cfg: cfg, lay: newLay, path: h.path}
+	nh.setShards(uint32(cfg.Shards))
 
 	// Metadata region: verbatim copy, then the one geometry word that
 	// changes (§4.1: "resizing only changes the first word of the
@@ -76,6 +77,15 @@ func Resize(h *Heap, newSBSize uint64, cfg Config) (*Heap, error) {
 		for w := uint64(0); w < DescBytes; w += 8 {
 			region.Store(dst+w, old.Load(src+w))
 		}
+	}
+
+	// The source is quiescent with trustworthy lists, so a shard-count
+	// change is reconciled by remapping, exactly as on a clean attach.
+	// This must follow the descriptor copy: the list links being walked
+	// live in the relocated descriptors.
+	if stored := uint32(old.Load(offShards)); stored != nh.shards {
+		nh.remapShards(stored)
+		region.Store(offShards, uint64(nh.shards))
 	}
 
 	region.FlushRange(0, region.Size())
