@@ -8,6 +8,14 @@
 //	ralloc-apps -app vacation
 //	ralloc-apps -app memcached -workload a
 //	ralloc-apps -app memcached -workload b -threads 1,2,4
+//	ralloc-apps -app memcached -workload a -net -pipeline 32
+//	ralloc-apps -app memcached -workload c -valuesize 1024
+//
+// With -net, the memcached workload additionally runs over sockets — the
+// store served by internal/server on a unix socket, each thread a pipelining
+// RESP client — and both the library-mode and network-mode K ops/s are
+// printed, so the cost of the network layer the paper removed is measured
+// directly.
 package main
 
 import (
@@ -27,10 +35,13 @@ import (
 func main() {
 	var (
 		app       = flag.String("app", "vacation", "vacation | memcached")
-		workload  = flag.String("workload", "a", "YCSB workload: a (50/50) or b (95/5)")
+		workload  = flag.String("workload", "a", "YCSB workload: a (50/50), b (95/5) or c (read-only)")
 		threadStr = flag.String("threads", "", "comma-separated thread counts")
 		scale     = flag.Float64("scale", 1.0, "workload scale factor")
 		records   = flag.Int("records", 100_000, "memcached record count (paper: 100K)")
+		valueSize = flag.Int("valuesize", 0, "memcached value bytes per record (0: workload default, 100)")
+		netMode   = flag.Bool("net", false, "also run memcached over sockets (unix socket + RESP pipeline)")
+		pipeline  = flag.Int("pipeline", 16, "commands in flight per network client (with -net)")
 		relations = flag.Int("relations", 16384, "vacation relations (paper: 16384)")
 		flushNs   = flag.Int("flushns", int(bench.DefaultNVM.FlushLatency/time.Nanosecond), "simulated flush latency (ns)")
 		heapMB    = flag.Uint64("heapmb", 1024, "heap size per allocator instance (MB)")
@@ -74,16 +85,34 @@ func main() {
 			func(a alloc.Allocator, t int) bench.Result { return bench.Vacation(a, t, cfg) },
 			func(r bench.Result) float64 { return r.Seconds() })
 	case "memcached":
-		w := ycsb.WorkloadA(*records)
-		if *workload == "b" {
+		var w ycsb.Workload
+		switch *workload {
+		case "a":
+			w = ycsb.WorkloadA(*records)
+		case "b":
 			w = ycsb.WorkloadB(*records)
+		case "c":
+			w = ycsb.WorkloadC(*records)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+			os.Exit(2)
+		}
+		if *valueSize > 0 {
+			w.ValueSize = *valueSize
 		}
 		cfg := bench.MemcachedConfig{Workload: w, OpsPerTh: scaleN(20000)}
-		fmt.Printf("# Figure 5f: Memcached YCSB-%s — K ops/sec (higher is better); %d records\n",
-			strings.ToUpper(*workload), *records)
+		fmt.Printf("# Figure 5f: Memcached YCSB-%s — K ops/sec (higher is better); %d records, %d B values, library mode\n",
+			strings.ToUpper(*workload), *records, w.ValueSize)
 		printSweep(factories, bench.AllocNames, threads, *heapMB<<20,
 			func(a alloc.Allocator, t int) bench.Result { return bench.Memcached(a, t, cfg) },
 			func(r bench.Result) float64 { return r.Kops() })
+		if *netMode {
+			fmt.Printf("# Memcached YCSB-%s — K ops/sec, network mode (unix socket, RESP, pipeline %d)\n",
+				strings.ToUpper(*workload), *pipeline)
+			printSweep(factories, bench.AllocNames, threads, *heapMB<<20,
+				func(a alloc.Allocator, t int) bench.Result { return bench.MemcachedNet(a, t, cfg, *pipeline) },
+				func(r bench.Result) float64 { return r.Kops() })
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
 		os.Exit(2)

@@ -1,0 +1,211 @@
+// Command ralloc-serve is the stand-alone network server the paper's
+// application study deliberately stripped away (§6.3): a RESP2-speaking
+// key-value server whose entire dataset lives in a recoverable Ralloc heap.
+// A SIGKILL'd server restarts through Open → dirty → Recover →
+// kvstore.AttachBounded and keeps serving from the last checkpoint; a clean
+// shutdown (SIGTERM or the SHUTDOWN command) drains connections and writes
+// the heap image back with the dirty flag cleared.
+//
+//	ralloc-serve -heap /tmp/kv.heap -tcp :6379
+//	ralloc-serve -heap /tmp/kv.heap -unix /tmp/kv.sock -boundmb 64 -checkpoint 30s
+//
+// Speak to it with any RESP client (redis-cli included), or
+// internal/server.Client, or cmd/ralloc-apps -app memcached -net.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/kvstore"
+	"repro/internal/pmem"
+	"repro/internal/ralloc"
+	"repro/internal/server"
+)
+
+const rootKV = 0
+
+func main() {
+	var (
+		heapPath   = flag.String("heap", "", "heap image path (empty: volatile, data dies with the process)")
+		heapMB     = flag.Uint64("heapmb", 256, "superblock region size (MB)")
+		shards     = flag.Int("shards", 0, "partial-list shards per size class (0: near GOMAXPROCS)")
+		buckets    = flag.Int("buckets", 65536, "hash buckets for a freshly created store")
+		boundMB    = flag.Uint64("boundmb", 0, "LRU memory budget (MB); 0 = unbounded")
+		tcpAddr    = flag.String("tcp", "", "TCP listen address (e.g. :6379)")
+		unixAddr   = flag.String("unix", "", "unix socket path")
+		maxConns   = flag.Int("maxconns", 0, "max simultaneous connections; 0 = unlimited")
+		checkpoint = flag.Duration("checkpoint", 0, "periodic checkpoint interval (file-backed heaps); 0 disables")
+		drain      = flag.Duration("drain", 5*time.Second, "graceful shutdown drain timeout")
+	)
+	flag.Parse()
+	if *tcpAddr == "" && *unixAddr == "" {
+		*tcpAddr = ":6379"
+	}
+
+	cfg := ralloc.Config{
+		SBRegion: *heapMB << 20,
+		Shards:   *shards,
+		Pmem:     pmem.Config{Mode: pmem.ModeCrashSim},
+	}
+	heap, dirty, err := ralloc.Open(*heapPath, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	a := heap.AsAllocator()
+	bound := *boundMB << 20
+
+	// Recovery-on-restart sequence: locate the persistent root, run GC
+	// recovery if the last session did not close cleanly, then re-attach
+	// the store (rebuilding the LRU index when a budget is configured).
+	var store *kvstore.Store
+	root := heap.GetRoot(rootKV, nil)
+	switch {
+	case root == 0:
+		hd := heap.NewHandle()
+		if bound > 0 {
+			store, root = kvstore.OpenBounded(a, hd, *buckets, bound)
+		} else {
+			store, root = kvstore.Open(a, hd, *buckets)
+		}
+		heap.SetRoot(rootKV, root)
+		fmt.Printf("created store (%d buckets, bound %d MB)\n", *buckets, *boundMB)
+	case dirty:
+		heap.GetRoot(rootKV, kvstore.Attach(a, root).Filter())
+		stats, err := heap.Recover()
+		if err != nil {
+			fatal(fmt.Errorf("recovery: %w", err))
+		}
+		store = reattach(a, root, bound)
+		fmt.Printf("recovered after crash: %d reachable blocks (%d KB) in %v; %d records\n",
+			stats.ReachableBlocks, stats.ReachableBytes/1024, stats.Duration, store.Len())
+	default:
+		store = reattach(a, root, bound)
+		fmt.Printf("reopened after clean shutdown: %d records\n", store.Len())
+	}
+
+	shutdownCh := make(chan os.Signal, 2)
+	signal.Notify(shutdownCh, syscall.SIGINT, syscall.SIGTERM)
+	// requestShutdown never blocks: after the first delivery the main
+	// goroutine stops receiving, and extra triggers must not hang senders.
+	requestShutdown := func() {
+		select {
+		case shutdownCh <- syscall.SIGTERM:
+		default:
+		}
+	}
+
+	srvCfg := server.Config{
+		MaxConns:   *maxConns,
+		OnShutdown: requestShutdown,
+		Info: func() string {
+			return fmt.Sprintf("# Heap\r\nsb_used_bytes:%d\r\nheap_dirty_at_open:%v\r\n",
+				heap.SBUsed(), dirty)
+		},
+	}
+	if *heapPath != "" {
+		srvCfg.Checkpoint = func() error {
+			// With command execution quiesced, a full write-back makes the
+			// shadow image consistent; SaveFile then checkpoints exactly
+			// the survivable state (the dirty flag rides along still set,
+			// so a SIGKILL after this point recovers from here).
+			heap.Region().Persist()
+			return heap.Region().SaveFile(*heapPath)
+		}
+	}
+	srv := server.New(a, store, srvCfg)
+
+	for _, l := range listen(*tcpAddr, *unixAddr) {
+		fmt.Printf("listening on %s://%s\n", l.Addr().Network(), l.Addr())
+		go func(l net.Listener) {
+			if err := srv.Serve(l); err != nil && err != server.ErrServerClosed {
+				// A dead listener is fatal to serving but must still go
+				// through the clean shutdown path, not os.Exit: the heap
+				// image has acknowledged writes to save.
+				fmt.Fprintf(os.Stderr, "serve %s: %v\n", l.Addr(), err)
+				requestShutdown()
+			}
+		}(l)
+	}
+
+	stopTicker := make(chan struct{})
+	var tickerWG sync.WaitGroup
+	if *checkpoint > 0 && *heapPath != "" {
+		tickerWG.Add(1)
+		go func() {
+			defer tickerWG.Done()
+			t := time.NewTicker(*checkpoint)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := srv.Save(); err != nil {
+						fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+					}
+				case <-stopTicker:
+					return
+				}
+			}
+		}()
+	}
+
+	sig := <-shutdownCh
+	fmt.Printf("shutting down (%v): draining connections...\n", sig)
+	// Join the ticker before Close: an in-flight checkpoint SaveFile must
+	// not race Close's own SaveFile on the same image path.
+	close(stopTicker)
+	tickerWG.Wait()
+	if err := srv.Shutdown(*drain); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	if *unixAddr != "" {
+		os.Remove(*unixAddr)
+	}
+	if err := heap.Close(); err != nil {
+		fatal(err)
+	}
+	if *heapPath != "" {
+		fmt.Printf("heap saved cleanly to %s\n", *heapPath)
+	}
+}
+
+// reattach re-opens the store at root, bounded when a budget is set.
+func reattach(a alloc.Allocator, root, bound uint64) *kvstore.Store {
+	if bound > 0 {
+		return kvstore.AttachBounded(a, root, bound)
+	}
+	return kvstore.Attach(a, root)
+}
+
+// listen opens the configured listeners, removing a stale unix socket first.
+func listen(tcpAddr, unixAddr string) []net.Listener {
+	var ls []net.Listener
+	if tcpAddr != "" {
+		l, err := net.Listen("tcp", tcpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		ls = append(ls, l)
+	}
+	if unixAddr != "" {
+		os.Remove(unixAddr)
+		l, err := net.Listen("unix", unixAddr)
+		if err != nil {
+			fatal(err)
+		}
+		ls = append(ls, l)
+	}
+	return ls
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -81,8 +81,16 @@ func fnv1a(key []byte) uint64 {
 
 func (m *HashMap) slot(key []byte) (bucketOff uint64, stripe *sync.Mutex) {
 	h := fnv1a(key)
-	b := m.buckets + (h&(m.nB-1))*8
-	return b, &m.stripes[h%uint64(len(m.stripes))]
+	i := h & (m.nB - 1)
+	// The stripe is derived from the bucket index, not the full hash: with
+	// fewer than 64 buckets, two keys in the same bucket could otherwise
+	// hash to different stripes and mutate the same chain concurrently.
+	return m.buckets + i*8, &m.stripes[i%uint64(len(m.stripes))]
+}
+
+// stripeFor returns the lock guarding bucket i's chain.
+func (m *HashMap) stripeFor(i uint64) *sync.Mutex {
+	return &m.stripes[i%uint64(len(m.stripes))]
 }
 
 // nodeKey reads the key bytes of the node at off.
@@ -179,7 +187,8 @@ func (m *HashMap) Set(h alloc.Handle, key, value []byte) bool {
 	if old != 0 {
 		h.Free(old)
 	} else {
-		r.Store(m.hdr+16, r.Load(m.hdr+16)+1)
+		// Add, not load+store: the count word is shared across stripes.
+		r.Add(m.hdr+16, 1)
 		r.Flush(m.hdr + 16)
 	}
 	mu.Unlock()
@@ -205,7 +214,7 @@ func (m *HashMap) Delete(h alloc.Handle, key []byte) bool {
 			r.Flush(prev)
 			r.Fence()
 			h.Free(off)
-			r.Store(m.hdr+16, r.Load(m.hdr+16)-1)
+			r.Add(m.hdr+16, ^uint64(0))
 			r.Flush(m.hdr + 16)
 			return true
 		}
@@ -217,6 +226,28 @@ func (m *HashMap) Delete(h alloc.Handle, key []byte) bool {
 
 // Len returns the number of keys.
 func (m *HashMap) Len() int { return int(m.r.Load(m.hdr + 16)) }
+
+// Range calls fn for every key/value pair until fn returns false. Each
+// bucket's chain is walked under its stripe lock, so fn observes consistent
+// records but must not call back into the map (use two passes to mutate:
+// collect keys, then Set/Delete them). Concurrent writers may insert or
+// remove records in buckets the walk has already passed.
+func (m *HashMap) Range(fn func(key, value []byte) bool) {
+	for i := uint64(0); i < m.nB; i++ {
+		mu := m.stripeFor(i)
+		mu.Lock()
+		slot := m.buckets + i*8
+		off, _ := pptr.Unpack(slot, m.r.Load(slot))
+		for off != 0 {
+			if !fn(m.nodeKey(off), m.nodeValue(off)) {
+				mu.Unlock()
+				return
+			}
+			off, _ = pptr.Unpack(off, m.r.Load(off))
+		}
+		mu.Unlock()
+	}
+}
 
 // Filter returns the GC filter for the map header (bucket array → chains).
 func (m *HashMap) Filter() ralloc.Filter { return HashMapFilter(m.r) }

@@ -49,9 +49,35 @@ func OpenBounded(a alloc.Allocator, h alloc.Handle, buckets int, maxBytes uint64
 
 // Attach re-opens a store whose hash-map header is at root (after restart
 // or recovery). The store re-attaches unbounded; like memcached's, the LRU
-// recency state is transient and does not survive restarts.
+// recency state is transient and does not survive restarts. A store that was
+// bounded before the restart should use AttachBounded instead, or the memory
+// budget is silently dropped.
 func Attach(a alloc.Allocator, root uint64) *Store {
 	return &Store{a: a, m: dstruct.AttachHashMap(a, root)}
+}
+
+// AttachBounded re-opens a bounded store at root, rebuilding the transient
+// LRU index by walking the persistent map. Recency order across the restart
+// is arbitrary (walk order), like memcached's cold LRU after a reboot, but
+// the byte accounting is exact, so the budget is enforced from the first Set
+// onward. If the persisted image already exceeds maxBytes — the budget may
+// have been lowered across the restart — the overage is evicted immediately.
+func AttachBounded(a alloc.Allocator, root uint64, maxBytes uint64) *Store {
+	s := Attach(a, root)
+	s.lru = newLRUIndex(maxBytes)
+	s.m.Range(func(key, value []byte) bool {
+		s.lru.prime(string(key), footprint(len(key), len(value)))
+		return true
+	})
+	if victims := s.lru.evictOver(); len(victims) > 0 {
+		h := a.NewHandle()
+		for _, victim := range victims {
+			if s.m.Delete(h, []byte(victim)) {
+				s.deletes.Add(1)
+			}
+		}
+	}
+	return s
 }
 
 // Get fetches a value.
@@ -112,6 +138,14 @@ func (s *Store) Delete(h alloc.Handle, key string) bool {
 
 // Len returns the number of records.
 func (s *Store) Len() int { return s.m.Len() }
+
+// Range calls fn for every record until fn returns false. fn runs under the
+// map's stripe locks and must not call back into the store; to mutate,
+// collect keys first and then Set/Delete them.
+func (s *Store) Range(fn func(key, value []byte) bool) { s.m.Range(fn) }
+
+// Bounded reports whether the store enforces a memory budget.
+func (s *Store) Bounded() bool { return s.lru != nil }
 
 // Stats returns a snapshot of the counters.
 func (s *Store) Stats() Stats {

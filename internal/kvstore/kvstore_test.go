@@ -199,6 +199,129 @@ func TestBoundedStoreEvictionFreesMemory(t *testing.T) {
 	}
 }
 
+func TestLRUConcurrentSetGet(t *testing.T) {
+	// Eviction under concurrent Set/Get: the LRU index and the persistent
+	// map must stay consistent with each other while victims are chosen
+	// under one lock and deleted under another. Run with -race.
+	h, _, err := ralloc.Open("", ralloc.Config{SBRegion: 32 << 20, GrowthChunk: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := h.AsAllocator()
+	budget := 200 * footprint(10, 100)
+	s, _ := OpenBounded(a, a.NewHandle(), 256, budget)
+	val := make([]byte, 100)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hd := a.NewHandle()
+			for i := 0; i < 2000; i++ {
+				key := fmt.Sprintf("w%d-%05d", w, i)
+				if !s.Set(hd, key, string(val)) {
+					t.Error("OOM")
+					return
+				}
+				// Touch a mix of own-recent and foreign keys so reads
+				// race with evictions of the same entries.
+				s.Get(key)
+				s.Get(fmt.Sprintf("w%d-%05d", (w+1)%8, i/2))
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite 80x budget of churn")
+	}
+	if st.Bytes > budget {
+		t.Fatalf("footprint %d above budget %d after quiescence", st.Bytes, budget)
+	}
+	// The LRU's view and the map must agree: every tracked byte belongs to
+	// a live record, and the record count matches a full walk.
+	walked := 0
+	var walkedBytes uint64
+	s.Range(func(k, v []byte) bool {
+		walked++
+		walkedBytes += footprint(len(k), len(v))
+		return true
+	})
+	if walked != s.Len() {
+		t.Fatalf("walked %d records, Len() = %d", walked, s.Len())
+	}
+	if walkedBytes != st.Bytes {
+		t.Fatalf("walked footprint %d, LRU accounting %d", walkedBytes, st.Bytes)
+	}
+	if _, err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttachBoundedRebuildsBudget(t *testing.T) {
+	// Attach silently drops the bound (see Attach's doc); AttachBounded
+	// must rebuild the accounting by walking the map so eviction works
+	// from the first post-restart Set.
+	h, _, err := ralloc.Open("", ralloc.Config{
+		SBRegion: 32 << 20, GrowthChunk: 1 << 20,
+		Pmem: pmem.Config{Mode: pmem.ModeCrashSim},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	budget := 100 * footprint(10, 100)
+	s, root := OpenBounded(a, hd, 256, budget)
+	h.SetRoot(0, root)
+	val := make([]byte, 100)
+	for i := 0; i < 90; i++ {
+		if !s.Set(hd, fmt.Sprintf("key-%05d", i), string(val)) {
+			t.Fatal("OOM")
+		}
+	}
+	wantBytes := s.Stats().Bytes
+
+	// Crash and recover, as a restarting server would.
+	if err := h.Region().Crash(); err != nil {
+		t.Fatal(err)
+	}
+	h.GetRoot(0, Attach(a, root).Filter())
+	if _, err := h.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := AttachBounded(a, root, budget)
+	if !s2.Bounded() {
+		t.Fatal("AttachBounded store not bounded")
+	}
+	if got := s2.Stats().Bytes; got != wantBytes {
+		t.Fatalf("rebuilt accounting = %d bytes, want %d", got, wantBytes)
+	}
+	// The budget is live again: flooding far past it evicts.
+	hd2 := a.NewHandle()
+	for i := 0; i < 400; i++ {
+		if !s2.Set(hd2, fmt.Sprintf("new-%05d", i), string(val)) {
+			t.Fatal("OOM")
+		}
+	}
+	st := s2.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("rebuilt bound not enforced: no evictions")
+	}
+	if st.Bytes > budget {
+		t.Fatalf("footprint %d above budget %d", st.Bytes, budget)
+	}
+
+	// A lowered budget evicts the overage at attach time.
+	s3 := AttachBounded(a, root, budget/4)
+	if got := s3.Stats().Bytes; got > budget/4 {
+		t.Fatalf("lowered budget not enforced at attach: %d > %d", got, budget/4)
+	}
+	if s3.Stats().Evictions == 0 {
+		t.Fatal("no eviction despite attaching with a quarter of the budget")
+	}
+}
+
 func TestStoreCrashRecovery(t *testing.T) {
 	h, s, root := newStore(t)
 	a := h.AsAllocator()

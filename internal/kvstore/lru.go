@@ -81,6 +81,41 @@ func (ix *lruIndex) update(key string, size uint64) []string {
 	return victims
 }
 
+// prime seeds the index with an already-stored record without triggering
+// eviction; AttachBounded uses it while rebuilding recency state from the
+// persistent map. Records primed later rank as more recently used.
+func (ix *lruIndex) prime(key string, size uint64) {
+	ix.mu.Lock()
+	if e, ok := ix.byKey[key]; ok {
+		ent := e.Value.(*lruEntry)
+		ix.bytes += size - ent.size
+		ent.size = size
+		ix.order.MoveToFront(e)
+	} else {
+		ix.byKey[key] = ix.order.PushFront(&lruEntry{key: key, size: size})
+		ix.bytes += size
+	}
+	ix.mu.Unlock()
+}
+
+// evictOver returns the keys to evict to bring the index back under budget
+// (oldest first), used after priming from an over-budget persistent image.
+func (ix *lruIndex) evictOver() []string {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	var victims []string
+	for ix.bytes > ix.maxBytes && ix.order.Len() > 0 {
+		back := ix.order.Back()
+		ent := back.Value.(*lruEntry)
+		ix.order.Remove(back)
+		delete(ix.byKey, ent.key)
+		ix.bytes -= ent.size
+		ix.evicted++
+		victims = append(victims, ent.key)
+	}
+	return victims
+}
+
 // remove forgets a deleted key.
 func (ix *lruIndex) remove(key string) {
 	ix.mu.Lock()

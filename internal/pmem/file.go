@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 )
 
 // File persistence models the DAX file that names a persistent segment in
@@ -18,7 +19,10 @@ import (
 
 var fileMagic = [8]byte{'R', 'P', 'M', 'E', 'M', '0', '0', '1'}
 
-// Save writes the region's persistent image to w.
+// Save writes the region's persistent image to w. Words are read atomically,
+// so Save may run while the region is still mapped (a live checkpoint);
+// callers that need a *consistent* image must quiesce writers first — the
+// server's SAVE path does exactly that before checkpointing.
 func (r *Region) Save(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.Write(fileMagic[:]); err != nil {
@@ -35,8 +39,8 @@ func (r *Region) Save(w io.Writer) error {
 		img = r.shadow
 	}
 	var buf [WordBytes]byte
-	for _, v := range img {
-		binary.LittleEndian.PutUint64(buf[:], v)
+	for i := range img {
+		binary.LittleEndian.PutUint64(buf[:], atomic.LoadUint64(&img[i]))
 		if _, err := bw.Write(buf[:]); err != nil {
 			return err
 		}

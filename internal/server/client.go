@@ -1,0 +1,152 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"time"
+)
+
+// Client is a minimal RESP2 client with explicit pipelining: Send queues
+// commands into the write buffer, Flush pushes them to the server, Recv
+// reads one reply. Do is the one-shot convenience. Not safe for concurrent
+// use; give each goroutine its own Client.
+type Client struct {
+	c       net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	pending int
+}
+
+// Dial connects to a server ("tcp", "host:port" or "unix", "/path.sock").
+func Dial(network, addr string) (*Client, error) {
+	c, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(c), nil
+}
+
+// DialTimeout is Dial with a connect timeout.
+func DialTimeout(network, addr string, d time.Duration) (*Client, error) {
+	c, err := net.DialTimeout(network, addr, d)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(c), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(c net.Conn) *Client {
+	return &Client{
+		c:  c,
+		br: bufio.NewReaderSize(c, 16<<10),
+		bw: bufio.NewWriterSize(c, 16<<10),
+	}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.c.Close() }
+
+// Send queues one command (as a RESP array of bulk strings) in the write
+// buffer without transmitting it.
+func (c *Client) Send(args ...string) error {
+	bs := make([][]byte, len(args))
+	for i, a := range args {
+		bs[i] = []byte(a)
+	}
+	return c.SendBytes(bs...)
+}
+
+// SendBytes is Send for preformatted byte arguments.
+func (c *Client) SendBytes(args ...[]byte) error {
+	c.bw.WriteByte('*')
+	c.bw.WriteString(strconv.Itoa(len(args)))
+	c.bw.WriteString("\r\n")
+	for _, a := range args {
+		c.bw.WriteByte('$')
+		c.bw.WriteString(strconv.Itoa(len(a)))
+		c.bw.WriteString("\r\n")
+		c.bw.Write(a)
+		if _, err := c.bw.WriteString("\r\n"); err != nil {
+			return err
+		}
+	}
+	c.pending++
+	return nil
+}
+
+// Flush transmits all queued commands.
+func (c *Client) Flush() error { return c.bw.Flush() }
+
+// Pending reports how many replies have not been received yet.
+func (c *Client) Pending() int { return c.pending }
+
+// Recv reads the next reply. The caller is responsible for matching Recv
+// calls one-to-one (in order) with sent commands.
+func (c *Client) Recv() (Reply, error) {
+	rp, err := readReply(c.br)
+	if err != nil {
+		return rp, err
+	}
+	c.pending--
+	return rp, nil
+}
+
+// Do sends one command and waits for its reply. It must not be interleaved
+// with an unflushed or unread pipeline.
+func (c *Client) Do(args ...string) (Reply, error) {
+	if c.pending != 0 {
+		return Reply{}, fmt.Errorf("server: Do with %d pipelined replies outstanding", c.pending)
+	}
+	if err := c.Send(args...); err != nil {
+		return Reply{}, err
+	}
+	if err := c.Flush(); err != nil {
+		return Reply{}, err
+	}
+	return c.Recv()
+}
+
+// Set stores key=value, failing on any non-OK reply.
+func (c *Client) Set(key, value string) error {
+	rp, err := c.Do("SET", key, value)
+	if err != nil {
+		return err
+	}
+	if err := rp.Err(); err != nil {
+		return err
+	}
+	if rp.Kind != '+' || rp.Str != "OK" {
+		return fmt.Errorf("server: unexpected SET reply %q", rp.Text())
+	}
+	return nil
+}
+
+// Get fetches key; ok=false reports a missing key.
+func (c *Client) Get(key string) (value string, ok bool, err error) {
+	rp, err := c.Do("GET", key)
+	if err != nil {
+		return "", false, err
+	}
+	if err := rp.Err(); err != nil {
+		return "", false, err
+	}
+	if rp.Nil {
+		return "", false, nil
+	}
+	return string(rp.Bulk), true, nil
+}
+
+// DBSize returns the record count.
+func (c *Client) DBSize() (int64, error) {
+	rp, err := c.Do("DBSIZE")
+	if err != nil {
+		return 0, err
+	}
+	if err := rp.Err(); err != nil {
+		return 0, err
+	}
+	return rp.Int, nil
+}

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestE2ESIGKILLRestart exercises the real binary across a real process
+// kill: build cmd/ralloc-serve, run it on a unix socket with a file-backed
+// heap, drive 10k pipelined SETs, checkpoint with SAVE, keep traffic
+// flowing, SIGKILL the process, restart it, and verify the server comes up
+// dirty → recovered with DBSIZE and sampled keys intact — then shuts down
+// cleanly via the SHUTDOWN command.
+func TestE2ESIGKILLRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping subprocess e2e in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "ralloc-serve")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/ralloc-serve")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ralloc-serve: %v\n%s", err, out)
+	}
+
+	heapPath := filepath.Join(dir, "kv.heap")
+	sock := filepath.Join(dir, "kv.sock")
+	args := []string{"-heap", heapPath, "-unix", sock, "-heapmb", "64", "-buckets", "8192"}
+
+	serve := func() *exec.Cmd {
+		cmd := exec.Command(bin, args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting ralloc-serve: %v", err)
+		}
+		return cmd
+	}
+	dialRetry := func() *Client {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			c, err := DialTimeout("unix", sock, time.Second)
+			if err == nil {
+				return c
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("server did not come up: %v", err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	cmd := serve()
+	defer func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+	}()
+	c := dialRetry()
+
+	// 10k pipelined SETs in batches of 200.
+	const total, batch = 10000, 200
+	for base := 0; base < total; base += batch {
+		for i := base; i < base+batch; i++ {
+			if err := c.Send("SET", fmt.Sprintf("e2e-%05d", i), fmt.Sprintf("val-%05d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < batch; i++ {
+			rp, err := c.Recv()
+			if err != nil || rp.Str != "OK" {
+				t.Fatalf("pipelined SET reply = %+v, %v", rp, err)
+			}
+		}
+	}
+	if n, err := c.DBSize(); err != nil || n != total {
+		t.Fatalf("DBSIZE = %d, %v", n, err)
+	}
+	if rp, err := c.Do("SAVE"); err != nil || rp.Str != "OK" {
+		t.Fatalf("SAVE = %+v, %v", rp, err)
+	}
+
+	// Keep traffic flowing past the checkpoint, then yank the process.
+	// These overwrites are acknowledged in DRAM terms but the file image
+	// is the checkpoint: the model loses them, reverting to SAVE state.
+	for i := 0; i < 500; i++ {
+		if err := c.Set(fmt.Sprintf("e2e-%05d", i), "post-save"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	c.Close()
+
+	// Restart: must come up from the checkpoint, dirty, recover, serve.
+	cmd2 := serve()
+	defer func() { cmd2.Process.Kill() }()
+	c2 := dialRetry()
+	defer c2.Close()
+
+	if n, err := c2.DBSize(); err != nil || n != total {
+		t.Fatalf("DBSIZE after SIGKILL restart = %d, %v (want %d)", n, err, total)
+	}
+	for _, i := range []int{0, 42, 4999, 9999} {
+		v, ok, err := c2.Get(fmt.Sprintf("e2e-%05d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || v != fmt.Sprintf("val-%05d", i) {
+			t.Fatalf("sampled key e2e-%05d = (%q,%v) after restart", i, v, ok)
+		}
+	}
+	// Still writable, and a clean SHUTDOWN saves the image without the
+	// dirty flag: the third start must report a clean reopen instantly.
+	if err := c2.Set("after-restart", "ok"); err != nil {
+		t.Fatal(err)
+	}
+	if rp, err := c2.Do("SHUTDOWN"); err != nil || rp.Str != "OK" {
+		t.Fatalf("SHUTDOWN = %+v, %v", rp, err)
+	}
+	waitExit(t, cmd2, 15*time.Second)
+
+	cmd3 := serve()
+	defer func() { cmd3.Process.Kill() }()
+	c3 := dialRetry()
+	defer c3.Close()
+	if v, ok, err := c3.Get("after-restart"); err != nil || !ok || v != "ok" {
+		t.Fatalf("clean-shutdown write lost: (%q,%v,%v)", v, ok, err)
+	}
+	if n, err := c3.DBSize(); err != nil || n != total+1 {
+		t.Fatalf("DBSIZE after clean restart = %d, %v", n, err)
+	}
+	cmd3.Process.Signal(syscall.SIGTERM)
+	waitExit(t, cmd3, 15*time.Second)
+}
+
+func waitExit(t *testing.T, cmd *exec.Cmd, timeout time.Duration) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("server exited with error: %v", err)
+		}
+	case <-time.After(timeout):
+		cmd.Process.Kill()
+		t.Fatal("server did not exit in time")
+	}
+}

@@ -1,0 +1,473 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/kvstore"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// MaxConns caps simultaneously served connections; further accepted
+	// connections wait for a slot. 0 means unlimited.
+	MaxConns int
+	// Checkpoint, if non-nil, implements the SAVE command. The server
+	// quiesces all command execution before invoking it, so it observes
+	// (and may persist) a consistent heap image.
+	Checkpoint func() error
+	// OnShutdown, if non-nil, is invoked (once) when a client issues
+	// SHUTDOWN, after the +OK reply is flushed. The owner is expected to
+	// call Shutdown and close the heap.
+	OnShutdown func()
+	// Info, if non-nil, contributes extra sections to the INFO reply
+	// (heap statistics, say).
+	Info func() string
+}
+
+// ErrServerClosed is returned by Serve after Shutdown or Abort.
+var ErrServerClosed = errors.New("server: closed")
+
+// Server serves the RESP2 subset over a kvstore. One goroutine per
+// connection; pipelined commands are answered in order with batched writes.
+type Server struct {
+	a   alloc.Allocator
+	st  *kvstore.Store
+	cfg Config
+
+	// execMu is the checkpoint barrier: every command batch runs under
+	// RLock, SAVE under Lock, so a checkpoint never captures a half-done
+	// store operation.
+	execMu sync.RWMutex
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	handles   []alloc.Handle // pool: bounds handle count by peak concurrency
+	closed    bool
+
+	wg   sync.WaitGroup
+	sem  chan struct{} // MaxConns slots (nil = unlimited)
+	once sync.Once     // OnShutdown
+
+	start    time.Time
+	accepted atomic.Uint64
+	commands atomic.Uint64
+
+	incrMu [64]sync.Mutex // striped read-modify-write locks (INCR)
+}
+
+// New creates a server over an open store. The allocator must be the one the
+// store was opened on; the server draws per-connection handles from it.
+func New(a alloc.Allocator, st *kvstore.Store, cfg Config) *Server {
+	s := &Server{
+		a:         a,
+		st:        st,
+		cfg:       cfg,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+		start:     time.Now(),
+	}
+	if cfg.MaxConns > 0 {
+		s.sem = make(chan struct{}, cfg.MaxConns)
+	}
+	return s
+}
+
+// Serve accepts connections on l until the server shuts down. It always
+// closes l; after Shutdown or Abort it returns ErrServerClosed.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return ErrServerClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+		l.Close()
+	}()
+
+	var backoff time.Duration
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			// Transient accept failures (EMFILE under a connection
+			// burst, say) back off and retry rather than killing the
+			// listener, like net/http.
+			if isTemporary(err) {
+				if backoff == 0 {
+					backoff = 5 * time.Millisecond
+				} else if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+				time.Sleep(backoff)
+				continue
+			}
+			return err
+		}
+		backoff = 0
+		s.accepted.Add(1)
+		s.wg.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+// isTemporary reports whether an accept error is worth retrying. The
+// net.Error.Temporary contract is deprecated for general errors but remains
+// exactly right for accept(2) resource-exhaustion failures.
+func isTemporary(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) {
+		//lint:ignore SA1019 accept-loop retry is Temporary's surviving use
+		return ne.Temporary()
+	}
+	return false
+}
+
+// getHandle takes an allocation handle from the pool, minting one if empty.
+func (s *Server) getHandle() alloc.Handle {
+	s.mu.Lock()
+	if n := len(s.handles); n > 0 {
+		hd := s.handles[n-1]
+		s.handles = s.handles[:n-1]
+		s.mu.Unlock()
+		return hd
+	}
+	s.mu.Unlock()
+	return s.a.NewHandle()
+}
+
+func (s *Server) putHandle(hd alloc.Handle) {
+	s.mu.Lock()
+	if !s.closed {
+		s.handles = append(s.handles, hd)
+	}
+	s.mu.Unlock()
+}
+
+// handleConn runs one connection's read-execute-reply loop.
+func (s *Server) handleConn(c net.Conn) {
+	defer s.wg.Done()
+	if s.sem != nil {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		c.Close()
+		return
+	}
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+
+	hd := s.getHandle()
+	defer s.putHandle(hd)
+
+	r := newRespReader(c)
+	w := newRespWriter(c)
+	for {
+		args, err := r.ReadCommand()
+		if err != nil {
+			var pe protoError
+			if errors.As(err, &pe) {
+				w.errorf("%s", string(pe))
+				w.flush()
+			}
+			return
+		}
+		s.commands.Add(1)
+		s.execMu.RLock()
+		quit := s.execute(hd, w, args)
+		s.execMu.RUnlock()
+		// Pipelining: only flush when the input is drained, so a burst of
+		// commands gets one batched reply write.
+		if quit || !r.buffered() {
+			if err := w.flush(); err != nil {
+				return
+			}
+		}
+		if quit {
+			s.once.Do(func() {
+				if s.cfg.OnShutdown != nil {
+					// The owner's shutdown path takes execMu (via Save) and
+					// waits for connections; run it outside both.
+					go s.cfg.OnShutdown()
+				}
+			})
+			return
+		}
+	}
+}
+
+// execute runs one command and writes its reply. It returns true when the
+// connection must close (SHUTDOWN).
+func (s *Server) execute(hd alloc.Handle, w *respWriter, args [][]byte) bool {
+	name := strings.ToUpper(string(args[0]))
+	switch name {
+	case "PING":
+		if len(args) == 2 {
+			w.bulk(args[1])
+		} else {
+			w.simple("PONG")
+		}
+	case "GET":
+		if len(args) != 2 {
+			w.errorf("wrong number of arguments for 'get' command")
+			break
+		}
+		if v, ok := s.st.GetBytes(args[1]); ok {
+			w.bulk(v)
+		} else {
+			w.nilBulk()
+		}
+	case "SET":
+		if len(args) != 3 {
+			w.errorf("wrong number of arguments for 'set' command")
+			break
+		}
+		// The +OK acknowledgment is written only after SetBytes returns,
+		// i.e. after the new record is flushed and linked: an acknowledged
+		// SET is durable in the crash-simulation sense.
+		if !s.st.SetBytes(hd, args[1], args[2]) {
+			w.errorf("out of memory")
+			break
+		}
+		w.simple("OK")
+	case "DEL":
+		if len(args) < 2 {
+			w.errorf("wrong number of arguments for 'del' command")
+			break
+		}
+		n := int64(0)
+		for _, k := range args[1:] {
+			if s.st.Delete(hd, string(k)) {
+				n++
+			}
+		}
+		w.integer(n)
+	case "EXISTS":
+		if len(args) < 2 {
+			w.errorf("wrong number of arguments for 'exists' command")
+			break
+		}
+		n := int64(0)
+		for _, k := range args[1:] {
+			if _, ok := s.st.GetBytes(k); ok {
+				n++
+			}
+		}
+		w.integer(n)
+	case "INCR":
+		if len(args) != 2 {
+			w.errorf("wrong number of arguments for 'incr' command")
+			break
+		}
+		s.incr(hd, w, args[1])
+	case "MGET":
+		if len(args) < 2 {
+			w.errorf("wrong number of arguments for 'mget' command")
+			break
+		}
+		w.arrayHeader(len(args) - 1)
+		for _, k := range args[1:] {
+			if v, ok := s.st.GetBytes(k); ok {
+				w.bulk(v)
+			} else {
+				w.nilBulk()
+			}
+		}
+	case "MSET":
+		if len(args) < 3 || len(args)%2 != 1 {
+			w.errorf("wrong number of arguments for 'mset' command")
+			break
+		}
+		for i := 1; i < len(args); i += 2 {
+			if !s.st.SetBytes(hd, args[i], args[i+1]) {
+				w.errorf("out of memory")
+				return false
+			}
+		}
+		w.simple("OK")
+	case "DBSIZE":
+		w.integer(int64(s.st.Len()))
+	case "FLUSHALL":
+		// Two passes: Range holds stripe locks, so collect first.
+		var keys []string
+		s.st.Range(func(k, _ []byte) bool {
+			keys = append(keys, string(k))
+			return true
+		})
+		for _, k := range keys {
+			s.st.Delete(hd, k)
+		}
+		w.simple("OK")
+	case "INFO":
+		w.bulk([]byte(s.info()))
+	case "SAVE":
+		// Promote the barrier: wait out in-flight commands, then
+		// checkpoint a consistent image. RUnlock first — sync.RWMutex is
+		// not upgradable.
+		if s.cfg.Checkpoint == nil {
+			w.errorf("no checkpoint configured (volatile heap)")
+			break
+		}
+		s.execMu.RUnlock()
+		err := s.Save()
+		s.execMu.RLock()
+		if err != nil {
+			w.errorf("checkpoint failed: %v", err)
+			break
+		}
+		w.simple("OK")
+	case "SHUTDOWN":
+		w.simple("OK")
+		return true
+	default:
+		w.errorf("unknown command '%s'", strings.ToLower(name))
+	}
+	return false
+}
+
+// incr implements the read-modify-write under a striped per-key lock, since
+// the store's Get and Set are individually — not jointly — atomic.
+func (s *Server) incr(hd alloc.Handle, w *respWriter, key []byte) {
+	h := fnv.New64a()
+	h.Write(key)
+	mu := &s.incrMu[h.Sum64()%uint64(len(s.incrMu))]
+	mu.Lock()
+	defer mu.Unlock()
+	n := int64(0)
+	if v, ok := s.st.GetBytes(key); ok {
+		parsed, err := strconv.ParseInt(string(v), 10, 64)
+		if err != nil {
+			w.errorf("value is not an integer or out of range")
+			return
+		}
+		n = parsed
+	}
+	n++
+	if !s.st.SetBytes(hd, key, []byte(strconv.FormatInt(n, 10))) {
+		w.errorf("out of memory")
+		return
+	}
+	w.integer(n)
+}
+
+// info renders the INFO reply.
+func (s *Server) info() string {
+	st := s.st.Stats()
+	s.mu.Lock()
+	nconns := len(s.conns)
+	s.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Server\r\n")
+	fmt.Fprintf(&b, "allocator:%s\r\n", s.a.Name())
+	fmt.Fprintf(&b, "uptime_in_seconds:%d\r\n", int(time.Since(s.start).Seconds()))
+	fmt.Fprintf(&b, "connected_clients:%d\r\n", nconns)
+	fmt.Fprintf(&b, "total_connections_received:%d\r\n", s.accepted.Load())
+	fmt.Fprintf(&b, "total_commands_processed:%d\r\n", s.commands.Load())
+	fmt.Fprintf(&b, "# Keyspace\r\n")
+	fmt.Fprintf(&b, "records:%d\r\n", s.st.Len())
+	fmt.Fprintf(&b, "bounded:%v\r\n", s.st.Bounded())
+	fmt.Fprintf(&b, "bytes:%d\r\n", st.Bytes)
+	fmt.Fprintf(&b, "hits:%d\r\nmisses:%d\r\nsets:%d\r\ndeletes:%d\r\nevictions:%d\r\n",
+		st.Hits, st.Misses, st.Sets, st.Deletes, st.Evictions)
+	if s.cfg.Info != nil {
+		b.WriteString(s.cfg.Info())
+	}
+	return b.String()
+}
+
+// Save quiesces command execution and runs the configured checkpoint: the
+// persistent image written is a consistent snapshot in which every
+// acknowledged write is present.
+func (s *Server) Save() error {
+	if s.cfg.Checkpoint == nil {
+		return errors.New("server: no checkpoint configured")
+	}
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
+	return s.cfg.Checkpoint()
+}
+
+// Shutdown gracefully drains the server: listeners close immediately, each
+// connection's in-flight commands are answered, and connections finish when
+// their read side goes idle past the deadline. Connections still open after
+// 2×timeout are force-closed. Safe to call more than once.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	s.mu.Lock()
+	s.closed = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	for c := range s.conns {
+		// Wake blocked readers at the deadline; a connection mid-command
+		// still gets its replies written first.
+		c.SetReadDeadline(deadline)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(2 * timeout):
+		s.closeConns()
+		<-done
+		return errors.New("server: connections force-closed after drain timeout")
+	}
+}
+
+// Abort hard-stops the server with no drain — the in-process stand-in for
+// kill -9 in crash tests. In-flight commands may go unanswered (and their
+// effects may or may not have reached the store, exactly like a real crash);
+// no goroutine touches the heap after Abort returns.
+func (s *Server) Abort() {
+	s.mu.Lock()
+	s.closed = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	s.mu.Unlock()
+	s.closeConns()
+	s.wg.Wait()
+}
+
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+}

@@ -4,6 +4,7 @@
 //
 //   - Workload A: 50% reads / 50% updates (write-dominant; Fig. 5f)
 //   - Workload B: 95% reads / 5% updates (read-dominant; discussed in-text)
+//   - Workload C: 100% reads (read-only; isolates lookup/protocol cost)
 package ycsb
 
 import (
@@ -43,6 +44,13 @@ func WorkloadA(records int) Workload {
 // WorkloadB is the read-dominant core workload (95/5).
 func WorkloadB(records int) Workload {
 	return Workload{Name: "b", Records: records, ReadFrac: 0.95, ValueSize: 100}
+}
+
+// WorkloadC is the read-only core workload (100% reads): no allocator
+// churn at all, so it isolates lookup and — in network mode — protocol
+// costs from allocation costs.
+func WorkloadC(records int) Workload {
+	return Workload{Name: "c", Records: records, ReadFrac: 1.0, ValueSize: 100}
 }
 
 // Generator produces operations for one client goroutine. Not safe for

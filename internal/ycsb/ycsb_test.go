@@ -14,6 +14,28 @@ func TestWorkloadMixes(t *testing.T) {
 	if b.ReadFrac != 0.95 {
 		t.Fatalf("workload B read fraction = %v", b.ReadFrac)
 	}
+	c := WorkloadC(1000)
+	if c.ReadFrac != 1.0 {
+		t.Fatalf("workload C read fraction = %v", c.ReadFrac)
+	}
+}
+
+func TestWorkloadCIsReadOnly(t *testing.T) {
+	g := NewGenerator(WorkloadC(1000), 4)
+	for i := 0; i < 50000; i++ {
+		if op := g.Next(); op.Kind != Read {
+			t.Fatalf("workload C generated a %v at op %d", op.Kind, i)
+		}
+	}
+}
+
+func TestConfigurableValueSize(t *testing.T) {
+	w := WorkloadA(100)
+	w.ValueSize = 1024
+	g := NewGenerator(w, 6)
+	if v := g.Value(nil); len(v) != 1024 {
+		t.Fatalf("value size = %d, want 1024", len(v))
+	}
 }
 
 func TestGeneratorMixApproximatesFractions(t *testing.T) {
