@@ -14,9 +14,11 @@ package repro_test
 import (
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/alloc"
 	"repro/internal/bench"
+	"repro/internal/kvstore"
 	"repro/internal/pmem"
 	"repro/internal/ralloc"
 	"repro/internal/ycsb"
@@ -140,6 +142,54 @@ func BenchmarkFig5fMemcachedA(b *testing.B) {
 // BenchmarkFig5fMemcachedB: the in-text read-dominant workload B (95/5).
 func BenchmarkFig5fMemcachedB(b *testing.B) {
 	benchMemcached(b, ycsb.WorkloadB(20000))
+}
+
+// BenchmarkFig5fMemcachedT: the cache-expiration extension workload —
+// workload A's mix with half the updates writing records that expire, plus
+// inline reclamation, so the allocator sees the full allocate/expire/reclaim
+// lifecycle.
+func BenchmarkFig5fMemcachedT(b *testing.B) {
+	benchMemcached(b, ycsb.WorkloadT(20000))
+}
+
+// BenchmarkGetNoTTL / BenchmarkGetWithTTL prove the lazy-expiry check is
+// free on the read hot path: identical allocs/op (run with -benchmem), the
+// only extra work for a TTL'd record being one persisted-word load and a
+// clock read.
+func BenchmarkGetNoTTL(b *testing.B) {
+	benchGetTTL(b, false)
+}
+
+func BenchmarkGetWithTTL(b *testing.B) {
+	benchGetTTL(b, true)
+}
+
+func benchGetTTL(b *testing.B, ttl bool) {
+	h, _, err := ralloc.Open("", ralloc.Config{SBRegion: 64 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := h.AsAllocator()
+	defer a.Close()
+	hd := a.NewHandle()
+	st, _ := kvstore.Open(a, hd, 1024)
+	key, val := []byte("bench-key"), []byte("bench-value-of-plausible-size-xx")
+	if ttl {
+		// A deadline far in the future: the expiry comparison runs on
+		// every Get but never fires.
+		if !st.SetBytesExpire(hd, key, val, st.Now()+int64(time.Hour/time.Millisecond)) {
+			b.Fatal("OOM")
+		}
+	} else if !st.SetBytes(hd, key, val) {
+		b.Fatal("OOM")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := st.GetBytes(key); !ok {
+			b.Fatal("hot key missing")
+		}
+	}
 }
 
 func benchMemcached(b *testing.B, w ycsb.Workload) {

@@ -10,6 +10,12 @@
 //	ralloc-apps -app memcached -workload b -threads 1,2,4
 //	ralloc-apps -app memcached -workload a -net -pipeline 32
 //	ralloc-apps -app memcached -workload c -valuesize 1024
+//	ralloc-apps -app memcached -workload t -ttlms 500 -net
+//
+// Workload t writes expiring records (TTL churn): updates attach short TTLs,
+// reads miss on expired records (lazy expiry), and reclamation — the active
+// expiry cycle in network mode, inline sweeps in library mode — frees them
+// while traffic runs, exercising the allocate/expire/reclaim cache lifecycle.
 //
 // With -net, the memcached workload additionally runs over sockets — the
 // store served by internal/server on a unix socket, each thread a pipelining
@@ -35,7 +41,9 @@ import (
 func main() {
 	var (
 		app       = flag.String("app", "vacation", "vacation | memcached")
-		workload  = flag.String("workload", "a", "YCSB workload: a (50/50), b (95/5) or c (read-only)")
+		workload  = flag.String("workload", "a", "YCSB workload: a (50/50), b (95/5), c (read-only) or t (expiring records)")
+		ttlFrac   = flag.Float64("ttlfrac", -1, "fraction of updates that attach a TTL (-1: workload default)")
+		ttlMillis = flag.Int64("ttlms", 0, "TTL upper bound in ms for expiring updates (0: workload default)")
 		threadStr = flag.String("threads", "", "comma-separated thread counts")
 		scale     = flag.Float64("scale", 1.0, "workload scale factor")
 		records   = flag.Int("records", 100_000, "memcached record count (paper: 100K)")
@@ -93,12 +101,23 @@ func main() {
 			w = ycsb.WorkloadB(*records)
 		case "c":
 			w = ycsb.WorkloadC(*records)
+		case "t":
+			w = ycsb.WorkloadT(*records)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
 			os.Exit(2)
 		}
 		if *valueSize > 0 {
 			w.ValueSize = *valueSize
+		}
+		if *ttlFrac >= 0 {
+			w.TTLFrac = *ttlFrac
+		}
+		if *ttlMillis > 0 {
+			w.TTLMillis = *ttlMillis
+		}
+		if w.TTLFrac > 0 && w.TTLMillis <= 0 {
+			w.TTLMillis = 250
 		}
 		cfg := bench.MemcachedConfig{Workload: w, OpsPerTh: scaleN(20000)}
 		fmt.Printf("# Figure 5f: Memcached YCSB-%s — K ops/sec (higher is better); %d records, %d B values, library mode\n",

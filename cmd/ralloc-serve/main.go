@@ -8,6 +8,13 @@
 //
 //	ralloc-serve -heap /tmp/kv.heap -tcp :6379
 //	ralloc-serve -heap /tmp/kv.heap -unix /tmp/kv.sock -boundmb 64 -checkpoint 30s
+//	ralloc-serve -heap /tmp/kv.heap -expire-cycle 50ms -expire-sample 100
+//
+// Keys may carry TTLs (EXPIRE/PEXPIRE/SETEX/PSETEX/TTL/PTTL/PERSIST): the
+// deadline is persisted inside the record itself, so expiration survives
+// kill -9 — a key that expired before the crash is still expired after
+// recovery. Space is reclaimed by the active expiry cycle (-expire-cycle),
+// which runs under the same quiesce barrier as SAVE checkpoints.
 //
 // Speak to it with any RESP client (redis-cli included), or
 // internal/server.Client, or cmd/ralloc-apps -app memcached -net.
@@ -44,6 +51,8 @@ func main() {
 		maxConns   = flag.Int("maxconns", 0, "max simultaneous connections; 0 = unlimited")
 		checkpoint = flag.Duration("checkpoint", 0, "periodic checkpoint interval (file-backed heaps); 0 disables")
 		drain      = flag.Duration("drain", 5*time.Second, "graceful shutdown drain timeout")
+		expireTick = flag.Duration("expire-cycle", 100*time.Millisecond, "active expiry cycle interval; 0 disables (lazy expiry only)")
+		expireN    = flag.Int("expire-sample", 20, "max expired keys reclaimed per expiry cycle")
 	)
 	flag.Parse()
 	if *tcpAddr == "" && *unixAddr == "" {
@@ -103,8 +112,10 @@ func main() {
 	}
 
 	srvCfg := server.Config{
-		MaxConns:   *maxConns,
-		OnShutdown: requestShutdown,
+		MaxConns:             *maxConns,
+		OnShutdown:           requestShutdown,
+		ActiveExpiryInterval: *expireTick,
+		ActiveExpirySample:   *expireN,
 		Info: func() string {
 			return fmt.Sprintf("# Heap\r\nsb_used_bytes:%d\r\nheap_dirty_at_open:%v\r\n",
 				heap.SBUsed(), dirty)

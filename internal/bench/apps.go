@@ -5,6 +5,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -93,13 +94,26 @@ func Memcached(a alloc.Allocator, t int, cfg MemcachedConfig) Result {
 		gen := ycsb.NewGenerator(cfg.Workload, int64(id)+1)
 		var vbuf []byte
 		for i := 0; i < cfg.OpsPerTh; i++ {
+			// Library mode has no server to run the active expiry cycle, so
+			// TTL workloads interleave reclamation with the traffic itself —
+			// the expire/reclaim half of the cache lifecycle stays on the
+			// measured path.
+			if cfg.Workload.TTLFrac > 0 && i%256 == 255 {
+				store.ReclaimExpired(hd, 32)
+			}
 			op := gen.Next()
 			switch op.Kind {
 			case ycsb.Read:
 				store.GetBytes([]byte(op.Key))
 			case ycsb.Update:
 				vbuf = gen.Value(vbuf)
-				if !store.SetBytes(hd, []byte(op.Key), vbuf) {
+				ok := true
+				if op.TTLMillis > 0 {
+					ok = store.SetBytesExpire(hd, []byte(op.Key), vbuf, store.Now()+op.TTLMillis)
+				} else {
+					ok = store.SetBytes(hd, []byte(op.Key), vbuf)
+				}
+				if !ok {
 					panic(fmt.Sprintf("%s: memcached OOM", a.Name()))
 				}
 			}
@@ -140,7 +154,14 @@ func MemcachedNet(a alloc.Allocator, t int, cfg MemcachedConfig, pipeline int) R
 	if err != nil {
 		panic(fmt.Sprintf("%s: memcached net listen: %v", a.Name(), err))
 	}
-	srv := server.New(a, store, server.Config{})
+	srvCfg := server.Config{}
+	if cfg.Workload.TTLFrac > 0 {
+		// TTL workloads run the real active expiry cycle so the measured
+		// traffic includes concurrent expired-record reclamation.
+		srvCfg.ActiveExpiryInterval = 50 * time.Millisecond
+		srvCfg.ActiveExpirySample = 128
+	}
+	srv := server.New(a, store, srvCfg)
 	go srv.Serve(l)
 	defer func() {
 		srv.Shutdown(5 * time.Second)
@@ -167,7 +188,12 @@ func MemcachedNet(a alloc.Allocator, t int, cfg MemcachedConfig, pipeline int) R
 					err = c.SendBytes([]byte("GET"), []byte(op.Key))
 				case ycsb.Update:
 					vbuf = gen.Value(vbuf)
-					err = c.SendBytes([]byte("SET"), []byte(op.Key), vbuf)
+					if op.TTLMillis > 0 {
+						err = c.SendBytes([]byte("PSETEX"), []byte(op.Key),
+							strconv.AppendInt(nil, op.TTLMillis, 10), vbuf)
+					} else {
+						err = c.SendBytes([]byte("SET"), []byte(op.Key), vbuf)
+					}
 				}
 				if err != nil {
 					panic(fmt.Sprintf("%s: memcached net send: %v", a.Name(), err))

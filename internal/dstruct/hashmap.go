@@ -31,8 +31,11 @@ type HashMap struct {
 }
 
 // Node layout: word 0 = next (off-holder), word 1 = klen<<32 | vlen,
-// then key bytes, then value bytes (each padded to 8).
-const hmNodeHdr = 16
+// word 2 = expireAt (unix milliseconds; 0 = immortal), then key bytes, then
+// value bytes (each padded to 8). The expiry stamp lives in the same
+// allocation as the record, so one GC pass over the chains recovers both the
+// data and the expiration metadata — there is no separate TTL log to replay.
+const hmNodeHdr = 24
 
 func pad8(n uint64) uint64 { return (n + 7) &^ 7 }
 
@@ -110,6 +113,9 @@ func (m *HashMap) nodeValue(off uint64) []byte {
 	return val
 }
 
+// nodeExpire reads the node's expiry stamp (0 = immortal).
+func (m *HashMap) nodeExpire(off uint64) uint64 { return m.r.Load(off + 16) }
+
 func bytesEqual(a, b []byte) bool {
 	if len(a) != len(b) {
 		return false
@@ -124,23 +130,41 @@ func bytesEqual(a, b []byte) bool {
 
 // Get returns the value stored under key.
 func (m *HashMap) Get(key []byte) ([]byte, bool) {
+	v, _, ok := m.GetExpire(key)
+	return v, ok
+}
+
+// GetExpire returns the value stored under key together with its expiry
+// stamp (unix milliseconds; 0 = immortal). The map itself never interprets
+// the stamp — lazy-expiry policy lives in the caller (kvstore) — so a record
+// past its deadline is still returned here.
+func (m *HashMap) GetExpire(key []byte) (value []byte, expireAt uint64, ok bool) {
 	bucket, mu := m.slot(key)
 	mu.Lock()
 	defer mu.Unlock()
 	off, _ := pptr.Unpack(bucket, m.r.Load(bucket))
 	for off != 0 {
 		if bytesEqual(m.nodeKey(off), key) {
-			return m.nodeValue(off), true
+			return m.nodeValue(off), m.nodeExpire(off), true
 		}
 		off, _ = pptr.Unpack(off, m.r.Load(off))
 	}
-	return nil, false
+	return nil, 0, false
 }
 
-// Set inserts or replaces key→value. A replace allocates the new node,
-// swings the links durably, and frees the old node — the alloc/free churn
-// that makes YCSB workload A allocator-bound. ok=false reports exhaustion.
+// Set inserts or replaces key→value with no expiry (replacing also clears
+// any previous expiry, Redis SET-style). See SetExpire.
 func (m *HashMap) Set(h alloc.Handle, key, value []byte) bool {
+	return m.SetExpire(h, key, value, 0)
+}
+
+// SetExpire inserts or replaces key→value with an expiry stamp (unix
+// milliseconds; 0 = immortal). A replace allocates the new node, swings the
+// links durably, and frees the old node — the alloc/free churn that makes
+// YCSB workload A allocator-bound. The stamp is flushed with the rest of the
+// node before the link swing, so a record is never durably linked without
+// its expiration metadata. ok=false reports exhaustion.
+func (m *HashMap) SetExpire(h alloc.Handle, key, value []byte, expireAt uint64) bool {
 	r := m.r
 	size := hmNodeHdr + pad8(uint64(len(key))) + pad8(uint64(len(value)))
 	n := h.Malloc(size)
@@ -148,6 +172,7 @@ func (m *HashMap) Set(h alloc.Handle, key, value []byte) bool {
 		return false
 	}
 	r.Store(n+8, uint64(len(key))<<32|uint64(len(value)))
+	r.Store(n+16, expireAt)
 	r.WriteBytes(n+hmNodeHdr, key)
 	r.WriteBytes(n+hmNodeHdr+pad8(uint64(len(key))), value)
 
@@ -195,6 +220,71 @@ func (m *HashMap) Set(h alloc.Handle, key, value []byte) bool {
 	return true
 }
 
+// UpdateExpire atomically rewrites key's expiry stamp in place (0 clears
+// it), returning the previous stamp and whether the record was found *live*:
+// a record already past its deadline relative to now is treated as missing,
+// so an EXPIRE/PERSIST racing lazy expiry can never resurrect a dead key.
+// The stamp is a single word, so a crash leaves either the old or the new
+// deadline — never a torn one — and the word is fenced before return, making
+// an acknowledged expiry durable.
+func (m *HashMap) UpdateExpire(key []byte, expireAt, now uint64) (prev uint64, ok bool) {
+	r := m.r
+	bucket, mu := m.slot(key)
+	mu.Lock()
+	defer mu.Unlock()
+	off, _ := pptr.Unpack(bucket, r.Load(bucket))
+	for off != 0 {
+		if bytesEqual(m.nodeKey(off), key) {
+			prev = m.nodeExpire(off)
+			if prev != 0 && prev <= now {
+				return prev, false // already expired: dead, not updatable
+			}
+			r.Store(off+16, expireAt)
+			r.Flush(off + 16)
+			r.Fence()
+			return prev, true
+		}
+		off, _ = pptr.Unpack(off, r.Load(off))
+	}
+	return 0, false
+}
+
+// DeleteExpired removes key only if its record carries an expiry stamp that
+// has passed relative to now. The check and the unlink happen under the
+// stripe lock, so a concurrent PERSIST or re-SET (which installs a fresh
+// node) can never have its key swept out from under it.
+func (m *HashMap) DeleteExpired(h alloc.Handle, key []byte, now uint64) bool {
+	r := m.r
+	bucket, mu := m.slot(key)
+	mu.Lock()
+	defer mu.Unlock()
+	prev := bucket
+	off, _ := pptr.Unpack(bucket, r.Load(bucket))
+	for off != 0 {
+		next, _ := pptr.Unpack(off, r.Load(off))
+		if bytesEqual(m.nodeKey(off), key) {
+			at := m.nodeExpire(off)
+			if at == 0 || at > now {
+				return false // immortal or still live
+			}
+			if next == 0 {
+				r.Store(prev, pptr.Nil)
+			} else {
+				r.Store(prev, pptr.Pack(prev, next))
+			}
+			r.Flush(prev)
+			r.Fence()
+			h.Free(off)
+			r.Add(m.hdr+16, ^uint64(0))
+			r.Flush(m.hdr + 16)
+			return true
+		}
+		prev = off
+		off = next
+	}
+	return false
+}
+
 // Delete removes key, reporting whether it was present.
 func (m *HashMap) Delete(h alloc.Handle, key []byte) bool {
 	r := m.r
@@ -233,13 +323,20 @@ func (m *HashMap) Len() int { return int(m.r.Load(m.hdr + 16)) }
 // collect keys, then Set/Delete them). Concurrent writers may insert or
 // remove records in buckets the walk has already passed.
 func (m *HashMap) Range(fn func(key, value []byte) bool) {
+	m.RangeExpire(func(key, value []byte, _ uint64) bool { return fn(key, value) })
+}
+
+// RangeExpire is Range with each record's expiry stamp (unix milliseconds;
+// 0 = immortal) included — the walk AttachBounded uses to rebuild both the
+// LRU byte accounting and the volatile expiry index in one pass.
+func (m *HashMap) RangeExpire(fn func(key, value []byte, expireAt uint64) bool) {
 	for i := uint64(0); i < m.nB; i++ {
 		mu := m.stripeFor(i)
 		mu.Lock()
 		slot := m.buckets + i*8
 		off, _ := pptr.Unpack(slot, m.r.Load(slot))
 		for off != 0 {
-			if !fn(m.nodeKey(off), m.nodeValue(off)) {
+			if !fn(m.nodeKey(off), m.nodeValue(off), m.nodeExpire(off)) {
 				mu.Unlock()
 				return
 			}

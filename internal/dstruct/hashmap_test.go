@@ -38,6 +38,88 @@ func TestHashMapBasic(t *testing.T) {
 	}
 }
 
+func TestHashMapExpireStamp(t *testing.T) {
+	h := rheap(t)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	m, _ := NewHashMap(a, hd, 64)
+	if !m.SetExpire(hd, []byte("k"), []byte("v"), 500) {
+		t.Fatal("SetExpire failed")
+	}
+	v, at, ok := m.GetExpire([]byte("k"))
+	if !ok || string(v) != "v" || at != 500 {
+		t.Fatalf("GetExpire = (%q,%d,%v)", v, at, ok)
+	}
+	// The map returns expired records verbatim — policy is the caller's.
+	if _, ok := m.Get([]byte("k")); !ok {
+		t.Fatal("map-level Get filtered an expired record")
+	}
+	// UpdateExpire refuses dead records (no resurrection) but rewrites
+	// live ones in place; Set replaces and clears the stamp.
+	if _, ok := m.UpdateExpire([]byte("k"), 9000, 600); ok {
+		t.Fatal("UpdateExpire modified a record already past its stamp")
+	}
+	if prev, ok := m.UpdateExpire([]byte("k"), 9000, 400); !ok || prev != 500 {
+		t.Fatalf("UpdateExpire live = (%d,%v)", prev, ok)
+	}
+	if _, at, _ := m.GetExpire([]byte("k")); at != 9000 {
+		t.Fatalf("stamp after update = %d", at)
+	}
+	m.Set(hd, []byte("k"), []byte("v2"))
+	if _, at, _ := m.GetExpire([]byte("k")); at != 0 {
+		t.Fatalf("Set kept the old stamp: %d", at)
+	}
+	// DeleteExpired only fires when the stamp has actually passed.
+	m.SetExpire(hd, []byte("k"), []byte("v3"), 1000)
+	if m.DeleteExpired(hd, []byte("k"), 999) {
+		t.Fatal("DeleteExpired removed a live record")
+	}
+	if m.DeleteExpired(hd, []byte("missing"), 5000) {
+		t.Fatal("DeleteExpired removed a missing key")
+	}
+	if !m.DeleteExpired(hd, []byte("k"), 1000) {
+		t.Fatal("DeleteExpired refused a dead record")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after DeleteExpired", m.Len())
+	}
+	// Immortal records are never sweepable.
+	m.Set(hd, []byte("imm"), []byte("v"))
+	if m.DeleteExpired(hd, []byte("imm"), 1<<62) {
+		t.Fatal("DeleteExpired removed an immortal record")
+	}
+}
+
+func TestHashMapRangeExpire(t *testing.T) {
+	h := rheap(t)
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	m, _ := NewHashMap(a, hd, 32)
+	for i := 0; i < 50; i++ {
+		at := uint64(0)
+		if i%2 == 1 {
+			at = uint64(1000 + i)
+		}
+		if !m.SetExpire(hd, []byte(fmt.Sprintf("k%02d", i)), []byte("v"), at) {
+			t.Fatal("OOM")
+		}
+	}
+	stamped := 0
+	m.RangeExpire(func(key, _ []byte, at uint64) bool {
+		if at != 0 {
+			stamped++
+			idx := int(key[1]-'0')*10 + int(key[2]-'0')
+			if want := uint64(1000 + idx); at != want {
+				t.Fatalf("key %s stamp = %d, want %d", key, at, want)
+			}
+		}
+		return true
+	})
+	if stamped != 25 {
+		t.Fatalf("walked %d stamped records, want 25", stamped)
+	}
+}
+
 func TestHashMapModel(t *testing.T) {
 	h := rheap(t)
 	a := h.AsAllocator()

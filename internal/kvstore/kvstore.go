@@ -5,36 +5,65 @@
 // the key-value code". The store keeps all data in a persistent hash map
 // over a pluggable allocator, so the YCSB experiment isolates allocator
 // behavior exactly as the paper's does.
+//
+// Records may carry an expiration deadline (a TTL, cache-style). The
+// deadline is an absolute unix-millisecond stamp persisted inside the same
+// allocation as the record (dstruct hash-map node word 2), so recovery
+// needs no separate TTL log: one GC + Range pass rebuilds the LRU byte
+// accounting and the volatile expiry index together, and because the stamp
+// is wall-clock absolute, a key that expired before a crash is still
+// expired after recovery — expiration survives kill -9 for free. Reads
+// apply *lazy* expiry (a dead record is reported missing without being
+// touched); space is reclaimed by ReclaimExpired, which the serving layer
+// drives from its active expiry cycle.
 package kvstore
 
 import (
 	"sync/atomic"
+	"time"
 
 	"repro/internal/alloc"
 	"repro/internal/dstruct"
 	"repro/internal/ralloc"
 )
 
+// PTTL sentinels, Redis-style (milliseconds otherwise).
+const (
+	// TTLMissing reports a key that does not exist (or has expired).
+	TTLMissing = -2
+	// TTLNone reports a key that exists but carries no deadline.
+	TTLNone = -1
+)
+
 // Store is a library-mode key-value store.
 type Store struct {
 	a   alloc.Allocator
 	m   *dstruct.HashMap
-	lru *lruIndex // nil when the store is unbounded
+	lru *lruIndex    // nil when the store is unbounded
+	exp *expiryIndex // volatile deadline index (always present)
+	now func() int64 // unix ms clock; swappable for deterministic tests
 
 	hits, misses, sets, deletes atomic.Uint64
+	expired, reclaimed          atomic.Uint64
 }
 
 // Stats is a snapshot of operation counters.
 type Stats struct {
 	Hits, Misses, Sets, Deletes, Evictions uint64
-	Bytes                                  uint64
+	// Expired counts reads answered "missing" by lazy expiry; Reclaimed
+	// counts records actively deleted by ReclaimExpired; TTLd is the
+	// number of keys currently carrying a deadline.
+	Expired, Reclaimed, TTLd uint64
+	Bytes                    uint64
 }
+
+func wallClock() int64 { return time.Now().UnixMilli() }
 
 // Open creates an unbounded store, returning it and the root offset of its
 // hash map header for persistent-root registration.
 func Open(a alloc.Allocator, h alloc.Handle, buckets int) (*Store, uint64) {
 	m, root := dstruct.NewHashMap(a, h, buckets)
-	return &Store{a: a, m: m}, root
+	return &Store{a: a, m: m, exp: newExpiryIndex(), now: wallClock}, root
 }
 
 // OpenBounded creates a store with a memory budget: once the (approximate)
@@ -48,25 +77,39 @@ func OpenBounded(a alloc.Allocator, h alloc.Handle, buckets int, maxBytes uint64
 }
 
 // Attach re-opens a store whose hash-map header is at root (after restart
-// or recovery). The store re-attaches unbounded; like memcached's, the LRU
+// or recovery), rebuilding the volatile expiry index by walking the
+// persistent map. The store re-attaches unbounded; like memcached's, the LRU
 // recency state is transient and does not survive restarts. A store that was
 // bounded before the restart should use AttachBounded instead, or the memory
 // budget is silently dropped.
 func Attach(a alloc.Allocator, root uint64) *Store {
-	return &Store{a: a, m: dstruct.AttachHashMap(a, root)}
+	s := &Store{a: a, m: dstruct.AttachHashMap(a, root), exp: newExpiryIndex(), now: wallClock}
+	s.m.RangeExpire(func(key, _ []byte, at uint64) bool {
+		if at != 0 {
+			s.exp.set(string(key), int64(at))
+		}
+		return true
+	})
+	return s
 }
 
 // AttachBounded re-opens a bounded store at root, rebuilding the transient
-// LRU index by walking the persistent map. Recency order across the restart
-// is arbitrary (walk order), like memcached's cold LRU after a reboot, but
-// the byte accounting is exact, so the budget is enforced from the first Set
-// onward. If the persisted image already exceeds maxBytes — the budget may
-// have been lowered across the restart — the overage is evicted immediately.
+// LRU index and the expiry index in one walk of the persistent map. Recency
+// order across the restart is arbitrary (walk order), like memcached's cold
+// LRU after a reboot, but the byte accounting is exact, so the budget is
+// enforced from the first Set onward. Records whose persisted deadline has
+// already passed are primed too — they still occupy heap until the expiry
+// cycle reclaims them, and lazy expiry hides them from reads meanwhile. If
+// the persisted image already exceeds maxBytes — the budget may have been
+// lowered across the restart — the overage is evicted immediately.
 func AttachBounded(a alloc.Allocator, root uint64, maxBytes uint64) *Store {
-	s := Attach(a, root)
+	s := &Store{a: a, m: dstruct.AttachHashMap(a, root), exp: newExpiryIndex(), now: wallClock}
 	s.lru = newLRUIndex(maxBytes)
-	s.m.Range(func(key, value []byte) bool {
+	s.m.RangeExpire(func(key, value []byte, at uint64) bool {
 		s.lru.prime(string(key), footprint(len(key), len(value)))
+		if at != 0 {
+			s.exp.set(string(key), int64(at))
+		}
 		return true
 	})
 	if victims := s.lru.evictOver(); len(victims) > 0 {
@@ -74,11 +117,19 @@ func AttachBounded(a alloc.Allocator, root uint64, maxBytes uint64) *Store {
 		for _, victim := range victims {
 			if s.m.Delete(h, []byte(victim)) {
 				s.deletes.Add(1)
+				s.exp.remove(victim)
 			}
 		}
 	}
 	return s
 }
+
+// SetClock replaces the store's wall clock (unix milliseconds). Tests use it
+// to step time deterministically; production code never calls it.
+func (s *Store) SetClock(now func() int64) { s.now = now }
+
+// Now returns the store's current clock reading in unix milliseconds.
+func (s *Store) Now() int64 { return s.now() }
 
 // Get fetches a value.
 func (s *Store) Get(key string) (string, bool) {
@@ -94,25 +145,59 @@ func (s *Store) Set(h alloc.Handle, key, value string) bool {
 	return s.SetBytes(h, []byte(key), []byte(value))
 }
 
-// SetBytes avoids string conversion on hot update paths.
+// SetBytes avoids string conversion on hot update paths. Like Redis SET, it
+// clears any previous deadline on the key.
 func (s *Store) SetBytes(h alloc.Handle, key, value []byte) bool {
-	if !s.m.Set(h, key, value) {
+	return s.SetBytesExpire(h, key, value, 0)
+}
+
+// SetBytesExpire inserts or replaces a value with an absolute deadline
+// (unix milliseconds; 0 = immortal). The deadline is persisted in the
+// record's own allocation before the record becomes reachable, so an
+// acknowledged TTL'd SET can never recover as an immortal key.
+func (s *Store) SetBytesExpire(h alloc.Handle, key, value []byte, deadline int64) bool {
+	if !s.m.SetExpire(h, key, value, uint64(deadline)) {
 		return false
 	}
 	s.sets.Add(1)
+	if deadline != 0 {
+		s.exp.set(string(key), deadline)
+	} else if s.exp.tracked() != 0 {
+		// Clearing a possible stale hint only matters when hints exist at
+		// all: immortal hot-path Sets in TTL-free workloads skip the index
+		// (and the key's string conversion) entirely.
+		s.exp.remove(string(key))
+	}
 	if s.lru != nil {
 		for _, victim := range s.lru.update(string(key), footprint(len(key), len(value))) {
 			if s.m.Delete(h, []byte(victim)) {
 				s.deletes.Add(1)
+				s.exp.remove(victim)
 			}
 		}
 	}
 	return true
 }
 
-// GetBytes avoids string conversion on hot read paths.
+// GetBytes avoids string conversion on hot read paths. Expiry is lazy: a
+// record past its persisted deadline is reported missing — without deleting
+// it (no allocation, no frees on the read path); the active expiry cycle
+// reclaims the space later.
 func (s *Store) GetBytes(key []byte) ([]byte, bool) {
-	v, ok := s.m.Get(key)
+	v, _, ok := s.GetBytesExpire(key)
+	return v, ok
+}
+
+// GetBytesExpire is GetBytes returning the record's deadline too (0 =
+// immortal) — the read-modify-write paths (APPEND) use it to preserve a
+// key's TTL across the rewrite.
+func (s *Store) GetBytesExpire(key []byte) (value []byte, deadline int64, ok bool) {
+	v, at, ok := s.m.GetExpire(key)
+	if ok && at != 0 && int64(at) <= s.now() {
+		s.expired.Add(1)
+		s.misses.Add(1)
+		return nil, 0, false
+	}
 	if ok {
 		s.hits.Add(1)
 		if s.lru != nil {
@@ -121,27 +206,115 @@ func (s *Store) GetBytes(key []byte) ([]byte, bool) {
 	} else {
 		s.misses.Add(1)
 	}
-	return v, ok
+	return v, int64(at), ok
 }
 
-// Delete removes a key.
+// Expire sets key's absolute deadline (unix milliseconds), reporting whether
+// the key existed (live). A deadline at or before now makes the key expire
+// immediately. The stamp is updated in place — one word, flushed and fenced
+// before Expire returns — so an acknowledged EXPIRE is durable and a crash
+// can only leave the old or the new deadline, never a torn state.
+func (s *Store) Expire(key string, deadline int64) bool {
+	_, ok := s.m.UpdateExpire([]byte(key), uint64(deadline), uint64(s.now()))
+	if ok {
+		s.exp.set(key, deadline)
+	}
+	return ok
+}
+
+// Persist clears key's deadline, reporting whether a live key actually had
+// one (Redis PERSIST semantics).
+func (s *Store) Persist(key string) bool {
+	prev, ok := s.m.UpdateExpire([]byte(key), 0, uint64(s.now()))
+	if ok {
+		s.exp.remove(key)
+	}
+	return ok && prev != 0
+}
+
+// PTTL returns key's remaining lifetime in milliseconds, TTLNone (-1) for a
+// live key with no deadline, or TTLMissing (-2) for a missing or expired
+// key.
+func (s *Store) PTTL(key string) int64 {
+	_, at, ok := s.m.GetExpire([]byte(key))
+	if !ok {
+		return TTLMissing
+	}
+	if at == 0 {
+		return TTLNone
+	}
+	rem := int64(at) - s.now()
+	if rem <= 0 {
+		return TTLMissing
+	}
+	return rem
+}
+
+// ReclaimExpired deletes up to max records whose deadline has passed,
+// returning how many it freed — the active half of expiration. Candidates
+// come from the volatile index, but each deletion re-checks the *persisted*
+// stamp under the record's stripe lock (DeleteExpired), so a key
+// concurrently re-SET or PERSISTed is never swept. The serving layer calls
+// this from its expiry cycle under the checkpoint barrier.
+func (s *Store) ReclaimExpired(h alloc.Handle, max int) int {
+	now := s.now()
+	n := 0
+	for _, cand := range s.exp.sample(max, now) {
+		if s.m.DeleteExpired(h, []byte(cand.key), uint64(now)) {
+			s.deletes.Add(1)
+			s.reclaimed.Add(1)
+			// Conditional removal: a concurrent SETEX may have re-created
+			// the key and refreshed its hint between our delete and here;
+			// that fresh hint must survive for the record to be reclaimed
+			// when it expires.
+			s.exp.removeIf(cand.key, cand.at)
+			if s.lru != nil {
+				s.lru.remove(cand.key)
+			}
+			n++
+		} else {
+			// The persisted stamp disagrees with the sampled hint (the key
+			// was deleted, re-SET, or PERSISTed since, possibly by writers
+			// racing each other): repair the hint from the current stamp so
+			// phantom entries don't get re-sampled every cycle.
+			_, at, ok := s.m.GetExpire([]byte(cand.key))
+			persisted := int64(0)
+			if ok {
+				persisted = int64(at)
+			}
+			s.exp.fix(cand.key, cand.at, persisted)
+		}
+	}
+	return n
+}
+
+// Delete removes a key. The return reports whether an *observably live* key
+// was deleted (Redis DEL semantics): deleting an expired-but-unreclaimed
+// record frees its space but returns false, since reads already reported
+// the key gone. Callers wanting same-key atomicity with read-modify-write
+// sequences must serialize externally (the server's keyLock).
 func (s *Store) Delete(h alloc.Handle, key string) bool {
+	_, at, ok := s.m.GetExpire([]byte(key))
+	live := ok && (at == 0 || int64(at) > s.now())
 	if !s.m.Delete(h, []byte(key)) {
 		return false
 	}
 	s.deletes.Add(1)
+	s.exp.remove(key)
 	if s.lru != nil {
 		s.lru.remove(key)
 	}
-	return true
+	return live
 }
 
-// Len returns the number of records.
+// Len returns the number of records, including expired records not yet
+// reclaimed (they still occupy heap, exactly like Redis's DBSIZE).
 func (s *Store) Len() int { return s.m.Len() }
 
 // Range calls fn for every record until fn returns false. fn runs under the
 // map's stripe locks and must not call back into the store; to mutate,
-// collect keys first and then Set/Delete them.
+// collect keys first and then Set/Delete them. Expired-but-unreclaimed
+// records are included.
 func (s *Store) Range(fn func(key, value []byte) bool) { s.m.Range(fn) }
 
 // Bounded reports whether the store enforces a memory budget.
@@ -150,10 +323,13 @@ func (s *Store) Bounded() bool { return s.lru != nil }
 // Stats returns a snapshot of the counters.
 func (s *Store) Stats() Stats {
 	st := Stats{
-		Hits:    s.hits.Load(),
-		Misses:  s.misses.Load(),
-		Sets:    s.sets.Load(),
-		Deletes: s.deletes.Load(),
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Sets:      s.sets.Load(),
+		Deletes:   s.deletes.Load(),
+		Expired:   s.expired.Load(),
+		Reclaimed: s.reclaimed.Load(),
+		TTLd:      uint64(s.exp.tracked()),
 	}
 	if s.lru != nil {
 		st.Evictions = s.lru.Evicted()

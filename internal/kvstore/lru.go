@@ -36,9 +36,9 @@ func newLRUIndex(maxBytes uint64) *lruIndex {
 }
 
 // footprint approximates a record's heap cost: the hash-map node header
-// plus padded payloads.
+// (next, lengths, expiry stamp) plus padded payloads.
 func footprint(key, value int) uint64 {
-	return uint64(16 + (key+7)&^7 + (value+7)&^7)
+	return uint64(24 + (key+7)&^7 + (value+7)&^7)
 }
 
 // touch marks key as most recently used.

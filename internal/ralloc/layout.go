@@ -38,7 +38,10 @@ const (
 	// heapVersion is bumped on incompatible layout changes.
 	// v2: partial-list heads moved from the size-class records into the
 	// sharded head array at offShardHeads; shard count stored at offShards.
-	heapVersion = 2
+	// v3: dstruct hash-map nodes grew a third header word (the expiration
+	// stamp), shifting key/value offsets — a v2 image's records would be
+	// silently misread, so it must be rejected here instead.
+	heapVersion = 3
 
 	// MaxShards bounds the number of partial-list shards per size class.
 	// 64 shard sets of 40 head words each fit comfortably in the metadata

@@ -109,9 +109,9 @@ func (c *Client) Do(args ...string) (Reply, error) {
 	return c.Recv()
 }
 
-// Set stores key=value, failing on any non-OK reply.
-func (c *Client) Set(key, value string) error {
-	rp, err := c.Do("SET", key, value)
+// okReply runs one command expecting a +OK reply.
+func (c *Client) okReply(args ...string) error {
+	rp, err := c.Do(args...)
 	if err != nil {
 		return err
 	}
@@ -119,14 +119,99 @@ func (c *Client) Set(key, value string) error {
 		return err
 	}
 	if rp.Kind != '+' || rp.Str != "OK" {
-		return fmt.Errorf("server: unexpected SET reply %q", rp.Text())
+		return fmt.Errorf("server: unexpected %s reply %q", args[0], rp.Text())
 	}
 	return nil
+}
+
+// Set stores key=value, failing on any non-OK reply.
+func (c *Client) Set(key, value string) error {
+	return c.okReply("SET", key, value)
 }
 
 // Get fetches key; ok=false reports a missing key.
 func (c *Client) Get(key string) (value string, ok bool, err error) {
 	rp, err := c.Do("GET", key)
+	if err != nil {
+		return "", false, err
+	}
+	if err := rp.Err(); err != nil {
+		return "", false, err
+	}
+	if rp.Nil {
+		return "", false, nil
+	}
+	return string(rp.Bulk), true, nil
+}
+
+// intReply runs one command expecting an integer reply.
+func (c *Client) intReply(args ...string) (int64, error) {
+	rp, err := c.Do(args...)
+	if err != nil {
+		return 0, err
+	}
+	if err := rp.Err(); err != nil {
+		return 0, err
+	}
+	if rp.Kind != ':' {
+		return 0, fmt.Errorf("server: unexpected %s reply %q", args[0], rp.Text())
+	}
+	return rp.Int, nil
+}
+
+// SetEx stores key=value with a time-to-live in whole seconds (SETEX).
+func (c *Client) SetEx(key string, seconds int64, value string) error {
+	return c.okReply("SETEX", key, strconv.FormatInt(seconds, 10), value)
+}
+
+// PSetEx is SetEx with millisecond resolution (PSETEX).
+func (c *Client) PSetEx(key string, ms int64, value string) error {
+	return c.okReply("PSETEX", key, strconv.FormatInt(ms, 10), value)
+}
+
+// Expire sets key's time-to-live in seconds; ok=false reports a missing key.
+func (c *Client) Expire(key string, seconds int64) (bool, error) {
+	n, err := c.intReply("EXPIRE", key, strconv.FormatInt(seconds, 10))
+	return n == 1, err
+}
+
+// PExpire is Expire with millisecond resolution.
+func (c *Client) PExpire(key string, ms int64) (bool, error) {
+	n, err := c.intReply("PEXPIRE", key, strconv.FormatInt(ms, 10))
+	return n == 1, err
+}
+
+// TTL returns key's remaining lifetime in seconds, -1 for no expiry, -2 for
+// a missing (or expired) key.
+func (c *Client) TTL(key string) (int64, error) { return c.intReply("TTL", key) }
+
+// PTTL is TTL in milliseconds.
+func (c *Client) PTTL(key string) (int64, error) { return c.intReply("PTTL", key) }
+
+// Persist removes key's expiry; ok=false when the key is missing or had
+// none.
+func (c *Client) Persist(key string) (bool, error) {
+	n, err := c.intReply("PERSIST", key)
+	return n == 1, err
+}
+
+// SetNX stores key=value only if key does not exist; ok reports whether the
+// write happened.
+func (c *Client) SetNX(key, value string) (bool, error) {
+	n, err := c.intReply("SETNX", key, value)
+	return n == 1, err
+}
+
+// Append appends value to key (creating it if missing), returning the new
+// length.
+func (c *Client) Append(key, value string) (int64, error) {
+	return c.intReply("APPEND", key, value)
+}
+
+// GetSet atomically replaces key's value, returning the previous one
+// (ok=false when the key was absent).
+func (c *Client) GetSet(key, value string) (string, bool, error) {
+	rp, err := c.Do("GETSET", key, value)
 	if err != nil {
 		return "", false, err
 	}

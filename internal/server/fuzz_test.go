@@ -1,0 +1,175 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// Native Go fuzzing over both sides of the RESP codec. The decoder faces
+// the network, so the property under test is total robustness: for ANY byte
+// stream — pipelined, truncated, oversized, malformed, hostile — the parser
+// must return commands/replies or a clean error, never panic, never run the
+// stack out (readReply recurses per array nesting level; maxReplyDepth is
+// the fix this fuzzer motivated), and never allocate unboundedly from a
+// tiny header (capacity caps in ReadCommand/readReply).
+
+// fuzzSeedCommands is the seed corpus for the server-side command reader.
+var fuzzSeedCommands = []string{
+	// Well-formed single and pipelined commands.
+	"*2\r\n$3\r\nGET\r\n$1\r\nk\r\n",
+	"*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhello\r\n",
+	"*1\r\n$4\r\nPING\r\n*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n*2\r\n$3\r\nGET\r\n$1\r\nk\r\n",
+	"*3\r\n$6\r\nEXPIRE\r\n$1\r\nk\r\n$2\r\n10\r\n",
+	"*4\r\n$6\r\nPSETEX\r\n$1\r\nk\r\n$3\r\n100\r\n$1\r\nv\r\n",
+	// Inline commands and blank lines.
+	"PING\r\n",
+	"GET some-key\r\n",
+	"   \r\n\r\nPING\r\n",
+	// Empty multibulks (skipped iteratively, must terminate).
+	"*0\r\n*0\r\n*-1\r\n*0\r\nPING\r\n",
+	// Truncated at every interesting boundary.
+	"*2\r\n$3\r\nGE",
+	"*2\r\n$3\r\n",
+	"*2\r\n",
+	"*",
+	"$",
+	// Oversized and hostile headers.
+	"*1048577\r\n",
+	"*1048576\r\n",
+	"*99999999999999999999\r\n",
+	"*2\r\n$67108865\r\n",
+	"*2\r\n$99999999999\r\n",
+	"*-2\r\n",
+	"*2\r\n$-1\r\n",
+	// Malformed framing.
+	"*abc\r\n",
+	"*2\r\n:5\r\n",
+	"*1\r\n$3\r\nabcde\r\n",
+	"*1\r\n$5\r\nab\r\n",
+	"PING\n",
+	"*1\n$4\nPING\n",
+	"\r\n",
+	"\x00\xff\xfe*1\r\n",
+	strings.Repeat("a", 70000) + "\r\n", // line longer than the 64K buffer
+}
+
+func FuzzReadCommand(f *testing.F) {
+	for _, s := range fuzzSeedCommands {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := newRespReader(bytes.NewReader(data))
+		for i := 0; i < 64; i++ {
+			args, err := r.ReadCommand()
+			if err != nil {
+				// Errors must be clean: EOFs or protocol errors only.
+				var pe protoError
+				if !errors.As(err, &pe) && err != io.EOF && err != io.ErrUnexpectedEOF {
+					t.Fatalf("unexpected error type %T: %v", err, err)
+				}
+				return
+			}
+			// The contract execute() relies on: at least one argument,
+			// every argument within the advertised bounds.
+			if len(args) == 0 {
+				t.Fatal("ReadCommand returned an empty command")
+			}
+			if len(args) > maxArgs {
+				t.Fatalf("ReadCommand returned %d args (max %d)", len(args), maxArgs)
+			}
+			for _, a := range args {
+				if int64(len(a)) > maxBulkLen {
+					t.Fatalf("ReadCommand returned a %d-byte bulk (max %d)", len(a), maxBulkLen)
+				}
+			}
+		}
+	})
+}
+
+// fuzzSeedReplies is the seed corpus for the client-side reply reader.
+var fuzzSeedReplies = []string{
+	"+OK\r\n",
+	"-ERR unknown command\r\n",
+	":1234\r\n",
+	":-2\r\n",
+	"$5\r\nhello\r\n",
+	"$0\r\n\r\n",
+	"$-1\r\n",
+	"*2\r\n$1\r\na\r\n:2\r\n",
+	"*0\r\n",
+	"*-1\r\n",
+	// Pipelined replies.
+	"+OK\r\n:1\r\n$2\r\nhi\r\n",
+	// Nested and deeply-nested arrays (the stack-exhaustion case).
+	"*1\r\n*1\r\n*1\r\n:1\r\n",
+	strings.Repeat("*1\r\n", 64) + ":1\r\n",
+	// Truncated and malformed.
+	"$5\r\nab",
+	"*3\r\n+OK\r\n",
+	":abc\r\n",
+	"$abc\r\n",
+	"*abc\r\n",
+	"?\r\n",
+	"+\r\n",
+	"*99999999999999999999\r\n",
+	"$99999999999\r\n",
+	"+OK\n",
+	"",
+	"\x00\x01\x02",
+}
+
+func FuzzParseReply(f *testing.F) {
+	for _, s := range fuzzSeedReplies {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		for i := 0; i < 64; i++ {
+			rp, err := readReply(br)
+			if err != nil {
+				var pe protoError
+				if !errors.As(err, &pe) && err != io.EOF && err != io.ErrUnexpectedEOF {
+					t.Fatalf("unexpected error type %T: %v", err, err)
+				}
+				return
+			}
+			switch rp.Kind {
+			case '+', '-', ':', '$', '*':
+			default:
+				t.Fatalf("reply with invalid kind %q", rp.Kind)
+			}
+		}
+	})
+}
+
+// TestReplyDepthLimit pins the fix FuzzParseReply motivated: a hostile
+// stream of nested array headers must fail with a protocol error instead of
+// recursing the decoder toward stack exhaustion (a fatal, unrecoverable
+// error in Go).
+func TestReplyDepthLimit(t *testing.T) {
+	hostile := strings.Repeat("*1\r\n", 100000) + ":1\r\n"
+	_, err := readReply(bufio.NewReader(strings.NewReader(hostile)))
+	var pe protoError
+	if !errors.As(err, &pe) {
+		t.Fatalf("deeply nested reply returned %v, want protoError", err)
+	}
+	// Modest nesting still decodes.
+	ok := strings.Repeat("*1\r\n", 8) + ":7\r\n"
+	rp, err := readReply(bufio.NewReader(strings.NewReader(ok)))
+	if err != nil {
+		t.Fatalf("8-deep reply failed: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		if rp.Kind != '*' || len(rp.Elems) != 1 {
+			t.Fatalf("level %d: kind %q, %d elems", i, rp.Kind, len(rp.Elems))
+		}
+		rp = rp.Elems[0]
+	}
+	if rp.Kind != ':' || rp.Int != 7 {
+		t.Fatalf("innermost reply = %+v", rp)
+	}
+}

@@ -23,6 +23,12 @@ const (
 	maxArgs    = 1 << 20 // arguments per command
 	maxBulkLen = 64 << 20 // bytes per bulk string
 	maxLineLen = 64 << 10 // bytes per protocol line
+	// maxReplyDepth bounds nested array replies. readReply recurses per
+	// nesting level, and Go stack exhaustion is a fatal error, not a
+	// recoverable panic — FuzzParseReply found that a stream of "*1\r\n"
+	// headers (4 bytes per level) could otherwise run the decoder out of
+	// stack. Real replies in this protocol subset nest at most 1 deep.
+	maxReplyDepth = 32
 )
 
 // protoError is a client-visible protocol violation: the server reports it
@@ -93,7 +99,10 @@ func (r *respReader) ReadCommand() ([][]byte, error) {
 		if n > maxArgs {
 			return nil, protoError("invalid multibulk length")
 		}
-		args := make([][]byte, 0, n)
+		// Capacity is capped: a hostile "*1048576" header is 12 bytes on the
+		// wire and must not reserve megabytes up front. append grows the
+		// slice only as real argument data actually arrives.
+		args := make([][]byte, 0, min(n, 64))
 		for i := int64(0); i < n; i++ {
 			line, err := r.readLine()
 			if err != nil {
@@ -214,7 +223,12 @@ func (rp Reply) Text() string {
 }
 
 // readReply decodes one RESP reply from br.
-func readReply(br *bufio.Reader) (Reply, error) {
+func readReply(br *bufio.Reader) (Reply, error) { return readReplyDepth(br, 0) }
+
+func readReplyDepth(br *bufio.Reader, depth int) (Reply, error) {
+	if depth > maxReplyDepth {
+		return Reply{}, protoError("reply nested too deeply")
+	}
 	line, err := br.ReadString('\n')
 	if err != nil {
 		return Reply{}, err
@@ -255,9 +269,9 @@ func readReply(br *bufio.Reader) (Reply, error) {
 		if n < 0 {
 			return Reply{Kind: '*', Nil: true}, nil
 		}
-		elems := make([]Reply, 0, n)
+		elems := make([]Reply, 0, min(n, 64))
 		for i := int64(0); i < n; i++ {
-			e, err := readReply(br)
+			e, err := readReplyDepth(br, depth+1)
 			if err != nil {
 				return Reply{}, err
 			}

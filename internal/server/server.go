@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"net"
 	"strconv"
 	"strings"
@@ -31,6 +32,16 @@ type Config struct {
 	// Info, if non-nil, contributes extra sections to the INFO reply
 	// (heap statistics, say).
 	Info func() string
+	// ActiveExpiryInterval, if positive, starts the active expiry cycle: a
+	// goroutine that every interval samples TTL'd keys and reclaims the
+	// expired ones. It runs under the same barrier as commands (execMu
+	// read side), so a SAVE checkpoint never captures a half-done
+	// reclamation. Zero disables the cycle; reads still apply lazy expiry,
+	// so correctness is unaffected — only space reclamation is.
+	ActiveExpiryInterval time.Duration
+	// ActiveExpirySample caps how many expired keys one cycle reclaims
+	// (default 20, Redis-like), bounding the barrier hold time.
+	ActiveExpirySample int
 }
 
 // ErrServerClosed is returned by Serve after Shutdown or Abort.
@@ -58,11 +69,15 @@ type Server struct {
 	sem  chan struct{} // MaxConns slots (nil = unlimited)
 	once sync.Once     // OnShutdown
 
-	start    time.Time
-	accepted atomic.Uint64
-	commands atomic.Uint64
+	stopExpiry chan struct{}  // closed on Shutdown/Abort (nil: cycle off)
+	expiryWG   sync.WaitGroup // joins the expiry goroutine
 
-	incrMu [64]sync.Mutex // striped read-modify-write locks (INCR)
+	start        time.Time
+	accepted     atomic.Uint64
+	commands     atomic.Uint64
+	expiryCycles atomic.Uint64
+
+	rmwMu [64]sync.Mutex // striped read-modify-write locks (INCR/SETNX/APPEND/GETSET)
 }
 
 // New creates a server over an open store. The allocator must be the one the
@@ -79,7 +94,39 @@ func New(a alloc.Allocator, st *kvstore.Store, cfg Config) *Server {
 	if cfg.MaxConns > 0 {
 		s.sem = make(chan struct{}, cfg.MaxConns)
 	}
+	if cfg.ActiveExpiryInterval > 0 {
+		s.stopExpiry = make(chan struct{})
+		s.expiryWG.Add(1)
+		go s.expiryLoop()
+	}
 	return s
+}
+
+// expiryLoop is the active expiry cycle: every interval it reclaims up to
+// ActiveExpirySample expired records. Each round runs under the execMu read
+// side — concurrent with ordinary commands, quiesced by SAVE — so checkpoint
+// images never contain a torn reclamation, and the cycle's frees stop before
+// Shutdown/Abort return (no goroutine touches the heap afterwards).
+func (s *Server) expiryLoop() {
+	defer s.expiryWG.Done()
+	sample := s.cfg.ActiveExpirySample
+	if sample <= 0 {
+		sample = 20
+	}
+	hd := s.a.NewHandle()
+	t := time.NewTicker(s.cfg.ActiveExpiryInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopExpiry:
+			return
+		case <-t.C:
+			s.execMu.RLock()
+			s.st.ReclaimExpired(hd, sample)
+			s.execMu.RUnlock()
+			s.expiryCycles.Add(1)
+		}
+	}
 }
 
 // Serve accepts connections on l until the server shuts down. It always
@@ -253,8 +300,15 @@ func (s *Server) execute(hd alloc.Handle, w *respWriter, args [][]byte) bool {
 		}
 		// The +OK acknowledgment is written only after SetBytes returns,
 		// i.e. after the new record is flushed and linked: an acknowledged
-		// SET is durable in the crash-simulation sense.
-		if !s.st.SetBytes(hd, args[1], args[2]) {
+		// SET is durable in the crash-simulation sense. Every single-key
+		// mutation holds the striped keyLock so it cannot interleave
+		// inside an RMW command's read→write window (a SET landing there
+		// would be silently overwritten despite its +OK).
+		mu := s.keyLock(args[1])
+		mu.Lock()
+		ok := s.st.SetBytes(hd, args[1], args[2])
+		mu.Unlock()
+		if !ok {
 			w.errorf("out of memory")
 			break
 		}
@@ -266,7 +320,11 @@ func (s *Server) execute(hd alloc.Handle, w *respWriter, args [][]byte) bool {
 		}
 		n := int64(0)
 		for _, k := range args[1:] {
-			if s.st.Delete(hd, string(k)) {
+			mu := s.keyLock(k)
+			mu.Lock()
+			deleted := s.st.Delete(hd, string(k))
+			mu.Unlock()
+			if deleted {
 				n++
 			}
 		}
@@ -289,6 +347,124 @@ func (s *Server) execute(hd alloc.Handle, w *respWriter, args [][]byte) bool {
 			break
 		}
 		s.incr(hd, w, args[1])
+	case "SETNX":
+		if len(args) != 3 {
+			w.errorf("wrong number of arguments for 'setnx' command")
+			break
+		}
+		mu := s.keyLock(args[1])
+		mu.Lock()
+		if _, ok := s.st.GetBytes(args[1]); ok {
+			w.integer(0)
+		} else if !s.st.SetBytes(hd, args[1], args[2]) {
+			w.errorf("out of memory")
+		} else {
+			w.integer(1)
+		}
+		mu.Unlock()
+	case "APPEND":
+		if len(args) != 3 {
+			w.errorf("wrong number of arguments for 'append' command")
+			break
+		}
+		// Append preserves the key's TTL (Redis semantics): the rewrite
+		// carries the old record's deadline into the new allocation.
+		mu := s.keyLock(args[1])
+		mu.Lock()
+		old, deadline, _ := s.st.GetBytesExpire(args[1])
+		val := make([]byte, 0, len(old)+len(args[2]))
+		val = append(append(val, old...), args[2]...)
+		if !s.st.SetBytesExpire(hd, args[1], val, deadline) {
+			w.errorf("out of memory")
+		} else {
+			w.integer(int64(len(val)))
+		}
+		mu.Unlock()
+	case "GETSET":
+		if len(args) != 3 {
+			w.errorf("wrong number of arguments for 'getset' command")
+			break
+		}
+		// GETSET clears any TTL on the key (Redis semantics): SetBytes
+		// writes an immortal record.
+		mu := s.keyLock(args[1])
+		mu.Lock()
+		old, ok := s.st.GetBytes(args[1])
+		if !s.st.SetBytes(hd, args[1], args[2]) {
+			w.errorf("out of memory")
+		} else if ok {
+			w.bulk(old)
+		} else {
+			w.nilBulk()
+		}
+		mu.Unlock()
+	case "EXPIRE", "PEXPIRE":
+		if len(args) != 3 {
+			w.errorf("wrong number of arguments for '%s' command", strings.ToLower(name))
+			break
+		}
+		d, err := strconv.ParseInt(string(args[2]), 10, 64)
+		if err != nil {
+			w.errorf("value is not an integer or out of range")
+			break
+		}
+		mu := s.keyLock(args[1])
+		mu.Lock()
+		ok := s.st.Expire(string(args[1]), deadlineFrom(s.st.Now(), d, name == "EXPIRE"))
+		mu.Unlock()
+		if ok {
+			w.integer(1)
+		} else {
+			w.integer(0)
+		}
+	case "TTL", "PTTL":
+		if len(args) != 2 {
+			w.errorf("wrong number of arguments for '%s' command", strings.ToLower(name))
+			break
+		}
+		ms := s.st.PTTL(string(args[1]))
+		if ms < 0 || name == "PTTL" {
+			w.integer(ms)
+		} else {
+			w.integer((ms + 999) / 1000) // round up, like Redis TTL
+		}
+	case "PERSIST":
+		if len(args) != 2 {
+			w.errorf("wrong number of arguments for 'persist' command")
+			break
+		}
+		mu := s.keyLock(args[1])
+		mu.Lock()
+		ok := s.st.Persist(string(args[1]))
+		mu.Unlock()
+		if ok {
+			w.integer(1)
+		} else {
+			w.integer(0)
+		}
+	case "SETEX", "PSETEX":
+		if len(args) != 4 {
+			w.errorf("wrong number of arguments for '%s' command", strings.ToLower(name))
+			break
+		}
+		d, err := strconv.ParseInt(string(args[2]), 10, 64)
+		if err != nil {
+			w.errorf("value is not an integer or out of range")
+			break
+		}
+		if d <= 0 {
+			w.errorf("invalid expire time in '%s' command", strings.ToLower(name))
+			break
+		}
+		mu := s.keyLock(args[1])
+		mu.Lock()
+		ok := s.st.SetBytesExpire(hd, args[1], args[3], deadlineFrom(s.st.Now(), d, name == "SETEX"))
+		mu.Unlock()
+		if !ok {
+			w.errorf("out of memory")
+			break
+		}
+		w.simple("OK")
 	case "MGET":
 		if len(args) < 2 {
 			w.errorf("wrong number of arguments for 'mget' command")
@@ -308,7 +484,11 @@ func (s *Server) execute(hd alloc.Handle, w *respWriter, args [][]byte) bool {
 			break
 		}
 		for i := 1; i < len(args); i += 2 {
-			if !s.st.SetBytes(hd, args[i], args[i+1]) {
+			mu := s.keyLock(args[i])
+			mu.Lock()
+			ok := s.st.SetBytes(hd, args[i], args[i+1])
+			mu.Unlock()
+			if !ok {
 				w.errorf("out of memory")
 				return false
 			}
@@ -324,7 +504,10 @@ func (s *Server) execute(hd alloc.Handle, w *respWriter, args [][]byte) bool {
 			return true
 		})
 		for _, k := range keys {
+			mu := s.keyLock([]byte(k))
+			mu.Lock()
 			s.st.Delete(hd, k)
+			mu.Unlock()
 		}
 		w.simple("OK")
 	case "INFO":
@@ -354,16 +537,51 @@ func (s *Server) execute(hd alloc.Handle, w *respWriter, args [][]byte) bool {
 	return false
 }
 
-// incr implements the read-modify-write under a striped per-key lock, since
-// the store's Get and Set are individually — not jointly — atomic.
-func (s *Server) incr(hd alloc.Handle, w *respWriter, key []byte) {
+// keyLock returns the striped lock for read-modify-write commands on key
+// (INCR, SETNX, APPEND, GETSET), since the store's Get and Set are
+// individually — not jointly — atomic.
+func (s *Server) keyLock(key []byte) *sync.Mutex {
 	h := fnv.New64a()
 	h.Write(key)
-	mu := &s.incrMu[h.Sum64()%uint64(len(s.incrMu))]
+	return &s.rmwMu[h.Sum64()%uint64(len(s.rmwMu))]
+}
+
+// deadlineFrom converts a relative TTL (in seconds when seconds is true,
+// milliseconds otherwise) into an absolute unix-millisecond deadline,
+// saturating instead of overflowing on hostile magnitudes. The result is
+// never 0 — that is the "immortal" sentinel — so a non-positive TTL maps to
+// a deadline firmly in the past (immediately expired, Redis-observable as
+// the key being gone).
+func deadlineFrom(now, d int64, seconds bool) int64 {
+	if seconds {
+		const maxSec = math.MaxInt64 / 1000
+		if d > maxSec {
+			d = maxSec
+		} else if d < -maxSec {
+			d = -maxSec
+		}
+		d *= 1000
+	}
+	at := now + d
+	if d > 0 && at < now {
+		at = math.MaxInt64
+	}
+	if at <= 0 {
+		at = 1
+	}
+	return at
+}
+
+// incr implements the read-modify-write under the striped per-key lock.
+// Like Redis (and unlike SET), INCR preserves the key's TTL: the canonical
+// SETEX+INCR rate-limiter pattern depends on the counter still expiring.
+func (s *Server) incr(hd alloc.Handle, w *respWriter, key []byte) {
+	mu := s.keyLock(key)
 	mu.Lock()
 	defer mu.Unlock()
 	n := int64(0)
-	if v, ok := s.st.GetBytes(key); ok {
+	v, deadline, ok := s.st.GetBytesExpire(key)
+	if ok {
 		parsed, err := strconv.ParseInt(string(v), 10, 64)
 		if err != nil {
 			w.errorf("value is not an integer or out of range")
@@ -372,7 +590,7 @@ func (s *Server) incr(hd alloc.Handle, w *respWriter, key []byte) {
 		n = parsed
 	}
 	n++
-	if !s.st.SetBytes(hd, key, []byte(strconv.FormatInt(n, 10))) {
+	if !s.st.SetBytesExpire(hd, key, []byte(strconv.FormatInt(n, 10)), deadline) {
 		w.errorf("out of memory")
 		return
 	}
@@ -398,6 +616,9 @@ func (s *Server) info() string {
 	fmt.Fprintf(&b, "bytes:%d\r\n", st.Bytes)
 	fmt.Fprintf(&b, "hits:%d\r\nmisses:%d\r\nsets:%d\r\ndeletes:%d\r\nevictions:%d\r\n",
 		st.Hits, st.Misses, st.Sets, st.Deletes, st.Evictions)
+	fmt.Fprintf(&b, "# Expires\r\n")
+	fmt.Fprintf(&b, "keys_with_ttl:%d\r\nexpired_lazy:%d\r\nexpired_reclaimed:%d\r\nexpiry_cycles:%d\r\n",
+		st.TTLd, st.Expired, st.Reclaimed, s.expiryCycles.Load())
 	if s.cfg.Info != nil {
 		b.WriteString(s.cfg.Info())
 	}
@@ -423,6 +644,9 @@ func (s *Server) Save() error {
 func (s *Server) Shutdown(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	s.mu.Lock()
+	if !s.closed && s.stopExpiry != nil {
+		close(s.stopExpiry)
+	}
 	s.closed = true
 	for l := range s.listeners {
 		l.Close()
@@ -434,6 +658,7 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 	}
 	s.mu.Unlock()
 
+	s.expiryWG.Wait()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -455,11 +680,15 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 // no goroutine touches the heap after Abort returns.
 func (s *Server) Abort() {
 	s.mu.Lock()
+	if !s.closed && s.stopExpiry != nil {
+		close(s.stopExpiry)
+	}
 	s.closed = true
 	for l := range s.listeners {
 		l.Close()
 	}
 	s.mu.Unlock()
+	s.expiryWG.Wait()
 	s.closeConns()
 	s.wg.Wait()
 }

@@ -26,6 +26,9 @@ const (
 type Op struct {
 	Kind OpKind
 	Key  string
+	// TTLMillis, when positive, asks the driver to attach an expiration
+	// this many milliseconds ahead to the written record (updates only).
+	TTLMillis int64
 }
 
 // Workload describes an YCSB core workload.
@@ -34,6 +37,11 @@ type Workload struct {
 	Records   int     // number of records pre-loaded
 	ReadFrac  float64 // fraction of reads
 	ValueSize int     // value bytes per record
+	// TTLFrac is the fraction of updates that write an expiring record;
+	// TTLMillis is the upper bound of the (uniform) TTL attached to them.
+	// A zero TTLFrac reproduces the immortal-keyspace workloads exactly.
+	TTLFrac   float64
+	TTLMillis int64
 }
 
 // WorkloadA is the write-dominant core workload (50/50).
@@ -51,6 +59,17 @@ func WorkloadB(records int) Workload {
 // costs from allocation costs.
 func WorkloadC(records int) Workload {
 	return Workload{Name: "c", Records: records, ReadFrac: 1.0, ValueSize: 100}
+}
+
+// WorkloadT is the cache-expiration workload (not a YCSB core letter): the
+// workload-A read/update mix, but half of the updates write records that
+// expire within TTLMillis. Reads of expired records miss (lazy expiry) and
+// the active expiry cycle frees them concurrently, so the allocator sees the
+// full cache lifecycle — allocate, link, expire, reclaim — instead of the
+// steady-state replace churn of workload A.
+func WorkloadT(records int) Workload {
+	return Workload{Name: "t", Records: records, ReadFrac: 0.5, ValueSize: 100,
+		TTLFrac: 0.5, TTLMillis: 250}
 }
 
 // Generator produces operations for one client goroutine. Not safe for
@@ -87,6 +106,11 @@ func (g *Generator) Next() Op {
 	op := Op{Key: KeyAt(int(rec))}
 	if g.rng.Float64() >= g.w.ReadFrac {
 		op.Kind = Update
+		if g.w.TTLFrac > 0 && g.rng.Float64() < g.w.TTLFrac {
+			// Uniform in (TTLMillis/2, TTLMillis]: short enough to expire
+			// within a run, long enough that some reads still hit.
+			op.TTLMillis = g.w.TTLMillis/2 + 1 + g.rng.Int63n(max(g.w.TTLMillis-g.w.TTLMillis/2, 1))
+		}
 	}
 	return op
 }

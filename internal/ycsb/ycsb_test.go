@@ -29,6 +29,47 @@ func TestWorkloadCIsReadOnly(t *testing.T) {
 	}
 }
 
+func TestWorkloadTAttachesTTLs(t *testing.T) {
+	w := WorkloadT(1000)
+	g := NewGenerator(w, 11)
+	reads, updates, ttld := 0, 0, 0
+	for i := 0; i < 50000; i++ {
+		op := g.Next()
+		switch op.Kind {
+		case Read:
+			reads++
+			if op.TTLMillis != 0 {
+				t.Fatalf("read op carries a TTL at op %d", i)
+			}
+		case Update:
+			updates++
+			if op.TTLMillis != 0 {
+				ttld++
+				if op.TTLMillis <= w.TTLMillis/2 || op.TTLMillis > w.TTLMillis {
+					t.Fatalf("TTL %d outside (%d,%d] at op %d", op.TTLMillis, w.TTLMillis/2, w.TTLMillis, i)
+				}
+			}
+		}
+	}
+	if reads == 0 || updates == 0 {
+		t.Fatalf("degenerate mix: %d reads, %d updates", reads, updates)
+	}
+	// TTLFrac=0.5: between a third and two-thirds of updates should carry
+	// TTLs over 25k updates.
+	if ttld < updates/3 || ttld > 2*updates/3 {
+		t.Fatalf("%d of %d updates TTL'd, want about half", ttld, updates)
+	}
+}
+
+func TestZeroTTLFracMatchesCoreWorkloads(t *testing.T) {
+	g := NewGenerator(WorkloadA(1000), 3)
+	for i := 0; i < 20000; i++ {
+		if op := g.Next(); op.TTLMillis != 0 {
+			t.Fatalf("workload A generated a TTL at op %d", i)
+		}
+	}
+}
+
 func TestConfigurableValueSize(t *testing.T) {
 	w := WorkloadA(100)
 	w.ValueSize = 1024
