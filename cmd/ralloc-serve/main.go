@@ -132,6 +132,8 @@ func main() {
 		}
 	}
 	srv := server.New(a, store, srvCfg)
+	fmt.Printf("serving %d commands (COMMAND / COMMAND INFO for introspection, INFO commandstats for per-command counters)\n",
+		server.CommandCount())
 
 	for _, l := range listen(*tcpAddr, *unixAddr) {
 		fmt.Printf("listening on %s://%s\n", l.Addr().Network(), l.Addr())

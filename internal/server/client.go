@@ -224,6 +224,127 @@ func (c *Client) GetSet(key, value string) (string, bool, error) {
 	return string(rp.Bulk), true, nil
 }
 
+// Echo round-trips a message (ECHO).
+func (c *Client) Echo(msg string) (string, error) {
+	rp, err := c.Do("ECHO", msg)
+	if err != nil {
+		return "", err
+	}
+	if err := rp.Err(); err != nil {
+		return "", err
+	}
+	return string(rp.Bulk), nil
+}
+
+// Type reports a key's type: "string" for a live key, "none" for a missing
+// (or expired) one.
+func (c *Client) Type(key string) (string, error) {
+	rp, err := c.Do("TYPE", key)
+	if err != nil {
+		return "", err
+	}
+	if err := rp.Err(); err != nil {
+		return "", err
+	}
+	return rp.Str, nil
+}
+
+// GetDel fetches and deletes key in one atomic step; ok=false reports a
+// missing key.
+func (c *Client) GetDel(key string) (value string, ok bool, err error) {
+	rp, err := c.Do("GETDEL", key)
+	if err != nil {
+		return "", false, err
+	}
+	if err := rp.Err(); err != nil {
+		return "", false, err
+	}
+	if rp.Nil {
+		return "", false, nil
+	}
+	return string(rp.Bulk), true, nil
+}
+
+// CommandCount reports how many commands the server's registry serves
+// (COMMAND COUNT).
+func (c *Client) CommandCount() (int64, error) {
+	return c.intReply("COMMAND", "COUNT")
+}
+
+// Multi opens a transaction: subsequent commands are queued server-side
+// (each replying +QUEUED) until Exec or Discard.
+func (c *Client) Multi() error { return c.okReply("MULTI") }
+
+// Discard abandons the open transaction.
+func (c *Client) Discard() error { return c.okReply("DISCARD") }
+
+// Exec runs the queued transaction, returning the individual replies in
+// queue order. A queue-time validation failure surfaces as the EXECABORT
+// error.
+func (c *Client) Exec() ([]Reply, error) {
+	rp, err := c.Do("EXEC")
+	if err != nil {
+		return nil, err
+	}
+	if err := rp.Err(); err != nil {
+		return nil, err
+	}
+	if rp.Kind != '*' {
+		return nil, fmt.Errorf("server: unexpected EXEC reply %q", rp.Text())
+	}
+	return rp.Elems, nil
+}
+
+// Txn pipelines MULTI, the given commands, and EXEC in one round trip and
+// returns the EXEC replies. Any queue-time rejection (unknown command, bad
+// arity, denied command) aborts the transaction and is returned as an error.
+func (c *Client) Txn(cmds ...[]string) ([]Reply, error) {
+	if c.pending != 0 {
+		return nil, fmt.Errorf("server: Txn with %d pipelined replies outstanding", c.pending)
+	}
+	if err := c.Send("MULTI"); err != nil {
+		return nil, err
+	}
+	for _, cmd := range cmds {
+		if err := c.Send(cmd...); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Send("EXEC"); err != nil {
+		return nil, err
+	}
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+	var queueErr error
+	for i := 0; i < len(cmds)+1; i++ { // +OK, then one +QUEUED (or error) each
+		rp, err := c.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if err := rp.Err(); err != nil && queueErr == nil {
+			queueErr = err
+		}
+	}
+	rp, err := c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if err := rp.Err(); err != nil {
+		if queueErr != nil {
+			return nil, fmt.Errorf("%v (queue error: %v)", err, queueErr)
+		}
+		return nil, err
+	}
+	if queueErr != nil {
+		return nil, queueErr
+	}
+	if rp.Kind != '*' {
+		return nil, fmt.Errorf("server: unexpected EXEC reply %q", rp.Text())
+	}
+	return rp.Elems, nil
+}
+
 // DBSize returns the record count.
 func (c *Client) DBSize() (int64, error) {
 	rp, err := c.Do("DBSIZE")

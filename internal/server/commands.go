@@ -1,0 +1,414 @@
+package server
+
+import (
+	"strconv"
+	"strings"
+)
+
+// commandDefs declares every command the server speaks — the whole protocol
+// surface is this one table. Adding a command is adding an entry: dispatch
+// supplies arity validation, key extraction, striped locking, and stats; the
+// handler only does the command's own work. COMMAND, the README reference
+// table, and the generated arity-error tests all derive from these entries.
+func commandDefs() []*Command {
+	return []*Command{
+		// Connection / trivial.
+		{Name: "PING", Arity: -1, Flags: FlagFast, Handler: cmdPing},
+		{Name: "ECHO", Arity: 2, Flags: FlagFast, Handler: cmdEcho},
+
+		// Strings.
+		{Name: "GET", Arity: 2, Flags: FlagReadonly | FlagFast, Keys: KeySpec{1, 1, 1}, Handler: cmdGet},
+		{Name: "SET", Arity: 3, Flags: FlagWrite, Keys: KeySpec{1, 1, 1}, Handler: cmdSet},
+		{Name: "SETNX", Arity: 3, Flags: FlagWrite | FlagFast, Keys: KeySpec{1, 1, 1}, Handler: cmdSetNX},
+		{Name: "SETEX", Arity: 4, Flags: FlagWrite, Keys: KeySpec{1, 1, 1}, Handler: cmdSetEx},
+		{Name: "PSETEX", Arity: 4, Flags: FlagWrite, Keys: KeySpec{1, 1, 1}, Handler: cmdSetEx},
+		{Name: "APPEND", Arity: 3, Flags: FlagWrite, Keys: KeySpec{1, 1, 1}, Handler: cmdAppend},
+		{Name: "GETSET", Arity: 3, Flags: FlagWrite, Keys: KeySpec{1, 1, 1}, Handler: cmdGetSet},
+		{Name: "GETDEL", Arity: 2, Flags: FlagWrite | FlagFast, Keys: KeySpec{1, 1, 1}, Handler: cmdGetDel},
+		{Name: "INCR", Arity: 2, Flags: FlagWrite | FlagFast, Keys: KeySpec{1, 1, 1}, Handler: cmdIncr},
+		{Name: "MGET", Arity: -2, Flags: FlagReadonly | FlagFast, Keys: KeySpec{1, -1, 1}, Handler: cmdMGet},
+		{Name: "MSET", Arity: -3, Flags: FlagWrite, Keys: KeySpec{1, -1, 2}, Handler: cmdMSet},
+
+		// Keyspace.
+		{Name: "DEL", Arity: -2, Flags: FlagWrite, Keys: KeySpec{1, -1, 1}, Handler: cmdDel},
+		{Name: "EXISTS", Arity: -2, Flags: FlagReadonly | FlagFast, Keys: KeySpec{1, -1, 1}, Handler: cmdExists},
+		{Name: "TYPE", Arity: 2, Flags: FlagReadonly | FlagFast, Keys: KeySpec{1, 1, 1}, Handler: cmdType},
+		{Name: "DBSIZE", Arity: 1, Flags: FlagReadonly | FlagFast, Handler: cmdDBSize},
+		{Name: "FLUSHALL", Arity: 1, Flags: FlagWrite | FlagLockAll, Handler: cmdFlushAll},
+
+		// Expiration.
+		{Name: "EXPIRE", Arity: 3, Flags: FlagWrite | FlagFast, Keys: KeySpec{1, 1, 1}, Handler: cmdExpire},
+		{Name: "PEXPIRE", Arity: 3, Flags: FlagWrite | FlagFast, Keys: KeySpec{1, 1, 1}, Handler: cmdExpire},
+		{Name: "TTL", Arity: 2, Flags: FlagReadonly | FlagFast, Keys: KeySpec{1, 1, 1}, Handler: cmdTTL},
+		{Name: "PTTL", Arity: 2, Flags: FlagReadonly | FlagFast, Keys: KeySpec{1, 1, 1}, Handler: cmdTTL},
+		{Name: "PERSIST", Arity: 2, Flags: FlagWrite | FlagFast, Keys: KeySpec{1, 1, 1}, Handler: cmdPersist},
+
+		// Transactions (txn.go).
+		{Name: "MULTI", Arity: 1, Flags: FlagFast | FlagTxnControl | FlagDenyTxn, Handler: cmdMulti},
+		{Name: "EXEC", Arity: 1, Flags: FlagTxnControl | FlagDenyTxn, Handler: cmdExec},
+		{Name: "DISCARD", Arity: 1, Flags: FlagFast | FlagTxnControl | FlagDenyTxn, Handler: cmdDiscard},
+
+		// Introspection / administration.
+		{Name: "COMMAND", Arity: -1, Flags: FlagReadonly, Handler: cmdCommand},
+		{Name: "INFO", Arity: -1, Flags: FlagReadonly, Handler: cmdInfo},
+		{Name: "SAVE", Arity: 1, Flags: FlagAdmin | FlagDenyTxn, Handler: cmdSave},
+		{Name: "SHUTDOWN", Arity: 1, Flags: FlagAdmin | FlagDenyTxn, Handler: cmdShutdown},
+	}
+}
+
+func cmdPing(ctx *Ctx) {
+	switch len(ctx.args) {
+	case 1:
+		ctx.w.simple("PONG")
+	case 2:
+		ctx.w.bulk(ctx.args[1])
+	default:
+		ctx.w.errorf("wrong number of arguments for 'ping' command")
+	}
+}
+
+func cmdEcho(ctx *Ctx) { ctx.w.bulk(ctx.args[1]) }
+
+func cmdGet(ctx *Ctx) {
+	if v, ok := ctx.s.st.GetBytes(ctx.args[1]); ok {
+		ctx.w.bulk(v)
+	} else {
+		ctx.w.nilBulk()
+	}
+}
+
+// cmdSet: the +OK acknowledgment is written only after SetBytes returns,
+// i.e. after the new record is flushed and linked — an acknowledged SET is
+// durable in the crash-simulation sense. Dispatch holds the key's stripe
+// lock, so the write cannot interleave inside an RMW command's read→write
+// window (a SET landing there would be silently overwritten despite its
+// +OK). SET clears any TTL, like Redis.
+func cmdSet(ctx *Ctx) {
+	if !ctx.s.st.SetBytes(ctx.hd, ctx.args[1], ctx.args[2]) {
+		ctx.w.errorf("out of memory")
+		return
+	}
+	ctx.w.simple("OK")
+}
+
+func cmdSetNX(ctx *Ctx) {
+	if _, ok := ctx.s.st.GetBytes(ctx.args[1]); ok {
+		ctx.w.integer(0)
+	} else if !ctx.s.st.SetBytes(ctx.hd, ctx.args[1], ctx.args[2]) {
+		ctx.w.errorf("out of memory")
+	} else {
+		ctx.w.integer(1)
+	}
+}
+
+// cmdSetEx serves SETEX (seconds) and PSETEX (milliseconds).
+func cmdSetEx(ctx *Ctx) {
+	name := commandName(ctx.args)
+	d, err := strconv.ParseInt(string(ctx.args[2]), 10, 64)
+	if err != nil {
+		ctx.w.errorf("value is not an integer or out of range")
+		return
+	}
+	if d <= 0 {
+		ctx.w.errorf("invalid expire time in '%s' command", name)
+		return
+	}
+	if !ctx.s.st.SetBytesExpire(ctx.hd, ctx.args[1], ctx.args[3], deadlineFrom(ctx.s.st.Now(), d, name == "setex")) {
+		ctx.w.errorf("out of memory")
+		return
+	}
+	ctx.w.simple("OK")
+}
+
+// cmdAppend preserves the key's TTL (Redis semantics): the rewrite carries
+// the old record's deadline into the new allocation.
+func cmdAppend(ctx *Ctx) {
+	old, deadline, _ := ctx.s.st.GetBytesExpire(ctx.args[1])
+	val := make([]byte, 0, len(old)+len(ctx.args[2]))
+	val = append(append(val, old...), ctx.args[2]...)
+	if !ctx.s.st.SetBytesExpire(ctx.hd, ctx.args[1], val, deadline) {
+		ctx.w.errorf("out of memory")
+		return
+	}
+	ctx.w.integer(int64(len(val)))
+}
+
+// cmdGetSet clears any TTL on the key (Redis semantics): SetBytes writes an
+// immortal record.
+func cmdGetSet(ctx *Ctx) {
+	old, ok := ctx.s.st.GetBytes(ctx.args[1])
+	if !ctx.s.st.SetBytes(ctx.hd, ctx.args[1], ctx.args[2]) {
+		ctx.w.errorf("out of memory")
+	} else if ok {
+		ctx.w.bulk(old)
+	} else {
+		ctx.w.nilBulk()
+	}
+}
+
+// cmdGetDel returns the value and deletes the key in one locked step.
+func cmdGetDel(ctx *Ctx) {
+	old, ok := ctx.s.st.GetBytes(ctx.args[1])
+	if !ok {
+		ctx.w.nilBulk()
+		return
+	}
+	ctx.s.st.Delete(ctx.hd, string(ctx.args[1]))
+	ctx.w.bulk(old)
+}
+
+// cmdIncr preserves the key's TTL, like Redis (and unlike SET): the
+// canonical SETEX+INCR rate-limiter pattern depends on the counter still
+// expiring. The read-modify-write is atomic under the stripe lock dispatch
+// already holds.
+func cmdIncr(ctx *Ctx) {
+	key := ctx.args[1]
+	n := int64(0)
+	v, deadline, ok := ctx.s.st.GetBytesExpire(key)
+	if ok {
+		parsed, err := strconv.ParseInt(string(v), 10, 64)
+		if err != nil {
+			ctx.w.errorf("value is not an integer or out of range")
+			return
+		}
+		n = parsed
+	}
+	n++
+	if !ctx.s.st.SetBytesExpire(ctx.hd, key, []byte(strconv.FormatInt(n, 10)), deadline) {
+		ctx.w.errorf("out of memory")
+		return
+	}
+	ctx.w.integer(n)
+}
+
+func cmdMGet(ctx *Ctx) {
+	ctx.w.arrayHeader(len(ctx.args) - 1)
+	for _, k := range ctx.args[1:] {
+		if v, ok := ctx.s.st.GetBytes(k); ok {
+			ctx.w.bulk(v)
+		} else {
+			ctx.w.nilBulk()
+		}
+	}
+}
+
+// cmdMSet runs with the union of its keys' stripes locked (dispatch sorts
+// and dedups them), so unlike the old per-pair switch case the whole MSET is
+// atomic with respect to the RMW commands on any of its keys.
+func cmdMSet(ctx *Ctx) {
+	if len(ctx.args)%2 != 1 {
+		ctx.w.errorf("wrong number of arguments for 'mset' command")
+		return
+	}
+	for i := 1; i < len(ctx.args); i += 2 {
+		if !ctx.s.st.SetBytes(ctx.hd, ctx.args[i], ctx.args[i+1]) {
+			ctx.w.errorf("out of memory")
+			return
+		}
+	}
+	ctx.w.simple("OK")
+}
+
+func cmdDel(ctx *Ctx) {
+	n := int64(0)
+	for _, k := range ctx.args[1:] {
+		if ctx.s.st.Delete(ctx.hd, string(k)) {
+			n++
+		}
+	}
+	ctx.w.integer(n)
+}
+
+func cmdExists(ctx *Ctx) {
+	n := int64(0)
+	for _, k := range ctx.args[1:] {
+		if _, ok := ctx.s.st.GetBytes(k); ok {
+			n++
+		}
+	}
+	ctx.w.integer(n)
+}
+
+// cmdType: every value in this store is a string, so the answer is "string"
+// or "none" — but it answers through the same lazy-expiry read path as GET,
+// so an expired key reports none.
+func cmdType(ctx *Ctx) {
+	if _, ok := ctx.s.st.GetBytes(ctx.args[1]); ok {
+		ctx.w.simple("string")
+	} else {
+		ctx.w.simple("none")
+	}
+}
+
+func cmdDBSize(ctx *Ctx) { ctx.w.integer(int64(ctx.s.st.Len())) }
+
+// cmdFlushAll runs with every stripe held (FlagLockAll): no concurrent
+// writer can interleave, and the two-pass collect-then-delete (Range holds
+// the store's own stripe locks) stays race-free.
+func cmdFlushAll(ctx *Ctx) {
+	var keys []string
+	ctx.s.st.Range(func(k, _ []byte) bool {
+		keys = append(keys, string(k))
+		return true
+	})
+	for _, k := range keys {
+		ctx.s.st.Delete(ctx.hd, k)
+	}
+	ctx.w.simple("OK")
+}
+
+// cmdExpire serves EXPIRE (seconds) and PEXPIRE (milliseconds).
+func cmdExpire(ctx *Ctx) {
+	name := commandName(ctx.args)
+	d, err := strconv.ParseInt(string(ctx.args[2]), 10, 64)
+	if err != nil {
+		ctx.w.errorf("value is not an integer or out of range")
+		return
+	}
+	if ctx.s.st.Expire(string(ctx.args[1]), deadlineFrom(ctx.s.st.Now(), d, name == "expire")) {
+		ctx.w.integer(1)
+	} else {
+		ctx.w.integer(0)
+	}
+}
+
+// cmdTTL serves TTL (seconds, rounded up like Redis) and PTTL.
+func cmdTTL(ctx *Ctx) {
+	ms := ctx.s.st.PTTL(string(ctx.args[1]))
+	if ms < 0 || commandName(ctx.args) == "pttl" {
+		ctx.w.integer(ms)
+	} else {
+		ctx.w.integer((ms + 999) / 1000)
+	}
+}
+
+func cmdPersist(ctx *Ctx) {
+	if ctx.s.st.Persist(string(ctx.args[1])) {
+		ctx.w.integer(1)
+	} else {
+		ctx.w.integer(0)
+	}
+}
+
+// cmdCommand implements COMMAND, COMMAND COUNT, and COMMAND INFO <name...>,
+// generated straight from the registry.
+func cmdCommand(ctx *Ctx) {
+	if len(ctx.args) == 1 {
+		ctx.w.arrayHeader(len(commandList))
+		for _, c := range commandList {
+			writeCommandEntry(ctx.w, c)
+		}
+		return
+	}
+	switch strings.ToUpper(string(ctx.args[1])) {
+	case "COUNT":
+		if len(ctx.args) != 2 {
+			ctx.w.errorf("wrong number of arguments for 'command|count' command")
+			return
+		}
+		ctx.w.integer(int64(len(commandList)))
+	case "INFO":
+		ctx.w.arrayHeader(len(ctx.args) - 2)
+		for _, name := range ctx.args[2:] {
+			if c, ok := commandTable[strings.ToUpper(string(name))]; ok {
+				writeCommandEntry(ctx.w, c)
+			} else {
+				ctx.w.nilArray()
+			}
+		}
+	default:
+		ctx.w.errorf("unknown subcommand '%s' for 'command'", strings.ToLower(string(ctx.args[1])))
+	}
+}
+
+// writeCommandEntry renders one COMMAND reply element, Redis-shaped:
+// [name, arity, [flags...], first-key, last-key, step].
+func writeCommandEntry(w *respWriter, c *Command) {
+	w.arrayHeader(6)
+	w.bulk([]byte(strings.ToLower(c.Name)))
+	w.integer(int64(c.Arity))
+	names := c.Flags.names()
+	w.arrayHeader(len(names))
+	for _, n := range names {
+		w.simple(n)
+	}
+	w.integer(int64(c.Keys.First))
+	w.integer(int64(c.Keys.Last))
+	w.integer(int64(c.Keys.Step))
+}
+
+// cmdInfo serves INFO and INFO <section>. With a section argument only that
+// section is rendered (commandstats is the interesting one — it is omitted
+// from the default reply, as in Redis); a section that doesn't match any
+// header falls back to the full block, preserving the old switch's tolerant
+// behavior for clients that send "INFO server" or "INFO all" by default.
+func cmdInfo(ctx *Ctx) {
+	if len(ctx.args) > 2 {
+		ctx.w.errorf("wrong number of arguments for 'info' command")
+		return
+	}
+	full := ctx.s.info()
+	if len(ctx.args) == 2 {
+		section := strings.ToLower(string(ctx.args[1]))
+		if section == "commandstats" {
+			ctx.w.bulk([]byte(ctx.s.commandStats()))
+			return
+		}
+		if s, ok := infoSection(full, section); ok {
+			ctx.w.bulk([]byte(s))
+			return
+		}
+	}
+	ctx.w.bulk([]byte(full))
+}
+
+// infoSection extracts one "# Header" block from an INFO rendering,
+// matching the header case-insensitively.
+func infoSection(full, section string) (string, bool) {
+	for rest := full; rest != ""; {
+		i := strings.Index(rest, "# ")
+		if i != 0 {
+			break
+		}
+		end := len(rest)
+		if j := strings.Index(rest[2:], "\r\n# "); j >= 0 {
+			end = j + 4 // keep the trailing CRLF of this section
+		}
+		header, _, _ := strings.Cut(rest[2:], "\r\n")
+		if strings.EqualFold(header, section) {
+			return rest[:end], true
+		}
+		rest = rest[end:]
+	}
+	return "", false
+}
+
+// cmdSave promotes the checkpoint barrier: wait out in-flight commands, then
+// checkpoint a consistent image. The handler runs under execMu's read side
+// (like every command) and RUnlocks around the write-side acquisition —
+// sync.RWMutex is not upgradable. SAVE is FlagDenyTxn: dropping the barrier
+// while EXEC holds a transaction's key stripes would deadlock against
+// writers blocked on those stripes still holding their read side.
+func cmdSave(ctx *Ctx) {
+	if ctx.s.cfg.Checkpoint == nil {
+		ctx.w.errorf("no checkpoint configured (volatile heap)")
+		return
+	}
+	ctx.s.execMu.RUnlock()
+	err := ctx.s.Save()
+	ctx.s.execMu.RLock()
+	if err != nil {
+		ctx.w.errorf("checkpoint failed: %v", err)
+		return
+	}
+	ctx.w.simple("OK")
+}
+
+func cmdShutdown(ctx *Ctx) {
+	ctx.w.simple("OK")
+	ctx.quit = true
+}
+
+// commandName is the lowercased command name as dispatched (args[0] may be
+// any case on the wire).
+func commandName(args [][]byte) string { return strings.ToLower(string(args[0])) }

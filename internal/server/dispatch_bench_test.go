@@ -1,0 +1,228 @@
+package server
+
+import (
+	"bytes"
+	"hash/fnv"
+	"io"
+	"math"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/kvstore"
+	"repro/internal/pmem"
+	"repro/internal/ralloc"
+)
+
+// Dispatch-overhead benchmark and regression gate: the registry pipeline
+// (lookup → arity → KeySpec key extraction → ordered stripe locks →
+// middleware → handler) versus a faithful copy of the pre-registry switch
+// for the pipelined GET/SET hot path. The switch baseline reproduces the old
+// code exactly — including its per-write fnv.New64a() hasher allocation in
+// keyLock — so the gate measures what the redesign actually changed.
+
+type benchEnv struct {
+	heap *ralloc.Heap
+	srv  *Server
+	hd   alloc.Handle
+}
+
+func newBenchEnv(tb testing.TB) *benchEnv {
+	tb.Helper()
+	h, _, err := ralloc.Open("", ralloc.Config{
+		SBRegion: 256 << 20,
+		Pmem:     pmem.Config{Mode: pmem.ModeCrashSim},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	a := h.AsAllocator()
+	st, root := kvstore.Open(a, a.NewHandle(), 8192)
+	h.SetRoot(0, root)
+	return &benchEnv{heap: h, srv: New(a, st, Config{}), hd: a.NewHandle()}
+}
+
+// benchArgs is one pipelined GET/SET burst: the same 64 keys set then read,
+// command vectors prebuilt so only dispatch + execution are measured.
+func benchArgs() [][][]byte {
+	var cmds [][][]byte
+	for i := 0; i < 64; i++ {
+		k := []byte("bench-key-" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)))
+		cmds = append(cmds, [][]byte{[]byte("SET"), k, []byte("bench-value-payload-00")})
+		cmds = append(cmds, [][]byte{[]byte("GET"), k})
+	}
+	return cmds
+}
+
+// baselineExecute is the old Server.execute switch, GET/SET cases verbatim
+// (per-case arity check, per-case keyLock with a heap-allocated fnv hasher).
+func (e *benchEnv) baselineExecute(w *respWriter, args [][]byte) {
+	s := e.srv
+	name := strings.ToUpper(string(args[0]))
+	switch name {
+	case "GET":
+		if len(args) != 2 {
+			w.errorf("wrong number of arguments for 'get' command")
+			break
+		}
+		if v, ok := s.st.GetBytes(args[1]); ok {
+			w.bulk(v)
+		} else {
+			w.nilBulk()
+		}
+	case "SET":
+		if len(args) != 3 {
+			w.errorf("wrong number of arguments for 'set' command")
+			break
+		}
+		mu := e.oldKeyLock(args[1])
+		mu.Lock()
+		ok := s.st.SetBytes(e.hd, args[1], args[2])
+		mu.Unlock()
+		if !ok {
+			w.errorf("out of memory")
+			break
+		}
+		w.simple("OK")
+	default:
+		w.errorf("unknown command '%s'", strings.ToLower(name))
+	}
+}
+
+// oldKeyLock is the pre-registry striped-lock helper, hasher allocation and
+// all.
+func (e *benchEnv) oldKeyLock(key []byte) *sync.Mutex {
+	h := fnv.New64a()
+	h.Write(key)
+	return &e.srv.rmwMu[h.Sum64()%uint64(len(e.srv.rmwMu))]
+}
+
+func (e *benchEnv) runRegistry(b *testing.B) {
+	cmds := benchArgs()
+	w := newRespWriter(io.Discard)
+	ctx := &Ctx{s: e.srv, hd: e.hd, w: w, cs: &connState{}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.srv.dispatch(ctx, cmds[i%len(cmds)])
+	}
+	b.StopTimer()
+	w.flush()
+}
+
+func (e *benchEnv) runSwitch(b *testing.B) {
+	cmds := benchArgs()
+	w := newRespWriter(io.Discard)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.baselineExecute(w, cmds[i%len(cmds)])
+	}
+	b.StopTimer()
+	w.flush()
+}
+
+// BenchmarkDispatch compares the two dispatch paths on the pipelined
+// GET/SET workload.
+func BenchmarkDispatch(b *testing.B) {
+	e := newBenchEnv(b)
+	b.Run("registry", e.runRegistry)
+	b.Run("switch", e.runSwitch)
+}
+
+// TestDispatchOverheadGate is the CI regression gate: the registry pipeline
+// must not be more than 5% slower than the old switch on pipelined GET/SET.
+// The two paths are measured in interleaved rounds (so clock-speed drift and
+// background noise hit both equally) and compared on their per-round best.
+// The race detector skews the two paths differently, so the gate only runs
+// in a non-race build (CI gives it a dedicated step).
+func TestDispatchOverheadGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("skipping benchmark gate under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("skipping benchmark gate in -short mode")
+	}
+	e := newBenchEnv(t)
+	w := newRespWriter(io.Discard)
+	ctx := &Ctx{s: e.srv, hd: e.hd, w: w, cs: &connState{}}
+
+	// One pipelined burst on the wire, exactly as a client would send it:
+	// the measured loop parses and executes it end to end, so both paths
+	// pay identical RESP-decode costs and the comparison isolates dispatch.
+	var burst bytes.Buffer
+	for _, args := range benchArgs() {
+		burst.WriteString("*" + strconv.Itoa(len(args)) + "\r\n")
+		for _, a := range args {
+			burst.WriteString("$" + strconv.Itoa(len(a)) + "\r\n")
+			burst.Write(a)
+			burst.WriteString("\r\n")
+		}
+	}
+	wire := burst.Bytes()
+	perBurst := len(benchArgs())
+
+	registry := func(bursts int) {
+		for b := 0; b < bursts; b++ {
+			r := newRespReader(bytes.NewReader(wire))
+			for {
+				args, err := r.ReadCommand()
+				if err != nil {
+					break
+				}
+				e.srv.dispatch(ctx, args)
+			}
+		}
+	}
+	oldSwitch := func(bursts int) {
+		for b := 0; b < bursts; b++ {
+			r := newRespReader(bytes.NewReader(wire))
+			for {
+				args, err := r.ReadCommand()
+				if err != nil {
+					break
+				}
+				e.baselineExecute(w, args)
+			}
+		}
+	}
+	measure := func(f func(int), bursts int) float64 {
+		runtime.GC()
+		t0 := time.Now()
+		f(bursts)
+		return float64(time.Since(t0)) / float64(bursts*perBurst)
+	}
+
+	const rounds, bursts = 10, 3000
+	registry(bursts / 4) // warm up both paths and the store
+	oldSwitch(bursts / 4)
+	// Two attempts: a genuine dispatch regression fails both; a noise
+	// spike from concurrently running package tests (tier-1 runs all
+	// packages in parallel) does not flake the build.
+	for attempt := 1; ; attempt++ {
+		reg, sw := math.MaxFloat64, math.MaxFloat64
+		for r := 0; r < rounds; r++ {
+			// Alternate measurement order so slow phases (GC debt, CPU
+			// frequency shifts) cannot systematically land on one path.
+			if r%2 == 0 {
+				reg = math.Min(reg, measure(registry, bursts))
+				sw = math.Min(sw, measure(oldSwitch, bursts))
+			} else {
+				sw = math.Min(sw, measure(oldSwitch, bursts))
+				reg = math.Min(reg, measure(registry, bursts))
+			}
+		}
+		t.Logf("pipelined GET/SET ns/op (attempt %d): registry=%.1f switch=%.1f (%+.1f%%)",
+			attempt, reg, sw, (reg/sw-1)*100)
+		if reg <= sw*1.05 {
+			return
+		}
+		if attempt == 2 {
+			t.Fatalf("registry dispatch %.1f ns/op is >5%% slower than the switch baseline %.1f ns/op", reg, sw)
+		}
+	}
+}

@@ -6,7 +6,13 @@ import (
 	"errors"
 	"io"
 	"strings"
+	"sync"
 	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/kvstore"
+	"repro/internal/pmem"
+	"repro/internal/ralloc"
 )
 
 // Native Go fuzzing over both sides of the RESP codec. The decoder faces
@@ -29,6 +35,25 @@ var fuzzSeedCommands = []string{
 	"PING\r\n",
 	"GET some-key\r\n",
 	"   \r\n\r\nPING\r\n",
+	// Transactions: queue-time validation paths (MULTI/EXEC/DISCARD,
+	// unknown and wrong-arity commands inside a queue, EXECABORT, nesting).
+	"*1\r\n$5\r\nMULTI\r\n*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n*1\r\n$4\r\nEXEC\r\n",
+	"*1\r\n$5\r\nMULTI\r\n*2\r\n$6\r\nNOSUCH\r\n$1\r\nx\r\n*1\r\n$4\r\nEXEC\r\n",
+	"*1\r\n$5\r\nMULTI\r\n*1\r\n$3\r\nGET\r\n*1\r\n$4\r\nEXEC\r\n",
+	"*1\r\n$5\r\nMULTI\r\n*1\r\n$5\r\nMULTI\r\n*1\r\n$7\r\nDISCARD\r\n",
+	"*1\r\n$5\r\nMULTI\r\n*1\r\n$4\r\nSAVE\r\n*1\r\n$4\r\nEXEC\r\n",
+	"*1\r\n$4\r\nEXEC\r\n*1\r\n$7\r\nDISCARD\r\n",
+	"MULTI\r\nSET k v\r\nINCR k\r\nEXEC\r\n",
+	// Introspection and the registry's trivial commands.
+	"*1\r\n$7\r\nCOMMAND\r\n",
+	"*2\r\n$7\r\nCOMMAND\r\n$5\r\nCOUNT\r\n",
+	"*3\r\n$7\r\nCOMMAND\r\n$4\r\nINFO\r\n$3\r\nget\r\n",
+	"*2\r\n$7\r\nCOMMAND\r\n$5\r\nNOSUB\r\n",
+	"*2\r\n$4\r\nECHO\r\n$5\r\nhello\r\n",
+	"*2\r\n$4\r\nTYPE\r\n$1\r\nk\r\n*2\r\n$6\r\nGETDEL\r\n$1\r\nk\r\n",
+	"*2\r\n$4\r\nINFO\r\n$12\r\ncommandstats\r\n",
+	// Empty command name (a $0 bulk must not panic the dispatcher).
+	"*1\r\n$0\r\n\r\n",
 	// Empty multibulks (skipped iteratively, must terminate).
 	"*0\r\n*0\r\n*-1\r\n*0\r\nPING\r\n",
 	// Truncated at every interesting boundary.
@@ -142,6 +167,79 @@ func FuzzParseReply(f *testing.F) {
 			default:
 				t.Fatalf("reply with invalid kind %q", rp.Kind)
 			}
+		}
+	})
+}
+
+// fuzzServer is the process-wide server FuzzDispatch drives: one volatile
+// heap shared by every fuzz iteration (building a heap per input would
+// dominate the fuzzing budget). The dispatch pipeline is concurrency-safe,
+// but handles are not, so iterations serialize on mu.
+var fuzzServer struct {
+	once sync.Once
+	mu   sync.Mutex
+	srv  *Server
+	hd   alloc.Handle
+}
+
+// FuzzDispatch feeds arbitrary byte streams through the real parser AND the
+// real dispatch pipeline (registry lookup, arity validation, KeySpec
+// locking, MULTI/EXEC queueing) against a live store, asserting the server
+// side of the protocol contract: every dispatched command produces exactly
+// one well-formed RESP reply — decodable by the client-side reader, no
+// panic, no torn output — no matter how hostile the input.
+func FuzzDispatch(f *testing.F) {
+	for _, s := range fuzzSeedCommands {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip("oversized input: multi-megabyte bulks only exercise the allocator, slowly")
+		}
+		fuzzServer.once.Do(func() {
+			h, _, err := ralloc.Open("", ralloc.Config{
+				SBRegion: 64 << 20,
+				Pmem:     pmem.Config{Mode: pmem.ModeCrashSim},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := h.AsAllocator()
+			st, root := kvstore.Open(a, a.NewHandle(), 1024)
+			h.SetRoot(0, root)
+			fuzzServer.srv = New(a, st, Config{})
+			fuzzServer.hd = a.NewHandle()
+		})
+		fuzzServer.mu.Lock()
+		defer fuzzServer.mu.Unlock()
+
+		var out bytes.Buffer
+		w := newRespWriter(&out)
+		ctx := &Ctx{s: fuzzServer.srv, hd: fuzzServer.hd, w: w, cs: &connState{}}
+		r := newRespReader(bytes.NewReader(data))
+		replies := 0
+		for i := 0; i < 64; i++ {
+			args, err := r.ReadCommand()
+			if err != nil {
+				break
+			}
+			quit := fuzzServer.srv.dispatch(ctx, args)
+			replies++
+			if quit {
+				break
+			}
+		}
+		if err := w.flush(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+		br := bufio.NewReader(bytes.NewReader(out.Bytes()))
+		for i := 0; i < replies; i++ {
+			if _, err := readReply(br); err != nil {
+				t.Fatalf("reply %d/%d is not well-formed RESP: %v\noutput: %q", i, replies, err, out.Bytes())
+			}
+		}
+		if rest, _ := io.ReadAll(br); len(rest) != 0 {
+			t.Fatalf("%d bytes of trailing garbage after %d replies: %q", len(rest), replies, rest)
 		}
 	})
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; the dispatch-overhead gate skips itself there (instrumentation
+// skews the two paths differently).
+const raceEnabled = true

@@ -1,0 +1,445 @@
+package server
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/alloc"
+)
+
+// This file is the command-table API: every command the server speaks is a
+// Command value in the registry (see commands.go), and dispatch is a small
+// declarative pipeline — lookup → arity validation → KeySpec-driven key
+// extraction → deadlock-ordered striped-lock acquisition → middleware →
+// handler — instead of a monolithic switch where every case hand-rolls its
+// own checks. The table is also the single source of truth for COMMAND
+// introspection, the README command reference (TestREADMECommandTable), the
+// generated arity-error tests, and MULTI/EXEC queue-time validation.
+
+// Flags describe a command's behavior to the dispatch pipeline.
+type Flags uint16
+
+const (
+	// FlagWrite marks a command that mutates the keyspace. Dispatch
+	// acquires the striped key locks its KeySpec declares before the
+	// handler runs; the handler itself never locks.
+	FlagWrite Flags = 1 << iota
+	// FlagReadonly marks a command that never mutates the keyspace.
+	FlagReadonly
+	// FlagFast marks a constant-or-near-constant-time command (Redis's
+	// "fast" flag: no dependence on value sizes or keyspace cardinality).
+	FlagFast
+	// FlagAdmin marks server-administration commands (SAVE, SHUTDOWN).
+	FlagAdmin
+	// FlagDenyTxn marks commands that may not be queued inside MULTI:
+	// SAVE drops the execMu read side (which would deadlock against the
+	// transaction's held key locks) and SHUTDOWN tears the connection
+	// down mid-queue. Queueing one replies an error and poisons the
+	// transaction (EXECABORT at EXEC), like Redis does for SUBSCRIBE.
+	FlagDenyTxn
+	// FlagTxnControl marks MULTI/EXEC/DISCARD themselves: they execute
+	// immediately even while a transaction is queuing.
+	FlagTxnControl
+	// FlagLockAll makes dispatch acquire every key stripe (FLUSHALL):
+	// keyspace-wide mutation without a KeySpec, still deadlock-ordered
+	// and therefore safe to queue inside MULTI.
+	FlagLockAll
+)
+
+// flagNames renders the set bits as Redis-style lowercase flag names, in
+// declaration order (COMMAND reply and README table).
+func (f Flags) names() []string {
+	var out []string
+	for _, fn := range []struct {
+		bit  Flags
+		name string
+	}{
+		{FlagWrite, "write"},
+		{FlagReadonly, "readonly"},
+		{FlagFast, "fast"},
+		{FlagAdmin, "admin"},
+		{FlagDenyTxn, "denytxn"},
+		{FlagTxnControl, "txnctl"},
+		{FlagLockAll, "lockall"},
+	} {
+		if f&fn.bit != 0 {
+			out = append(out, fn.name)
+		}
+	}
+	return out
+}
+
+// KeySpec declares where a command's keys sit in its argument vector,
+// Redis-style: First is the index of the first key (1-based; 0 means the
+// command touches no keys), Last is the index of the last key (-1 means the
+// final argument), Step is the stride between keys (2 for MSET's key/value
+// pairs). Dispatch uses the spec to extract keys uniformly — for striped
+// lock acquisition, for MULTI/EXEC's union locking, and for COMMAND.
+type KeySpec struct {
+	First, Last, Step int
+}
+
+// keys appends the key arguments args declares to dst and returns it.
+// args[0] is the command name. A Last beyond the argument vector is clamped:
+// arity validation has already run, so a short tail only happens for
+// variadic specs mid-validation (MSET's pairing is handler-checked).
+func (ks KeySpec) keys(dst [][]byte, args [][]byte) [][]byte {
+	if ks.First == 0 {
+		return dst
+	}
+	last := ks.Last
+	if last < 0 {
+		last = len(args) + last
+	}
+	if last > len(args)-1 {
+		last = len(args) - 1
+	}
+	step := ks.Step
+	if step <= 0 {
+		step = 1
+	}
+	for i := ks.First; i <= last; i += step {
+		dst = append(dst, args[i])
+	}
+	return dst
+}
+
+// Ctx carries one command invocation through the middleware chain to its
+// handler: the server, the connection's allocation handle and reply writer,
+// the parsed argument vector (args[0] is the command name as sent), and the
+// connection's transaction state. One Ctx is reused per connection, so
+// handlers must not retain it.
+type Ctx struct {
+	s    *Server
+	hd   alloc.Handle
+	w    *respWriter
+	args [][]byte
+	cs   *connState
+	quit bool // set by SHUTDOWN; returned to the connection loop
+
+	// scratch buffers, reused across dispatches on this connection so the
+	// steady-state pipeline allocates nothing.
+	keybuf   [][]byte
+	stripes  []int
+	txstripe []int
+
+	// memo is a tiny direct-mapped lookup cache indexed by the command
+	// name's first byte: a pipelined GET/SET stream resolves its commands
+	// by one pointer load and a short string compare instead of a map
+	// hash. Misses (cold or colliding first bytes, lowercase names) fall
+	// back to the map.
+	memo [32]*boundCmd
+}
+
+// Handler executes one command. By the time it runs, arity is validated and
+// every key lock the command's KeySpec declares is held; the handler only
+// does the command's own work and writes exactly one reply.
+type Handler func(*Ctx)
+
+// Middleware wraps a command's handler at server construction time. The
+// built-in stats layer (per-command call/latency/error counters, surfaced
+// as INFO commandstats — see boundCmd.invoke) is innermost; Config.Middleware
+// entries wrap outside it in slice order.
+type Middleware func(*Command, Handler) Handler
+
+// Command is one registry entry: everything the dispatch pipeline needs to
+// run the command without the command's handler restating it.
+type Command struct {
+	// Name is the canonical command name, uppercase.
+	Name string
+	// Arity is Redis-style: positive means exactly that many arguments
+	// (including the name), negative means at least |Arity|.
+	Arity int
+	// Flags drive lock acquisition and MULTI/EXEC admission.
+	Flags Flags
+	// Keys declares where the command's keys live (zero value: no keys).
+	Keys KeySpec
+	// Handler does the work.
+	Handler Handler
+}
+
+// arityOK reports whether n arguments satisfy the declared arity.
+func arityOK(arity, n int) bool {
+	if arity >= 0 {
+		return n == arity
+	}
+	return n >= -arity
+}
+
+// cmdStats is one command's per-server counter block (boundCmd.invoke's
+// target). Latency is sampled 1-in-64 — a time.Time pair per call would
+// cost a measurable fraction of a pipelined GET — and reported as an
+// estimate.
+type cmdStats struct {
+	calls     atomic.Uint64
+	errs      atomic.Uint64
+	sampled   atomic.Uint64
+	sampledNs atomic.Int64
+}
+
+// lock modes precomputed from a Command's flags and KeySpec so dispatch
+// branches on one byte instead of re-deriving them per invocation.
+const (
+	lockNone      = iota // readonly or keyless: no stripes
+	lockSingleKey        // exactly one key at args[1]: one stripe, no slices
+	lockMulti            // variadic keys: extract, sort, dedup
+	lockAllMode          // FlagLockAll: every stripe
+)
+
+// boundCmd is a registry entry bound to one server: the immutable Command
+// plus this server's counters, its middleware-wrapped handler, and the
+// precomputed lock mode.
+type boundCmd struct {
+	cmd      *Command
+	stats    cmdStats
+	run      Handler
+	lockMode uint8
+}
+
+func lockModeOf(c *Command) uint8 {
+	switch {
+	case c.Flags&FlagLockAll != 0:
+		return lockAllMode
+	case c.Flags&FlagWrite == 0 || c.Keys.First == 0:
+		return lockNone
+	case c.Keys.First == 1 && c.Keys.Last == 1:
+		return lockSingleKey
+	default:
+		return lockMulti
+	}
+}
+
+// invoke is the innermost, built-in layer of the middleware chain, inlined
+// rather than closure-wrapped because it sits on the pipelined hot path: it
+// counts calls and error replies on every invocation and samples wall-clock
+// latency on every 64th (two clock reads per command are measurable there).
+// Error detection piggybacks on the reply writer: any handler that writes an
+// error reply bumps w.errs. Config.Middleware layers wrap outside this, in
+// bc.run.
+func (bc *boundCmd) invoke(ctx *Ctx) {
+	n := bc.stats.calls.Add(1)
+	e0 := ctx.w.errs
+	if n&63 == 0 {
+		t0 := time.Now()
+		bc.run(ctx)
+		bc.stats.sampledNs.Add(int64(time.Since(t0)))
+		bc.stats.sampled.Add(1)
+	} else {
+		bc.run(ctx)
+	}
+	if ctx.w.errs != e0 {
+		bc.stats.errs.Add(1)
+	}
+}
+
+// commandTable and commandList are the process-wide immutable registry,
+// built once from commands.go's declarations. commandList is sorted by name
+// (COMMAND reply order, docs order).
+var (
+	commandTable = map[string]*Command{}
+	commandList  []*Command
+)
+
+func init() {
+	for _, c := range commandDefs() {
+		if c.Name != strings.ToUpper(c.Name) {
+			panic("server: command name must be uppercase: " + c.Name)
+		}
+		if _, dup := commandTable[c.Name]; dup {
+			panic("server: duplicate command " + c.Name)
+		}
+		if c.Handler == nil {
+			panic("server: command without handler: " + c.Name)
+		}
+		commandTable[c.Name] = c
+		commandList = append(commandList, c)
+	}
+	sort.Slice(commandList, func(i, j int) bool { return commandList[i].Name < commandList[j].Name })
+}
+
+// CommandCount reports how many commands the registry serves (COMMAND COUNT
+// gives the same number over the wire).
+func CommandCount() int { return len(commandList) }
+
+// Commands returns the registry entries, sorted by name. The slice is shared;
+// callers must not mutate it.
+func Commands() []*Command { return commandList }
+
+// CommandTableMarkdown renders the registry as the README's command
+// reference table. TestREADMECommandTable fails when the README drifts from
+// this rendering, so the docs are always generated from the table.
+func CommandTableMarkdown() string {
+	var b strings.Builder
+	b.WriteString("| Command | Arity | Flags | Keys (first,last,step) |\n")
+	b.WriteString("|---|---|---|---|\n")
+	for _, c := range commandList {
+		keys := "—"
+		if c.Keys.First != 0 {
+			keys = strconv.Itoa(c.Keys.First) + "," + strconv.Itoa(c.Keys.Last) + "," + strconv.Itoa(c.Keys.Step)
+		}
+		flags := strings.Join(c.Flags.names(), " ")
+		if flags == "" {
+			flags = "—"
+		}
+		b.WriteString("| `" + c.Name + "` | " + strconv.Itoa(c.Arity) + " | " + flags + " | " + keys + " |\n")
+	}
+	return b.String()
+}
+
+// bindCommands builds the per-server dispatch table: every registry entry
+// wrapped in any Config.Middleware (the built-in stats layer is
+// boundCmd.invoke, innermost).
+func (s *Server) bindCommands() {
+	s.cmds = make(map[string]*boundCmd, len(commandTable))
+	for name, c := range commandTable {
+		bc := &boundCmd{cmd: c, lockMode: lockModeOf(c)}
+		h := c.Handler
+		for i := len(s.cfg.Middleware) - 1; i >= 0; i-- {
+			h = s.cfg.Middleware[i](c, h)
+		}
+		bc.run = h
+		s.cmds[name] = bc
+	}
+}
+
+// fnv64a is the stripe hash, inlined (hash/fnv allocates a hasher per call —
+// the old per-case keyLock paid that allocation on every write).
+func fnv64a(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// stripeOf maps a key to its lock stripe index.
+func (s *Server) stripeOf(key []byte) int {
+	return int(fnv64a(key) % uint64(len(s.rmwMu)))
+}
+
+// appendStripes appends the sorted, deduplicated stripe indexes for keys to
+// dst. Sorting is what makes multi-key (and transaction-union) locking
+// deadlock-free: every path acquires stripes in ascending order.
+func (s *Server) appendStripes(dst []int, keys [][]byte) []int {
+	base := len(dst)
+	for _, k := range keys {
+		dst = append(dst, s.stripeOf(k))
+	}
+	tail := dst[base:]
+	if len(tail) <= 1 {
+		return dst
+	}
+	sort.Ints(tail)
+	out := dst[:base]
+	for i, idx := range tail {
+		if i > 0 && idx == tail[i-1] {
+			continue
+		}
+		out = append(out, idx)
+	}
+	return out
+}
+
+// allStripes is the FlagLockAll spec: every stripe, ascending.
+func (s *Server) allStripes(dst []int) []int {
+	for i := range s.rmwMu {
+		dst = append(dst, i)
+	}
+	return dst
+}
+
+// lockStripes acquires the given (ascending, deduplicated) stripes.
+func (s *Server) lockStripes(stripes []int) {
+	for _, i := range stripes {
+		s.rmwMu[i].Lock()
+	}
+}
+
+func (s *Server) unlockStripes(stripes []int) {
+	for i := len(stripes) - 1; i >= 0; i-- {
+		s.rmwMu[stripes[i]].Unlock()
+	}
+}
+
+// commandStripes computes the stripes dispatch must hold for one command
+// invocation, into ctx's scratch buffers.
+func commandStripes(ctx *Ctx, c *Command) []int {
+	if c.Flags&FlagLockAll != 0 {
+		return ctx.s.allStripes(ctx.stripes[:0])
+	}
+	if c.Flags&FlagWrite == 0 || c.Keys.First == 0 {
+		return nil
+	}
+	ctx.keybuf = c.Keys.keys(ctx.keybuf[:0], ctx.args)
+	return ctx.s.appendStripes(ctx.stripes[:0], ctx.keybuf)
+}
+
+// dispatch is the pipeline the switch used to be: lookup, arity, transaction
+// queueing, key-lock acquisition, middleware, handler. It reports whether
+// the connection must close (SHUTDOWN).
+func (s *Server) dispatch(ctx *Ctx, args [][]byte) (quit bool) {
+	// Fast-path lookup: the per-connection memo resolves repeated command
+	// names with one pointer load plus an exact compare (the compiler
+	// elides the []byte→string conversions here — no allocation). Memo
+	// misses go to the map with the canonical uppercase name; real clients
+	// send uppercase, so the common case never case-folds.
+	name := args[0]
+	if len(name) == 0 {
+		if ctx.cs != nil && ctx.cs.inTxn {
+			ctx.cs.dirty = true
+		}
+		ctx.w.errorf("unknown command ''")
+		return false
+	}
+	slot := &ctx.memo[name[0]&31]
+	bc := *slot
+	if bc == nil || string(name) != bc.cmd.Name {
+		var ok bool
+		bc, ok = s.cmds[string(name)]
+		if !ok {
+			bc, ok = s.cmds[strings.ToUpper(string(name))]
+		}
+		if !ok {
+			if ctx.cs != nil && ctx.cs.inTxn {
+				ctx.cs.dirty = true
+			}
+			ctx.w.errorf("unknown command '%s'", strings.ToLower(string(name)))
+			return false
+		}
+		*slot = bc
+	}
+	if !arityOK(bc.cmd.Arity, len(args)) {
+		if ctx.cs != nil && ctx.cs.inTxn {
+			ctx.cs.dirty = true
+		}
+		ctx.w.errorf("wrong number of arguments for '%s' command", strings.ToLower(string(args[0])))
+		return false
+	}
+	if ctx.cs != nil && ctx.cs.inTxn && bc.cmd.Flags&FlagTxnControl == 0 {
+		ctx.cs.enqueue(ctx, bc, args)
+		return false
+	}
+	ctx.args = args
+	ctx.quit = false
+	switch bc.lockMode {
+	case lockNone:
+		bc.invoke(ctx)
+	case lockSingleKey:
+		// Single-key write (SET/INCR/SETEX/…): one stripe, locked without
+		// building key or stripe slices.
+		mu := &s.rmwMu[s.stripeOf(args[1])]
+		mu.Lock()
+		bc.invoke(ctx)
+		mu.Unlock()
+	default:
+		stripes := commandStripes(ctx, bc.cmd)
+		s.lockStripes(stripes)
+		bc.invoke(ctx)
+		s.unlockStripes(stripes)
+	}
+	return ctx.quit
+}

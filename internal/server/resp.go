@@ -151,19 +151,34 @@ func (r *respReader) readInline() ([][]byte, error) {
 // drains.
 func (r *respReader) buffered() bool { return r.br.Buffered() > 0 }
 
-// respWriter encodes RESP2 replies.
+// respWriter encodes RESP2 replies. errs counts error replies written — the
+// stats middleware diffs it around a handler call to attribute errors to
+// commands without the handler reporting them separately.
 type respWriter struct {
-	bw *bufio.Writer
+	bw   *bufio.Writer
+	errs uint64
 }
 
 func newRespWriter(w io.Writer) *respWriter {
 	return &respWriter{bw: bufio.NewWriterSize(w, 16<<10)}
 }
 
-func (w *respWriter) simple(s string)  { w.bw.WriteByte('+'); w.bw.WriteString(s); w.crlf() }
+func (w *respWriter) simple(s string) { w.bw.WriteByte('+'); w.bw.WriteString(s); w.crlf() }
 func (w *respWriter) errorf(format string, args ...any) {
+	w.errs++
 	w.bw.WriteString("-ERR ")
 	fmt.Fprintf(w.bw, format, args...)
+	w.crlf()
+}
+
+// errorKind writes an error reply with a non-ERR prefix (Redis uses the
+// first word as a machine-readable error class, e.g. EXECABORT).
+func (w *respWriter) errorKind(kind, msg string) {
+	w.errs++
+	w.bw.WriteByte('-')
+	w.bw.WriteString(kind)
+	w.bw.WriteByte(' ')
+	w.bw.WriteString(msg)
 	w.crlf()
 }
 func (w *respWriter) integer(n int64) {
@@ -178,7 +193,8 @@ func (w *respWriter) bulk(b []byte) {
 	w.bw.Write(b)
 	w.crlf()
 }
-func (w *respWriter) nilBulk() { w.bw.WriteString("$-1"); w.crlf() }
+func (w *respWriter) nilBulk()  { w.bw.WriteString("$-1"); w.crlf() }
+func (w *respWriter) nilArray() { w.bw.WriteString("*-1"); w.crlf() }
 func (w *respWriter) arrayHeader(n int) {
 	w.bw.WriteByte('*')
 	w.bw.WriteString(strconv.Itoa(n))

@@ -3,10 +3,8 @@ package server
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"net"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -42,6 +40,11 @@ type Config struct {
 	// ActiveExpirySample caps how many expired keys one cycle reclaims
 	// (default 20, Redis-like), bounding the barrier hold time.
 	ActiveExpirySample int
+	// Middleware wraps every command handler at construction time, outside
+	// the built-in stats middleware, in slice order (first entry outermost).
+	// Use it for cross-cutting concerns — auditing, slowlog-style tracing —
+	// without touching the command table.
+	Middleware []Middleware
 }
 
 // ErrServerClosed is returned by Serve after Shutdown or Abort.
@@ -77,7 +80,16 @@ type Server struct {
 	commands     atomic.Uint64
 	expiryCycles atomic.Uint64
 
-	rmwMu [64]sync.Mutex // striped read-modify-write locks (INCR/SETNX/APPEND/GETSET)
+	// cmds is the registry bound to this server: each table entry wrapped
+	// in the stats middleware (plus Config.Middleware) with its own
+	// counters. Built once in New; read-only afterwards.
+	cmds map[string]*boundCmd
+
+	// rmwMu are the striped key locks the dispatch pipeline acquires for
+	// FlagWrite commands according to their declared KeySpec (all stripes
+	// for FlagLockAll), always in ascending stripe order so multi-key
+	// commands and EXEC's union locking are deadlock-free.
+	rmwMu [64]sync.Mutex
 }
 
 // New creates a server over an open store. The allocator must be the one the
@@ -91,6 +103,7 @@ func New(a alloc.Allocator, st *kvstore.Store, cfg Config) *Server {
 		conns:     make(map[net.Conn]struct{}),
 		start:     time.Now(),
 	}
+	s.bindCommands()
 	if cfg.MaxConns > 0 {
 		s.sem = make(chan struct{}, cfg.MaxConns)
 	}
@@ -238,6 +251,9 @@ func (s *Server) handleConn(c net.Conn) {
 
 	r := newRespReader(c)
 	w := newRespWriter(c)
+	// One Ctx and one transaction state per connection, reused across
+	// dispatches so the steady-state pipeline allocates nothing.
+	ctx := &Ctx{s: s, hd: hd, w: w, cs: &connState{}}
 	for {
 		args, err := r.ReadCommand()
 		if err != nil {
@@ -250,7 +266,7 @@ func (s *Server) handleConn(c net.Conn) {
 		}
 		s.commands.Add(1)
 		s.execMu.RLock()
-		quit := s.execute(hd, w, args)
+		quit := s.dispatch(ctx, args)
 		s.execMu.RUnlock()
 		// Pipelining: only flush when the input is drained, so a burst of
 		// commands gets one batched reply write.
@@ -270,280 +286,6 @@ func (s *Server) handleConn(c net.Conn) {
 			return
 		}
 	}
-}
-
-// execute runs one command and writes its reply. It returns true when the
-// connection must close (SHUTDOWN).
-func (s *Server) execute(hd alloc.Handle, w *respWriter, args [][]byte) bool {
-	name := strings.ToUpper(string(args[0]))
-	switch name {
-	case "PING":
-		if len(args) == 2 {
-			w.bulk(args[1])
-		} else {
-			w.simple("PONG")
-		}
-	case "GET":
-		if len(args) != 2 {
-			w.errorf("wrong number of arguments for 'get' command")
-			break
-		}
-		if v, ok := s.st.GetBytes(args[1]); ok {
-			w.bulk(v)
-		} else {
-			w.nilBulk()
-		}
-	case "SET":
-		if len(args) != 3 {
-			w.errorf("wrong number of arguments for 'set' command")
-			break
-		}
-		// The +OK acknowledgment is written only after SetBytes returns,
-		// i.e. after the new record is flushed and linked: an acknowledged
-		// SET is durable in the crash-simulation sense. Every single-key
-		// mutation holds the striped keyLock so it cannot interleave
-		// inside an RMW command's read→write window (a SET landing there
-		// would be silently overwritten despite its +OK).
-		mu := s.keyLock(args[1])
-		mu.Lock()
-		ok := s.st.SetBytes(hd, args[1], args[2])
-		mu.Unlock()
-		if !ok {
-			w.errorf("out of memory")
-			break
-		}
-		w.simple("OK")
-	case "DEL":
-		if len(args) < 2 {
-			w.errorf("wrong number of arguments for 'del' command")
-			break
-		}
-		n := int64(0)
-		for _, k := range args[1:] {
-			mu := s.keyLock(k)
-			mu.Lock()
-			deleted := s.st.Delete(hd, string(k))
-			mu.Unlock()
-			if deleted {
-				n++
-			}
-		}
-		w.integer(n)
-	case "EXISTS":
-		if len(args) < 2 {
-			w.errorf("wrong number of arguments for 'exists' command")
-			break
-		}
-		n := int64(0)
-		for _, k := range args[1:] {
-			if _, ok := s.st.GetBytes(k); ok {
-				n++
-			}
-		}
-		w.integer(n)
-	case "INCR":
-		if len(args) != 2 {
-			w.errorf("wrong number of arguments for 'incr' command")
-			break
-		}
-		s.incr(hd, w, args[1])
-	case "SETNX":
-		if len(args) != 3 {
-			w.errorf("wrong number of arguments for 'setnx' command")
-			break
-		}
-		mu := s.keyLock(args[1])
-		mu.Lock()
-		if _, ok := s.st.GetBytes(args[1]); ok {
-			w.integer(0)
-		} else if !s.st.SetBytes(hd, args[1], args[2]) {
-			w.errorf("out of memory")
-		} else {
-			w.integer(1)
-		}
-		mu.Unlock()
-	case "APPEND":
-		if len(args) != 3 {
-			w.errorf("wrong number of arguments for 'append' command")
-			break
-		}
-		// Append preserves the key's TTL (Redis semantics): the rewrite
-		// carries the old record's deadline into the new allocation.
-		mu := s.keyLock(args[1])
-		mu.Lock()
-		old, deadline, _ := s.st.GetBytesExpire(args[1])
-		val := make([]byte, 0, len(old)+len(args[2]))
-		val = append(append(val, old...), args[2]...)
-		if !s.st.SetBytesExpire(hd, args[1], val, deadline) {
-			w.errorf("out of memory")
-		} else {
-			w.integer(int64(len(val)))
-		}
-		mu.Unlock()
-	case "GETSET":
-		if len(args) != 3 {
-			w.errorf("wrong number of arguments for 'getset' command")
-			break
-		}
-		// GETSET clears any TTL on the key (Redis semantics): SetBytes
-		// writes an immortal record.
-		mu := s.keyLock(args[1])
-		mu.Lock()
-		old, ok := s.st.GetBytes(args[1])
-		if !s.st.SetBytes(hd, args[1], args[2]) {
-			w.errorf("out of memory")
-		} else if ok {
-			w.bulk(old)
-		} else {
-			w.nilBulk()
-		}
-		mu.Unlock()
-	case "EXPIRE", "PEXPIRE":
-		if len(args) != 3 {
-			w.errorf("wrong number of arguments for '%s' command", strings.ToLower(name))
-			break
-		}
-		d, err := strconv.ParseInt(string(args[2]), 10, 64)
-		if err != nil {
-			w.errorf("value is not an integer or out of range")
-			break
-		}
-		mu := s.keyLock(args[1])
-		mu.Lock()
-		ok := s.st.Expire(string(args[1]), deadlineFrom(s.st.Now(), d, name == "EXPIRE"))
-		mu.Unlock()
-		if ok {
-			w.integer(1)
-		} else {
-			w.integer(0)
-		}
-	case "TTL", "PTTL":
-		if len(args) != 2 {
-			w.errorf("wrong number of arguments for '%s' command", strings.ToLower(name))
-			break
-		}
-		ms := s.st.PTTL(string(args[1]))
-		if ms < 0 || name == "PTTL" {
-			w.integer(ms)
-		} else {
-			w.integer((ms + 999) / 1000) // round up, like Redis TTL
-		}
-	case "PERSIST":
-		if len(args) != 2 {
-			w.errorf("wrong number of arguments for 'persist' command")
-			break
-		}
-		mu := s.keyLock(args[1])
-		mu.Lock()
-		ok := s.st.Persist(string(args[1]))
-		mu.Unlock()
-		if ok {
-			w.integer(1)
-		} else {
-			w.integer(0)
-		}
-	case "SETEX", "PSETEX":
-		if len(args) != 4 {
-			w.errorf("wrong number of arguments for '%s' command", strings.ToLower(name))
-			break
-		}
-		d, err := strconv.ParseInt(string(args[2]), 10, 64)
-		if err != nil {
-			w.errorf("value is not an integer or out of range")
-			break
-		}
-		if d <= 0 {
-			w.errorf("invalid expire time in '%s' command", strings.ToLower(name))
-			break
-		}
-		mu := s.keyLock(args[1])
-		mu.Lock()
-		ok := s.st.SetBytesExpire(hd, args[1], args[3], deadlineFrom(s.st.Now(), d, name == "SETEX"))
-		mu.Unlock()
-		if !ok {
-			w.errorf("out of memory")
-			break
-		}
-		w.simple("OK")
-	case "MGET":
-		if len(args) < 2 {
-			w.errorf("wrong number of arguments for 'mget' command")
-			break
-		}
-		w.arrayHeader(len(args) - 1)
-		for _, k := range args[1:] {
-			if v, ok := s.st.GetBytes(k); ok {
-				w.bulk(v)
-			} else {
-				w.nilBulk()
-			}
-		}
-	case "MSET":
-		if len(args) < 3 || len(args)%2 != 1 {
-			w.errorf("wrong number of arguments for 'mset' command")
-			break
-		}
-		for i := 1; i < len(args); i += 2 {
-			mu := s.keyLock(args[i])
-			mu.Lock()
-			ok := s.st.SetBytes(hd, args[i], args[i+1])
-			mu.Unlock()
-			if !ok {
-				w.errorf("out of memory")
-				return false
-			}
-		}
-		w.simple("OK")
-	case "DBSIZE":
-		w.integer(int64(s.st.Len()))
-	case "FLUSHALL":
-		// Two passes: Range holds stripe locks, so collect first.
-		var keys []string
-		s.st.Range(func(k, _ []byte) bool {
-			keys = append(keys, string(k))
-			return true
-		})
-		for _, k := range keys {
-			mu := s.keyLock([]byte(k))
-			mu.Lock()
-			s.st.Delete(hd, k)
-			mu.Unlock()
-		}
-		w.simple("OK")
-	case "INFO":
-		w.bulk([]byte(s.info()))
-	case "SAVE":
-		// Promote the barrier: wait out in-flight commands, then
-		// checkpoint a consistent image. RUnlock first — sync.RWMutex is
-		// not upgradable.
-		if s.cfg.Checkpoint == nil {
-			w.errorf("no checkpoint configured (volatile heap)")
-			break
-		}
-		s.execMu.RUnlock()
-		err := s.Save()
-		s.execMu.RLock()
-		if err != nil {
-			w.errorf("checkpoint failed: %v", err)
-			break
-		}
-		w.simple("OK")
-	case "SHUTDOWN":
-		w.simple("OK")
-		return true
-	default:
-		w.errorf("unknown command '%s'", strings.ToLower(name))
-	}
-	return false
-}
-
-// keyLock returns the striped lock for read-modify-write commands on key
-// (INCR, SETNX, APPEND, GETSET), since the store's Get and Set are
-// individually — not jointly — atomic.
-func (s *Server) keyLock(key []byte) *sync.Mutex {
-	h := fnv.New64a()
-	h.Write(key)
-	return &s.rmwMu[h.Sum64()%uint64(len(s.rmwMu))]
 }
 
 // deadlineFrom converts a relative TTL (in seconds when seconds is true,
@@ -572,31 +314,6 @@ func deadlineFrom(now, d int64, seconds bool) int64 {
 	return at
 }
 
-// incr implements the read-modify-write under the striped per-key lock.
-// Like Redis (and unlike SET), INCR preserves the key's TTL: the canonical
-// SETEX+INCR rate-limiter pattern depends on the counter still expiring.
-func (s *Server) incr(hd alloc.Handle, w *respWriter, key []byte) {
-	mu := s.keyLock(key)
-	mu.Lock()
-	defer mu.Unlock()
-	n := int64(0)
-	v, deadline, ok := s.st.GetBytesExpire(key)
-	if ok {
-		parsed, err := strconv.ParseInt(string(v), 10, 64)
-		if err != nil {
-			w.errorf("value is not an integer or out of range")
-			return
-		}
-		n = parsed
-	}
-	n++
-	if !s.st.SetBytesExpire(hd, key, []byte(strconv.FormatInt(n, 10)), deadline) {
-		w.errorf("out of memory")
-		return
-	}
-	w.integer(n)
-}
-
 // info renders the INFO reply.
 func (s *Server) info() string {
 	st := s.st.Stats()
@@ -621,6 +338,30 @@ func (s *Server) info() string {
 		st.TTLd, st.Expired, st.Reclaimed, s.expiryCycles.Load())
 	if s.cfg.Info != nil {
 		b.WriteString(s.cfg.Info())
+	}
+	return b.String()
+}
+
+// commandStats renders the INFO commandstats section from the per-command
+// counters the stats layer maintains: calls, errors, and a latency estimate
+// from the 1-in-64 sample (usec_per_call is the sampled mean; usec scales
+// it by the call count). Only commands that have been called appear, in
+// registry (name) order.
+func (s *Server) commandStats() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Commandstats\r\n")
+	for _, c := range commandList {
+		bc := s.cmds[c.Name]
+		calls := bc.stats.calls.Load()
+		if calls == 0 {
+			continue
+		}
+		var perCall float64
+		if n := bc.stats.sampled.Load(); n > 0 {
+			perCall = float64(bc.stats.sampledNs.Load()) / float64(n) / 1e3
+		}
+		fmt.Fprintf(&b, "cmdstat_%s:calls=%d,usec=%.0f,usec_per_call=%.2f,errors=%d\r\n",
+			strings.ToLower(c.Name), calls, perCall*float64(calls), perCall, bc.stats.errs.Load())
 	}
 	return b.String()
 }

@@ -1,0 +1,137 @@
+package server
+
+// MULTI/EXEC/DISCARD on top of the command registry. The design follows
+// Redis: MULTI opens a per-connection queue; subsequent commands are
+// validated against the table at queue time (unknown names and arity
+// failures reply an error immediately and poison the queue, so EXEC aborts
+// with -EXECABORT); EXEC runs the queue back-to-back and replies an array of
+// the individual replies; errors *inside* EXEC do not abort the rest.
+//
+// Atomicity comes from two locks the registry makes uniform:
+//
+//   - EXEC acquires the union of the queued commands' key stripes (plus all
+//     stripes if a FlagLockAll command is queued), sorted and deduplicated —
+//     the same deadlock-ordered discipline as single multi-key commands — so
+//     no concurrent writer observes or interleaves a half-applied queue.
+//   - The whole EXEC runs under one execMu read-side hold (the connection
+//     loop's), so a SAVE checkpoint can never capture a torn transaction:
+//     the persisted image contains each acknowledged EXEC wholly or not at
+//     all. That is the crash-consistency story the mid-EXEC SIGKILL e2e
+//     (txn_e2e_test.go) pins down.
+
+// queuedCmd is one validated command awaiting EXEC.
+type queuedCmd struct {
+	bc   *boundCmd
+	args [][]byte
+}
+
+// maxTxnQueue bounds one connection's MULTI queue: the RESP layer caps what
+// a single command may allocate (maxArgs/maxBulkLen), and without a queue
+// cap MULTI would let one connection accumulate unbounded retained commands
+// anyway. Overflow poisons the transaction (EXECABORT), like the other
+// queue-time rejections.
+const maxTxnQueue = 4096
+
+// connState is the per-connection dispatch state: the transaction queue.
+type connState struct {
+	inTxn bool
+	dirty bool // queue-time validation failed; EXEC must abort
+	queue []queuedCmd
+}
+
+func (cs *connState) reset() {
+	cs.inTxn = false
+	cs.dirty = false
+	cs.queue = cs.queue[:0]
+}
+
+// enqueue admits one already-validated (lookup + arity) command to the
+// queue. DenyTxn commands poison the transaction instead: SAVE would drop
+// the execMu read side mid-EXEC and SHUTDOWN would tear the connection down.
+// The queue retains args past this call, which is safe because ReadCommand's
+// documented contract is that every returned slice is freshly allocated,
+// never a view into a reused read buffer.
+func (cs *connState) enqueue(ctx *Ctx, bc *boundCmd, args [][]byte) {
+	if bc.cmd.Flags&FlagDenyTxn != 0 {
+		cs.dirty = true
+		ctx.w.errorf("%s is not allowed in transactions", bc.cmd.Name)
+		return
+	}
+	if len(cs.queue) >= maxTxnQueue {
+		cs.dirty = true
+		ctx.w.errorf("transaction queue limit (%d commands) reached", maxTxnQueue)
+		return
+	}
+	cs.queue = append(cs.queue, queuedCmd{bc: bc, args: args})
+	ctx.w.simple("QUEUED")
+}
+
+func cmdMulti(ctx *Ctx) {
+	if ctx.cs == nil {
+		ctx.w.errorf("MULTI is not supported on this connection")
+		return
+	}
+	if ctx.cs.inTxn {
+		ctx.w.errorf("MULTI calls can not be nested")
+		return
+	}
+	ctx.cs.inTxn = true
+	ctx.w.simple("OK")
+}
+
+func cmdDiscard(ctx *Ctx) {
+	if ctx.cs == nil || !ctx.cs.inTxn {
+		ctx.w.errorf("DISCARD without MULTI")
+		return
+	}
+	ctx.cs.reset()
+	ctx.w.simple("OK")
+}
+
+func cmdExec(ctx *Ctx) {
+	cs := ctx.cs
+	if cs == nil || !cs.inTxn {
+		ctx.w.errorf("EXEC without MULTI")
+		return
+	}
+	if cs.dirty {
+		cs.reset()
+		ctx.w.errorKind("EXECABORT", "Transaction discarded because of previous errors.")
+		return
+	}
+
+	// Union of the queue's stripes, deadlock-ordered. A queued FlagLockAll
+	// command (FLUSHALL) escalates to every stripe.
+	stripes := ctx.txstripe[:0]
+	lockAll := false
+	for _, q := range cs.queue {
+		if q.bc.cmd.Flags&FlagLockAll != 0 {
+			lockAll = true
+			break
+		}
+	}
+	if lockAll {
+		stripes = ctx.s.allStripes(stripes)
+	} else {
+		keys := ctx.keybuf[:0]
+		for _, q := range cs.queue {
+			if q.bc.cmd.Flags&FlagWrite != 0 {
+				keys = q.bc.cmd.Keys.keys(keys, q.args)
+			}
+		}
+		ctx.keybuf = keys
+		stripes = ctx.s.appendStripes(stripes, keys)
+	}
+	ctx.txstripe = stripes
+
+	ctx.w.arrayHeader(len(cs.queue))
+	ctx.s.lockStripes(stripes)
+	outer := ctx.args
+	for _, q := range cs.queue {
+		ctx.args = q.args
+		q.bc.invoke(ctx)
+	}
+	ctx.args = outer
+	ctx.s.unlockStripes(stripes)
+	cs.reset()
+}
