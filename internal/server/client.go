@@ -346,13 +346,4 @@ func (c *Client) Txn(cmds ...[]string) ([]Reply, error) {
 }
 
 // DBSize returns the record count.
-func (c *Client) DBSize() (int64, error) {
-	rp, err := c.Do("DBSIZE")
-	if err != nil {
-		return 0, err
-	}
-	if err := rp.Err(); err != nil {
-		return 0, err
-	}
-	return rp.Int, nil
-}
+func (c *Client) DBSize() (int64, error) { return c.intReply("DBSIZE") }

@@ -300,7 +300,16 @@ func cmdCommand(ctx *Ctx) {
 		}
 		return
 	}
-	switch strings.ToUpper(string(ctx.args[1])) {
+	// Case-fold only plausibly-valid names: a hostile maxBulkLen subcommand
+	// or command-name bulk must miss cheaply, not pay megabytes-sized
+	// ToUpper copies (same guard as dispatch's longestCommandName check).
+	// The bound is deliberately loose — any realistic subcommand fits.
+	const maxSubcommandLen = 16
+	var sub string
+	if len(ctx.args[1]) <= maxSubcommandLen {
+		sub = strings.ToUpper(string(ctx.args[1]))
+	}
+	switch sub {
 	case "COUNT":
 		if len(ctx.args) != 2 {
 			ctx.w.errorf("wrong number of arguments for 'command|count' command")
@@ -310,14 +319,18 @@ func cmdCommand(ctx *Ctx) {
 	case "INFO":
 		ctx.w.arrayHeader(len(ctx.args) - 2)
 		for _, name := range ctx.args[2:] {
-			if c, ok := commandTable[strings.ToUpper(string(name))]; ok {
+			var c *Command
+			if len(name) <= longestCommandName {
+				c = commandTable[strings.ToUpper(string(name))]
+			}
+			if c != nil {
 				writeCommandEntry(ctx.w, c)
 			} else {
 				ctx.w.nilArray()
 			}
 		}
 	default:
-		ctx.w.errorf("unknown subcommand '%s' for 'command'", strings.ToLower(string(ctx.args[1])))
+		ctx.w.errorf("unknown subcommand '%s' for 'command'", errorEcho(ctx.args[1]))
 	}
 }
 
@@ -347,19 +360,27 @@ func cmdInfo(ctx *Ctx) {
 		ctx.w.errorf("wrong number of arguments for 'info' command")
 		return
 	}
-	full := ctx.s.info()
-	if len(ctx.args) == 2 {
+	// A section name no real header can match skips the fold entirely (a
+	// hostile maxBulkLen bulk would otherwise cost a megabytes-sized copy)
+	// and falls through to the tolerant full-reply default. The full block
+	// is rendered only on the paths that reply with it — commandstats
+	// must not pay store-stats collection and the embedder Info callback
+	// just to discard the result.
+	if len(ctx.args) == 2 && len(ctx.args[1]) <= 64 {
 		section := strings.ToLower(string(ctx.args[1]))
 		if section == "commandstats" {
 			ctx.w.bulk([]byte(ctx.s.commandStats()))
 			return
 		}
+		full := ctx.s.info()
 		if s, ok := infoSection(full, section); ok {
 			ctx.w.bulk([]byte(s))
-			return
+		} else {
+			ctx.w.bulk([]byte(full))
 		}
+		return
 	}
-	ctx.w.bulk([]byte(full))
+	ctx.w.bulk([]byte(ctx.s.info()))
 }
 
 // infoSection extracts one "# Header" block from an INFO rendering,
@@ -395,8 +416,12 @@ func cmdSave(ctx *Ctx) {
 		return
 	}
 	ctx.s.execMu.RUnlock()
+	// Re-acquire via defer: if Save panics (an embedder Checkpoint func can),
+	// a plain re-RLock on the normal path would be skipped during unwinding
+	// and dispatchBarrier's deferred RUnlock would throw on an unheld lock —
+	// a fatal, unrecoverable runtime error.
+	defer ctx.s.execMu.RLock()
 	err := ctx.s.Save()
-	ctx.s.execMu.RLock()
 	if err != nil {
 		ctx.w.errorf("checkpoint failed: %v", err)
 		return

@@ -31,7 +31,7 @@ type benchEnv struct {
 	hd   alloc.Handle
 }
 
-func newBenchEnv(tb testing.TB) *benchEnv {
+func newBenchEnv(tb testing.TB, cfg Config) *benchEnv {
 	tb.Helper()
 	h, _, err := ralloc.Open("", ralloc.Config{
 		SBRegion: 256 << 20,
@@ -43,7 +43,7 @@ func newBenchEnv(tb testing.TB) *benchEnv {
 	a := h.AsAllocator()
 	st, root := kvstore.Open(a, a.NewHandle(), 8192)
 	h.SetRoot(0, root)
-	return &benchEnv{heap: h, srv: New(a, st, Config{}), hd: a.NewHandle()}
+	return &benchEnv{heap: h, srv: New(a, st, cfg), hd: a.NewHandle()}
 }
 
 // benchArgs is one pipelined GET/SET burst: the same 64 keys set then read,
@@ -129,7 +129,7 @@ func (e *benchEnv) runSwitch(b *testing.B) {
 // BenchmarkDispatch compares the two dispatch paths on the pipelined
 // GET/SET workload.
 func BenchmarkDispatch(b *testing.B) {
-	e := newBenchEnv(b)
+	e := newBenchEnv(b, Config{})
 	b.Run("registry", e.runRegistry)
 	b.Run("switch", e.runSwitch)
 }
@@ -147,7 +147,7 @@ func TestDispatchOverheadGate(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping benchmark gate in -short mode")
 	}
-	e := newBenchEnv(t)
+	e := newBenchEnv(t, Config{})
 	w := newRespWriter(io.Discard)
 	ctx := &Ctx{s: e.srv, hd: e.hd, w: w, cs: &connState{}}
 

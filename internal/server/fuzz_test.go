@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"errors"
+	"fmt"
 	"io"
 	"strings"
 	"sync"
@@ -54,6 +55,11 @@ var fuzzSeedCommands = []string{
 	"*2\r\n$4\r\nINFO\r\n$12\r\ncommandstats\r\n",
 	// Empty command name (a $0 bulk must not panic the dispatcher).
 	"*1\r\n$0\r\n\r\n",
+	// Command and subcommand names carrying CRLF: the unknown-command /
+	// unknown-subcommand error must not echo them raw, or the reply line
+	// splits and the stream desynchronizes (errorBody pins the fix).
+	"*1\r\n$7\r\nBAD\r\nXY\r\n",
+	"*2\r\n$7\r\nCOMMAND\r\n$6\r\nNO\r\nPE\r\n",
 	// Empty multibulks (skipped iteratively, must terminate).
 	"*0\r\n*0\r\n*-1\r\n*0\r\nPING\r\n",
 	// Truncated at every interesting boundary.
@@ -242,6 +248,35 @@ func FuzzDispatch(f *testing.F) {
 			t.Fatalf("%d bytes of trailing garbage after %d replies: %q", len(rest), replies, rest)
 		}
 	})
+}
+
+// TestCommandSizeCap: a command whose bulks cumulatively exceed
+// maxCommandBytes fails with a protocol error when the offending bulk's
+// header is parsed, before its buffer is allocated. The cap is lowered for
+// the test so it doesn't have to stream real gigabytes.
+func TestCommandSizeCap(t *testing.T) {
+	old := maxCommandBytes
+	maxCommandBytes = 1 << 10
+	defer func() { maxCommandBytes = old }()
+
+	var b bytes.Buffer
+	b.WriteString("*5\r\n")
+	chunk := strings.Repeat("x", 300)
+	for i := 0; i < 5; i++ {
+		fmt.Fprintf(&b, "$%d\r\n%s\r\n", len(chunk), chunk)
+	}
+	_, err := newRespReader(bytes.NewReader(b.Bytes())).ReadCommand()
+	var pe protoError
+	if !errors.As(err, &pe) || !strings.Contains(string(pe), "too large") {
+		t.Fatalf("oversized command returned %v, want 'command too large' protocol error", err)
+	}
+
+	// A normal command under the real cap is untouched.
+	maxCommandBytes = old
+	args, err := newRespReader(strings.NewReader("*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n")).ReadCommand()
+	if err != nil || len(args) != 3 {
+		t.Fatalf("normal command = %v, %v", args, err)
+	}
 }
 
 // TestReplyDepthLimit pins the fix FuzzParseReply motivated: a hostile

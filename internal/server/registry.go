@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -237,10 +238,12 @@ func (bc *boundCmd) invoke(ctx *Ctx) {
 
 // commandTable and commandList are the process-wide immutable registry,
 // built once from commands.go's declarations. commandList is sorted by name
-// (COMMAND reply order, docs order).
+// (COMMAND reply order, docs order). longestCommandName lets dispatch skip
+// the case-folding fallback for names no registered command can match.
 var (
-	commandTable = map[string]*Command{}
-	commandList  []*Command
+	commandTable       = map[string]*Command{}
+	commandList        []*Command
+	longestCommandName int
 )
 
 func init() {
@@ -256,6 +259,9 @@ func init() {
 		}
 		commandTable[c.Name] = c
 		commandList = append(commandList, c)
+		if len(c.Name) > longestCommandName {
+			longestCommandName = len(c.Name)
+		}
 	}
 	sort.Slice(commandList, func(i, j int) bool { return commandList[i].Name < commandList[j].Name })
 }
@@ -366,22 +372,52 @@ func (s *Server) unlockStripes(stripes []int) {
 }
 
 // commandStripes computes the stripes dispatch must hold for one command
-// invocation, into ctx's scratch buffers.
+// invocation, into ctx's scratch buffers (stored back so the grown backing
+// arrays actually get reused across dispatches).
 func commandStripes(ctx *Ctx, c *Command) []int {
 	if c.Flags&FlagLockAll != 0 {
-		return ctx.s.allStripes(ctx.stripes[:0])
+		ctx.stripes = ctx.s.allStripes(ctx.stripes[:0])
+		return ctx.stripes
 	}
 	if c.Flags&FlagWrite == 0 || c.Keys.First == 0 {
 		return nil
 	}
 	ctx.keybuf = c.Keys.keys(ctx.keybuf[:0], ctx.args)
-	return ctx.s.appendStripes(ctx.stripes[:0], ctx.keybuf)
+	ctx.stripes = ctx.s.appendStripes(ctx.stripes[:0], ctx.keybuf)
+	return ctx.stripes
 }
 
 // dispatch is the pipeline the switch used to be: lookup, arity, transaction
 // queueing, key-lock acquisition, middleware, handler. It reports whether
 // the connection must close (SHUTDOWN).
 func (s *Server) dispatch(ctx *Ctx, args [][]byte) (quit bool) {
+	// Drop the references dispatch parks in ctx before returning, on every
+	// exit path: args slices are freshly allocated per command (and keybuf
+	// entries alias them), so leaving them in the reused Ctx would let one
+	// idle connection pin up to maxBulkLen bytes indefinitely — the same
+	// idle-retention containment connState.reset applies to the txn queue.
+	// Clearing keybuf to len is enough: entries beyond len are nil by
+	// induction (every dispatch clears exactly the entries it wrote), and
+	// clearing to cap would turn one historical million-key command into a
+	// permanent per-dispatch memset. A giant multi-key command must not
+	// pin peak-sized scratch for the connection's lifetime either, so
+	// oversized backing arrays are dropped outright. Open-coded defer, so
+	// it stays off the dispatch benchmark gate.
+	defer func() {
+		ctx.args = nil
+		clear(ctx.keybuf)
+		ctx.keybuf = ctx.keybuf[:0] // later clears are O(0), not O(stale len)
+		const maxScratch = 1024
+		if cap(ctx.keybuf) > maxScratch {
+			ctx.keybuf = nil
+		}
+		if cap(ctx.stripes) > maxScratch {
+			ctx.stripes = nil
+		}
+		if cap(ctx.txstripe) > maxScratch {
+			ctx.txstripe = nil
+		}
+	}()
 	// Fast-path lookup: the per-connection memo resolves repeated command
 	// names with one pointer load plus an exact compare (the compiler
 	// elides the []byte→string conversions here — no allocation). Memo
@@ -400,14 +436,17 @@ func (s *Server) dispatch(ctx *Ctx, args [][]byte) (quit bool) {
 	if bc == nil || string(name) != bc.cmd.Name {
 		var ok bool
 		bc, ok = s.cmds[string(name)]
-		if !ok {
+		// The case-folding fallback only makes sense for names that could
+		// be a registered command at all: a hostile maxBulkLen name must
+		// not cost a megabytes-sized ToUpper copy just to miss.
+		if !ok && len(name) <= longestCommandName {
 			bc, ok = s.cmds[strings.ToUpper(string(name))]
 		}
 		if !ok {
 			if ctx.cs != nil && ctx.cs.inTxn {
 				ctx.cs.dirty = true
 			}
-			ctx.w.errorf("unknown command '%s'", strings.ToLower(string(name)))
+			ctx.w.errorf("unknown command '%s'", errorEcho(name))
 			return false
 		}
 		*slot = bc
@@ -433,13 +472,26 @@ func (s *Server) dispatch(ctx *Ctx, args [][]byte) (quit bool) {
 		// building key or stripe slices.
 		mu := &s.rmwMu[s.stripeOf(args[1])]
 		mu.Lock()
-		bc.invoke(ctx)
-		mu.Unlock()
+		invokeUnlocking(ctx, bc, mu)
 	default:
 		stripes := commandStripes(ctx, bc.cmd)
 		s.lockStripes(stripes)
-		bc.invoke(ctx)
-		s.unlockStripes(stripes)
+		invokeStripedUnlocking(ctx, bc, stripes)
 	}
 	return ctx.quit
+}
+
+// invokeUnlocking / invokeStripedUnlocking release dispatch's stripe locks
+// via defer (open-coded, so they stay off the benchmark gate's 5% budget): a
+// panicking handler — or a panicking Config.Middleware layer supplied by the
+// embedder — must fail one connection, not leave its stripes locked and
+// wedge every future writer on them.
+func invokeUnlocking(ctx *Ctx, bc *boundCmd, mu *sync.Mutex) {
+	defer mu.Unlock()
+	bc.invoke(ctx)
+}
+
+func invokeStripedUnlocking(ctx *Ctx, bc *boundCmd, stripes []int) {
+	defer ctx.s.unlockStripes(stripes)
+	bc.invoke(ctx)
 }

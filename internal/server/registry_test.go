@@ -2,10 +2,12 @@ package server
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestArityErrorsForEveryCommand is generated from the registry: for every
@@ -75,6 +77,119 @@ func TestUnknownCommandMessage(t *testing.T) {
 	}
 	if rp.Kind != '-' || rp.Str != "ERR unknown command 'nosuchcmd'" {
 		t.Fatalf("unknown command reply = %q", rp.Str)
+	}
+}
+
+// TestErrorReplySanitized pins the errorBody containment: error replies echo
+// client bytes (unknown command and subcommand names), and a CRLF smuggled
+// into such a name must not split the reply line — that desynchronizes every
+// reply after it. Control bytes become spaces, oversized echoes are capped.
+func TestErrorReplySanitized(t *testing.T) {
+	ts := startServer(t, Config{}, 0)
+	c := dial(t, ts)
+
+	// CRLF inside an unknown command name (bulk framing permits any bytes).
+	rp, err := c.Do("BAD\r\nXY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Kind != '-' || rp.Str != "ERR unknown command 'bad  xy'" {
+		t.Fatalf("CRLF-name reply = %q", rp.Str)
+	}
+
+	// Same vector through the COMMAND subcommand echo.
+	rp, err = c.Do("COMMAND", "NO\r\nPE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Kind != '-' || !strings.Contains(rp.Str, "'no  pe'") {
+		t.Fatalf("CRLF-subcommand reply = %q", rp.Str)
+	}
+
+	// A huge unknown name is echoed truncated, not in full.
+	rp, err = c.Do(strings.Repeat("Z", 100000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Kind != '-' || len(rp.Str) > maxErrorBodyLen+len("ERR ...") || !strings.HasSuffix(rp.Str, "...") {
+		t.Fatalf("oversized-name reply = %d bytes, suffix %q", len(rp.Str), rp.Str[max(0, len(rp.Str)-16):])
+	}
+
+	// The reply stream is still synchronized after all of the above.
+	if rp, err := c.Do("PING"); err != nil || rp.Str != "PONG" {
+		t.Fatalf("PING after hostile errors = %+v, %v", rp, err)
+	}
+}
+
+// TestPanicReleasesLocks: dispatch releases stripe locks and the execMu
+// read side via defer, so a panic recovered above dispatch (an embedder
+// wrapping Serve, a test or fuzz harness driving dispatch directly) leaves
+// no server lock held — the process doesn't wedge every future writer on
+// those stripes, or every future SAVE, on its way to fail-stop.
+func TestPanicReleasesLocks(t *testing.T) {
+	boom := func(c *Command, h Handler) Handler {
+		return func(ctx *Ctx) {
+			for _, a := range ctx.args[1:] {
+				if string(a) == "PANIC" {
+					panic("middleware kaboom")
+				}
+			}
+			h(ctx)
+		}
+	}
+	e := newBenchEnv(t, Config{Middleware: []Middleware{boom}})
+
+	run := func(cs *connState, args ...string) (panicked bool) {
+		bargs := make([][]byte, len(args))
+		for i, a := range args {
+			bargs[i] = []byte(a)
+		}
+		ctx := &Ctx{s: e.srv, hd: e.hd, w: newRespWriter(io.Discard), cs: cs}
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		e.srv.dispatchBarrier(ctx, bargs)
+		return false
+	}
+
+	// Panic on every lock path: single-stripe write, multi-stripe write, and
+	// EXEC holding a transaction's union stripes.
+	if !run(&connState{}, "SET", "pk", "PANIC") {
+		t.Fatal("single-key SET did not panic")
+	}
+	if !run(&connState{}, "MSET", "pa", "1", "pb", "PANIC") {
+		t.Fatal("MSET did not panic")
+	}
+	cs := &connState{}
+	run(cs, "MULTI")
+	if run(cs, "SET", "pk", "PANIC") {
+		t.Fatal("queueing panicked — middleware must not run at queue time")
+	}
+	if !run(cs, "EXEC") {
+		t.Fatal("EXEC did not panic")
+	}
+
+	// Every lock those invocations held must be free again: the same keys
+	// (same stripes) and the checkpoint barrier's write side all acquire
+	// without blocking.
+	ok := make(chan struct{})
+	go func() {
+		defer close(ok)
+		if run(&connState{}, "SET", "pk", "v") {
+			t.Error("clean SET panicked")
+		}
+		if run(&connState{}, "MSET", "pa", "1", "pb", "2") {
+			t.Error("clean MSET panicked")
+		}
+		e.srv.execMu.Lock()
+		e.srv.execMu.Unlock()
+	}()
+	select {
+	case <-ok:
+	case <-time.After(10 * time.Second):
+		t.Fatal("locks still held after recovered panic: follow-up commands wedged")
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 )
 
 // Protocol limits: a garbage or hostile header must not make the server
@@ -30,6 +31,14 @@ const (
 	// stack. Real replies in this protocol subset nest at most 1 deep.
 	maxReplyDepth = 32
 )
+
+// maxCommandBytes caps one command's cumulative declared bulk payload:
+// maxArgs×maxBulkLen individually-legal bulks would otherwise let a single
+// command demand terabytes of transient allocation before dispatch (or the
+// transaction byte meter) ever sees it. The declared length is checked
+// before each bulk's buffer is allocated. A var, not a const, so the
+// oversized-command test doesn't need to stream real gigabytes.
+var maxCommandBytes = int64(512 << 20)
 
 // protoError is a client-visible protocol violation: the server reports it
 // with an -ERR reply and closes the connection (the stream may be
@@ -103,6 +112,7 @@ func (r *respReader) ReadCommand() ([][]byte, error) {
 		// wire and must not reserve megabytes up front. append grows the
 		// slice only as real argument data actually arrives.
 		args := make([][]byte, 0, min(n, 64))
+		var total int64
 		for i := int64(0); i < n; i++ {
 			line, err := r.readLine()
 			if err != nil {
@@ -114,6 +124,9 @@ func (r *respReader) ReadCommand() ([][]byte, error) {
 			blen, err := strconv.ParseInt(string(line[1:]), 10, 64)
 			if err != nil || blen < 0 || blen > maxBulkLen {
 				return nil, protoError("invalid bulk length")
+			}
+			if total += blen; total > maxCommandBytes {
+				return nil, protoError("command too large")
 			}
 			buf := make([]byte, blen+2)
 			if _, err := io.ReadFull(r.br, buf); err != nil {
@@ -164,10 +177,16 @@ func newRespWriter(w io.Writer) *respWriter {
 }
 
 func (w *respWriter) simple(s string) { w.bw.WriteByte('+'); w.bw.WriteString(s); w.crlf() }
+
+// maxErrorBodyLen caps how many message bytes an error reply echoes: error
+// text may quote client bytes (an unknown command name can be a bulk up to
+// maxBulkLen), and the reply must stay one short line.
+const maxErrorBodyLen = 256
+
 func (w *respWriter) errorf(format string, args ...any) {
 	w.errs++
 	w.bw.WriteString("-ERR ")
-	fmt.Fprintf(w.bw, format, args...)
+	w.errorBody(fmt.Sprintf(format, args...))
 	w.crlf()
 }
 
@@ -178,8 +197,44 @@ func (w *respWriter) errorKind(kind, msg string) {
 	w.bw.WriteByte('-')
 	w.bw.WriteString(kind)
 	w.bw.WriteByte(' ')
-	w.bw.WriteString(msg)
+	w.errorBody(msg)
 	w.crlf()
+}
+
+// errorEcho prepares client bytes for quoting inside an error message:
+// truncated to the reply cap *before* the lowercase copy, so echoing a
+// hostile maxBulkLen name costs a short copy, not megabytes of transient
+// garbage. errorBody sanitizes and re-caps the final rendering.
+func errorEcho(b []byte) string {
+	if len(b) > maxErrorBodyLen {
+		b = b[:maxErrorBodyLen]
+	}
+	return strings.ToLower(string(b))
+}
+
+// errorBody writes an error message body made wire-safe. Error text is the
+// one reply channel that echoes raw client bytes (unknown command and
+// subcommand names), and an error reply is a bare CRLF-terminated line — a
+// CR or LF inside the message would terminate the reply early and
+// desynchronize every reply after it (FuzzDispatch's well-formed-reply
+// invariant). Control bytes are replaced with spaces and the body is capped
+// at maxErrorBodyLen, the same containment Redis applies when echoing
+// unknown-command arguments.
+func (w *respWriter) errorBody(msg string) {
+	truncated := false
+	if len(msg) > maxErrorBodyLen {
+		msg, truncated = msg[:maxErrorBodyLen], true
+	}
+	for i := 0; i < len(msg); i++ {
+		c := msg[i]
+		if c < 0x20 || c == 0x7f {
+			c = ' '
+		}
+		w.bw.WriteByte(c)
+	}
+	if truncated {
+		w.bw.WriteString("...")
+	}
 }
 func (w *respWriter) integer(n int64) {
 	w.bw.WriteByte(':')

@@ -249,6 +249,19 @@ func (s *Server) handleConn(c net.Conn) {
 	hd := s.getHandle()
 	defer s.putHandle(hd)
 
+	// Handler panics are deliberately NOT recovered here: a panic that
+	// escapes dispatch may originate below the server — an allocator
+	// double-free or corrupt free chain fires inside dstruct/kvstore
+	// critical sections whose internal mutexes are not defer-released, and
+	// this connection's pooled alloc.Handle may hold a torn thread-local
+	// cache — so "contain and keep serving" would trade a clean fail-stop
+	// for a wedged or silently corrupting process. The heap is
+	// crash-consistent at every instant, so process death is the designed
+	// containment: restart runs Open→Recover and resumes. Dispatch still
+	// releases the server's own stripe locks and the execMu read side via
+	// defer during unwinding, so a panic recovered *above* dispatch (an
+	// embedder wrapping Serve, a test or fuzz harness driving dispatch
+	// directly) observes no leaked server locks.
 	r := newRespReader(c)
 	w := newRespWriter(c)
 	// One Ctx and one transaction state per connection, reused across
@@ -265,9 +278,7 @@ func (s *Server) handleConn(c net.Conn) {
 			return
 		}
 		s.commands.Add(1)
-		s.execMu.RLock()
-		quit := s.dispatch(ctx, args)
-		s.execMu.RUnlock()
+		quit := s.dispatchBarrier(ctx, args)
 		// Pipelining: only flush when the input is drained, so a burst of
 		// commands gets one batched reply write.
 		if quit || !r.buffered() {
@@ -286,6 +297,17 @@ func (s *Server) handleConn(c net.Conn) {
 			return
 		}
 	}
+}
+
+// dispatchBarrier runs one dispatch under the checkpoint barrier's read
+// side, releasing it via defer: a panicking handler must not leave the read
+// lock held, which would wedge every future SAVE (and Close) behind a dead
+// connection. cmdSave's RUnlock/RLock pair around the write-side acquisition
+// still balances against this defer.
+func (s *Server) dispatchBarrier(ctx *Ctx, args [][]byte) bool {
+	s.execMu.RLock()
+	defer s.execMu.RUnlock()
+	return s.dispatch(ctx, args)
 }
 
 // deadlineFrom converts a relative TTL (in seconds when seconds is true,

@@ -32,17 +32,37 @@ type queuedCmd struct {
 // queue-time rejections.
 const maxTxnQueue = 4096
 
+// maxTxnQueueBytes bounds the bytes one queue may retain. The command-count
+// cap alone still lets a single connection pin maxTxnQueue full-size
+// commands (each up to maxBulkLen) simultaneously — a huge amplification
+// over the transient per-command allocation of normal dispatch — so
+// admission is also metered in bytes. Each argument is charged
+// txnArgOverhead on top of its payload: a variadic command with a million
+// empty bulks retains ~24 bytes of slice header plus allocator rounding per
+// argument, which payload-only metering would count as zero.
+const (
+	maxTxnQueueBytes = 256 << 20
+	txnArgOverhead   = 32
+)
+
 // connState is the per-connection dispatch state: the transaction queue.
 type connState struct {
-	inTxn bool
-	dirty bool // queue-time validation failed; EXEC must abort
-	queue []queuedCmd
+	inTxn       bool
+	dirty       bool // queue-time validation failed; EXEC must abort
+	queue       []queuedCmd
+	queuedBytes int // cumulative argument bytes retained by queue
 }
 
 func (cs *connState) reset() {
 	cs.inTxn = false
 	cs.dirty = false
+	// Zero the entries before truncating: queue[:0] alone keeps every
+	// queued args slice reachable through the backing array, so a
+	// long-lived idle connection would retain its last transaction's
+	// command data indefinitely.
+	clear(cs.queue)
 	cs.queue = cs.queue[:0]
+	cs.queuedBytes = 0
 }
 
 // enqueue admits one already-validated (lookup + arity) command to the
@@ -62,6 +82,16 @@ func (cs *connState) enqueue(ctx *Ctx, bc *boundCmd, args [][]byte) {
 		ctx.w.errorf("transaction queue limit (%d commands) reached", maxTxnQueue)
 		return
 	}
+	sz := 0
+	for _, a := range args {
+		sz += len(a) + txnArgOverhead
+	}
+	if cs.queuedBytes+sz > maxTxnQueueBytes {
+		cs.dirty = true
+		ctx.w.errorf("transaction queue limit (%d bytes) reached", maxTxnQueueBytes)
+		return
+	}
+	cs.queuedBytes += sz
 	cs.queue = append(cs.queue, queuedCmd{bc: bc, args: args})
 	ctx.w.simple("QUEUED")
 }
@@ -125,13 +155,24 @@ func cmdExec(ctx *Ctx) {
 	ctx.txstripe = stripes
 
 	ctx.w.arrayHeader(len(cs.queue))
+	// reset via defer, like the stripe unlocks: a panic mid-EXEC recovered
+	// above dispatch must not leave the connection inTxn with the
+	// partially-executed queue still queued (a later EXEC would re-apply
+	// the already-run prefix).
+	defer cs.reset()
+	execQueue(ctx, cs.queue, stripes)
+}
+
+// execQueue runs the queued commands under the union stripes, unlocking via
+// defer: a panicking handler (or embedder-supplied middleware) must not
+// leave key stripes locked server-wide after the panic is recovered upstream.
+func execQueue(ctx *Ctx, queue []queuedCmd, stripes []int) {
 	ctx.s.lockStripes(stripes)
+	defer ctx.s.unlockStripes(stripes)
 	outer := ctx.args
-	for _, q := range cs.queue {
+	defer func() { ctx.args = outer }()
+	for _, q := range queue {
 		ctx.args = q.args
 		q.bc.invoke(ctx)
 	}
-	ctx.args = outer
-	ctx.s.unlockStripes(stripes)
-	cs.reset()
 }

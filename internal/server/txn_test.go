@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"testing"
@@ -254,6 +255,46 @@ func TestTxnQueueCap(t *testing.T) {
 	}
 	if _, ok, _ := c.Get("cap-k"); ok {
 		t.Fatal("overflowed transaction applied")
+	}
+}
+
+// TestTxnQueueByteCap exercises the byte budget at the enqueue level —
+// driving 256MB of bulk data over a socket would dominate the suite. A few
+// maxBulkLen-sized commands (sharing one backing array) must trip the cap
+// long before the 4096-command count cap, and reset must drop the retained
+// references so an idle connection doesn't pin the transaction's data.
+func TestTxnQueueByteCap(t *testing.T) {
+	big := make([]byte, maxBulkLen)
+	cs := &connState{inTxn: true}
+	ctx := &Ctx{w: newRespWriter(io.Discard), cs: cs}
+	bc := &boundCmd{cmd: commandTable["SET"]}
+	args := [][]byte{[]byte("SET"), []byte("k"), big}
+	per := len(args[0]) + len(args[1]) + len(args[2]) + len(args)*txnArgOverhead
+
+	admitted := 0
+	for ; cs.queuedBytes+per <= maxTxnQueueBytes; admitted++ {
+		cs.enqueue(ctx, bc, args)
+		if cs.dirty {
+			t.Fatalf("queue poisoned early: %d commands, %d bytes", admitted, cs.queuedBytes)
+		}
+	}
+	if admitted >= maxTxnQueue {
+		t.Fatalf("byte cap never binds: %d commands admitted", admitted)
+	}
+	cs.enqueue(ctx, bc, args)
+	if !cs.dirty {
+		t.Fatalf("queue exceeded maxTxnQueueBytes (%d commands, %d bytes) without poisoning",
+			len(cs.queue), cs.queuedBytes)
+	}
+
+	cs.reset()
+	if cs.queuedBytes != 0 || len(cs.queue) != 0 {
+		t.Fatalf("reset left queuedBytes=%d len=%d", cs.queuedBytes, len(cs.queue))
+	}
+	for i, q := range cs.queue[:cap(cs.queue)] {
+		if q.bc != nil || q.args != nil {
+			t.Fatalf("reset retained queue entry %d: %+v", i, q)
+		}
 	}
 }
 
