@@ -186,7 +186,7 @@ func benchGetTTL(b *testing.B, ttl bool) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, ok := st.GetBytes(key); !ok {
+		if _, ok, _ := st.GetBytes(key); !ok {
 			b.Fatal("hot key missing")
 		}
 	}

@@ -25,9 +25,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -40,10 +42,12 @@ import (
 
 func main() {
 	var (
-		app       = flag.String("app", "vacation", "vacation | memcached")
-		workload  = flag.String("workload", "a", "YCSB workload: a (50/50), b (95/5), c (read-only) or t (expiring records)")
+		app       = flag.String("app", "vacation", "vacation | memcached | benchjson")
+		workload  = flag.String("workload", "a", "YCSB workload: a (50/50), b (95/5), c (read-only), t (expiring records) or h (hash fields)")
 		ttlFrac   = flag.Float64("ttlfrac", -1, "fraction of updates that attach a TTL (-1: workload default)")
 		ttlMillis = flag.Int64("ttlms", 0, "TTL upper bound in ms for expiring updates (0: workload default)")
+		fields    = flag.Int("fields", 0, "hash fields per record for workload h (0: workload default, 16)")
+		jsonOut   = flag.String("out", "BENCH_5.json", "output path for -app benchjson")
 		threadStr = flag.String("threads", "", "comma-separated thread counts")
 		scale     = flag.Float64("scale", 1.0, "workload scale factor")
 		records   = flag.Int("records", 100_000, "memcached record count (paper: 100K)")
@@ -103,6 +107,8 @@ func main() {
 			w = ycsb.WorkloadC(*records)
 		case "t":
 			w = ycsb.WorkloadT(*records)
+		case "h":
+			w = ycsb.WorkloadH(*records)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
 			os.Exit(2)
@@ -119,6 +125,9 @@ func main() {
 		if w.TTLFrac > 0 && w.TTLMillis <= 0 {
 			w.TTLMillis = 250
 		}
+		if *fields > 0 {
+			w.Fields = *fields
+		}
 		cfg := bench.MemcachedConfig{Workload: w, OpsPerTh: scaleN(20000)}
 		fmt.Printf("# Figure 5f: Memcached YCSB-%s — K ops/sec (higher is better); %d records, %d B values, library mode\n",
 			strings.ToUpper(*workload), *records, w.ValueSize)
@@ -132,10 +141,60 @@ func main() {
 				func(a alloc.Allocator, t int) bench.Result { return bench.MemcachedNet(a, t, cfg, *pipeline) },
 				func(r bench.Result) float64 { return r.Kops() })
 		}
+	case "benchjson":
+		// CI perf-trajectory baseline: pipelined network-mode K ops/s for
+		// the GET-only, GET/SET, and HGET/HSET workloads on ralloc, written
+		// as one JSON document (BENCH_5.json) so every future PR can diff
+		// against it.
+		if err := benchJSON(factories, *records, scaleN(20000), *pipeline, *heapMB<<20, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
 		os.Exit(2)
 	}
+}
+
+// benchJSON runs the three pipelined serving workloads — c (pure GET), a
+// (GET/SET 50/50), h (HGET/HSET 50/50 over hash objects) — against the
+// ralloc-backed server and writes K ops/s per workload as JSON.
+func benchJSON(factories map[string]bench.Factory, records, opsPerTh, pipeline int, heap uint64, out string) error {
+	threads := runtime.GOMAXPROCS(0)
+	if threads > 4 {
+		threads = 4
+	}
+	workloads := []ycsb.Workload{
+		ycsb.WorkloadC(records),
+		ycsb.WorkloadA(records),
+		ycsb.WorkloadH(records),
+	}
+	kops := map[string]float64{}
+	for _, w := range workloads {
+		cfg := bench.MemcachedConfig{Workload: w, OpsPerTh: opsPerTh}
+		series, err := bench.Sweep(factories["ralloc"], "ralloc", heap, []int{threads},
+			func(a alloc.Allocator, t int) bench.Result { return bench.MemcachedNet(a, t, cfg, pipeline) })
+		if err != nil {
+			return err
+		}
+		kops[w.Name] = series.Points[0].Result.Kops()
+		fmt.Printf("benchjson: workload %s: %.1f K ops/s (threads=%d pipeline=%d)\n",
+			w.Name, kops[w.Name], threads, pipeline)
+	}
+	doc := struct {
+		Schema   string             `json:"schema"`
+		App      string             `json:"app"`
+		Records  int                `json:"records"`
+		OpsPerTh int                `json:"ops_per_thread"`
+		Threads  int                `json:"threads"`
+		Pipeline int                `json:"pipeline"`
+		Kops     map[string]float64 `json:"kops_per_workload"`
+	}{"ralloc-bench-5", "memcached-net", records, opsPerTh, threads, pipeline, kops}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(data, '\n'), 0o644)
 }
 
 func printSweep(factories map[string]bench.Factory, allocs []string, threads []int,

@@ -59,7 +59,7 @@ func main() {
 	}
 
 	fmt.Println("recovering: tracing from persistent roots, rebuilding metadata...")
-	h.GetRoot(0, kvstore.Attach(a, root).Filter())
+	h.GetRoot(0, kvstore.Filter(a, root))
 	stats, err := h.Recover()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -87,7 +87,7 @@ func main() {
 		heap.SetRoot(rootKV, root)
 		fmt.Printf("created store (%d buckets, bound %d MB)\n", *buckets, *boundMB)
 	case dirty:
-		heap.GetRoot(rootKV, kvstore.Attach(a, root).Filter())
+		heap.GetRoot(rootKV, kvstore.Filter(a, root))
 		stats, err := heap.Recover()
 		if err != nil {
 			fatal(fmt.Errorf("recovery: %w", err))

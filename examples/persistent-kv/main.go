@@ -42,7 +42,7 @@ func main() {
 		fmt.Println("created a new store")
 	case dirty:
 		// Crashed last time: recover with the store's filter first.
-		heap.GetRoot(rootKV, kvstore.Attach(a, root).Filter())
+		heap.GetRoot(rootKV, kvstore.Filter(a, root))
 		stats, err := heap.Recover()
 		if err != nil {
 			log.Fatal(err)

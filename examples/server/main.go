@@ -49,7 +49,7 @@ func main() {
 		heap.SetRoot(rootKV, root)
 		fmt.Println("created a fresh store")
 	case dirty:
-		heap.GetRoot(rootKV, kvstore.Attach(a, root).Filter())
+		heap.GetRoot(rootKV, kvstore.Filter(a, root))
 		if _, err := heap.Recover(); err != nil {
 			log.Fatal(err)
 		}

@@ -76,19 +76,36 @@ func DefaultMemcached(records int) MemcachedConfig {
 	return MemcachedConfig{Workload: ycsb.WorkloadA(records), OpsPerTh: 20000}
 }
 
-// Memcached loads the record set and runs cfg.OpsPerTh YCSB operations per
-// thread; throughput covers the operation phase only.
-func Memcached(a alloc.Allocator, t int, cfg MemcachedConfig) Result {
-	setup := a.NewHandle()
-	store, _ := kvstore.Open(a, setup, cfg.Workload.Records)
-	loader := ycsb.NewGenerator(cfg.Workload, 999)
+// loadRecords populates the store for a workload: flat strings, or — for a
+// hash workload (Fields > 0) — one hash object per record with every field
+// populated, so reads start warm.
+func loadRecords(a alloc.Allocator, store *kvstore.Store, setup alloc.Handle, w ycsb.Workload) {
+	loader := ycsb.NewGenerator(w, 999)
 	var buf []byte
-	for i := 0; i < cfg.Workload.Records; i++ {
+	for i := 0; i < w.Records; i++ {
+		if w.Fields > 0 {
+			key := []byte(ycsb.KeyAt(i))
+			for f := 0; f < w.Fields; f++ {
+				buf = loader.Value(buf)
+				if _, err := store.HSet(setup, key, []byte(ycsb.FieldAt(f)), buf); err != nil {
+					panic(fmt.Sprintf("%s: memcached hash load: %v", a.Name(), err))
+				}
+			}
+			continue
+		}
 		buf = loader.Value(buf)
 		if !store.SetBytes(setup, []byte(ycsb.KeyAt(i)), buf) {
 			panic(fmt.Sprintf("%s: memcached load OOM", a.Name()))
 		}
 	}
+}
+
+// Memcached loads the record set and runs cfg.OpsPerTh YCSB operations per
+// thread; throughput covers the operation phase only.
+func Memcached(a alloc.Allocator, t int, cfg MemcachedConfig) Result {
+	setup := a.NewHandle()
+	store, _ := kvstore.Open(a, setup, cfg.Workload.Records)
+	loadRecords(a, store, setup, cfg.Workload)
 	elapsed := runThreads(t, func(id int) {
 		hd := a.NewHandle()
 		gen := ycsb.NewGenerator(cfg.Workload, int64(id)+1)
@@ -104,9 +121,21 @@ func Memcached(a alloc.Allocator, t int, cfg MemcachedConfig) Result {
 			op := gen.Next()
 			switch op.Kind {
 			case ycsb.Read:
-				store.GetBytes([]byte(op.Key))
+				if op.Field != "" {
+					if _, _, err := store.HGet([]byte(op.Key), []byte(op.Field)); err != nil {
+						panic(fmt.Sprintf("%s: memcached HGet: %v", a.Name(), err))
+					}
+				} else {
+					store.GetBytes([]byte(op.Key))
+				}
 			case ycsb.Update:
 				vbuf = gen.Value(vbuf)
+				if op.Field != "" {
+					if _, err := store.HSet(hd, []byte(op.Key), []byte(op.Field), vbuf); err != nil {
+						panic(fmt.Sprintf("%s: memcached HSet: %v", a.Name(), err))
+					}
+					break
+				}
 				ok := true
 				if op.TTLMillis > 0 {
 					ok = store.SetBytesExpire(hd, []byte(op.Key), vbuf, store.Now()+op.TTLMillis)
@@ -138,14 +167,7 @@ func MemcachedNet(a alloc.Allocator, t int, cfg MemcachedConfig, pipeline int) R
 	}
 	setup := a.NewHandle()
 	store, _ := kvstore.Open(a, setup, cfg.Workload.Records)
-	loader := ycsb.NewGenerator(cfg.Workload, 999)
-	var buf []byte
-	for i := 0; i < cfg.Workload.Records; i++ {
-		buf = loader.Value(buf)
-		if !store.SetBytes(setup, []byte(ycsb.KeyAt(i)), buf) {
-			panic(fmt.Sprintf("%s: memcached load OOM", a.Name()))
-		}
-	}
+	loadRecords(a, store, setup, cfg.Workload)
 
 	sock := filepath.Join(os.TempDir(),
 		fmt.Sprintf("ralloc-net-%d-%d.sock", os.Getpid(), netSockSeq.Add(1)))
@@ -185,13 +207,20 @@ func MemcachedNet(a alloc.Allocator, t int, cfg MemcachedConfig, pipeline int) R
 				op := gen.Next()
 				switch op.Kind {
 				case ycsb.Read:
-					err = c.SendBytes([]byte("GET"), []byte(op.Key))
+					if op.Field != "" {
+						err = c.SendBytes([]byte("HGET"), []byte(op.Key), []byte(op.Field))
+					} else {
+						err = c.SendBytes([]byte("GET"), []byte(op.Key))
+					}
 				case ycsb.Update:
 					vbuf = gen.Value(vbuf)
-					if op.TTLMillis > 0 {
+					switch {
+					case op.Field != "":
+						err = c.SendBytes([]byte("HSET"), []byte(op.Key), []byte(op.Field), vbuf)
+					case op.TTLMillis > 0:
 						err = c.SendBytes([]byte("PSETEX"), []byte(op.Key),
 							strconv.AppendInt(nil, op.TTLMillis, 10), vbuf)
-					} else {
+					default:
 						err = c.SendBytes([]byte("SET"), []byte(op.Key), vbuf)
 					}
 				}

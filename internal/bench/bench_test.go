@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/pmem"
+	"repro/internal/ycsb"
 )
 
 // Small-scale smoke runs of every figure's workload against every
@@ -125,6 +126,31 @@ func TestMemcachedAllAllocators(t *testing.T) {
 		}
 		a.Close()
 	}
+}
+
+func TestMemcachedHashWorkload(t *testing.T) {
+	// The hash-field workload must run in both library and network mode —
+	// the object layer's measurable workload (ISSUE 5 satellite).
+	w := ycsb.WorkloadH(200)
+	w.Fields = 4
+	cfg := MemcachedConfig{Workload: w, OpsPerTh: 500}
+	f := Factories(pmem.Config{})["ralloc"]
+	a, err := f(256 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := Memcached(a, 2, cfg); res.Ops != 2*500 {
+		t.Fatalf("library ops = %d", res.Ops)
+	}
+	a.Close()
+	a, err = f(256 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := MemcachedNet(a, 2, cfg, 8); res.Ops != 2*500 {
+		t.Fatalf("net ops = %d", res.Ops)
+	}
+	a.Close()
 }
 
 func TestGCStackLinearity(t *testing.T) {

@@ -30,14 +30,51 @@ type HashMap struct {
 	stripes [64]sync.Mutex
 }
 
-// Node layout: word 0 = next (off-holder), word 1 = klen<<32 | vlen,
-// word 2 = expireAt (unix milliseconds; 0 = immortal), then key bytes, then
-// value bytes (each padded to 8). The expiry stamp lives in the same
+// Node layout: word 0 = next (off-holder), word 1 = tag<<61 | klen<<32 |
+// vlen, word 2 = expireAt (unix milliseconds; 0 = immortal), then key bytes,
+// then value bytes (each padded to 8). The expiry stamp lives in the same
 // allocation as the record, so one GC pass over the chains recovers both the
 // data and the expiration metadata — there is no separate TTL log to replay.
+//
+// The type tag occupies the top three bits of the lengths word, which were
+// always zero before typed objects existed: a heap written by the all-string
+// code (heapVersion 3) therefore reads back as TagString records verbatim,
+// which is what lets v3 images attach under v4 without a migration pass. For
+// TagHash and TagList records the "value" is a fixed 8-byte payload holding
+// one off-holder to the secondary structure's header (object.go); vlen is 8.
 const hmNodeHdr = 24
 
+// Value type tags (node lens word, bits 63..61).
+const (
+	// TagString marks a plain byte-string record — the zero value, so every
+	// pre-object record is a string by construction.
+	TagString = uint8(0)
+	// TagHash marks a record whose payload points at a persistent field
+	// hash (hashObj in object.go).
+	TagHash = uint8(1)
+	// TagList marks a record whose payload points at a persistent
+	// doubly-linked deque (listObj in object.go).
+	TagList = uint8(2)
+
+	tagShift = 61
+	// klenMask bounds key length to 29 bits (512 MB) now that the tag
+	// borrows the top of the old 32-bit key-length field.
+	klenMask = (uint64(1) << 29) - 1
+)
+
+// MaxKeyLen is the longest key a record can carry (the tag stole the top
+// bits of the key-length field).
+const MaxKeyLen = int(klenMask)
+
 func pad8(n uint64) uint64 { return (n + 7) &^ 7 }
+
+func packLens(tag uint8, klen, vlen uint64) uint64 {
+	return uint64(tag)<<tagShift | klen<<32 | vlen
+}
+
+func unpackLens(lens uint64) (tag uint8, klen, vlen uint64) {
+	return uint8(lens >> tagShift), lens >> 32 & klenMask, lens & 0xFFFFFFFF
+}
 
 // NewHashMap allocates a map with nBuckets (rounded up to a power of two),
 // returning it and the header offset for root registration.
@@ -98,19 +135,33 @@ func (m *HashMap) stripeFor(i uint64) *sync.Mutex {
 
 // nodeKey reads the key bytes of the node at off.
 func (m *HashMap) nodeKey(off uint64) []byte {
-	lens := m.r.Load(off + 8)
-	klen := lens >> 32
+	_, klen, _ := unpackLens(m.r.Load(off + 8))
 	key := make([]byte, klen)
 	m.r.ReadBytes(off+hmNodeHdr, key)
 	return key
 }
 
 func (m *HashMap) nodeValue(off uint64) []byte {
-	lens := m.r.Load(off + 8)
-	klen, vlen := lens>>32, lens&0xFFFFFFFF
+	_, klen, vlen := unpackLens(m.r.Load(off + 8))
 	val := make([]byte, vlen)
 	m.r.ReadBytes(off+hmNodeHdr+pad8(klen), val)
 	return val
+}
+
+// nodeTag reads the node's type tag.
+func (m *HashMap) nodeTag(off uint64) uint8 { return uint8(m.r.Load(off+8) >> tagShift) }
+
+// nodePayloadOff is the byte offset of the node's value area (for object
+// records: the off-holder to the secondary structure header).
+func (m *HashMap) nodePayloadOff(off uint64) uint64 {
+	_, klen, _ := unpackLens(m.r.Load(off + 8))
+	return off + hmNodeHdr + pad8(klen)
+}
+
+// nodeObjHdr resolves an object node's secondary-structure header offset.
+func (m *HashMap) nodeObjHdr(off uint64) (uint64, bool) {
+	p := m.nodePayloadOff(off)
+	return pptr.Unpack(p, m.r.Load(p))
 }
 
 // nodeExpire reads the node's expiry stamp (0 = immortal).
@@ -137,19 +188,29 @@ func (m *HashMap) Get(key []byte) ([]byte, bool) {
 // GetExpire returns the value stored under key together with its expiry
 // stamp (unix milliseconds; 0 = immortal). The map itself never interprets
 // the stamp — lazy-expiry policy lives in the caller (kvstore) — so a record
-// past its deadline is still returned here.
+// past its deadline is still returned here. For object records the returned
+// value is the raw 8-byte payload; callers that must distinguish use
+// GetTyped.
 func (m *HashMap) GetExpire(key []byte) (value []byte, expireAt uint64, ok bool) {
+	v, at, _, ok := m.GetTyped(key)
+	return v, at, ok
+}
+
+// GetTyped is GetExpire returning the record's type tag too — the kvstore
+// read path branches on it (string fast path versus WRONGTYPE) with no
+// extra loads: the tag shares the lengths word every read decodes anyway.
+func (m *HashMap) GetTyped(key []byte) (value []byte, expireAt uint64, tag uint8, ok bool) {
 	bucket, mu := m.slot(key)
 	mu.Lock()
 	defer mu.Unlock()
 	off, _ := pptr.Unpack(bucket, m.r.Load(bucket))
 	for off != 0 {
 		if bytesEqual(m.nodeKey(off), key) {
-			return m.nodeValue(off), m.nodeExpire(off), true
+			return m.nodeValue(off), m.nodeExpire(off), m.nodeTag(off), true
 		}
 		off, _ = pptr.Unpack(off, m.r.Load(off))
 	}
-	return nil, 0, false
+	return nil, 0, TagString, false
 }
 
 // Set inserts or replaces key→value with no expiry (replacing also clears
@@ -165,13 +226,16 @@ func (m *HashMap) Set(h alloc.Handle, key, value []byte) bool {
 // node before the link swing, so a record is never durably linked without
 // its expiration metadata. ok=false reports exhaustion.
 func (m *HashMap) SetExpire(h alloc.Handle, key, value []byte, expireAt uint64) bool {
+	if len(key) > MaxKeyLen {
+		return false
+	}
 	r := m.r
 	size := hmNodeHdr + pad8(uint64(len(key))) + pad8(uint64(len(value)))
 	n := h.Malloc(size)
 	if n == 0 {
 		return false
 	}
-	r.Store(n+8, uint64(len(key))<<32|uint64(len(value)))
+	r.Store(n+8, packLens(TagString, uint64(len(key)), uint64(len(value))))
 	r.Store(n+16, expireAt)
 	r.WriteBytes(n+hmNodeHdr, key)
 	r.WriteBytes(n+hmNodeHdr+pad8(uint64(len(key))), value)
@@ -210,6 +274,12 @@ func (m *HashMap) SetExpire(h alloc.Handle, key, value []byte, expireAt uint64) 
 	r.Flush(prev)
 	r.Fence()
 	if old != 0 {
+		// A SET over an object record (Redis semantics: SET overwrites any
+		// type) must release the whole secondary structure, not just the
+		// top node — the old graph became unreachable at the link swing, so
+		// freeing it afterwards is crash-safe (a crash mid-free leaves
+		// unreachable blocks for recovery GC).
+		m.freeObjectGraph(h, old)
 		h.Free(old)
 	} else {
 		// Add, not load+store: the count word is shared across stripes.
@@ -274,6 +344,7 @@ func (m *HashMap) DeleteExpired(h alloc.Handle, key []byte, now uint64) bool {
 			}
 			r.Flush(prev)
 			r.Fence()
+			m.freeObjectGraph(h, off)
 			h.Free(off)
 			r.Add(m.hdr+16, ^uint64(0))
 			r.Flush(m.hdr + 16)
@@ -303,6 +374,7 @@ func (m *HashMap) Delete(h alloc.Handle, key []byte) bool {
 			}
 			r.Flush(prev)
 			r.Fence()
+			m.freeObjectGraph(h, off)
 			h.Free(off)
 			r.Add(m.hdr+16, ^uint64(0))
 			r.Flush(m.hdr + 16)
@@ -346,15 +418,93 @@ func (m *HashMap) RangeExpire(fn func(key, value []byte, expireAt uint64) bool) 
 	}
 }
 
+// RangeMeta calls fn for every record — including expired ones — with its
+// type tag, expiry stamp, and the record's total persistent footprint (top
+// node plus, for object records, the whole secondary-structure graph as
+// maintained in the object header's bytes word). This is the one-pass walk
+// Attach/AttachBounded use to rebuild the LRU byte accounting and the
+// volatile expiry index per-type after a restart.
+func (m *HashMap) RangeMeta(fn func(key []byte, tag uint8, expireAt uint64, bytes uint64) bool) {
+	for i := uint64(0); i < m.nB; i++ {
+		mu := m.stripeFor(i)
+		mu.Lock()
+		slot := m.buckets + i*8
+		off, _ := pptr.Unpack(slot, m.r.Load(slot))
+		for off != 0 {
+			tag, klen, vlen := unpackLens(m.r.Load(off + 8))
+			total := hmNodeHdr + pad8(klen) + pad8(vlen)
+			if tag != TagString {
+				if hdr, ok := m.nodeObjHdr(off); ok {
+					total += m.r.Load(hdr + objOffBytes)
+				}
+			}
+			if !fn(m.nodeKey(off), tag, m.nodeExpire(off), total) {
+				mu.Unlock()
+				return
+			}
+			off, _ = pptr.Unpack(off, m.r.Load(off))
+		}
+		mu.Unlock()
+	}
+}
+
 // Filter returns the GC filter for the map header (bucket array → chains).
 func (m *HashMap) Filter() ralloc.Filter { return HashMapFilter(m.r) }
 
-// HashMapFilter builds the filter from a bare region.
+// HashMapFilter builds the filter from a bare region. Precision matters for
+// object records: a list node's prev word may be stale after a crash (the
+// forward chain is the authoritative structure — see object.go), so the
+// filter traces only next links and the object payload; conservative
+// scanning could resurrect an unlinked node through a stale prev pointer.
 func HashMapFilter(r *pmem.Region) ralloc.Filter {
+	// Field nodes and list nodes both chain through word 0 and carry no
+	// further pointers the GC should honor.
+	var chainNode ralloc.Filter
+	chainNode = func(g *ralloc.GC, off uint64) {
+		if next, ok := pptr.Unpack(off, r.Load(off)); ok {
+			g.Visit(next, chainNode)
+		}
+	}
+	hashObj := func(g *ralloc.GC, hdr uint64) {
+		arr, ok := pptr.Unpack(hdr, r.Load(hdr))
+		if !ok {
+			return
+		}
+		nB := r.Load(hdr + 8)
+		g.Visit(arr, func(g *ralloc.GC, arrOff uint64) {
+			for i := uint64(0); i < nB; i++ {
+				slot := arrOff + i*8
+				if head, ok := pptr.Unpack(slot, r.Load(slot)); ok {
+					g.Visit(head, chainNode)
+				}
+			}
+		})
+	}
+	listObj := func(g *ralloc.GC, hdr uint64) {
+		// Forward chain only: tail and prev words are repairable hints.
+		if head, ok := pptr.Unpack(hdr, r.Load(hdr)); ok {
+			g.Visit(head, chainNode)
+		}
+	}
 	var node ralloc.Filter
 	node = func(g *ralloc.GC, off uint64) {
 		if next, ok := pptr.Unpack(off, r.Load(off)); ok {
 			g.Visit(next, node)
+		}
+		tag, klen, _ := unpackLens(r.Load(off + 8))
+		if tag == TagString {
+			return
+		}
+		p := off + hmNodeHdr + pad8(klen)
+		hdr, ok := pptr.Unpack(p, r.Load(p))
+		if !ok {
+			return
+		}
+		switch tag {
+		case TagHash:
+			g.Visit(hdr, hashObj)
+		case TagList:
+			g.Visit(hdr, listObj)
 		}
 	}
 	return func(g *ralloc.GC, hdr uint64) {

@@ -35,6 +35,53 @@ const (
 	TTLNone = -1
 )
 
+// Type is the kind of value a key holds. Every record carries a type tag in
+// its persistent header (dstruct node lens word), so the type survives
+// crashes with the data and costs the string fast path nothing: the tag
+// shares the word every read already decodes.
+type Type uint8
+
+const (
+	// TypeNone reports a missing (or expired) key.
+	TypeNone Type = iota
+	// TypeString is a plain byte-string value.
+	TypeString
+	// TypeHash is a field/value hash (HSET family).
+	TypeHash
+	// TypeList is a doubly-linked deque (LPUSH family).
+	TypeList
+)
+
+// String renders the type the way Redis's TYPE command does.
+func (t Type) String() string {
+	switch t {
+	case TypeString:
+		return "string"
+	case TypeHash:
+		return "hash"
+	case TypeList:
+		return "list"
+	}
+	return "none"
+}
+
+func typeFromTag(tag uint8) Type {
+	switch tag {
+	case dstruct.TagHash:
+		return TypeHash
+	case dstruct.TagList:
+		return TypeList
+	}
+	return TypeString
+}
+
+// ErrWrongType reports an operation applied to a key holding another kind
+// of value (the serving layer maps it to Redis's WRONGTYPE error).
+var ErrWrongType = dstruct.ErrWrongType
+
+// ErrNoMemory reports heap exhaustion inside an object operation.
+var ErrNoMemory = dstruct.ErrNoMemory
+
 // Store is a library-mode key-value store.
 type Store struct {
 	a   alloc.Allocator
@@ -76,15 +123,33 @@ func OpenBounded(a alloc.Allocator, h alloc.Handle, buckets int, maxBytes uint64
 	return s, root
 }
 
+// Filter returns the recovery GC filter for a store rooted at root without
+// attaching the store. Restart sequences need the filter *before*
+// heap.Recover (to register the root), but Attach now repairs object
+// structures and rebuilds indexes — work that must not run, and must not
+// run twice, against a still-unrecovered heap. Register Filter first,
+// Recover, then Attach.
+func Filter(a alloc.Allocator, root uint64) ralloc.Filter {
+	return dstruct.HashMapFilter(a.Region())
+}
+
 // Attach re-opens a store whose hash-map header is at root (after restart
 // or recovery), rebuilding the volatile expiry index by walking the
-// persistent map. The store re-attaches unbounded; like memcached's, the LRU
-// recency state is transient and does not survive restarts. A store that was
-// bounded before the restart should use AttachBounded instead, or the memory
-// budget is silently dropped.
+// persistent map. The heap must already be recovered (register Filter with
+// GetRoot, then Recover, then Attach): attach repairs the repairable words
+// of object secondary structures, which mutates and frees blocks. The
+// store re-attaches unbounded; like memcached's, the LRU recency state is
+// transient and does not survive restarts. A store that was bounded before
+// the restart should use AttachBounded instead, or the memory budget is
+// silently dropped.
 func Attach(a alloc.Allocator, root uint64) *Store {
 	s := &Store{a: a, m: dstruct.AttachHashMap(a, root), exp: newExpiryIndex(), now: wallClock}
-	s.m.RangeExpire(func(key, _ []byte, at uint64) bool {
+	// Repair the repairable words of object secondary structures (list
+	// tail/prev hints, length and bytes counters) before any index is
+	// rebuilt from them; on a cleanly closed heap this verifies and
+	// changes nothing.
+	s.m.RecoverObjects(a.NewHandle())
+	s.m.RangeMeta(func(key []byte, _ uint8, at uint64, _ uint64) bool {
 		if at != 0 {
 			s.exp.set(string(key), int64(at))
 		}
@@ -96,20 +161,28 @@ func Attach(a alloc.Allocator, root uint64) *Store {
 // AttachBounded re-opens a bounded store at root, rebuilding the transient
 // LRU index and the expiry index in one walk of the persistent map. Recency
 // order across the restart is arbitrary (walk order), like memcached's cold
-// LRU after a reboot, but the byte accounting is exact, so the budget is
-// enforced from the first Set onward. Records whose persisted deadline has
-// already passed are primed too — they still occupy heap until the expiry
-// cycle reclaims them, and lazy expiry hides them from reads meanwhile. If
-// the persisted image already exceeds maxBytes — the budget may have been
-// lowered across the restart — the overage is evicted immediately.
+// LRU after a reboot, but the byte accounting is exact — each record is
+// charged its full persistent footprint, object secondary structures (hash
+// fields, list nodes) included — so the budget is enforced from the first
+// Set onward. Records whose persisted deadline has already passed are
+// hinted to the expiry index (so the cycle reclaims them) but *not* charged
+// to the budget: they are dead to every reader, and charging them could
+// evict live keys to make room for corpses. If the persisted image already
+// exceeds maxBytes — the budget may have been lowered across the restart —
+// the overage is evicted immediately.
 func AttachBounded(a alloc.Allocator, root uint64, maxBytes uint64) *Store {
 	s := &Store{a: a, m: dstruct.AttachHashMap(a, root), exp: newExpiryIndex(), now: wallClock}
 	s.lru = newLRUIndex(maxBytes)
-	s.m.RangeExpire(func(key, value []byte, at uint64) bool {
-		s.lru.prime(string(key), footprint(len(key), len(value)))
+	s.m.RecoverObjects(a.NewHandle())
+	now := s.now()
+	s.m.RangeMeta(func(key []byte, _ uint8, at uint64, bytes uint64) bool {
 		if at != 0 {
 			s.exp.set(string(key), int64(at))
+			if int64(at) <= now {
+				return true // dead record: hinted for reclaim, not charged
+			}
 		}
+		s.lru.prime(string(key), bytes)
 		return true
 	})
 	if victims := s.lru.evictOver(); len(victims) > 0 {
@@ -131,9 +204,10 @@ func (s *Store) SetClock(now func() int64) { s.now = now }
 // Now returns the store's current clock reading in unix milliseconds.
 func (s *Store) Now() int64 { return s.now() }
 
-// Get fetches a value.
+// Get fetches a string value. Missing, expired, and non-string keys all
+// report ok=false; use GetBytes to distinguish a WRONGTYPE record.
 func (s *Store) Get(key string) (string, bool) {
-	v, ok := s.GetBytes([]byte(key))
+	v, ok, _ := s.GetBytes([]byte(key))
 	if !ok {
 		return "", false
 	}
@@ -182,31 +256,49 @@ func (s *Store) SetBytesExpire(h alloc.Handle, key, value []byte, deadline int64
 // GetBytes avoids string conversion on hot read paths. Expiry is lazy: a
 // record past its persisted deadline is reported missing — without deleting
 // it (no allocation, no frees on the read path); the active expiry cycle
-// reclaims the space later.
-func (s *Store) GetBytes(key []byte) ([]byte, bool) {
-	v, _, ok := s.GetBytesExpire(key)
-	return v, ok
+// reclaims the space later. A key holding a hash or list reports
+// ErrWrongType (ok=false): string reads never expose object payloads.
+func (s *Store) GetBytes(key []byte) ([]byte, bool, error) {
+	v, _, ok, err := s.GetBytesExpire(key)
+	return v, ok, err
 }
 
 // GetBytesExpire is GetBytes returning the record's deadline too (0 =
 // immortal) — the read-modify-write paths (APPEND) use it to preserve a
 // key's TTL across the rewrite.
-func (s *Store) GetBytesExpire(key []byte) (value []byte, deadline int64, ok bool) {
-	v, at, ok := s.m.GetExpire(key)
+func (s *Store) GetBytesExpire(key []byte) (value []byte, deadline int64, ok bool, err error) {
+	v, at, tag, ok := s.m.GetTyped(key)
 	if ok && at != 0 && int64(at) <= s.now() {
 		s.expired.Add(1)
 		s.misses.Add(1)
-		return nil, 0, false
+		return nil, 0, false, nil
 	}
-	if ok {
-		s.hits.Add(1)
-		if s.lru != nil {
-			s.lru.touch(string(key))
-		}
-	} else {
+	if !ok {
 		s.misses.Add(1)
+		return nil, 0, false, nil
 	}
-	return v, int64(at), ok
+	if tag != dstruct.TagString {
+		return nil, 0, false, ErrWrongType
+	}
+	s.hits.Add(1)
+	if s.lru != nil {
+		s.lru.touch(string(key))
+	}
+	return v, int64(at), true, nil
+}
+
+// TypeOf reports the kind of value key holds (TypeNone for a missing or
+// lazily-expired key). It reads only the record's header words.
+func (s *Store) TypeOf(key []byte) Type {
+	tag, at, ok := s.m.TypeTag(key)
+	if !ok {
+		return TypeNone
+	}
+	if at != 0 && int64(at) <= s.now() {
+		s.expired.Add(1)
+		return TypeNone
+	}
+	return typeFromTag(tag)
 }
 
 // Expire sets key's absolute deadline (unix milliseconds), reporting whether
@@ -311,11 +403,77 @@ func (s *Store) Delete(h alloc.Handle, key string) bool {
 // reclaimed (they still occupy heap, exactly like Redis's DBSIZE).
 func (s *Store) Len() int { return s.m.Len() }
 
-// Range calls fn for every record until fn returns false. fn runs under the
-// map's stripe locks and must not call back into the store; to mutate,
-// collect keys first and then Set/Delete them. Expired-but-unreclaimed
-// records are included.
-func (s *Store) Range(fn func(key, value []byte) bool) { s.m.Range(fn) }
+// Range calls fn for every *live string* record until fn returns false:
+// stamp-expired records are skipped (a reader must never observe a value
+// the read path already reports gone), and typed objects are skipped
+// because their payload is not a client value — use Scan for a type-aware
+// walk. fn runs under the map's stripe locks and must not call back into
+// the store; to mutate, collect keys first and then Set/Delete them.
+func (s *Store) Range(fn func(key, value []byte) bool) {
+	now := s.now()
+	s.m.RangeTyped(func(key, value []byte, tag uint8, at uint64) bool {
+		if at != 0 && int64(at) <= now {
+			return true
+		}
+		if tag != dstruct.TagString {
+			return true
+		}
+		return fn(key, value)
+	})
+}
+
+// Scan calls fn with the key and type of every live record (expired records
+// skipped), in map walk order. Same locking contract as Range.
+func (s *Store) Scan(fn func(key []byte, typ Type) bool) {
+	now := s.now()
+	s.m.RangeMeta(func(key []byte, tag uint8, at uint64, _ uint64) bool {
+		if at != 0 && int64(at) <= now {
+			return true
+		}
+		return fn(key, typeFromTag(tag))
+	})
+}
+
+// TypeCounts is a per-type census of the live keyspace.
+type TypeCounts struct {
+	Strings, Hashes, Lists int
+}
+
+// CountTypes walks the live keyspace and tallies it per type (INFO's
+// keyspace-by-type section; expired records are not counted).
+func (s *Store) CountTypes() TypeCounts {
+	var tc TypeCounts
+	s.Scan(func(_ []byte, typ Type) bool {
+		switch typ {
+		case TypeHash:
+			tc.Hashes++
+		case TypeList:
+			tc.Lists++
+		default:
+			tc.Strings++
+		}
+		return true
+	})
+	return tc
+}
+
+// DeleteAll removes every record — stamp-expired corpses included, which a
+// Range-based sweep would now skip — freeing whole object graphs. It
+// returns how many observably-live keys were removed (FLUSHALL's walk).
+func (s *Store) DeleteAll(h alloc.Handle) int {
+	var keys []string
+	s.m.RangeTyped(func(key, _ []byte, _ uint8, _ uint64) bool {
+		keys = append(keys, string(key))
+		return true
+	})
+	n := 0
+	for _, k := range keys {
+		if s.Delete(h, k) {
+			n++
+		}
+	}
+	return n
+}
 
 // Bounded reports whether the store enforces a memory budget.
 func (s *Store) Bounded() bool { return s.lru != nil }

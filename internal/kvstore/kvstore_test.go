@@ -72,7 +72,7 @@ func TestYCSBWorkloadDrives(t *testing.T) {
 		op := gen.Next()
 		switch op.Kind {
 		case ycsb.Read:
-			if _, ok := s.GetBytes([]byte(op.Key)); !ok {
+			if _, ok, _ := s.GetBytes([]byte(op.Key)); !ok {
 				t.Fatalf("loaded key %q missing", op.Key)
 			}
 		case ycsb.Update:
@@ -286,7 +286,7 @@ func TestAttachBoundedRebuildsBudget(t *testing.T) {
 	if err := h.Region().Crash(); err != nil {
 		t.Fatal(err)
 	}
-	h.GetRoot(0, Attach(a, root).Filter())
+	h.GetRoot(0, Filter(a, root))
 	if _, err := h.Recover(); err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +335,7 @@ func TestStoreCrashRecovery(t *testing.T) {
 	if err := h.Region().Crash(); err != nil {
 		t.Fatal(err)
 	}
-	h.GetRoot(0, Attach(a, root).Filter())
+	h.GetRoot(0, Filter(a, root))
 	if _, err := h.Recover(); err != nil {
 		t.Fatal(err)
 	}

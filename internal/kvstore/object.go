@@ -1,0 +1,216 @@
+package kvstore
+
+// The typed object API: hash (HSET family) and list (LPUSH family) values
+// over the tagged persistent records of dstruct. Every method applies the
+// same lazy-expiry policy as the string path (a record past its persisted
+// deadline is invisible; object *writes* additionally reap the corpse in
+// place so dead fields or elements can never resurrect into the new
+// object), and bounded stores charge each key its full graph footprint —
+// the object header's persistently maintained bytes word — so evicting a
+// hash frees its fields, not just its top record.
+
+import (
+	"errors"
+
+	"repro/internal/alloc"
+)
+
+// errBadPairs reports an HSet call without matched field/value pairs (the
+// serving layer validates arity before it gets here; this guards library
+// callers).
+var errBadPairs = errors.New("kvstore: HSet requires field/value pairs")
+
+// objFootprint is the LRU charge of an object record: the top node (key
+// plus the 8-byte payload) and the secondary structure's graph bytes.
+func objFootprint(klen int, graph uint64) uint64 { return footprint(klen, 8) + graph }
+
+// chargeObject records an object's new absolute footprint with the LRU,
+// deleting any victims the budget pushes out (whole graphs).
+func (s *Store) chargeObject(h alloc.Handle, key []byte, objBytes uint64) {
+	if s.lru == nil {
+		return
+	}
+	for _, victim := range s.lru.update(string(key), objFootprint(len(key), objBytes)) {
+		if s.m.Delete(h, []byte(victim)) {
+			s.deletes.Add(1)
+			s.exp.remove(victim)
+		}
+	}
+}
+
+// dropObject forgets a key whose record an object mutation just deleted
+// (last field or element removed).
+func (s *Store) dropObject(key []byte) {
+	s.deletes.Add(1)
+	s.exp.remove(string(key))
+	if s.lru != nil {
+		s.lru.remove(string(key))
+	}
+}
+
+// readCounters applies the shared read bookkeeping: lazy-expiry tally, LRU
+// touch, hit/miss counters.
+func (s *Store) readCounters(key []byte, ok, expired bool) {
+	if expired {
+		s.expired.Add(1)
+	}
+	if ok {
+		s.hits.Add(1)
+		if s.lru != nil {
+			s.lru.touch(string(key))
+		}
+	} else {
+		s.misses.Add(1)
+	}
+}
+
+// HSet inserts or replaces field/value pairs in the hash at key, creating
+// it if absent (or expired). It returns how many fields were newly created.
+// A fresh key's HSET is crash-atomic as a whole (the object is populated
+// before one durable link makes it reachable); on an existing hash each
+// pair commits individually, so a crash mid-HSET leaves every field wholly
+// old or wholly new. HSET never touches the key's TTL, like Redis.
+func (s *Store) HSet(h alloc.Handle, key []byte, fieldvals ...[]byte) (created int, err error) {
+	if len(fieldvals) == 0 || len(fieldvals)%2 != 0 {
+		return 0, errBadPairs
+	}
+	created, objBytes, err := s.m.HSet(h, key, fieldvals, uint64(s.now()))
+	if err != nil {
+		return 0, err
+	}
+	s.sets.Add(1)
+	s.chargeObject(h, key, objBytes)
+	return created, nil
+}
+
+// HGet fetches one field of the hash at key.
+func (s *Store) HGet(key, field []byte) (val []byte, ok bool, err error) {
+	v, ok, expired, err := s.m.HGet(key, field, uint64(s.now()))
+	if err != nil {
+		return nil, false, err
+	}
+	s.readCounters(key, ok, expired)
+	return v, ok, nil
+}
+
+// HExists reports whether the hash at key has the field.
+func (s *Store) HExists(key, field []byte) (bool, error) {
+	_, ok, err := s.HGet(key, field)
+	return ok, err
+}
+
+// HDel removes fields from the hash at key, returning how many existed.
+// Removing the last field deletes the key itself (Redis drops empty
+// hashes).
+func (s *Store) HDel(h alloc.Handle, key []byte, fields ...[]byte) (int, error) {
+	removed, objBytes, gone, err := s.m.HDel(h, key, fields, uint64(s.now()))
+	if err != nil {
+		return 0, err
+	}
+	if gone {
+		s.dropObject(key)
+	} else if removed > 0 {
+		s.chargeObject(h, key, objBytes)
+	}
+	return removed, nil
+}
+
+// HLen returns the number of fields in the hash at key (0 if missing).
+func (s *Store) HLen(key []byte) (int, error) {
+	n, expired, err := s.m.HLen(key, uint64(s.now()))
+	if err != nil {
+		return 0, err
+	}
+	if expired {
+		s.expired.Add(1)
+	}
+	return n, nil
+}
+
+// HGetAll returns every field and value of the hash at key as parallel
+// slices (empty for a missing key).
+func (s *Store) HGetAll(key []byte) (fields, values [][]byte, err error) {
+	fields, values, expired, err := s.m.HGetAll(key, uint64(s.now()))
+	if err != nil {
+		return nil, nil, err
+	}
+	s.readCounters(key, len(fields) > 0, expired)
+	return fields, values, nil
+}
+
+// LPush prepends values to the list at key, creating it if absent (or
+// expired), and returns the new length.
+func (s *Store) LPush(h alloc.Handle, key []byte, vals ...[]byte) (int, error) {
+	return s.push(h, key, vals, true)
+}
+
+// RPush appends values to the list at key and returns the new length.
+func (s *Store) RPush(h alloc.Handle, key []byte, vals ...[]byte) (int, error) {
+	return s.push(h, key, vals, false)
+}
+
+func (s *Store) push(h alloc.Handle, key []byte, vals [][]byte, left bool) (int, error) {
+	if len(vals) == 0 {
+		n, err := s.LLen(key)
+		return n, err
+	}
+	n, objBytes, err := s.m.Push(h, key, vals, left, uint64(s.now()))
+	if err != nil {
+		return 0, err
+	}
+	s.sets.Add(1)
+	s.chargeObject(h, key, objBytes)
+	return n, nil
+}
+
+// LPop removes and returns the head of the list at key; popping the last
+// element deletes the key (Redis drops empty lists).
+func (s *Store) LPop(h alloc.Handle, key []byte) ([]byte, bool, error) {
+	return s.pop(h, key, true)
+}
+
+// RPop is LPop at the tail.
+func (s *Store) RPop(h alloc.Handle, key []byte) ([]byte, bool, error) {
+	return s.pop(h, key, false)
+}
+
+func (s *Store) pop(h alloc.Handle, key []byte, left bool) ([]byte, bool, error) {
+	val, ok, objBytes, gone, expired, err := s.m.Pop(h, key, left, uint64(s.now()))
+	if err != nil {
+		return nil, false, err
+	}
+	s.readCounters(key, ok, expired)
+	if !ok {
+		return nil, false, nil
+	}
+	if gone {
+		s.dropObject(key)
+	} else {
+		s.chargeObject(h, key, objBytes)
+	}
+	return val, true, nil
+}
+
+// LLen returns the length of the list at key (0 if missing).
+func (s *Store) LLen(key []byte) (int, error) {
+	n, expired, err := s.m.LLen(key, uint64(s.now()))
+	if err != nil {
+		return 0, err
+	}
+	if expired {
+		s.expired.Add(1)
+	}
+	return n, nil
+}
+
+// LRange returns the elements of the list at key between start and stop
+// inclusive, with Redis index semantics (negative indexes count from the
+// tail; out-of-range clamps to an empty result).
+func (s *Store) LRange(key []byte, start, stop int64) ([][]byte, error) {
+	vals, expired, err := s.m.LRange(key, start, stop, uint64(s.now()))
+	if err != nil {
+		return nil, err
+	}
+	s.readCounters(key, len(vals) > 0, expired)
+	return vals, nil
+}

@@ -124,7 +124,7 @@ func TestTTLCrashInjectionSweep(t *testing.T) {
 		h, clk, expireAcked, newAcked := ttlCrashAt(t, k)
 		a := h.AsAllocator()
 		root := h.GetRoot(0, nil)
-		h.GetRoot(0, Attach(a, root).Filter())
+		h.GetRoot(0, Filter(a, root))
 		if _, err := h.Recover(); err != nil {
 			t.Fatalf("k=%d: recovery: %v", k, err)
 		}

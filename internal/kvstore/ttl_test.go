@@ -159,7 +159,7 @@ func TestTTLSurvivesCrashRecovery(t *testing.T) {
 	if err := h.Region().Crash(); err != nil {
 		t.Fatal(err)
 	}
-	h.GetRoot(0, Attach(a, root).Filter())
+	h.GetRoot(0, Filter(a, root))
 	if _, err := h.Recover(); err != nil {
 		t.Fatal(err)
 	}
@@ -216,10 +216,13 @@ func TestTTLSurvivesCrashRecovery(t *testing.T) {
 	}
 }
 
-func TestAttachBoundedPrimesExpiredRecords(t *testing.T) {
-	// Expired-but-unreclaimed records still occupy heap: AttachBounded must
-	// count them (or the budget under-reports until the cycle catches up),
-	// and reclaiming must release their bytes from the accounting.
+func TestAttachBoundedSkipsExpiredRecords(t *testing.T) {
+	// Stamp-expired records are dead to every reader: AttachBounded hints
+	// them to the expiry index (so the cycle still reclaims their heap) but
+	// must not charge them to the budget — charging corpses could evict
+	// live keys to make room for data no read will ever return. Reclaiming
+	// them afterwards must leave the accounting consistent (no underflow
+	// from removing keys that were never charged).
 	h, _, err := ralloc.Open("", ralloc.Config{
 		SBRegion: 32 << 20, GrowthChunk: 1 << 20,
 		Pmem: pmem.Config{Mode: pmem.ModeCrashSim},
@@ -236,26 +239,35 @@ func TestAttachBoundedPrimesExpiredRecords(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		s.SetBytesExpire(hd, []byte(fmt.Sprintf("k%03d", i)), []byte("val"), clk.now()+10)
 	}
-	want := s.Stats().Bytes
+	for i := 0; i < 20; i++ {
+		s.Set(hd, fmt.Sprintf("live%03d", i), "val")
+	}
+	liveBytes := 20 * footprint(7, 3)
 	h.SetRoot(0, root)
 	if err := h.Region().Crash(); err != nil {
 		t.Fatal(err)
 	}
-	h.GetRoot(0, Attach(a, root).Filter())
+	h.GetRoot(0, Filter(a, root))
 	if _, err := h.Recover(); err != nil {
 		t.Fatal(err)
 	}
 	clk.advance(100)
 	s2 := AttachBounded(a, root, budget)
 	s2.SetClock(clk.now)
-	if got := s2.Stats().Bytes; got != want {
-		t.Fatalf("primed %d bytes, want %d (expired records must count)", got, want)
+	if got := s2.Stats().Bytes; got != liveBytes {
+		t.Fatalf("primed %d bytes, want %d (dead records must not be charged)", got, liveBytes)
+	}
+	if got := s2.Stats().TTLd; got != 50 {
+		t.Fatalf("expiry index tracks %d keys, want 50 (dead records still need reclaiming)", got)
 	}
 	hd2 := a.NewHandle()
 	for s2.ReclaimExpired(hd2, 16) > 0 {
 	}
-	if got := s2.Stats().Bytes; got != 0 {
-		t.Fatalf("%d bytes still accounted after reclaiming everything", got)
+	if s2.Len() != 20 {
+		t.Fatalf("Len after reclaim = %d, want 20", s2.Len())
+	}
+	if got := s2.Stats().Bytes; got != liveBytes {
+		t.Fatalf("accounting drifted to %d bytes after reclaiming uncharged records, want %d", got, liveBytes)
 	}
 }
 

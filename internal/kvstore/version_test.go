@@ -1,0 +1,108 @@
+package kvstore
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/ralloc"
+)
+
+// offVersion mirrors ralloc's metadata layout (word 1 of the region): the
+// test rewrites it to fabricate older heap images.
+const offVersion = 8
+
+// TestV3HeapAttachesAsAllStrings pins the v3→v4 migration contract: a heap
+// written before typed objects existed (heapVersion 3 — identical record
+// layout, tag bits always zero) must attach under v4 code with every key
+// readable as a string, and the image must be stamped forward to v4 so
+// pre-object code can no longer misread tagged records it might now gain.
+func TestV3HeapAttachesAsAllStrings(t *testing.T) {
+	h, _, err := ralloc.Open("", ralloc.Config{
+		SBRegion: 16 << 20, GrowthChunk: 1 << 20,
+		Pmem: pmem.Config{Mode: pmem.ModeCrashSim},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := h.AsAllocator()
+	hd := a.NewHandle()
+	s, root := Open(a, hd, 256)
+	for i := 0; i < 200; i++ {
+		if !s.Set(hd, fmt.Sprintf("k%04d", i), fmt.Sprintf("v%04d", i)) {
+			t.Fatal("OOM")
+		}
+	}
+	s.SetBytesExpire(hd, []byte("ttld"), []byte("tv"), s.Now()+1_000_000_000)
+	h.SetRoot(0, root)
+
+	// Fabricate the v3 image: same bits (v3 and v4 record layouts are
+	// identical for all-string keyspaces), older version stamp.
+	r := h.Region()
+	if err := r.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	r.Store(offVersion, 3)
+	r.Flush(offVersion)
+	r.Fence()
+
+	h2, dirty, err := ralloc.Attach(r, ralloc.Config{})
+	if err != nil {
+		t.Fatalf("v3 image rejected under v4 code: %v", err)
+	}
+	if !dirty {
+		t.Fatal("crashed image attached clean")
+	}
+	if got := r.Load(offVersion); got != 4 {
+		t.Fatalf("attach left version %d, want forward stamp 4", got)
+	}
+	a2 := h2.AsAllocator()
+	h2.GetRoot(0, Filter(a2, root))
+	if _, err := h2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := Attach(a2, root)
+	if s2.Len() != 201 {
+		t.Fatalf("Len = %d, want 201", s2.Len())
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("k%04d", i)
+		if typ := s2.TypeOf([]byte(key)); typ != TypeString {
+			t.Fatalf("v3 record %s attached as %v, want string", key, typ)
+		}
+		if v, ok := s2.Get(key); !ok || v != fmt.Sprintf("v%04d", i) {
+			t.Fatalf("v3 record %s = (%q,%v)", key, v, ok)
+		}
+	}
+	if got := s2.PTTL("ttld"); got <= 0 {
+		t.Fatalf("v3 TTL'd record lost its deadline: PTTL = %d", got)
+	}
+	// The attached heap is fully v4: typed objects work on top of the old
+	// keyspace.
+	hd2 := a2.NewHandle()
+	if _, err := s2.HSet(hd2, []byte("new-hash"), []byte("f"), []byte("v")); err != nil {
+		t.Fatalf("HSet on upgraded heap: %v", err)
+	}
+	if _, err := h2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestV2HeapStillRejected: compat reaches exactly one version back — a v2
+// image (different record layout) must keep failing loudly.
+func TestV2HeapStillRejected(t *testing.T) {
+	h, _, err := ralloc.Open("", ralloc.Config{SBRegion: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := h.Region()
+	r.Store(offVersion, 2)
+	r.Flush(offVersion)
+	r.Fence()
+	if _, _, err := ralloc.Attach(r, ralloc.Config{}); err == nil {
+		t.Fatal("v2 image attached under v4 code")
+	} else if !strings.Contains(err.Error(), "version") {
+		t.Fatalf("unexpected rejection: %v", err)
+	}
+}

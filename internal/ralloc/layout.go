@@ -41,7 +41,16 @@ const (
 	// v3: dstruct hash-map nodes grew a third header word (the expiration
 	// stamp), shifting key/value offsets — a v2 image's records would be
 	// silently misread, so it must be rejected here instead.
-	heapVersion = 3
+	// v4: dstruct records carry a type tag in the top bits of the lengths
+	// word (string | hash | list), with non-string payloads pointing at
+	// secondary structures. The tag bits were always zero before, so a v3
+	// image reads back under v4 as all-string with no migration pass:
+	// attach accepts heapVersionCompat and stamps the image forward. Older
+	// v4 *code* must not touch a heap that may contain tagged records,
+	// which the forward stamp enforces.
+	heapVersion = 4
+	// heapVersionCompat is the oldest version attach upgrades in place.
+	heapVersionCompat = 3
 
 	// MaxShards bounds the number of partial-list shards per size class.
 	// 64 shard sets of 40 head words each fit comfortably in the metadata

@@ -265,6 +265,116 @@ func (c *Client) GetDel(key string) (value string, ok bool, err error) {
 	return string(rp.Bulk), true, nil
 }
 
+// HSet stores field/value pairs in the hash at key, returning how many
+// fields were newly created (HSET).
+func (c *Client) HSet(key string, fieldvals ...string) (int64, error) {
+	return c.intReply(append([]string{"HSET", key}, fieldvals...)...)
+}
+
+// HGet fetches one field of the hash at key; ok=false reports a missing key
+// or field.
+func (c *Client) HGet(key, field string) (value string, ok bool, err error) {
+	rp, err := c.Do("HGET", key, field)
+	if err != nil {
+		return "", false, err
+	}
+	if err := rp.Err(); err != nil {
+		return "", false, err
+	}
+	if rp.Nil {
+		return "", false, nil
+	}
+	return string(rp.Bulk), true, nil
+}
+
+// HDel removes fields from the hash at key, returning how many existed.
+func (c *Client) HDel(key string, fields ...string) (int64, error) {
+	return c.intReply(append([]string{"HDEL", key}, fields...)...)
+}
+
+// HExists reports whether the hash at key has the field.
+func (c *Client) HExists(key, field string) (bool, error) {
+	n, err := c.intReply("HEXISTS", key, field)
+	return n == 1, err
+}
+
+// HLen returns the number of fields in the hash at key.
+func (c *Client) HLen(key string) (int64, error) { return c.intReply("HLEN", key) }
+
+// HGetAll returns the hash at key as a map (empty for a missing key).
+func (c *Client) HGetAll(key string) (map[string]string, error) {
+	rp, err := c.Do("HGETALL", key)
+	if err != nil {
+		return nil, err
+	}
+	if err := rp.Err(); err != nil {
+		return nil, err
+	}
+	if rp.Kind != '*' || len(rp.Elems)%2 != 0 {
+		return nil, fmt.Errorf("server: unexpected HGETALL reply %q", rp.Text())
+	}
+	m := make(map[string]string, len(rp.Elems)/2)
+	for i := 0; i+1 < len(rp.Elems); i += 2 {
+		m[string(rp.Elems[i].Bulk)] = string(rp.Elems[i+1].Bulk)
+	}
+	return m, nil
+}
+
+// LPush prepends values to the list at key, returning the new length.
+func (c *Client) LPush(key string, values ...string) (int64, error) {
+	return c.intReply(append([]string{"LPUSH", key}, values...)...)
+}
+
+// RPush appends values to the list at key, returning the new length.
+func (c *Client) RPush(key string, values ...string) (int64, error) {
+	return c.intReply(append([]string{"RPUSH", key}, values...)...)
+}
+
+// popReply decodes an LPOP/RPOP bulk-or-nil reply.
+func (c *Client) popReply(cmd, key string) (value string, ok bool, err error) {
+	rp, err := c.Do(cmd, key)
+	if err != nil {
+		return "", false, err
+	}
+	if err := rp.Err(); err != nil {
+		return "", false, err
+	}
+	if rp.Nil {
+		return "", false, nil
+	}
+	return string(rp.Bulk), true, nil
+}
+
+// LPop removes and returns the head of the list at key; ok=false reports a
+// missing key.
+func (c *Client) LPop(key string) (string, bool, error) { return c.popReply("LPOP", key) }
+
+// RPop removes and returns the tail of the list at key.
+func (c *Client) RPop(key string) (string, bool, error) { return c.popReply("RPOP", key) }
+
+// LLen returns the length of the list at key.
+func (c *Client) LLen(key string) (int64, error) { return c.intReply("LLEN", key) }
+
+// LRange returns the elements of the list at key between start and stop
+// inclusive (Redis index semantics: negative counts from the tail).
+func (c *Client) LRange(key string, start, stop int64) ([]string, error) {
+	rp, err := c.Do("LRANGE", key, strconv.FormatInt(start, 10), strconv.FormatInt(stop, 10))
+	if err != nil {
+		return nil, err
+	}
+	if err := rp.Err(); err != nil {
+		return nil, err
+	}
+	if rp.Kind != '*' {
+		return nil, fmt.Errorf("server: unexpected LRANGE reply %q", rp.Text())
+	}
+	out := make([]string, len(rp.Elems))
+	for i, e := range rp.Elems {
+		out[i] = string(e.Bulk)
+	}
+	return out, nil
+}
+
 // CommandCount reports how many commands the server's registry serves
 // (COMMAND COUNT).
 func (c *Client) CommandCount() (int64, error) {

@@ -3,6 +3,8 @@ package server
 import (
 	"strconv"
 	"strings"
+
+	"repro/internal/kvstore"
 )
 
 // commandDefs declares every command the server speaks — the whole protocol
@@ -11,21 +13,23 @@ import (
 // handler only does the command's own work. COMMAND, the README reference
 // table, and the generated arity-error tests all derive from these entries.
 func commandDefs() []*Command {
-	return []*Command{
+	defs := []*Command{
 		// Connection / trivial.
 		{Name: "PING", Arity: -1, Flags: FlagFast, Handler: cmdPing},
 		{Name: "ECHO", Arity: 2, Flags: FlagFast, Handler: cmdEcho},
 
-		// Strings.
-		{Name: "GET", Arity: 2, Flags: FlagReadonly | FlagFast, Keys: KeySpec{1, 1, 1}, Handler: cmdGet},
+		// Strings. NeedsType 's' marks the commands that read or rewrite a
+		// key's string value in place; SET-family commands overwrite any
+		// type (Redis semantics) and stay type-agnostic.
+		{Name: "GET", Arity: 2, Flags: FlagReadonly | FlagFast, Keys: KeySpec{1, 1, 1}, NeedsType: 's', Handler: cmdGet},
 		{Name: "SET", Arity: 3, Flags: FlagWrite, Keys: KeySpec{1, 1, 1}, Handler: cmdSet},
 		{Name: "SETNX", Arity: 3, Flags: FlagWrite | FlagFast, Keys: KeySpec{1, 1, 1}, Handler: cmdSetNX},
 		{Name: "SETEX", Arity: 4, Flags: FlagWrite, Keys: KeySpec{1, 1, 1}, Handler: cmdSetEx},
 		{Name: "PSETEX", Arity: 4, Flags: FlagWrite, Keys: KeySpec{1, 1, 1}, Handler: cmdSetEx},
-		{Name: "APPEND", Arity: 3, Flags: FlagWrite, Keys: KeySpec{1, 1, 1}, Handler: cmdAppend},
-		{Name: "GETSET", Arity: 3, Flags: FlagWrite, Keys: KeySpec{1, 1, 1}, Handler: cmdGetSet},
-		{Name: "GETDEL", Arity: 2, Flags: FlagWrite | FlagFast, Keys: KeySpec{1, 1, 1}, Handler: cmdGetDel},
-		{Name: "INCR", Arity: 2, Flags: FlagWrite | FlagFast, Keys: KeySpec{1, 1, 1}, Handler: cmdIncr},
+		{Name: "APPEND", Arity: 3, Flags: FlagWrite, Keys: KeySpec{1, 1, 1}, NeedsType: 's', Handler: cmdAppend},
+		{Name: "GETSET", Arity: 3, Flags: FlagWrite, Keys: KeySpec{1, 1, 1}, NeedsType: 's', Handler: cmdGetSet},
+		{Name: "GETDEL", Arity: 2, Flags: FlagWrite | FlagFast, Keys: KeySpec{1, 1, 1}, NeedsType: 's', Handler: cmdGetDel},
+		{Name: "INCR", Arity: 2, Flags: FlagWrite | FlagFast, Keys: KeySpec{1, 1, 1}, NeedsType: 's', Handler: cmdIncr},
 		{Name: "MGET", Arity: -2, Flags: FlagReadonly | FlagFast, Keys: KeySpec{1, -1, 1}, Handler: cmdMGet},
 		{Name: "MSET", Arity: -3, Flags: FlagWrite, Keys: KeySpec{1, -1, 2}, Handler: cmdMSet},
 
@@ -54,6 +58,8 @@ func commandDefs() []*Command {
 		{Name: "SAVE", Arity: 1, Flags: FlagAdmin | FlagDenyTxn, Handler: cmdSave},
 		{Name: "SHUTDOWN", Arity: 1, Flags: FlagAdmin | FlagDenyTxn, Handler: cmdShutdown},
 	}
+	// Typed objects (commands_object.go): the HSET and LPUSH families.
+	return append(defs, objectCommandDefs()...)
 }
 
 func cmdPing(ctx *Ctx) {
@@ -70,7 +76,12 @@ func cmdPing(ctx *Ctx) {
 func cmdEcho(ctx *Ctx) { ctx.w.bulk(ctx.args[1]) }
 
 func cmdGet(ctx *Ctx) {
-	if v, ok := ctx.s.st.GetBytes(ctx.args[1]); ok {
+	v, ok, err := ctx.s.st.GetBytes(ctx.args[1])
+	if err != nil {
+		writeStoreErr(ctx, err)
+		return
+	}
+	if ok {
 		ctx.w.bulk(v)
 	} else {
 		ctx.w.nilBulk()
@@ -91,8 +102,10 @@ func cmdSet(ctx *Ctx) {
 	ctx.w.simple("OK")
 }
 
+// cmdSetNX declines on an existing key of *any* type (Redis returns 0, not
+// WRONGTYPE: the value is never read).
 func cmdSetNX(ctx *Ctx) {
-	if _, ok := ctx.s.st.GetBytes(ctx.args[1]); ok {
+	if ctx.s.st.TypeOf(ctx.args[1]) != kvstore.TypeNone {
 		ctx.w.integer(0)
 	} else if !ctx.s.st.SetBytes(ctx.hd, ctx.args[1], ctx.args[2]) {
 		ctx.w.errorf("out of memory")
@@ -123,7 +136,11 @@ func cmdSetEx(ctx *Ctx) {
 // cmdAppend preserves the key's TTL (Redis semantics): the rewrite carries
 // the old record's deadline into the new allocation.
 func cmdAppend(ctx *Ctx) {
-	old, deadline, _ := ctx.s.st.GetBytesExpire(ctx.args[1])
+	old, deadline, _, err := ctx.s.st.GetBytesExpire(ctx.args[1])
+	if err != nil {
+		writeStoreErr(ctx, err)
+		return
+	}
 	val := make([]byte, 0, len(old)+len(ctx.args[2]))
 	val = append(append(val, old...), ctx.args[2]...)
 	if !ctx.s.st.SetBytesExpire(ctx.hd, ctx.args[1], val, deadline) {
@@ -134,9 +151,14 @@ func cmdAppend(ctx *Ctx) {
 }
 
 // cmdGetSet clears any TTL on the key (Redis semantics): SetBytes writes an
-// immortal record.
+// immortal record. Unlike plain SET it *reads* the old value, so a
+// non-string key is WRONGTYPE.
 func cmdGetSet(ctx *Ctx) {
-	old, ok := ctx.s.st.GetBytes(ctx.args[1])
+	old, ok, err := ctx.s.st.GetBytes(ctx.args[1])
+	if err != nil {
+		writeStoreErr(ctx, err)
+		return
+	}
 	if !ctx.s.st.SetBytes(ctx.hd, ctx.args[1], ctx.args[2]) {
 		ctx.w.errorf("out of memory")
 	} else if ok {
@@ -148,7 +170,11 @@ func cmdGetSet(ctx *Ctx) {
 
 // cmdGetDel returns the value and deletes the key in one locked step.
 func cmdGetDel(ctx *Ctx) {
-	old, ok := ctx.s.st.GetBytes(ctx.args[1])
+	old, ok, err := ctx.s.st.GetBytes(ctx.args[1])
+	if err != nil {
+		writeStoreErr(ctx, err)
+		return
+	}
 	if !ok {
 		ctx.w.nilBulk()
 		return
@@ -164,7 +190,11 @@ func cmdGetDel(ctx *Ctx) {
 func cmdIncr(ctx *Ctx) {
 	key := ctx.args[1]
 	n := int64(0)
-	v, deadline, ok := ctx.s.st.GetBytesExpire(key)
+	v, deadline, ok, err := ctx.s.st.GetBytesExpire(key)
+	if err != nil {
+		writeStoreErr(ctx, err)
+		return
+	}
 	if ok {
 		parsed, err := strconv.ParseInt(string(v), 10, 64)
 		if err != nil {
@@ -181,10 +211,13 @@ func cmdIncr(ctx *Ctx) {
 	ctx.w.integer(n)
 }
 
+// cmdMGet replies nil for missing keys AND for keys of the wrong type —
+// Redis's one deliberate WRONGTYPE exception, so a mixed keyspace can still
+// be bulk-read.
 func cmdMGet(ctx *Ctx) {
 	ctx.w.arrayHeader(len(ctx.args) - 1)
 	for _, k := range ctx.args[1:] {
-		if v, ok := ctx.s.st.GetBytes(k); ok {
+		if v, ok, _ := ctx.s.st.GetBytes(k); ok {
 			ctx.w.bulk(v)
 		} else {
 			ctx.w.nilBulk()
@@ -219,41 +252,32 @@ func cmdDel(ctx *Ctx) {
 	ctx.w.integer(n)
 }
 
+// cmdExists counts keys of any type (it never reads the value).
 func cmdExists(ctx *Ctx) {
 	n := int64(0)
 	for _, k := range ctx.args[1:] {
-		if _, ok := ctx.s.st.GetBytes(k); ok {
+		if ctx.s.st.TypeOf(k) != kvstore.TypeNone {
 			n++
 		}
 	}
 	ctx.w.integer(n)
 }
 
-// cmdType: every value in this store is a string, so the answer is "string"
-// or "none" — but it answers through the same lazy-expiry read path as GET,
-// so an expired key reports none.
+// cmdType reports the key's value kind from the persistent type tag —
+// string, hash, list, or none — through the same lazy-expiry policy as
+// every read, so an expired key reports none.
 func cmdType(ctx *Ctx) {
-	if _, ok := ctx.s.st.GetBytes(ctx.args[1]); ok {
-		ctx.w.simple("string")
-	} else {
-		ctx.w.simple("none")
-	}
+	ctx.w.simple(ctx.s.st.TypeOf(ctx.args[1]).String())
 }
 
 func cmdDBSize(ctx *Ctx) { ctx.w.integer(int64(ctx.s.st.Len())) }
 
 // cmdFlushAll runs with every stripe held (FlagLockAll): no concurrent
-// writer can interleave, and the two-pass collect-then-delete (Range holds
-// the store's own stripe locks) stays race-free.
+// writer can interleave. It purges through DeleteAll rather than a Range
+// walk, because Range now (correctly) hides expired records and object
+// payloads — and FLUSHALL must free those corpses and graphs too.
 func cmdFlushAll(ctx *Ctx) {
-	var keys []string
-	ctx.s.st.Range(func(k, _ []byte) bool {
-		keys = append(keys, string(k))
-		return true
-	})
-	for _, k := range keys {
-		ctx.s.st.Delete(ctx.hd, k)
-	}
+	ctx.s.st.DeleteAll(ctx.hd)
 	ctx.w.simple("OK")
 }
 
@@ -372,15 +396,18 @@ func cmdInfo(ctx *Ctx) {
 			ctx.w.bulk([]byte(ctx.s.commandStats()))
 			return
 		}
-		full := ctx.s.info()
+		// The per-type keyspace census walks the whole map; only pay it
+		// when the keyspace section could actually be returned — directly,
+		// or via the tolerant full-block fallback for unknown sections.
+		full := ctx.s.info(section == "keyspace")
 		if s, ok := infoSection(full, section); ok {
 			ctx.w.bulk([]byte(s))
 		} else {
-			ctx.w.bulk([]byte(full))
+			ctx.w.bulk([]byte(ctx.s.info(true)))
 		}
 		return
 	}
-	ctx.w.bulk([]byte(ctx.s.info()))
+	ctx.w.bulk([]byte(ctx.s.info(true)))
 }
 
 // infoSection extracts one "# Header" block from an INFO rendering,

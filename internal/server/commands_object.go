@@ -1,0 +1,189 @@
+package server
+
+// The typed-object command families (HSET/.../HGETALL, LPUSH/.../LRANGE)
+// over the kvstore object engine. Dispatch supplies everything generic —
+// arity, key extraction, striped locking, MULTI/EXEC queueing, stats — so
+// each handler is only the command's own semantics plus the uniform
+// store-error mapping (WRONGTYPE with Redis's exact wording, OOM).
+
+import (
+	"errors"
+	"strconv"
+
+	"repro/internal/kvstore"
+)
+
+// wrongTypeMsg is Redis's exact WRONGTYPE error body; the error class
+// prefix ("WRONGTYPE ") is written by errorKind.
+const wrongTypeMsg = "Operation against a key holding the wrong kind of value"
+
+// writeStoreErr maps a kvstore error to its RESP reply.
+func writeStoreErr(ctx *Ctx, err error) {
+	switch {
+	case errors.Is(err, kvstore.ErrWrongType):
+		ctx.w.errorKind("WRONGTYPE", wrongTypeMsg)
+	case errors.Is(err, kvstore.ErrNoMemory):
+		ctx.w.errorf("out of memory")
+	default:
+		ctx.w.errorf("%v", err)
+	}
+}
+
+func objectCommandDefs() []*Command {
+	return []*Command{
+		// Hashes.
+		{Name: "HSET", Arity: -4, Flags: FlagWrite | FlagFast, Keys: KeySpec{1, 1, 1}, NeedsType: 'h', Handler: cmdHSet},
+		{Name: "HGET", Arity: 3, Flags: FlagReadonly | FlagFast, Keys: KeySpec{1, 1, 1}, NeedsType: 'h', Handler: cmdHGet},
+		{Name: "HDEL", Arity: -3, Flags: FlagWrite | FlagFast, Keys: KeySpec{1, 1, 1}, NeedsType: 'h', Handler: cmdHDel},
+		{Name: "HEXISTS", Arity: 3, Flags: FlagReadonly | FlagFast, Keys: KeySpec{1, 1, 1}, NeedsType: 'h', Handler: cmdHExists},
+		{Name: "HLEN", Arity: 2, Flags: FlagReadonly | FlagFast, Keys: KeySpec{1, 1, 1}, NeedsType: 'h', Handler: cmdHLen},
+		{Name: "HGETALL", Arity: 2, Flags: FlagReadonly, Keys: KeySpec{1, 1, 1}, NeedsType: 'h', Handler: cmdHGetAll},
+
+		// Lists.
+		{Name: "LPUSH", Arity: -3, Flags: FlagWrite | FlagFast, Keys: KeySpec{1, 1, 1}, NeedsType: 'l', Handler: cmdLPush},
+		{Name: "RPUSH", Arity: -3, Flags: FlagWrite | FlagFast, Keys: KeySpec{1, 1, 1}, NeedsType: 'l', Handler: cmdLPush},
+		{Name: "LPOP", Arity: 2, Flags: FlagWrite | FlagFast, Keys: KeySpec{1, 1, 1}, NeedsType: 'l', Handler: cmdLPop},
+		{Name: "RPOP", Arity: 2, Flags: FlagWrite | FlagFast, Keys: KeySpec{1, 1, 1}, NeedsType: 'l', Handler: cmdLPop},
+		{Name: "LLEN", Arity: 2, Flags: FlagReadonly | FlagFast, Keys: KeySpec{1, 1, 1}, NeedsType: 'l', Handler: cmdLLen},
+		{Name: "LRANGE", Arity: 4, Flags: FlagReadonly, Keys: KeySpec{1, 1, 1}, NeedsType: 'l', Handler: cmdLRange},
+	}
+}
+
+// cmdHSet: HSET key field value [field value ...], replying the number of
+// fields newly created. Like Redis, it never touches the key's TTL.
+func cmdHSet(ctx *Ctx) {
+	if len(ctx.args)%2 != 0 {
+		ctx.w.errorf("wrong number of arguments for 'hset' command")
+		return
+	}
+	created, err := ctx.s.st.HSet(ctx.hd, ctx.args[1], ctx.args[2:]...)
+	if err != nil {
+		writeStoreErr(ctx, err)
+		return
+	}
+	ctx.w.integer(int64(created))
+}
+
+func cmdHGet(ctx *Ctx) {
+	v, ok, err := ctx.s.st.HGet(ctx.args[1], ctx.args[2])
+	if err != nil {
+		writeStoreErr(ctx, err)
+		return
+	}
+	if ok {
+		ctx.w.bulk(v)
+	} else {
+		ctx.w.nilBulk()
+	}
+}
+
+func cmdHDel(ctx *Ctx) {
+	removed, err := ctx.s.st.HDel(ctx.hd, ctx.args[1], ctx.args[2:]...)
+	if err != nil {
+		writeStoreErr(ctx, err)
+		return
+	}
+	ctx.w.integer(int64(removed))
+}
+
+func cmdHExists(ctx *Ctx) {
+	ok, err := ctx.s.st.HExists(ctx.args[1], ctx.args[2])
+	if err != nil {
+		writeStoreErr(ctx, err)
+		return
+	}
+	if ok {
+		ctx.w.integer(1)
+	} else {
+		ctx.w.integer(0)
+	}
+}
+
+func cmdHLen(ctx *Ctx) {
+	n, err := ctx.s.st.HLen(ctx.args[1])
+	if err != nil {
+		writeStoreErr(ctx, err)
+		return
+	}
+	ctx.w.integer(int64(n))
+}
+
+// cmdHGetAll replies a flat array of alternating field, value — empty for a
+// missing key, like Redis.
+func cmdHGetAll(ctx *Ctx) {
+	fields, values, err := ctx.s.st.HGetAll(ctx.args[1])
+	if err != nil {
+		writeStoreErr(ctx, err)
+		return
+	}
+	ctx.w.arrayHeader(2 * len(fields))
+	for i := range fields {
+		ctx.w.bulk(fields[i])
+		ctx.w.bulk(values[i])
+	}
+}
+
+// cmdLPush serves LPUSH and RPUSH (the dispatched name picks the end),
+// replying the list's new length.
+func cmdLPush(ctx *Ctx) {
+	var n int
+	var err error
+	if ctx.args[0][0] == 'L' || ctx.args[0][0] == 'l' {
+		n, err = ctx.s.st.LPush(ctx.hd, ctx.args[1], ctx.args[2:]...)
+	} else {
+		n, err = ctx.s.st.RPush(ctx.hd, ctx.args[1], ctx.args[2:]...)
+	}
+	if err != nil {
+		writeStoreErr(ctx, err)
+		return
+	}
+	ctx.w.integer(int64(n))
+}
+
+// cmdLPop serves LPOP and RPOP, replying the popped element or nil.
+func cmdLPop(ctx *Ctx) {
+	var v []byte
+	var ok bool
+	var err error
+	if ctx.args[0][0] == 'L' || ctx.args[0][0] == 'l' {
+		v, ok, err = ctx.s.st.LPop(ctx.hd, ctx.args[1])
+	} else {
+		v, ok, err = ctx.s.st.RPop(ctx.hd, ctx.args[1])
+	}
+	if err != nil {
+		writeStoreErr(ctx, err)
+		return
+	}
+	if ok {
+		ctx.w.bulk(v)
+	} else {
+		ctx.w.nilBulk()
+	}
+}
+
+func cmdLLen(ctx *Ctx) {
+	n, err := ctx.s.st.LLen(ctx.args[1])
+	if err != nil {
+		writeStoreErr(ctx, err)
+		return
+	}
+	ctx.w.integer(int64(n))
+}
+
+func cmdLRange(ctx *Ctx) {
+	start, err1 := strconv.ParseInt(string(ctx.args[2]), 10, 64)
+	stop, err2 := strconv.ParseInt(string(ctx.args[3]), 10, 64)
+	if err1 != nil || err2 != nil {
+		ctx.w.errorf("value is not an integer or out of range")
+		return
+	}
+	vals, err := ctx.s.st.LRange(ctx.args[1], start, stop)
+	if err != nil {
+		writeStoreErr(ctx, err)
+		return
+	}
+	ctx.w.arrayHeader(len(vals))
+	for _, v := range vals {
+		ctx.w.bulk(v)
+	}
+}

@@ -69,7 +69,7 @@ func (e *benchEnv) baselineExecute(w *respWriter, args [][]byte) {
 			w.errorf("wrong number of arguments for 'get' command")
 			break
 		}
-		if v, ok := s.st.GetBytes(args[1]); ok {
+		if v, ok, _ := s.st.GetBytes(args[1]); ok {
 			w.bulk(v)
 		} else {
 			w.nilBulk()

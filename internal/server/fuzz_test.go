@@ -45,6 +45,18 @@ var fuzzSeedCommands = []string{
 	"*1\r\n$5\r\nMULTI\r\n*1\r\n$4\r\nSAVE\r\n*1\r\n$4\r\nEXEC\r\n",
 	"*1\r\n$4\r\nEXEC\r\n*1\r\n$7\r\nDISCARD\r\n",
 	"MULTI\r\nSET k v\r\nINCR k\r\nEXEC\r\n",
+	// Typed objects: create/read/mutate hashes and lists, WRONGTYPE
+	// collisions (object command on a string key and vice versa), and
+	// object commands inside transactions.
+	"*4\r\n$4\r\nHSET\r\n$2\r\nhk\r\n$1\r\nf\r\n$1\r\nv\r\n*3\r\n$4\r\nHGET\r\n$2\r\nhk\r\n$1\r\nf\r\n",
+	"*6\r\n$4\r\nHSET\r\n$2\r\nhk\r\n$1\r\na\r\n$1\r\n1\r\n$1\r\nb\r\n$1\r\n2\r\n*2\r\n$7\r\nHGETALL\r\n$2\r\nhk\r\n",
+	"*3\r\n$4\r\nHDEL\r\n$2\r\nhk\r\n$1\r\nf\r\n*2\r\n$4\r\nHLEN\r\n$2\r\nhk\r\n",
+	"*3\r\n$5\r\nLPUSH\r\n$2\r\nlk\r\n$1\r\na\r\n*3\r\n$5\r\nRPUSH\r\n$2\r\nlk\r\n$1\r\nb\r\n*4\r\n$6\r\nLRANGE\r\n$2\r\nlk\r\n$1\r\n0\r\n$2\r\n-1\r\n",
+	"*2\r\n$4\r\nLPOP\r\n$2\r\nlk\r\n*2\r\n$4\r\nRPOP\r\n$2\r\nlk\r\n*2\r\n$4\r\nLLEN\r\n$2\r\nlk\r\n",
+	"*3\r\n$3\r\nSET\r\n$2\r\nsk\r\n$1\r\nv\r\n*4\r\n$4\r\nHSET\r\n$2\r\nsk\r\n$1\r\nf\r\n$1\r\nv\r\n*2\r\n$3\r\nGET\r\n$2\r\nhk\r\n",
+	"*4\r\n$6\r\nLRANGE\r\n$2\r\nlk\r\n$3\r\nxyz\r\n$2\r\n-1\r\n",
+	"*1\r\n$5\r\nMULTI\r\n*4\r\n$4\r\nHSET\r\n$2\r\nth\r\n$1\r\nf\r\n$1\r\nv\r\n*3\r\n$5\r\nLPUSH\r\n$2\r\ntl\r\n$1\r\nx\r\n*1\r\n$4\r\nEXEC\r\n",
+	"*5\r\n$4\r\nHSET\r\n$2\r\nhk\r\n$1\r\nf\r\n$1\r\nv\r\n$4\r\nodd!\r\n",
 	// Introspection and the registry's trivial commands.
 	"*1\r\n$7\r\nCOMMAND\r\n",
 	"*2\r\n$7\r\nCOMMAND\r\n$5\r\nCOUNT\r\n",

@@ -158,6 +158,13 @@ type Command struct {
 	Flags Flags
 	// Keys declares where the command's keys live (zero value: no keys).
 	Keys KeySpec
+	// NeedsType, when nonzero, names the value type the command's key must
+	// hold — 's' string, 'h' hash, 'l' list. Applying the command to a key
+	// of a different type replies Redis's exact WRONGTYPE error; the
+	// registry-generated fidelity test probes every declaration. Zero
+	// means type-agnostic (DEL, EXPIRE, TYPE, ...) or type-overwriting
+	// (SET, MSET).
+	NeedsType byte
 	// Handler does the work.
 	Handler Handler
 }
@@ -279,8 +286,8 @@ func Commands() []*Command { return commandList }
 // this rendering, so the docs are always generated from the table.
 func CommandTableMarkdown() string {
 	var b strings.Builder
-	b.WriteString("| Command | Arity | Flags | Keys (first,last,step) |\n")
-	b.WriteString("|---|---|---|---|\n")
+	b.WriteString("| Command | Arity | Flags | Keys (first,last,step) | Type |\n")
+	b.WriteString("|---|---|---|---|---|\n")
 	for _, c := range commandList {
 		keys := "—"
 		if c.Keys.First != 0 {
@@ -290,7 +297,16 @@ func CommandTableMarkdown() string {
 		if flags == "" {
 			flags = "—"
 		}
-		b.WriteString("| `" + c.Name + "` | " + strconv.Itoa(c.Arity) + " | " + flags + " | " + keys + " |\n")
+		typ := "any"
+		switch c.NeedsType {
+		case 's':
+			typ = "string"
+		case 'h':
+			typ = "hash"
+		case 'l':
+			typ = "list"
+		}
+		b.WriteString("| `" + c.Name + "` | " + strconv.Itoa(c.Arity) + " | " + flags + " | " + keys + " | " + typ + " |\n")
 	}
 	return b.String()
 }

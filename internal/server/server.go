@@ -336,8 +336,12 @@ func deadlineFrom(now, d int64, seconds bool) int64 {
 	return at
 }
 
-// info renders the INFO reply.
-func (s *Server) info() string {
+// info renders the INFO reply. census includes the per-type keyspace
+// counts, which cost a full map walk under the stripe locks — a monitoring
+// loop polling "INFO server" once a second must not pay O(keyspace) per
+// poll, so cmdInfo requests the census only when the keyspace section (or
+// the whole block) is actually being returned.
+func (s *Server) info(census bool) string {
 	st := s.st.Stats()
 	s.mu.Lock()
 	nconns := len(s.conns)
@@ -351,6 +355,13 @@ func (s *Server) info() string {
 	fmt.Fprintf(&b, "total_commands_processed:%d\r\n", s.commands.Load())
 	fmt.Fprintf(&b, "# Keyspace\r\n")
 	fmt.Fprintf(&b, "records:%d\r\n", s.st.Len())
+	if census {
+		// Per-type census of the live keyspace (the walk skips stamp-
+		// expired corpses, so these can sum below records until the cycle
+		// reclaims them).
+		tc := s.st.CountTypes()
+		fmt.Fprintf(&b, "keys_string:%d\r\nkeys_hash:%d\r\nkeys_list:%d\r\n", tc.Strings, tc.Hashes, tc.Lists)
+	}
 	fmt.Fprintf(&b, "bounded:%v\r\n", s.st.Bounded())
 	fmt.Fprintf(&b, "bytes:%d\r\n", st.Bytes)
 	fmt.Fprintf(&b, "hits:%d\r\nmisses:%d\r\nsets:%d\r\ndeletes:%d\r\nevictions:%d\r\n",

@@ -407,7 +407,7 @@ func TestSaveCheckpointAndReopenAfterKill(t *testing.T) {
 		t.Fatal("killed server's image reported clean")
 	}
 	a2 := h2.AsAllocator()
-	h2.GetRoot(0, kvstore.Attach(a2, root).Filter())
+	h2.GetRoot(0, kvstore.Filter(a2, root))
 	if _, err := h2.Recover(); err != nil {
 		t.Fatal(err)
 	}

@@ -26,6 +26,9 @@ const (
 type Op struct {
 	Kind OpKind
 	Key  string
+	// Field, when nonempty, targets one field of the hash object at Key
+	// (workload H): reads become HGET, updates HSET.
+	Field string
 	// TTLMillis, when positive, asks the driver to attach an expiration
 	// this many milliseconds ahead to the written record (updates only).
 	TTLMillis int64
@@ -42,6 +45,11 @@ type Workload struct {
 	// A zero TTLFrac reproduces the immortal-keyspace workloads exactly.
 	TTLFrac   float64
 	TTLMillis int64
+	// Fields, when positive, turns each record into a hash object with
+	// this many fields: operations target a uniformly chosen field (HGET /
+	// HSET) instead of the whole value. Zero reproduces the flat-string
+	// workloads exactly.
+	Fields int
 }
 
 // WorkloadA is the write-dominant core workload (50/50).
@@ -71,6 +79,20 @@ func WorkloadT(records int) Workload {
 	return Workload{Name: "t", Records: records, ReadFrac: 0.5, ValueSize: 100,
 		TTLFrac: 0.5, TTLMillis: 250}
 }
+
+// WorkloadH is the hash-field workload (not a YCSB core letter): the
+// workload-A read/update mix, but every record is a hash object of Fields
+// fields and each operation reads or rewrites one uniformly chosen field
+// (HGET/HSET). Updates rewrite a field node inside the per-key secondary
+// structure instead of replacing the whole record, so the allocator churns
+// on small linked nodes — exactly the pointer-based persistent workload the
+// paper built Ralloc for.
+func WorkloadH(records int) Workload {
+	return Workload{Name: "h", Records: records, ReadFrac: 0.5, ValueSize: 100, Fields: 16}
+}
+
+// FieldAt formats field i's name ("field" + 3 digits).
+func FieldAt(i int) string { return fmt.Sprintf("field%03d", i) }
 
 // Generator produces operations for one client goroutine. Not safe for
 // concurrent use; give each goroutine its own (with distinct seeds).
@@ -104,6 +126,9 @@ func KeyAt(i int) string { return fmt.Sprintf("user%010d", i) }
 func (g *Generator) Next() Op {
 	rec := scramble(g.zipf.Uint64(), uint64(g.w.Records))
 	op := Op{Key: KeyAt(int(rec))}
+	if g.w.Fields > 0 {
+		op.Field = FieldAt(g.rng.Intn(g.w.Fields))
+	}
 	if g.rng.Float64() >= g.w.ReadFrac {
 		op.Kind = Update
 		if g.w.TTLFrac > 0 && g.rng.Float64() < g.w.TTLFrac {

@@ -167,3 +167,41 @@ func TestKeyAtFormat(t *testing.T) {
 		t.Fatalf("KeyAt(7) = %q", KeyAt(7))
 	}
 }
+
+func TestWorkloadHTargetsFields(t *testing.T) {
+	w := WorkloadH(500)
+	if w.Fields != 16 {
+		t.Fatalf("WorkloadH fields = %d, want 16", w.Fields)
+	}
+	g := NewGenerator(w, 11)
+	reads, updates := 0, 0
+	seen := map[string]bool{}
+	for i := 0; i < 5000; i++ {
+		op := g.Next()
+		if op.Field == "" {
+			t.Fatal("workload-h op without a field")
+		}
+		seen[op.Field] = true
+		if op.TTLMillis != 0 {
+			t.Fatal("workload-h op with TTL")
+		}
+		if op.Kind == Read {
+			reads++
+		} else {
+			updates++
+		}
+	}
+	if len(seen) != w.Fields {
+		t.Fatalf("operations touched %d distinct fields, want %d", len(seen), w.Fields)
+	}
+	if reads < 2000 || updates < 2000 {
+		t.Fatalf("read/update mix off: %d/%d", reads, updates)
+	}
+	if FieldAt(3) != "field003" {
+		t.Fatalf("FieldAt(3) = %q", FieldAt(3))
+	}
+	// Flat workloads stay field-free.
+	if op := NewGenerator(WorkloadA(100), 1).Next(); op.Field != "" {
+		t.Fatalf("workload-a op has field %q", op.Field)
+	}
+}
