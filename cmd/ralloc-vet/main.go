@@ -1,0 +1,59 @@
+// ralloc-vet is the repository's static-analysis multichecker: it runs the
+// internal/analysis suite (persistorder, deferunlock, atomicword,
+// hookpurity) over the given package patterns and fails on any diagnostic.
+//
+// Usage:
+//
+//	go run ./cmd/ralloc-vet ./...
+//	go run ./cmd/ralloc-vet -list
+//	go run ./cmd/ralloc-vet -notests ./internal/server
+//
+// Diagnostics print as file:line:col: message (analyzer). Suppress a
+// finding with //pmemvet:ignore <reason> on (or above) its line; the
+// reason is mandatory. See DESIGN.md "Static analysis".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+func main() {
+	listOnly := flag.Bool("list", false, "list the analyzers and exit")
+	noTests := flag.Bool("notests", false, "exclude in-package _test.go files from analysis")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ralloc-vet [flags] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.Analyzers()
+	if *listOnly {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Load(load.Config{Tests: !*noTests}, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ralloc-vet: %v\n", err)
+		os.Exit(2)
+	}
+	diags := analysis.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ralloc-vet: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,357 @@
+// Package analysis is ralloc-vet: a suite of static checks that enforce,
+// at compile time, the crash-consistency and lock-discipline conventions
+// the codebase otherwise only states in comments and probes with
+// crash-injection tests.
+//
+// The framework is a deliberately small, stdlib-only stand-in for
+// golang.org/x/tools/go/analysis (which the build environment cannot
+// fetch): an Analyzer inspects one type-checked package (internal/analysis/load)
+// and reports Diagnostics. Two comment annotations steer the suite:
+//
+//	//pmem:publish
+//	    placed on (or immediately above) a Region.Store/CAS call, marks
+//	    it as a publish point: the durable link/anchor store that makes
+//	    previously written payload reachable. persistorder enforces that
+//	    every payload write preceding the publish has been flushed and
+//	    fenced.
+//
+//	//pmemvet:ignore <reason>
+//	    placed on (or immediately above) an offending line, suppresses
+//	    diagnostics on it. The reason is mandatory: a bare ignore is
+//	    itself reported, so every suppression is forced to explain itself.
+//
+// Analyzers: persistorder, deferunlock, atomicword, hookpurity — see each
+// file's doc comment, and DESIGN.md "Static analysis" for the rules prose.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/load"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *load.Package
+	// Notes indexes the //pmem: and //pmemvet: annotations of the package.
+	Notes *Notes
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, with its source position resolved.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Annotation comment markers.
+const (
+	publishMarker = "//pmem:publish"
+	ignoreMarker  = "//pmemvet:ignore"
+)
+
+// lineKey identifies a source line.
+type lineKey struct {
+	file string
+	line int
+}
+
+// Notes is the per-package annotation index: which lines carry a
+// //pmem:publish marker and which carry a //pmemvet:ignore (with reason).
+type Notes struct {
+	fset    *token.FileSet
+	publish map[lineKey]token.Pos
+	ignore  map[lineKey]ignoreNote
+}
+
+type ignoreNote struct {
+	pos    token.Pos
+	reason string
+}
+
+func buildNotes(pkg *load.Package) *Notes {
+	n := &Notes{
+		fset:    pkg.Fset,
+		publish: make(map[lineKey]token.Pos),
+		ignore:  make(map[lineKey]ignoreNote),
+	}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				p := pkg.Fset.Position(c.Pos())
+				key := lineKey{p.Filename, p.Line}
+				switch {
+				case text == publishMarker:
+					n.publish[key] = c.Pos()
+				case text == ignoreMarker || strings.HasPrefix(text, ignoreMarker+" "):
+					n.ignore[key] = ignoreNote{
+						pos:    c.Pos(),
+						reason: strings.TrimSpace(strings.TrimPrefix(text, ignoreMarker)),
+					}
+				}
+			}
+		}
+	}
+	return n
+}
+
+// PublishAt reports whether pos's line — or the line immediately above it —
+// carries a //pmem:publish marker, consuming it so unused markers can be
+// reported.
+func (n *Notes) PublishAt(pos token.Pos) bool {
+	p := n.fset.Position(pos)
+	for _, l := range []int{p.Line, p.Line - 1} {
+		if _, ok := n.publish[lineKey{p.Filename, l}]; ok {
+			delete(n.publish, lineKey{p.Filename, l})
+			return true
+		}
+	}
+	return false
+}
+
+// ignoredAt reports whether a diagnostic at position p is suppressed by a
+// reasoned //pmemvet:ignore on its line or the line above.
+func (n *Notes) ignoredAt(p token.Position) bool {
+	for _, l := range []int{p.Line, p.Line - 1} {
+		if ig, ok := n.ignore[lineKey{p.Filename, l}]; ok && ig.reason != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the analyzers over every package and returns the surviving
+// diagnostics in source order. Suppression and annotation hygiene are
+// framework-level: reasoned //pmemvet:ignore comments filter findings on
+// their line, bare ignores are themselves diagnostics ("ignorehygiene"),
+// and //pmem:publish markers that no analyzer consumed are reported as
+// dangling (they mark nothing, which usually means the marker drifted off
+// its store during an edit).
+func Run(pkgs []*load.Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		notes := buildNotes(pkg)
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Notes: notes, diags: &pkgDiags}
+			a.Run(pass)
+		}
+		kept := pkgDiags[:0]
+		for _, d := range pkgDiags {
+			if !notes.ignoredAt(d.Pos) {
+				kept = append(kept, d)
+			}
+		}
+		diags = append(diags, kept...)
+		for _, ig := range notes.ignore {
+			if ig.reason == "" {
+				diags = append(diags, Diagnostic{
+					Pos:      pkg.Fset.Position(ig.pos),
+					Analyzer: "ignorehygiene",
+					Message:  "bare //pmemvet:ignore: a reason is required (//pmemvet:ignore <why this is safe>)",
+				})
+			}
+		}
+		for _, pos := range notes.publish {
+			diags = append(diags, Diagnostic{
+				Pos:      pkg.Fset.Position(pos),
+				Analyzer: "persistorder",
+				Message:  "dangling //pmem:publish: no Region.Store/CAS on this line or the next",
+			})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags
+}
+
+// Analyzers returns the full ralloc-vet suite.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{PersistOrder, DeferUnlock, AtomicWord, HookPurity}
+}
+
+// ---- shared type-resolution helpers ----
+
+// regionMethod reports whether call invokes a method of a type named Region
+// declared in a package named pmem, returning the method name. Matching by
+// (package name, type name) rather than full import path keeps the
+// analyzers honest on analysistest fixtures, which stub the pmem package
+// under a different module path.
+func regionMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Region" || obj.Pkg() == nil || obj.Pkg().Name() != "pmem" {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// mutexKind classifies the receiver of a Lock/RLock/Unlock/RUnlock call.
+func isSyncMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// exprText renders an expression as normalized source text (whitespace
+// stripped), the structural-equality key the analyzers compare lock
+// receivers and word offsets with.
+func exprText(fset *token.FileSet, e ast.Expr) string {
+	var sb strings.Builder
+	writeExpr(&sb, fset, e)
+	return sb.String()
+}
+
+func writeExpr(sb *strings.Builder, fset *token.FileSet, e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		sb.WriteString(e.Name)
+	case *ast.SelectorExpr:
+		writeExpr(sb, fset, e.X)
+		sb.WriteByte('.')
+		sb.WriteString(e.Sel.Name)
+	case *ast.IndexExpr:
+		writeExpr(sb, fset, e.X)
+		sb.WriteByte('[')
+		writeExpr(sb, fset, e.Index)
+		sb.WriteByte(']')
+	case *ast.BinaryExpr:
+		writeExpr(sb, fset, e.X)
+		sb.WriteString(e.Op.String())
+		writeExpr(sb, fset, e.Y)
+	case *ast.UnaryExpr:
+		sb.WriteString(e.Op.String())
+		writeExpr(sb, fset, e.X)
+	case *ast.ParenExpr:
+		writeExpr(sb, fset, e.X)
+	case *ast.StarExpr:
+		sb.WriteByte('*')
+		writeExpr(sb, fset, e.X)
+	case *ast.BasicLit:
+		sb.WriteString(e.Value)
+	case *ast.CallExpr:
+		writeExpr(sb, fset, e.Fun)
+		sb.WriteByte('(')
+		for i, a := range e.Args {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			writeExpr(sb, fset, a)
+		}
+		sb.WriteByte(')')
+	default:
+		// Anything fancier is position-keyed: it will never compare equal
+		// to another expression, which is the conservative direction.
+		fmt.Fprintf(sb, "@%d", e.Pos())
+	}
+}
+
+// funcScopes yields every function body in the file as an independent
+// analysis scope: each FuncDecl and each FuncLit (closures run in a
+// different dynamic context, so linear reasoning must not leak across the
+// boundary). fn receives the scope's name (for messages) and body.
+func funcScopes(f *ast.File, fn func(name string, body *ast.BlockStmt)) {
+	var scopes []struct {
+		name string
+		body *ast.BlockStmt
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				scopes = append(scopes, struct {
+					name string
+					body *ast.BlockStmt
+				}{n.Name.Name, n.Body})
+			}
+		case *ast.FuncLit:
+			scopes = append(scopes, struct {
+				name string
+				body *ast.BlockStmt
+			}{"func literal", n.Body})
+		}
+		return true
+	})
+	for _, s := range scopes {
+		fn(s.name, s.body)
+	}
+}
+
+// inspectShallow walks body in source order but does not descend into
+// nested function literals (they are scopes of their own).
+func inspectShallow(body *ast.BlockStmt, fn func(n ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if n == nil {
+			return false
+		}
+		return fn(n)
+	})
+}

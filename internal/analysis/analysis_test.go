@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/load"
+)
+
+// The fixture harness is analysistest in miniature: testdata/src is its own
+// module (the go tool ignores "testdata" directories) with a stub pmem
+// package, and every fixture line that must produce a diagnostic carries a
+// trailing `// want "regexp"` comment. `// want-next "regexp"` expects the
+// diagnostic on the following line — for findings reported at a comment's
+// own position (bare ignores, dangling publish markers), where a trailing
+// comment cannot syntactically fit.
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var quotedRe = regexp.MustCompile(`"([^"]*)"`)
+
+// collectWants scans every fixture .go file for want comments, keyed by the
+// absolute filename and line the diagnostic must land on.
+func collectWants(t *testing.T, root string) map[string]map[int][]*expectation {
+	t.Helper()
+	wants := map[string]map[int][]*expectation{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		abs, err := filepath.Abs(path)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, "// want")
+			if idx < 0 {
+				continue
+			}
+			rest := line[idx+len("// want"):]
+			target := i + 1 // line numbers are 1-based
+			if strings.HasPrefix(rest, "-next") {
+				rest = rest[len("-next"):]
+				target++
+			}
+			for _, m := range quotedRe.FindAllStringSubmatch(rest, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, m[1], err)
+				}
+				if wants[abs] == nil {
+					wants[abs] = map[int][]*expectation{}
+				}
+				wants[abs][target] = append(wants[abs][target], &expectation{re: re})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+func TestFixtures(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	pkgs, err := load.Load(load.Config{Dir: root, Tests: true}, "./...")
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	diags := Run(pkgs, Analyzers())
+	wants := collectWants(t, root)
+
+	for _, d := range diags {
+		var hit *expectation
+		for _, e := range wants[d.Pos.Filename][d.Pos.Line] {
+			if !e.matched && e.re.MatchString(d.Message) {
+				hit = e
+				break
+			}
+		}
+		if hit == nil {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		hit.matched = true
+	}
+	for file, lines := range wants {
+		for line, es := range lines {
+			for _, e := range es {
+				if !e.matched {
+					t.Errorf("%s:%d: expected a diagnostic matching %q, got none", file, line, e.re)
+				}
+			}
+		}
+	}
+}
+
+// TestEveryAnalyzerFires asserts each analyzer in the suite has at least one
+// failing fixture — the acceptance bar for the suite being live, not
+// vacuously clean.
+func TestEveryAnalyzerFires(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	pkgs, err := load.Load(load.Config{Dir: root, Tests: true}, "./...")
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	diags := Run(pkgs, Analyzers())
+	fired := map[string]bool{}
+	for _, d := range diags {
+		fired[d.Analyzer] = true
+	}
+	for _, a := range Analyzers() {
+		if !fired[a.Name] {
+			t.Errorf("analyzer %s produced no fixture diagnostics", a.Name)
+		}
+	}
+	if !fired["ignorehygiene"] {
+		t.Errorf("bare //pmemvet:ignore produced no fixture diagnostic")
+	}
+}

@@ -1,0 +1,265 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// DeferUnlock enforces the serving layer's panic-safe lock discipline (the
+// PR 4 review class): in the guarded packages (internal/server,
+// internal/kvstore), every mutex acquisition — stripe locks, execMu, shard
+// and index mutexes — must be released on panic-unwind paths, not just on
+// the straight line. An acquisition is compliant when, in the same
+// function, one of these holds:
+//
+//   - defer X.Unlock() / defer X.RUnlock() on the same receiver expression;
+//   - X is passed to a recognized unlocking helper: a same-package function
+//     that defer-releases the corresponding parameter (invokeUnlocking,
+//     invokeStripedUnlocking);
+//   - the acquisition came from an acquisition helper (a function whose
+//     name starts with "lock", e.g. lockStripes) and the helper's first
+//     argument is later released via a deferred call to an "unlock"-named
+//     function, or handed to an unlocking helper.
+//
+// Test files are exempt: a panicking test fails its own process, and test
+// harnesses intentionally poke locks in ways production code must not.
+var DeferUnlock = &Analyzer{
+	Name: "deferunlock",
+	Doc:  "guarded mutexes must be released via defer or a recognized unlocking helper",
+	Run:  runDeferUnlock,
+}
+
+// guardedLockPackages names the package path suffixes deferunlock guards.
+// A variable so fixture tests can reuse directory names.
+var guardedLockPackages = regexp.MustCompile(`(^|/)(server|kvstore)$`)
+
+var unlockNamed = regexp.MustCompile(`(?i)unlock`)
+var lockHelperNamed = regexp.MustCompile(`^lock|^Lock`)
+
+func runDeferUnlock(pass *Pass) {
+	if !guardedLockPackages.MatchString(pass.Pkg.Types.Path()) {
+		return
+	}
+	info := pass.Pkg.Info
+	fset := pass.Pkg.Fset
+
+	// Pass 1 over the package: classify each declared function's parameters
+	// as "defer-released" — the function contains defer p.Unlock()/RUnlock()
+	// or a deferred/direct hand-off of p into an unlock-named call. One
+	// fixpoint round is enough for the real helpers (invokeStripedUnlocking
+	// defers unlockStripes(stripes)).
+	type funcInfo struct {
+		decl     *ast.FuncDecl
+		released map[int]bool // parameter index -> defer-released
+		// acqHelper marks an acquisition primitive: a function whose name
+		// starts with "lock" and whose body takes mutex locks (lockStripes).
+		// Its internal Lock calls are exempt; its call sites must pair the
+		// first argument with a deferred unlock instead.
+		acqHelper bool
+	}
+	funcs := make(map[*types.Func]*funcInfo)
+	for _, f := range pass.Pkg.Syntax {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			funcs[obj] = &funcInfo{decl: fd, released: map[int]bool{}}
+		}
+	}
+	paramIndex := func(fd *ast.FuncDecl, id *ast.Ident) int {
+		obj := info.Uses[id]
+		if obj == nil {
+			return -1
+		}
+		i := 0
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if info.Defs[name] == obj {
+					return i
+				}
+				i++
+			}
+		}
+		return -1
+	}
+	for _, fi := range funcs {
+		fd := fi.decl
+		inspectShallow(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && lockHelperNamed.MatchString(fd.Name.Name) {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+					(sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") &&
+					isSyncMutex(info.Types[sel.X].Type) {
+					fi.acqHelper = true
+				}
+			}
+			def, ok := n.(*ast.DeferStmt)
+			if !ok {
+				return true
+			}
+			call := def.Call
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+				(sel.Sel.Name == "Unlock" || sel.Sel.Name == "RUnlock") {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if i := paramIndex(fd, id); i >= 0 {
+						fi.released[i] = true
+					}
+				}
+				return true
+			}
+			// defer unlockSomething(..., p, ...)
+			if calleeName(call) != "" && unlockNamed.MatchString(calleeName(call)) {
+				for _, a := range call.Args {
+					if id, ok := a.(*ast.Ident); ok {
+						if i := paramIndex(fd, id); i >= 0 {
+							fi.released[i] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	// calleeInfo resolves a call to a same-package declared function.
+	calleeInfo := func(call *ast.CallExpr) *funcInfo {
+		var obj types.Object
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			obj = info.Uses[fun]
+		case *ast.SelectorExpr:
+			obj = info.Uses[fun.Sel]
+		}
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			return nil
+		}
+		return funcs[fn]
+	}
+
+	// Pass 2: check every acquisition site.
+	for _, f := range pass.Pkg.Syntax {
+		if strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		funcScopes(f, func(name string, body *ast.BlockStmt) {
+			isAcqHelper := lockHelperNamed.MatchString(name)
+
+			type acquisition struct {
+				call *ast.CallExpr
+				expr string // normalized receiver (or helper-arg) text
+				need string // Unlock or RUnlock
+				kind string // for the message
+			}
+			var acqs []acquisition
+			released := map[string]map[string]bool{} // expr -> releases seen
+
+			addRelease := func(expr, kind string) {
+				m := released[expr]
+				if m == nil {
+					m = map[string]bool{}
+					released[expr] = m
+				}
+				m[kind] = true
+			}
+
+			inspectShallow(body, func(n ast.Node) bool {
+				if def, ok := n.(*ast.DeferStmt); ok {
+					call := def.Call
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+						(sel.Sel.Name == "Unlock" || sel.Sel.Name == "RUnlock") &&
+						isSyncMutex(info.Types[sel.X].Type) {
+						addRelease(exprText(fset, sel.X), sel.Sel.Name)
+					}
+					if name := calleeName(call); name != "" && unlockNamed.MatchString(name) {
+						for _, a := range call.Args {
+							t := exprText(fset, a)
+							addRelease(t, "Unlock")
+							addRelease(t, "RUnlock")
+						}
+					}
+					// Deferred acquisitions (cmdSave's re-RLock balancing an
+					// upstream defer) are not acquisitions of this scope.
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+					(sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") &&
+					isSyncMutex(info.Types[sel.X].Type) {
+					if !isAcqHelper {
+						need := "Unlock"
+						if sel.Sel.Name == "RLock" {
+							need = "RUnlock"
+						}
+						acqs = append(acqs, acquisition{
+							call: call,
+							expr: exprText(fset, sel.X),
+							need: need,
+							kind: sel.Sel.Name,
+						})
+					}
+					return true
+				}
+				// Hand-off into an unlocking helper, or through an
+				// acquisition helper (lockStripes(stripes)).
+				if ci := calleeInfo(call); ci != nil {
+					for i, a := range call.Args {
+						if ci.released[i] {
+							t := exprText(fset, a)
+							addRelease(t, "Unlock")
+							addRelease(t, "RUnlock")
+						}
+					}
+					if ci.acqHelper && len(call.Args) > 0 {
+						acqs = append(acqs, acquisition{
+							call: call,
+							expr: exprText(fset, call.Args[0]),
+							need: "Unlock",
+							kind: lastNamePart(calleeName(call)),
+						})
+					}
+				}
+				return true
+			})
+
+			for _, a := range acqs {
+				if released[a.expr][a.need] {
+					continue
+				}
+				pass.Reportf(a.call.Pos(),
+					"%s of %s in %s is not released via defer or a recognized unlocking helper: a panic on this path leaks the lock (PR 4 class); release it with defer or annotate //pmemvet:ignore <reason>",
+					a.kind, a.expr, name)
+			}
+		})
+	}
+}
+
+// calleeName renders the called function's bare name ("invokeUnlocking",
+// "s.lockStripes" -> "s.lockStripes").
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+func lastNamePart(name string) string {
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HookPurity guards the crash-injection machinery against re-entrancy:
+// pmem.Config.StoreHook fires inside Region.Store/CAS/Add, so any code
+// reachable from a hook that calls back into a Region mutator recurses
+// into the hook again (unbounded, if unconditional) or deadlocks against
+// the mutation it interrupted. Hooks exist to observe and panic — never to
+// mutate.
+//
+// The analysis finds every StoreHook binding in the package (composite
+// literal field or assignment), then walks the same-package call graph
+// from the hook function. A path that reaches a direct Region mutator call
+// (Store, CAS, Add, WriteBytes, Zero) is reported at the binding with the
+// call chain. Calls into other packages are assumed pure (crash-test hooks
+// call test helpers and panic), except Region mutator methods themselves.
+var HookPurity = &Analyzer{
+	Name: "hookpurity",
+	Doc:  "StoreHook callbacks must not call back into Region mutators",
+	Run:  runHookPurity,
+}
+
+var regionMutators = map[string]bool{
+	"Store": true, "CAS": true, "Add": true, "WriteBytes": true, "Zero": true,
+}
+
+func runHookPurity(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// mutatorIn scans one function body (not descending into nested
+	// literals, which are separate values with separate reachability) for a
+	// direct Region mutator call and for same-package callees.
+	type bodyFacts struct {
+		mutator *ast.CallExpr // first direct mutator call, if any
+		method  string
+		callees []*types.Func
+	}
+	scan := func(body *ast.BlockStmt) bodyFacts {
+		var bf bodyFacts
+		inspectShallow(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if m, ok := regionMethod(info, call); ok && regionMutators[m] {
+				if bf.mutator == nil {
+					bf.mutator = call
+					bf.method = m
+				}
+				return true
+			}
+			var obj types.Object
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				obj = info.Uses[fun]
+			case *ast.SelectorExpr:
+				obj = info.Uses[fun.Sel]
+			}
+			if fn, ok := obj.(*types.Func); ok && fn.Pkg() == pass.Pkg.Types {
+				bf.callees = append(bf.callees, fn)
+			}
+			return true
+		})
+		return bf
+	}
+
+	// Index every declared function's facts.
+	decls := map[*types.Func]bodyFacts{}
+	for _, f := range pass.Pkg.Syntax {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = scan(fd.Body)
+			}
+		}
+	}
+
+	// reaches walks the call graph from a set of facts, returning the chain
+	// of function names down to a mutator call, or nil.
+	var reaches func(bf bodyFacts, seen map[*types.Func]bool) []string
+	reaches = func(bf bodyFacts, seen map[*types.Func]bool) []string {
+		if bf.mutator != nil {
+			return []string{"Region." + bf.method}
+		}
+		for _, fn := range bf.callees {
+			if seen[fn] {
+				continue
+			}
+			seen[fn] = true
+			cf, ok := decls[fn]
+			if !ok {
+				continue
+			}
+			if chain := reaches(cf, seen); chain != nil {
+				return append([]string{fn.Name()}, chain...)
+			}
+		}
+		return nil
+	}
+
+	report := func(bindPos ast.Node, hook ast.Expr) {
+		var bf bodyFacts
+		switch h := hook.(type) {
+		case *ast.FuncLit:
+			bf = scan(h.Body)
+		case *ast.Ident, *ast.SelectorExpr:
+			var obj types.Object
+			if id, ok := h.(*ast.Ident); ok {
+				obj = info.Uses[id]
+			} else {
+				obj = info.Uses[h.(*ast.SelectorExpr).Sel]
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				return
+			}
+			df, ok := decls[fn]
+			if !ok {
+				return
+			}
+			bf = df
+		default:
+			return
+		}
+		if chain := reaches(bf, map[*types.Func]bool{}); chain != nil {
+			path := "hook"
+			for _, c := range chain {
+				path += " -> " + c
+			}
+			pass.Reportf(bindPos.Pos(),
+				"StoreHook reaches a Region mutator (%s): the hook fires inside Store/CAS/Add, so mutating re-enters the hook (recursion) or tears the interrupted mutation", path)
+		}
+	}
+
+	// isStoreHookField reports whether the selected/keyed field is the
+	// StoreHook field of a struct declared in a package named pmem.
+	isStoreHookObj := func(obj types.Object) bool {
+		v, ok := obj.(*types.Var)
+		return ok && v.Name() == "StoreHook" && v.Pkg() != nil && v.Pkg().Name() == "pmem"
+	}
+
+	for _, f := range pass.Pkg.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				for _, el := range n.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok || key.Name != "StoreHook" {
+						continue
+					}
+					if obj, ok := info.Uses[key]; ok && isStoreHookObj(obj) {
+						report(kv, kv.Value)
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok || sel.Sel.Name != "StoreHook" || i >= len(n.Rhs) {
+						continue
+					}
+					if obj, ok := info.Uses[sel.Sel]; ok && isStoreHookObj(obj) {
+						report(n, n.Rhs[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,168 @@
+// Package load turns Go package patterns into parsed, type-checked
+// syntax trees using only the standard library and the go tool.
+//
+// It is the offline substitute for golang.org/x/tools/go/packages that
+// cmd/ralloc-vet is built on: `go list -export -deps` compiles every
+// dependency (standard library included) into export data via the build
+// cache, and each target package's own files are parsed and type-checked
+// from source against that export data with the stock gc importer. No
+// network, no third-party modules, and positions for every target package
+// share one token.FileSet.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	// Syntax holds the parsed files: GoFiles, then — when Config.Tests is
+	// set — the in-package TestGoFiles. External (_test package) files are
+	// a separate compilation unit and are not included.
+	Syntax []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+}
+
+// Config controls a Load.
+type Config struct {
+	// Dir is the directory the go tool runs in (module root, or any
+	// directory inside the module). Empty means the current directory.
+	Dir string
+	// Tests includes each package's in-package _test.go files in its
+	// compilation unit, the way `go vet` does.
+	Tests bool
+}
+
+// listed is the subset of `go list -json` output the loader consumes.
+type listed struct {
+	ImportPath  string
+	Dir         string
+	Standard    bool
+	Export      string
+	GoFiles     []string
+	TestGoFiles []string
+	Error       *struct{ Err string }
+}
+
+func goList(dir string, args ...string) ([]listed, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	var pkgs []listed
+	dec := json.NewDecoder(&out)
+	for {
+		var p listed
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load lists, parses, and type-checks the packages matching patterns.
+func Load(cfg Config, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	// Pass 1: enumerate the target packages and their files.
+	targets, err := goList(cfg.Dir, append([]string{"-json"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	// Pass 2: compile everything the targets (and their tests) need into
+	// export data. -test compiles the test variants too, which is what
+	// forces test-only dependencies (testing, net, ...) through the build
+	// cache. -e keeps going past packages with no test files.
+	deps, err := goList(cfg.Dir, append([]string{"-e", "-export", "-deps", "-test", "-json=ImportPath,Export,Standard"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, d := range deps {
+		// Test variants list as `path [other.test]`; the plain compilation
+		// is the one import statements resolve to.
+		if d.Export != "" && !strings.ContainsAny(d.ImportPath, " [") {
+			exports[d.ImportPath] = d.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var out []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", t.ImportPath, t.Error.Err)
+		}
+		files := append([]string(nil), t.GoFiles...)
+		if cfg.Tests {
+			files = append(files, t.TestGoFiles...)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		var syntax []*ast.File
+		for _, name := range files {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			syntax = append(syntax, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		var typeErrs []error
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { typeErrs = append(typeErrs, err) },
+		}
+		tpkg, _ := conf.Check(t.ImportPath, fset, syntax, info)
+		if len(typeErrs) > 0 {
+			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, typeErrs[0])
+		}
+		out = append(out, &Package{
+			ImportPath: t.ImportPath,
+			Dir:        t.Dir,
+			Fset:       fset,
+			Syntax:     syntax,
+			Types:      tpkg,
+			Info:       info,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,38 @@
+// Fixtures for the hookpurity analyzer.
+package hook
+
+import "fixture/pmem"
+
+var g *pmem.Region
+
+func mutate(off, val uint64) { g.Store(off, val) }
+
+func viaChain(off, val uint64) { mutate(off, val) }
+
+func observe(off, val uint64) {}
+
+// literalHook binds a function literal that mutates directly.
+func literalHook(r *pmem.Region) pmem.Config {
+	return pmem.Config{
+		StoreHook: func(off, val uint64) { // want "StoreHook reaches a Region mutator"
+			r.Store(0, 1)
+		},
+	}
+}
+
+// assignedHooks exercises the assignment form and the call-graph walk.
+func assignedHooks(cfg *pmem.Config) {
+	cfg.StoreHook = observe
+	cfg.StoreHook = viaChain // want "StoreHook reaches a Region mutator"
+}
+
+// pureHook only observes and panics: the designed use.
+func pureHook() pmem.Config {
+	return pmem.Config{
+		StoreHook: func(off, val uint64) {
+			if off == 0 {
+				panic("crash point")
+			}
+		},
+	}
+}

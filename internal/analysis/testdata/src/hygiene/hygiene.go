@@ -1,0 +1,23 @@
+// Fixtures for the framework-level annotation hygiene: reasoned ignores
+// suppress, bare ignores are themselves diagnostics, and publish markers
+// that mark nothing are dangling.
+package hygiene
+
+import "fixture/pmem"
+
+// reasoned is suppressed: the ignore carries a reason.
+func reasoned(r *pmem.Region, off uint64) {
+	//pmemvet:ignore fixture: intentionally single-writer
+	r.Store(off, r.Load(off)+1)
+}
+
+// bare keeps its finding and earns a second one for the naked ignore.
+func bare(r *pmem.Region, off uint64) {
+	// want-next "bare //pmemvet:ignore: a reason is required"
+	//pmemvet:ignore
+	r.Store(off+8, r.Load(off+8)+1) // want "non-atomic read-modify-write"
+}
+
+// want-next "dangling //pmem:publish"
+//pmem:publish
+var sentinel = 0

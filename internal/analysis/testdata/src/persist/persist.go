@@ -1,0 +1,56 @@
+// Fixtures for the persistorder analyzer.
+package persist
+
+import "fixture/pmem"
+
+// badUnflushed publishes with payload never flushed.
+func badUnflushed(r *pmem.Region) {
+	r.Store(16, 7)
+	r.WriteBytes(24, []byte("x"))
+	//pmem:publish
+	r.Store(8, 16) // want "publish Store with 2 unflushed payload write"
+}
+
+// badUnfenced flushes but never fences before the link swing.
+func badUnfenced(r *pmem.Region) {
+	r.Store(16, 7)
+	r.FlushRange(16, 8)
+	//pmem:publish
+	r.Store(8, 16) // want "publish Store after a flush with no Fence"
+}
+
+// badZero covers the Zero and Add payload-write forms.
+func badZero(r *pmem.Region) {
+	r.Zero(32, 16)
+	r.Add(48, 1)
+	//pmem:publish
+	r.CAS(8, 0, 32) // want "publish CAS with 2 unflushed payload write"
+}
+
+// goodPublish is the canonical sequence: write, flush, fence, swing.
+func goodPublish(r *pmem.Region) {
+	r.Store(16, 7)
+	r.WriteBytes(24, []byte("x"))
+	r.FlushRange(16, 16)
+	r.Fence()
+	//pmem:publish
+	r.Store(8, 16)
+	r.Flush(8)
+	r.Fence()
+}
+
+// goodPersist: Persist covers flush and fence at once.
+func goodPersist(r *pmem.Region) {
+	r.WriteBytes(24, []byte("x"))
+	r.Persist()
+	//pmem:publish
+	r.CAS(8, 0, 24)
+}
+
+// goodMarkerSameLine: the marker may share the store's line.
+func goodMarkerSameLine(r *pmem.Region) {
+	r.Store(16, 7)
+	r.Flush(16)
+	r.Fence()
+	r.Store(8, 16) //pmem:publish
+}

@@ -1,0 +1,82 @@
+// Fixtures for the deferunlock analyzer. The directory name ends in
+// /server, which puts the package inside the guarded set.
+package server
+
+import "sync"
+
+type S struct {
+	mu  sync.Mutex
+	rmu sync.RWMutex
+}
+
+// bad releases on the straight line only: a panic between Lock and Unlock
+// leaks the mutex.
+func (s *S) bad() {
+	s.mu.Lock() // want "Lock of s.mu in bad is not released via defer"
+	s.mu.Unlock()
+}
+
+// badRead is the read-side variant.
+func (s *S) badRead() {
+	s.rmu.RLock() // want "RLock of s.rmu in badRead"
+	s.rmu.RUnlock()
+}
+
+// badClosure: function literals are scopes of their own; the defer in the
+// enclosing function does not cover the literal's extra acquisition.
+func (s *S) badClosure() func() {
+	return func() {
+		s.mu.Lock() // want "Lock of s.mu in func literal"
+		s.mu.Unlock()
+	}
+}
+
+// badMismatch defers the wrong side: an RLock needs RUnlock.
+func (s *S) badMismatch() {
+	s.rmu.RLock() // want "RLock of s.rmu in badMismatch"
+	defer s.rmu.Unlock()
+}
+
+// good is the plain compliant form.
+func (s *S) good() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+// invokeUnlocking mirrors the real registry helper: it owns the release.
+func invokeUnlocking(mu *sync.Mutex, fn func()) {
+	defer mu.Unlock()
+	fn()
+}
+
+// goodHandoff acquires and hands the mutex to a helper that defer-releases
+// the corresponding parameter.
+func (s *S) goodHandoff() {
+	mu := &s.mu
+	mu.Lock()
+	invokeUnlocking(mu, func() {})
+}
+
+// lockBoth is an acquisition helper: "lock"-named and takes mutex locks.
+// Its internal Lock calls are exempt; its call sites must pair the first
+// argument with a deferred unlock.
+func lockBoth(a, b *sync.Mutex) {
+	a.Lock()
+	b.Lock()
+}
+
+func unlockBoth(a, b *sync.Mutex) {
+	b.Unlock()
+	a.Unlock()
+}
+
+// goodHelper pairs the acquisition helper with a deferred unlock-named call.
+func goodHelper(a, b *sync.Mutex) {
+	lockBoth(a, b)
+	defer unlockBoth(a, b)
+}
+
+// badHelper takes locks through the helper and never releases them.
+func badHelper(a, b *sync.Mutex) {
+	lockBoth(a, b) // want "lockBoth of a in badHelper"
+}

@@ -270,6 +270,7 @@ func (m *HashMap) SetExpire(h alloc.Handle, key, value []byte, expireAt uint64) 
 	}
 	r.FlushRange(n, size)
 	r.Fence()
+	//pmem:publish
 	r.Store(prev, pptr.Pack(prev, n))
 	r.Flush(prev)
 	r.Fence()

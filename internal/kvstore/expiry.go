@@ -43,11 +43,19 @@ func (ix *expiryIndex) set(key string, deadline int64) {
 		return
 	}
 	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if _, ok := ix.at[key]; !ok {
 		ix.n.Add(1)
 	}
 	ix.at[key] = deadline
-	ix.mu.Unlock()
+}
+
+// has reports whether key carries a hint, under the read side only.
+func (ix *expiryIndex) has(key string) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	_, present := ix.at[key]
+	return present
 }
 
 // remove forgets a key. The empty- and absent-key fast paths take no lock
@@ -57,18 +65,15 @@ func (ix *expiryIndex) remove(key string) {
 	if ix.n.Load() == 0 {
 		return
 	}
-	ix.mu.RLock()
-	_, present := ix.at[key]
-	ix.mu.RUnlock()
-	if !present {
+	if !ix.has(key) {
 		return
 	}
 	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if _, ok := ix.at[key]; ok {
 		delete(ix.at, key)
 		ix.n.Add(-1)
 	}
-	ix.mu.Unlock()
 }
 
 // removeIf forgets a key only while its deadline is still at — the caller
@@ -76,11 +81,11 @@ func (ix *expiryIndex) remove(key string) {
 // the key with a fresh deadline since; that fresh hint must survive.
 func (ix *expiryIndex) removeIf(key string, at int64) {
 	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if cur, ok := ix.at[key]; ok && cur == at {
 		delete(ix.at, key)
 		ix.n.Add(-1)
 	}
-	ix.mu.Unlock()
 }
 
 // fix repairs a hint that disagreed with the persisted stamp: if the entry
@@ -88,6 +93,7 @@ func (ix *expiryIndex) removeIf(key string, at int64) {
 // (or dropped when the record is gone or immortal, persisted == 0).
 func (ix *expiryIndex) fix(key string, sampled, persisted int64) {
 	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if cur, ok := ix.at[key]; ok && cur == sampled {
 		if persisted == 0 {
 			delete(ix.at, key)
@@ -96,7 +102,6 @@ func (ix *expiryIndex) fix(key string, sampled, persisted int64) {
 			ix.at[key] = persisted
 		}
 	}
-	ix.mu.Unlock()
 }
 
 // expiryCandidate is one sampled (key, deadline) hint.

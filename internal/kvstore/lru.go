@@ -44,10 +44,10 @@ func footprint(key, value int) uint64 {
 // touch marks key as most recently used.
 func (ix *lruIndex) touch(key string) {
 	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if e, ok := ix.byKey[key]; ok {
 		ix.order.MoveToFront(e)
 	}
-	ix.mu.Unlock()
 }
 
 // update records an insert or replace and returns the keys to evict to get
@@ -86,6 +86,7 @@ func (ix *lruIndex) update(key string, size uint64) []string {
 // persistent map. Records primed later rank as more recently used.
 func (ix *lruIndex) prime(key string, size uint64) {
 	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if e, ok := ix.byKey[key]; ok {
 		ent := e.Value.(*lruEntry)
 		ix.bytes += size - ent.size
@@ -95,7 +96,6 @@ func (ix *lruIndex) prime(key string, size uint64) {
 		ix.byKey[key] = ix.order.PushFront(&lruEntry{key: key, size: size})
 		ix.bytes += size
 	}
-	ix.mu.Unlock()
 }
 
 // evictOver returns the keys to evict to bring the index back under budget
@@ -119,12 +119,12 @@ func (ix *lruIndex) evictOver() []string {
 // remove forgets a deleted key.
 func (ix *lruIndex) remove(key string) {
 	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if e, ok := ix.byKey[key]; ok {
 		ix.order.Remove(e)
 		delete(ix.byKey, key)
 		ix.bytes -= e.Value.(*lruEntry).size
 	}
-	ix.mu.Unlock()
 }
 
 // Bytes returns the tracked footprint.

@@ -1,0 +1,95 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEveryWriteCommandPersists is generated from the registry: every
+// command declared FlagWrite must, on a successful invocation, drive at
+// least one cache-line flush AND one fence on the heap's Region — the
+// dynamic counterpart of the persistorder analyzer, and the structural
+// guarantee behind "an acknowledged write is durable". The sample table is
+// completeness-checked in both directions, so adding a write command
+// without a sample (or a sample for a command that lost FlagWrite) fails
+// here, not in review.
+func TestEveryWriteCommandPersists(t *testing.T) {
+	type sample struct {
+		setup [][]string // commands run (and discarded) before measuring
+		cmd   []string   // the measured invocation; must not reply an error
+	}
+	samples := map[string]sample{
+		"SET":      {cmd: []string{"SET", "pw:set", "v"}},
+		"SETNX":    {cmd: []string{"SETNX", "pw:setnx", "v"}},
+		"SETEX":    {cmd: []string{"SETEX", "pw:setex", "100", "v"}},
+		"PSETEX":   {cmd: []string{"PSETEX", "pw:psetex", "100000", "v"}},
+		"APPEND":   {setup: [][]string{{"SET", "pw:append", "v"}}, cmd: []string{"APPEND", "pw:append", "w"}},
+		"GETSET":   {setup: [][]string{{"SET", "pw:getset", "v"}}, cmd: []string{"GETSET", "pw:getset", "w"}},
+		"GETDEL":   {setup: [][]string{{"SET", "pw:getdel", "v"}}, cmd: []string{"GETDEL", "pw:getdel"}},
+		"INCR":     {setup: [][]string{{"SET", "pw:incr", "41"}}, cmd: []string{"INCR", "pw:incr"}},
+		"MSET":     {cmd: []string{"MSET", "pw:mset1", "v", "pw:mset2", "v"}},
+		"DEL":      {setup: [][]string{{"SET", "pw:del", "v"}}, cmd: []string{"DEL", "pw:del"}},
+		"FLUSHALL": {setup: [][]string{{"SET", "pw:flushall", "v"}}, cmd: []string{"FLUSHALL"}},
+		"EXPIRE":   {setup: [][]string{{"SET", "pw:expire", "v"}}, cmd: []string{"EXPIRE", "pw:expire", "100"}},
+		"PEXPIRE":  {setup: [][]string{{"SET", "pw:pexpire", "v"}}, cmd: []string{"PEXPIRE", "pw:pexpire", "100000"}},
+		"PERSIST":  {setup: [][]string{{"SET", "pw:persist", "v"}, {"EXPIRE", "pw:persist", "100"}}, cmd: []string{"PERSIST", "pw:persist"}},
+		"HSET":     {cmd: []string{"HSET", "pw:hset", "f", "v"}},
+		"HDEL":     {setup: [][]string{{"HSET", "pw:hdel", "f", "v"}}, cmd: []string{"HDEL", "pw:hdel", "f"}},
+		"LPUSH":    {cmd: []string{"LPUSH", "pw:lpush", "v"}},
+		"RPUSH":    {cmd: []string{"RPUSH", "pw:rpush", "v"}},
+		"LPOP":     {setup: [][]string{{"RPUSH", "pw:lpop", "a", "b", "c"}}, cmd: []string{"LPOP", "pw:lpop"}},
+		"RPOP":     {setup: [][]string{{"RPUSH", "pw:rpop", "a", "b", "c"}}, cmd: []string{"RPOP", "pw:rpop"}},
+	}
+
+	// Both directions of completeness against the live registry.
+	writeCmds := map[string]bool{}
+	for _, cmd := range Commands() {
+		if cmd.Flags&FlagWrite != 0 {
+			writeCmds[cmd.Name] = true
+			if _, ok := samples[cmd.Name]; !ok {
+				t.Errorf("write command %s has no persistence sample: add one to this test", cmd.Name)
+			}
+		}
+	}
+	for name := range samples {
+		if !writeCmds[name] {
+			t.Errorf("sample %s is not a FlagWrite command in the registry: drop or fix it", name)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	ts := startServer(t, Config{}, 0)
+	c := dial(t, ts)
+	region := ts.heap.Region()
+
+	for _, cmd := range Commands() {
+		if cmd.Flags&FlagWrite == 0 {
+			continue
+		}
+		s := samples[cmd.Name]
+		for _, pre := range s.setup {
+			if rp, err := c.Do(pre...); err != nil || rp.Kind == '-' {
+				t.Fatalf("%s setup %v: err=%v reply=%+v", cmd.Name, pre, err, rp)
+			}
+		}
+		before := region.Stats()
+		rp, err := c.Do(s.cmd...)
+		if err != nil {
+			t.Fatalf("%s: %v", cmd.Name, err)
+		}
+		if rp.Kind == '-' {
+			t.Fatalf("%s replied error %q: sample must be a successful write", cmd.Name, rp.Str)
+		}
+		after := region.Stats()
+		if after.Flushes == before.Flushes {
+			t.Errorf("%s (%s): no Region flush during a successful write — an acknowledged write must be written back",
+				cmd.Name, strings.Join(s.cmd, " "))
+		}
+		if after.Fences == before.Fences {
+			t.Errorf("%s (%s): no Region fence during a successful write — the write-back is unordered",
+				cmd.Name, strings.Join(s.cmd, " "))
+		}
+	}
+}

@@ -134,29 +134,30 @@ func (s *Server) expiryLoop() {
 		case <-s.stopExpiry:
 			return
 		case <-t.C:
-			s.execMu.RLock()
-			s.st.ReclaimExpired(hd, sample)
-			s.execMu.RUnlock()
+			s.reclaimUnderBarrier(hd, sample)
 			s.expiryCycles.Add(1)
 		}
 	}
 }
 
+// reclaimUnderBarrier runs one reclamation round under the checkpoint
+// barrier's read side, releasing it via defer so a panicking reclaim (a
+// corrupt free chain, say) cannot wedge SAVE behind a dead expiry goroutine.
+func (s *Server) reclaimUnderBarrier(hd alloc.Handle, sample int) {
+	s.execMu.RLock()
+	defer s.execMu.RUnlock()
+	s.st.ReclaimExpired(hd, sample)
+}
+
 // Serve accepts connections on l until the server shuts down. It always
 // closes l; after Shutdown or Abort it returns ErrServerClosed.
 func (s *Server) Serve(l net.Listener) error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if !s.addListener(l) {
 		l.Close()
 		return ErrServerClosed
 	}
-	s.listeners[l] = struct{}{}
-	s.mu.Unlock()
 	defer func() {
-		s.mu.Lock()
-		delete(s.listeners, l)
-		s.mu.Unlock()
+		s.removeListener(l)
 		l.Close()
 	}()
 
@@ -164,10 +165,7 @@ func (s *Server) Serve(l net.Listener) error {
 	for {
 		c, err := l.Accept()
 		if err != nil {
-			s.mu.Lock()
-			closed := s.closed
-			s.mu.Unlock()
-			if closed {
+			if s.isClosed() {
 				return ErrServerClosed
 			}
 			// Transient accept failures (EMFILE under a connection
@@ -191,6 +189,30 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
+// addListener registers l for Shutdown/Abort to close; it reports false
+// (without registering) when the server is already closed.
+func (s *Server) addListener(l net.Listener) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.listeners[l] = struct{}{}
+	return true
+}
+
+func (s *Server) removeListener(l net.Listener) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.listeners, l)
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
 // isTemporary reports whether an accept error is worth retrying. The
 // net.Error.Temporary contract is deprecated for general errors but remains
 // exactly right for accept(2) resource-exhaustion failures.
@@ -204,24 +226,33 @@ func isTemporary(err error) bool {
 }
 
 // getHandle takes an allocation handle from the pool, minting one if empty.
+// Minting happens outside the server mutex: NewHandle may take allocator
+// locks of its own, and the pool pop is the only part that needs s.mu.
 func (s *Server) getHandle() alloc.Handle {
+	if hd, ok := s.pooledHandle(); ok {
+		return hd
+	}
+	return s.a.NewHandle()
+}
+
+func (s *Server) pooledHandle() (alloc.Handle, bool) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if n := len(s.handles); n > 0 {
 		hd := s.handles[n-1]
 		s.handles = s.handles[:n-1]
-		s.mu.Unlock()
-		return hd
+		return hd, true
 	}
-	s.mu.Unlock()
-	return s.a.NewHandle()
+	var none alloc.Handle
+	return none, false
 }
 
 func (s *Server) putHandle(hd alloc.Handle) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if !s.closed {
 		s.handles = append(s.handles, hd)
 	}
-	s.mu.Unlock()
 }
 
 // handleConn runs one connection's read-execute-reply loop.
@@ -231,18 +262,12 @@ func (s *Server) handleConn(c net.Conn) {
 		s.sem <- struct{}{}
 		defer func() { <-s.sem }()
 	}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if !s.trackConn(c) {
 		c.Close()
 		return
 	}
-	s.conns[c] = struct{}{}
-	s.mu.Unlock()
 	defer func() {
-		s.mu.Lock()
-		delete(s.conns, c)
-		s.mu.Unlock()
+		s.untrackConn(c)
 		c.Close()
 	}()
 
@@ -299,6 +324,30 @@ func (s *Server) handleConn(c net.Conn) {
 	}
 }
 
+// trackConn registers a live connection for Shutdown to drain; it reports
+// false (without registering) when the server is already closed.
+func (s *Server) trackConn(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Server) untrackConn(c net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, c)
+}
+
+func (s *Server) connCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
 // dispatchBarrier runs one dispatch under the checkpoint barrier's read
 // side, releasing it via defer: a panicking handler must not leave the read
 // lock held, which would wedge every future SAVE (and Close) behind a dead
@@ -343,9 +392,7 @@ func deadlineFrom(now, d int64, seconds bool) int64 {
 // the whole block) is actually being returned.
 func (s *Server) info(census bool) string {
 	st := s.st.Stats()
-	s.mu.Lock()
-	nconns := len(s.conns)
-	s.mu.Unlock()
+	nconns := s.connCount()
 	var b strings.Builder
 	fmt.Fprintf(&b, "# Server\r\n")
 	fmt.Fprintf(&b, "allocator:%s\r\n", s.a.Name())
@@ -417,21 +464,7 @@ func (s *Server) Save() error {
 // 2×timeout are force-closed. Safe to call more than once.
 func (s *Server) Shutdown(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
-	s.mu.Lock()
-	if !s.closed && s.stopExpiry != nil {
-		close(s.stopExpiry)
-	}
-	s.closed = true
-	for l := range s.listeners {
-		l.Close()
-	}
-	for c := range s.conns {
-		// Wake blocked readers at the deadline; a connection mid-command
-		// still gets its replies written first.
-		c.SetReadDeadline(deadline)
-	}
-	s.mu.Unlock()
-
+	s.beginClose(deadline, true)
 	s.expiryWG.Wait()
 	done := make(chan struct{})
 	go func() {
@@ -453,7 +486,19 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 // effects may or may not have reached the store, exactly like a real crash);
 // no goroutine touches the heap after Abort returns.
 func (s *Server) Abort() {
+	s.beginClose(time.Time{}, false)
+	s.expiryWG.Wait()
+	s.closeConns()
+	s.wg.Wait()
+}
+
+// beginClose marks the server closed under the mutex: the expiry cycle is
+// stopped, listeners close, and — when armConns is set (graceful Shutdown) —
+// each open connection's read deadline is moved up so blocked readers wake.
+// A connection mid-command still gets its replies written first.
+func (s *Server) beginClose(deadline time.Time, armConns bool) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if !s.closed && s.stopExpiry != nil {
 		close(s.stopExpiry)
 	}
@@ -461,16 +506,17 @@ func (s *Server) Abort() {
 	for l := range s.listeners {
 		l.Close()
 	}
-	s.mu.Unlock()
-	s.expiryWG.Wait()
-	s.closeConns()
-	s.wg.Wait()
+	if armConns {
+		for c := range s.conns {
+			c.SetReadDeadline(deadline)
+		}
+	}
 }
 
 func (s *Server) closeConns() {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	for c := range s.conns {
 		c.Close()
 	}
-	s.mu.Unlock()
 }
