@@ -47,7 +47,7 @@ func main() {
 		ttlFrac   = flag.Float64("ttlfrac", -1, "fraction of updates that attach a TTL (-1: workload default)")
 		ttlMillis = flag.Int64("ttlms", 0, "TTL upper bound in ms for expiring updates (0: workload default)")
 		fields    = flag.Int("fields", 0, "hash fields per record for workload h (0: workload default, 16)")
-		jsonOut   = flag.String("out", "BENCH_5.json", "output path for -app benchjson")
+		jsonOut   = flag.String("out", "BENCH_7.json", "output path for -app benchjson")
 		threadStr = flag.String("threads", "", "comma-separated thread counts")
 		scale     = flag.Float64("scale", 1.0, "workload scale factor")
 		records   = flag.Int("records", 100_000, "memcached record count (paper: 100K)")
@@ -158,7 +158,8 @@ func main() {
 
 // benchJSON runs the three pipelined serving workloads — c (pure GET), a
 // (GET/SET 50/50), h (HGET/HSET 50/50 over hash objects) — against the
-// ralloc-backed server and writes K ops/s per workload as JSON.
+// ralloc-backed server and writes K ops/s plus server-side p50/p99 command
+// latency (from the per-command histograms) per workload as JSON.
 func benchJSON(factories map[string]bench.Factory, records, opsPerTh, pipeline int, heap uint64, out string) error {
 	threads := runtime.GOMAXPROCS(0)
 	if threads > 4 {
@@ -170,6 +171,8 @@ func benchJSON(factories map[string]bench.Factory, records, opsPerTh, pipeline i
 		ycsb.WorkloadH(records),
 	}
 	kops := map[string]float64{}
+	p50 := map[string]float64{}
+	p99 := map[string]float64{}
 	for _, w := range workloads {
 		cfg := bench.MemcachedConfig{Workload: w, OpsPerTh: opsPerTh}
 		series, err := bench.Sweep(factories["ralloc"], "ralloc", heap, []int{threads},
@@ -177,9 +180,12 @@ func benchJSON(factories map[string]bench.Factory, records, opsPerTh, pipeline i
 		if err != nil {
 			return err
 		}
-		kops[w.Name] = series.Points[0].Result.Kops()
-		fmt.Printf("benchjson: workload %s: %.1f K ops/s (threads=%d pipeline=%d)\n",
-			w.Name, kops[w.Name], threads, pipeline)
+		res := series.Points[0].Result
+		kops[w.Name] = res.Kops()
+		p50[w.Name] = res.P50us
+		p99[w.Name] = res.P99us
+		fmt.Printf("benchjson: workload %s: %.1f K ops/s, p50=%.1fus p99=%.1fus (threads=%d pipeline=%d)\n",
+			w.Name, kops[w.Name], p50[w.Name], p99[w.Name], threads, pipeline)
 	}
 	doc := struct {
 		Schema   string             `json:"schema"`
@@ -189,7 +195,9 @@ func benchJSON(factories map[string]bench.Factory, records, opsPerTh, pipeline i
 		Threads  int                `json:"threads"`
 		Pipeline int                `json:"pipeline"`
 		Kops     map[string]float64 `json:"kops_per_workload"`
-	}{"ralloc-bench-5", "memcached-net", records, opsPerTh, threads, pipeline, kops}
+		P50us    map[string]float64 `json:"p50_us_per_workload"`
+		P99us    map[string]float64 `json:"p99_us_per_workload"`
+	}{"ralloc-bench-7", "memcached-net", records, opsPerTh, threads, pipeline, kops, p50, p99}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync"
@@ -32,6 +33,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/kvstore"
+	"repro/internal/obs"
 	"repro/internal/pmem"
 	"repro/internal/ralloc"
 	"repro/internal/server"
@@ -53,6 +55,11 @@ func main() {
 		drain      = flag.Duration("drain", 5*time.Second, "graceful shutdown drain timeout")
 		expireTick = flag.Duration("expire-cycle", 100*time.Millisecond, "active expiry cycle interval; 0 disables (lazy expiry only)")
 		expireN    = flag.Int("expire-sample", 20, "max expired keys reclaimed per expiry cycle")
+
+		metricsAddr = flag.String("metrics-addr", "", "HTTP listen address for /metrics (Prometheus text) and /debug/pprof; empty disables")
+		slowerThan  = flag.Duration("slowlog-log-slower-than", 10*time.Millisecond, "slow-log threshold; negative logs every command, 0 disables the slow log")
+		slowlogLen  = flag.Int("slowlog-max-len", 128, "slow-log ring capacity")
+		latThresh   = flag.Duration("latency-threshold", 0, "LATENCY 'command' event threshold; 0 disables command latency events")
 	)
 	flag.Parse()
 	if *tcpAddr == "" && *unixAddr == "" {
@@ -74,7 +81,15 @@ func main() {
 	// Recovery-on-restart sequence: locate the persistent root, run GC
 	// recovery if the last session did not close cleanly, then re-attach
 	// the store (rebuilding the LRU index when a budget is configured).
-	var store *kvstore.Store
+	// The recovery statistics and attach duration are retained for the
+	// lifetime of the process: INFO persistence reports them, and the
+	// recovery phases become LATENCY events once the server exists.
+	var (
+		store      *kvstore.Store
+		recStats   ralloc.RecoveryStats
+		recovered  bool
+		attachedAt = time.Now()
+	)
 	root := heap.GetRoot(rootKV, nil)
 	switch {
 	case root == 0:
@@ -92,6 +107,7 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("recovery: %w", err))
 		}
+		recStats, recovered = stats, true
 		store = reattach(a, root, bound)
 		fmt.Printf("recovered after crash: %d reachable blocks (%d KB) in %v; %d records\n",
 			stats.ReachableBlocks, stats.ReachableBytes/1024, stats.Duration, store.Len())
@@ -99,6 +115,7 @@ func main() {
 		store = reattach(a, root, bound)
 		fmt.Printf("reopened after clean shutdown: %d records\n", store.Len())
 	}
+	attachDur := time.Since(attachedAt)
 
 	shutdownCh := make(chan os.Signal, 2)
 	signal.Notify(shutdownCh, syscall.SIGINT, syscall.SIGTERM)
@@ -116,9 +133,18 @@ func main() {
 		OnShutdown:           requestShutdown,
 		ActiveExpiryInterval: *expireTick,
 		ActiveExpirySample:   *expireN,
-		Info: func() string {
-			return fmt.Sprintf("# Heap\r\nsb_used_bytes:%d\r\nheap_dirty_at_open:%v\r\n",
-				heap.SBUsed(), dirty)
+		SlowlogSlowerThan:    *slowerThan,
+		SlowlogMaxLen:        *slowlogLen,
+		LatencyThreshold:     *latThresh,
+		InfoSections: []server.InfoSection{
+			{Name: "heap", Render: func() string {
+				return fmt.Sprintf("sb_used_bytes:%d\r\nheap_dirty_at_open:%v\r\n",
+					heap.SBUsed(), dirty)
+			}},
+			{Name: "allocator", Render: func() string { return allocatorInfo(heap) }},
+			{Name: "persistence", Render: func() string {
+				return persistenceInfo(recovered, recStats, attachDur)
+			}},
 		},
 	}
 	if *heapPath != "" {
@@ -134,6 +160,39 @@ func main() {
 	srv := server.New(a, store, srvCfg)
 	fmt.Printf("serving %d commands (COMMAND / COMMAND INFO for introspection, INFO commandstats for per-command counters)\n",
 		server.CommandCount())
+
+	// Startup timeline events: recovery phases (when GC recovery ran) and
+	// the attach duration land in the same LATENCY surface as checkpoints,
+	// so `LATENCY LATEST` after a crash-restart shows what recovery cost.
+	startupAt := time.Now()
+	if recovered {
+		srv.Events().Record("recovery-trace", startupAt, recStats.TraceTime)
+		srv.Events().Record("recovery-sweep", startupAt, recStats.SweepTime)
+		srv.Events().Record("recovery", startupAt, recStats.Duration)
+	}
+	srv.Events().Record("attach", startupAt, attachDur)
+
+	// Optional observability listener: /metrics (Prometheus text, no
+	// dependencies) plus /debug/pprof on a private mux. The registry draws
+	// from the server (commands, checkpoints, keyspace) and the heap
+	// (per-shard allocator counters).
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		reg.Register(srv)
+		reg.Register(heap)
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatal(fmt.Errorf("metrics listener: %w", err))
+		}
+		metricsSrv = &http.Server{Handler: obs.NewHTTPHandler(reg)}
+		fmt.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)\n", ml.Addr())
+		go func() {
+			if err := metricsSrv.Serve(ml); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "metrics serve: %v\n", err)
+			}
+		}()
+	}
 
 	for _, l := range listen(*tcpAddr, *unixAddr) {
 		fmt.Printf("listening on %s://%s\n", l.Addr().Network(), l.Addr())
@@ -178,6 +237,9 @@ func main() {
 	if err := srv.Shutdown(*drain); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 	}
+	if metricsSrv != nil {
+		metricsSrv.Close()
+	}
 	if *unixAddr != "" {
 		os.Remove(*unixAddr)
 	}
@@ -187,6 +249,43 @@ func main() {
 	if *heapPath != "" {
 		fmt.Printf("heap saved cleanly to %s\n", *heapPath)
 	}
+}
+
+// allocatorInfo renders the INFO allocator section from the heap's
+// per-shard slow-path counters.
+func allocatorInfo(heap *ralloc.Heap) string {
+	var b []byte
+	var refills, refillBlocks, steals, grows, drains, batches, freeBlocks uint64
+	var partial int
+	shards := heap.ShardStats()
+	for i, s := range shards {
+		refills += s.Refills
+		refillBlocks += s.RefillBlocks
+		steals += s.Steals
+		grows += s.Grows
+		drains += s.Drains
+		batches += s.FreeBatches
+		freeBlocks += s.FreeBlocks
+		partial += s.PartialSBs
+		b = fmt.Appendf(b, "shard%d:refills=%d,refill_blocks=%d,steals=%d,grows=%d,drains=%d,free_batches=%d,free_blocks=%d,partial_sbs=%d\r\n",
+			i, s.Refills, s.RefillBlocks, s.Steals, s.Grows, s.Drains, s.FreeBatches, s.FreeBlocks, s.PartialSBs)
+	}
+	head := fmt.Sprintf("shards:%d\r\nrefills:%d\r\nrefill_blocks:%d\r\nsteals:%d\r\ngrows:%d\r\ndrains:%d\r\nfree_batches:%d\r\nfree_blocks:%d\r\npartial_sbs:%d\r\n",
+		len(shards), refills, refillBlocks, steals, grows, drains, batches, freeBlocks, partial)
+	return head + string(b)
+}
+
+// persistenceInfo renders this process's contribution to INFO persistence:
+// the retained startup recovery statistics and attach duration (the server
+// splices these lines into its builtin Persistence section).
+func persistenceInfo(recovered bool, rs ralloc.RecoveryStats, attach time.Duration) string {
+	s := fmt.Sprintf("recovered_at_start:%v\r\nlast_attach_us:%d\r\n", recovered, attach.Microseconds())
+	if recovered {
+		s += fmt.Sprintf("recovery_reachable_blocks:%d\r\nrecovery_reachable_bytes:%d\r\nrecovery_trace_work:%d\r\nrecovery_sweep_units:%d\r\nrecovery_trace_us:%d\r\nrecovery_sweep_us:%d\r\nrecovery_total_us:%d\r\n",
+			rs.ReachableBlocks, rs.ReachableBytes, rs.TraceWork, rs.SweepUnits,
+			rs.TraceTime.Microseconds(), rs.SweepTime.Microseconds(), rs.Duration.Microseconds())
+	}
+	return s
 }
 
 // reattach re-opens the store at root, bounded when a budget is set.

@@ -1,6 +1,7 @@
 // ralloc-vet is the repository's static-analysis multichecker: it runs the
 // internal/analysis suite (persistorder, deferunlock, atomicword,
-// hookpurity) over the given package patterns and fails on any diagnostic.
+// hookpurity, obspurity) over the given package patterns and fails on any
+// diagnostic.
 //
 // Usage:
 //

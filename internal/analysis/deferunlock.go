@@ -9,9 +9,9 @@ import (
 
 // DeferUnlock enforces the serving layer's panic-safe lock discipline (the
 // PR 4 review class): in the guarded packages (internal/server,
-// internal/kvstore), every mutex acquisition — stripe locks, execMu, shard
-// and index mutexes — must be released on panic-unwind paths, not just on
-// the straight line. An acquisition is compliant when, in the same
+// internal/kvstore, internal/obs), every mutex acquisition — stripe locks,
+// execMu, shard and index mutexes, the observability rings' mutexes — must
+// be released on panic-unwind paths, not just on the straight line. An acquisition is compliant when, in the same
 // function, one of these holds:
 //
 //   - defer X.Unlock() / defer X.RUnlock() on the same receiver expression;
@@ -33,7 +33,7 @@ var DeferUnlock = &Analyzer{
 
 // guardedLockPackages names the package path suffixes deferunlock guards.
 // A variable so fixture tests can reuse directory names.
-var guardedLockPackages = regexp.MustCompile(`(^|/)(server|kvstore)$`)
+var guardedLockPackages = regexp.MustCompile(`(^|/)(server|kvstore|obs)$`)
 
 var unlockNamed = regexp.MustCompile(`(?i)unlock`)
 var lockHelperNamed = regexp.MustCompile(`^lock|^Lock`)

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"regexp"
+	"strconv"
+)
+
+// ObsPurity keeps the observability core a stdlib-only leaf. internal/obs is
+// recorded into from allocator refill paths, command dispatch, and checkpoint
+// phases, and rendered by an HTTP handler — so it must never reach back into
+// the layers it observes: importing the persistent-heap or serving packages
+// would invert the dependency (ralloc imports obs so the Heap can implement
+// obs.Collector), and touching a pmem.Region from a metrics render would put
+// an observability read on the crash-consistency audit surface. Both are
+// reported: imports of the guarded layer packages, and any call to a
+// pmem.Region method (mutating or not).
+var ObsPurity = &Analyzer{
+	Name: "obspurity",
+	Doc:  "internal/obs must stay a stdlib-only leaf: no heap/server imports, no Region calls",
+	Run:  runObsPurity,
+}
+
+// obsPackages names the package path suffixes obspurity guards. A variable so
+// fixture tests can reuse the directory name.
+var obsPackages = regexp.MustCompile(`(^|/)obs$`)
+
+// obsForbiddenImports matches the layers obs must not depend on: the
+// persistence stack (pmem, ralloc, alloc) and the storage/serving layers that
+// themselves import obs (kvstore, dstruct, server).
+var obsForbiddenImports = regexp.MustCompile(`(^|/)(pmem|ralloc|alloc|kvstore|dstruct|server)$`)
+
+func runObsPurity(pass *Pass) {
+	if !obsPackages.MatchString(pass.Pkg.Types.Path()) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Syntax {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if obsForbiddenImports.MatchString(path) {
+				pass.Reportf(imp.Pos(),
+					"obs imports %s: the observability core must stay a stdlib-only leaf (the observed layers import obs, never the reverse)", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if m, ok := regionMethod(info, call); ok {
+				pass.Reportf(call.Pos(),
+					"obs calls pmem.Region.%s: observability code must not touch the persistent heap", m)
+			}
+			return true
+		})
+	}
+}

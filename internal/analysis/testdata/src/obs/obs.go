@@ -1,0 +1,38 @@
+// Failing fixtures for the obspurity analyzer: the package path ends in
+// /obs, so importing a guarded layer package or touching a pmem.Region is
+// reported. The deferunlock analyzer also guards this directory — the
+// straight-line unlock below must fire it.
+package obs
+
+import (
+	"sync"
+
+	"fixture/pmem" // want "obs imports fixture/pmem: the observability core must stay a stdlib-only leaf"
+)
+
+// peek reaches into the persistent heap from observability code.
+func peek(r *pmem.Region) uint64 {
+	return r.Load(8) // want "obs calls pmem.Region.Load: observability code must not touch the persistent heap"
+}
+
+// ring mimics an obs-style mutex-guarded structure.
+type ring struct {
+	mu sync.Mutex
+	n  int
+}
+
+// badLen releases on the straight line only: a panic between Lock and Unlock
+// leaks the mutex. deferunlock guards obs packages too.
+func badLen(r *ring) int {
+	r.mu.Lock() // want "Lock of r.mu in badLen is not released via defer"
+	n := r.n
+	r.mu.Unlock()
+	return n
+}
+
+// goodLen is the compliant shape.
+func goodLen(r *ring) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}

@@ -244,5 +244,13 @@ func MemcachedNet(a alloc.Allocator, t int, cfg MemcachedConfig, pipeline int) R
 		}
 	})
 	ops := uint64(t) * uint64(cfg.OpsPerTh)
-	return Result{Allocator: a.Name(), Threads: t, Ops: ops, Elapsed: elapsed}
+	res := Result{Allocator: a.Name(), Threads: t, Ops: ops, Elapsed: elapsed}
+	// Server-side command latency percentiles from the merged per-command
+	// histograms: what the server spent executing each command, free of
+	// client-side pipelining slack.
+	if snap := srv.LatencySnapshot(); snap.Count > 0 {
+		res.P50us = snap.Quantile(0.50) / 1e3
+		res.P99us = snap.Quantile(0.99) / 1e3
+	}
+	return res
 }

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// EventHistory is how many samples each event's ring retains (Redis's
+// LATENCY HISTORY keeps 160).
+const EventHistory = 160
+
+// EventSample is one spike: when it happened and how long it took.
+type EventSample struct {
+	Unix int64 // seconds
+	Dur  time.Duration
+}
+
+// EventLatest is one event's summary row (the LATENCY LATEST shape).
+type EventLatest struct {
+	Name   string
+	Unix   int64 // time of the most recent sample
+	Latest time.Duration
+	Max    time.Duration
+}
+
+// event is one named timeline: a bounded ring of samples plus running max.
+type event struct {
+	ring [EventHistory]EventSample
+	n    int // samples stored (<= EventHistory)
+	pos  int // next write index
+	max  time.Duration
+}
+
+// Events is a named latency-event timeline, the substrate of the LATENCY
+// command family: checkpoint phases, expiry cycles, recovery phases and
+// over-threshold commands record spikes here. Recording takes a mutex —
+// every producer is a slow path by definition (a spike was just measured) —
+// so the hot dispatch pipeline only reaches Events when a command actually
+// exceeded the configured threshold.
+type Events struct {
+	mu sync.Mutex
+	m  map[string]*event
+}
+
+// NewEvents returns an empty timeline.
+func NewEvents() *Events { return &Events{m: map[string]*event{}} }
+
+// Record appends one sample to the named event's history.
+func (e *Events) Record(name string, at time.Time, d time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ev := e.m[name]
+	if ev == nil {
+		ev = &event{}
+		e.m[name] = ev
+	}
+	ev.ring[ev.pos] = EventSample{Unix: at.Unix(), Dur: d}
+	ev.pos = (ev.pos + 1) % EventHistory
+	if ev.n < EventHistory {
+		ev.n++
+	}
+	if d > ev.max {
+		ev.max = d
+	}
+}
+
+// Latest returns one summary row per event, sorted by name.
+func (e *Events) Latest() []EventLatest {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]EventLatest, 0, len(e.m))
+	for name, ev := range e.m {
+		last := ev.ring[(ev.pos+EventHistory-1)%EventHistory]
+		out = append(out, EventLatest{Name: name, Unix: last.Unix, Latest: last.Dur, Max: ev.max})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// History returns the named event's retained samples, oldest first, or nil
+// if the event has never fired.
+func (e *Events) History(name string) []EventSample {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ev := e.m[name]
+	if ev == nil {
+		return nil
+	}
+	out := make([]EventSample, 0, ev.n)
+	start := ev.pos - ev.n
+	for i := 0; i < ev.n; i++ {
+		out = append(out, ev.ring[(start+i+EventHistory)%EventHistory])
+	}
+	return out
+}
+
+// Reset forgets the named events (all of them when names is empty) and
+// reports how many timelines were cleared.
+func (e *Events) Reset(names ...string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(names) == 0 {
+		n := len(e.m)
+		e.m = map[string]*event{}
+		return n
+	}
+	n := 0
+	for _, name := range names {
+		if _, ok := e.m[name]; ok {
+			delete(e.m, name)
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the fixed bucket count of every Histogram. The layout is
+// log-spaced with two sub-buckets per power of two (a "log-linear" layout,
+// the same family HdrHistogram and mimalloc's stat buckets use): bucket i
+// covers durations whose top two binary digits select it, so the relative
+// error of any reconstructed quantile is at most ~41% and typically far
+// less after intra-bucket interpolation. 64 buckets at 2 per octave span
+// 1 ns .. 2^32 ns (~4.3 s); longer durations clamp into the last bucket,
+// whose true upper edge is still reported exactly via the Max word.
+const HistBuckets = 64
+
+// histBucketOf maps a non-negative nanosecond value to its bucket index.
+// For ns >= 2 the index is 2*(bitlen-1) + (second-highest bit), which is
+// monotone and contiguous: 2,3 land in buckets 2,3; [4,6) in 4; [6,8) in 5;
+// [8,12) in 6; and so on.
+func histBucketOf(ns uint64) int {
+	if ns < 2 {
+		return int(ns)
+	}
+	l := bits.Len64(ns)
+	idx := 2*(l-1) + int((ns>>(l-2))&1)
+	if idx >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return idx
+}
+
+// HistBucketLower returns the inclusive lower edge (ns) of bucket i.
+func HistBucketLower(i int) uint64 {
+	if i < 2 {
+		return uint64(i)
+	}
+	return uint64(2+(i&1)) << (uint(i)/2 - 1)
+}
+
+// HistBucketUpper returns the exclusive upper edge (ns) of bucket i; the
+// last bucket is unbounded and returns MaxUint64.
+func HistBucketUpper(i int) uint64 {
+	if i >= HistBuckets-1 {
+		return math.MaxUint64
+	}
+	return HistBucketLower(i + 1)
+}
+
+// Histogram is a fixed-layout latency histogram safe for any number of
+// concurrent recorders and readers. Record performs two atomic fetch-adds
+// (bucket and sum) — wait-free on the architectures Go's sync/atomic maps
+// to hardware fetch-add — plus a monotone max update whose CAS loop retries
+// only while other recorders publish strictly larger values, so every
+// recorder finishes in a bounded number of steps regardless of scheduling.
+// Recording allocates nothing (TestHistogramRecordNoAlloc pins this).
+//
+// The zero value is ready to use. Histograms must not be copied after use.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Uint64
+	sum     atomic.Uint64 // total nanoseconds
+	max     atomic.Uint64 // largest single recording, exact
+}
+
+// Record adds one duration. Negative durations (clock steps) record as 0.
+func (h *Histogram) Record(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.buckets[histBucketOf(ns)].Add(1)
+	h.sum.Add(ns)
+	for {
+		old := h.max.Load()
+		if ns <= old || h.max.CompareAndSwap(old, ns) {
+			return
+		}
+	}
+}
+
+// Snapshot copies the histogram's current state. Concurrent recordings may
+// or may not be included (each recording's bucket/sum/max updates land
+// independently), but every count observed is a real recording and the
+// snapshot is internally consistent enough for quantile estimates — the
+// documented (and tested) contract under live traffic.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.Buckets[i] = n
+		s.Count += n
+	}
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	return s
+}
+
+// Reset zeroes the histogram. Concurrent recordings may survive partially;
+// Reset is a debugging/administrative operation, not a synchronization one.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
+// HistSnapshot is an immutable copy of a Histogram, mergeable with others
+// (per-shard or per-command histograms aggregate by bucket-wise addition).
+type HistSnapshot struct {
+	Buckets [HistBuckets]uint64
+	Count   uint64
+	Sum     uint64 // ns
+	Max     uint64 // ns
+}
+
+// Merge adds o into s.
+func (s *HistSnapshot) Merge(o *HistSnapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+}
+
+// Mean returns the mean recorded duration in nanoseconds (0 when empty).
+func (s *HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) in nanoseconds by linear
+// interpolation inside the covering bucket. The top bucket interpolates
+// toward the exact Max, so Quantile(1) == Max.
+func (s *HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	} else if q >= 1 {
+		return float64(s.Max)
+	}
+	rank := q * float64(s.Count)
+	cum := float64(0)
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if next >= rank {
+			lo := float64(HistBucketLower(i))
+			hi := float64(HistBucketUpper(i))
+			if i == HistBuckets-1 || hi > float64(s.Max) {
+				hi = float64(s.Max)
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - cum) / float64(n)
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	return float64(s.Max)
+}

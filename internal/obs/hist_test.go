@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketLayout pins the log-linear layout: indices are
+// monotone, edges are contiguous, and every value lands between its
+// bucket's edges.
+func TestHistogramBucketLayout(t *testing.T) {
+	// Contiguity: bucket i's upper edge is bucket i+1's lower edge.
+	for i := 0; i < HistBuckets-1; i++ {
+		if HistBucketUpper(i) != HistBucketLower(i+1) {
+			t.Fatalf("bucket %d: upper %d != next lower %d", i, HistBucketUpper(i), HistBucketLower(i+1))
+		}
+	}
+	// Hand-checked anchors of the 2-sub-buckets-per-octave scheme.
+	anchors := map[uint64]int{
+		0: 0, 1: 1, 2: 2, 3: 3, 4: 4, 5: 4, 6: 5, 7: 5,
+		8: 6, 11: 6, 12: 7, 15: 7, 16: 8, 1000: 19,
+	}
+	for ns, want := range anchors {
+		if got := histBucketOf(ns); got != want {
+			t.Errorf("histBucketOf(%d) = %d, want %d", ns, got, want)
+		}
+	}
+	// Every value maps into [lower, upper).
+	for _, ns := range []uint64{0, 1, 2, 3, 7, 63, 64, 65, 999, 1 << 20, 1<<32 - 1, 1 << 40, math.MaxUint64} {
+		i := histBucketOf(ns)
+		if i < 0 || i >= HistBuckets {
+			t.Fatalf("histBucketOf(%d) = %d out of range", ns, i)
+		}
+		if ns < HistBucketLower(i) {
+			t.Errorf("ns %d below bucket %d lower %d", ns, i, HistBucketLower(i))
+		}
+		if i < HistBuckets-1 && ns >= HistBucketUpper(i) {
+			t.Errorf("ns %d at/above bucket %d upper %d", ns, i, HistBucketUpper(i))
+		}
+	}
+	// Monotone across a dense sweep.
+	prev := 0
+	for ns := uint64(0); ns < 1<<16; ns++ {
+		i := histBucketOf(ns)
+		if i < prev {
+			t.Fatalf("non-monotone at ns=%d: %d < %d", ns, i, prev)
+		}
+		prev = i
+	}
+}
+
+// TestHistogramRecordNoAlloc pins the zero-allocation contract of the
+// recording hot path (required by ISSUE 7's acceptance gates).
+func TestHistogramRecordNoAlloc(t *testing.T) {
+	var h Histogram
+	d := 137 * time.Microsecond
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(d)
+		d += time.Nanosecond
+	})
+	if allocs != 0 {
+		t.Fatalf("Histogram.Record allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestHistogramSnapshotAndQuantiles(t *testing.T) {
+	var h Histogram
+	// 1000 recordings at 1us..1000us: p50 ~ 500us, p99 ~ 990us, max exact.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("Count = %d, want 1000", s.Count)
+	}
+	if s.Max != uint64(1000*time.Microsecond) {
+		t.Fatalf("Max = %d, want %d", s.Max, 1000*time.Microsecond)
+	}
+	wantSum := uint64(0)
+	for i := 1; i <= 1000; i++ {
+		wantSum += uint64(i) * 1000
+	}
+	if s.Sum != wantSum {
+		t.Fatalf("Sum = %d, want %d", s.Sum, wantSum)
+	}
+	// Bucketed quantiles carry <=41% worst-case relative error; check 50%.
+	checks := []struct {
+		q    float64
+		want float64 // ns
+	}{{0.5, 500e3}, {0.99, 990e3}, {0.999, 999e3}}
+	for _, c := range checks {
+		got := s.Quantile(c.q)
+		if got < c.want*0.5 || got > c.want*1.5 {
+			t.Errorf("Quantile(%v) = %.0f, want within 50%% of %.0f", c.q, got, c.want)
+		}
+	}
+	if got := s.Quantile(1); got != float64(s.Max) {
+		t.Errorf("Quantile(1) = %.0f, want exact max %d", got, s.Max)
+	}
+	if got := s.Mean(); math.Abs(got-float64(wantSum)/1000) > 1e-6 {
+		t.Errorf("Mean = %v, want %v", got, float64(wantSum)/1000)
+	}
+
+	h.Reset()
+	s = h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Max != 0 {
+		t.Fatalf("after Reset: %+v", s)
+	}
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Fatalf("empty snapshot quantile/mean nonzero")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Record(10 * time.Microsecond)
+	a.Record(20 * time.Microsecond)
+	b.Record(5 * time.Millisecond)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(&sb)
+	if sa.Count != 3 {
+		t.Fatalf("merged Count = %d, want 3", sa.Count)
+	}
+	if sa.Max != uint64(5*time.Millisecond) {
+		t.Fatalf("merged Max = %d, want %d", sa.Max, 5*time.Millisecond)
+	}
+	if sa.Sum != uint64(30*time.Microsecond+5*time.Millisecond) {
+		t.Fatalf("merged Sum = %d", sa.Sum)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines while
+// snapshotting concurrently; run under -race this validates the lock-free
+// recording contract, and afterwards the totals must be exact.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers = 8
+	const perWorker = 10000
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() { // concurrent reader
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := h.Snapshot()
+				_ = s.Quantile(0.99)
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Record(time.Duration(w*perWorker+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("Count = %d, want %d", s.Count, workers*perWorker)
+	}
+	if s.Max != uint64(workers*perWorker-1) {
+		t.Fatalf("Max = %d, want %d", s.Max, workers*perWorker-1)
+	}
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Slow-log argument containment, Redis's exact policy: at most 32 arguments
+// are retained per entry (the 32nd slot becomes a "... (N more arguments)"
+// marker) and each retained argument is clipped to 128 bytes with a "..."
+// suffix — a slow MSET of maxBulkLen values must cost the log a few KB, not
+// pin the command's whole payload.
+const (
+	slowMaxArgs    = 32
+	slowMaxArgLen  = 128
+	defaultSlowLen = 128
+)
+
+// SlowEntry is one over-threshold command execution.
+type SlowEntry struct {
+	ID   int64 // unique, monotonically increasing
+	Unix int64 // when the command finished, seconds
+	Dur  time.Duration
+	Args []string // truncated per the containment policy
+}
+
+// SlowLog is a bounded ring of the slowest commands, fed by the dispatch
+// pipeline when an execution exceeds the configured threshold. Appends copy
+// (and truncate) the argument vector, so entries stay valid after the
+// connection's scratch buffers are reused; the mutex is fine because an
+// append already implies a command that took >= the threshold.
+type SlowLog struct {
+	mu     sync.Mutex
+	ring   []SlowEntry
+	n      int // entries stored (<= len(ring))
+	pos    int // next write index
+	nextID int64
+}
+
+// NewSlowLog returns a slow log retaining at most maxLen entries
+// (defaultSlowLen when maxLen <= 0).
+func NewSlowLog(maxLen int) *SlowLog {
+	if maxLen <= 0 {
+		maxLen = defaultSlowLen
+	}
+	return &SlowLog{ring: make([]SlowEntry, maxLen)}
+}
+
+// Add records one slow execution and returns its ID.
+func (l *SlowLog) Add(unix int64, d time.Duration, args [][]byte) int64 {
+	entry := SlowEntry{Unix: unix, Dur: d, Args: truncateArgs(args)}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	entry.ID = l.nextID
+	l.nextID++
+	l.ring[l.pos] = entry
+	l.pos = (l.pos + 1) % len(l.ring)
+	if l.n < len(l.ring) {
+		l.n++
+	}
+	return entry.ID
+}
+
+// truncateArgs copies args under the containment policy.
+func truncateArgs(args [][]byte) []string {
+	keep := len(args)
+	marker := false
+	if keep > slowMaxArgs {
+		keep = slowMaxArgs - 1
+		marker = true
+	}
+	out := make([]string, 0, keep+1)
+	for _, a := range args[:keep] {
+		if len(a) > slowMaxArgLen {
+			out = append(out, string(a[:slowMaxArgLen])+"...")
+		} else {
+			out = append(out, string(a))
+		}
+	}
+	if marker {
+		out = append(out, "... ("+strconv.Itoa(len(args)-keep)+" more arguments)")
+	}
+	return out
+}
+
+// Get returns up to n entries, newest first (n < 0: all retained entries).
+func (l *SlowLog) Get(n int) []SlowEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n < 0 || n > l.n {
+		n = l.n
+	}
+	out := make([]SlowEntry, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, l.ring[(l.pos-i+len(l.ring))%len(l.ring)])
+	}
+	return out
+}
+
+// Len reports how many entries are retained.
+func (l *SlowLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Reset discards all entries (IDs keep increasing, like Redis).
+func (l *SlowLog) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	clear(l.ring)
+	l.n = 0
+	l.pos = 0
+}

@@ -101,6 +101,8 @@ func (hd *Handle) refill(c int) bool {
 	h := hd.heap
 	r := h.region
 	hd.refills++
+	sc := &h.stats[hd.shard&h.shardMask]
+	sc.refills.Add(1)
 
 	// 1. Partial superblock: reserve all of its free blocks with one CAS.
 	// The pop prefers the handle's home shard and steals round-robin.
@@ -144,6 +146,7 @@ partial:
 					bi = uint32(next - 1)
 				}
 			}
+			sc.refillBlocks.Add(uint64(count))
 			return true
 		}
 	}
@@ -151,6 +154,7 @@ partial:
 	// 2. Free superblock.
 	if idx, ok := h.popDesc(offFreeHead, dOffNextFree); ok {
 		hd.initSuperblock(idx, c)
+		sc.refillBlocks.Add(uint64(sizeclass.BlocksPerSuperblock(c, SuperblockBytes)))
 		return true
 	}
 
@@ -159,10 +163,12 @@ partial:
 	if !ok {
 		return false
 	}
+	sc.grows.Add(1)
 	for i := first + count; i > first+1; i-- {
 		h.pushDesc(offFreeHead, dOffNextFree, i-1)
 	}
 	hd.initSuperblock(first, c)
+	sc.refillBlocks.Add(uint64(sizeclass.BlocksPerSuperblock(c, SuperblockBytes)))
 	return true
 }
 
@@ -198,6 +204,7 @@ func (hd *Handle) initSuperblock(idx uint32, c int) {
 // ReturnHalf ablation (§6.3 discusses Makalu's half-return locality edge).
 func (hd *Handle) drain(c int) {
 	hd.drains++
+	hd.heap.stats[hd.shard&hd.heap.shardMask].drains.Add(1)
 	blocks := hd.cache[c]
 	n := len(blocks)
 	if hd.heap.cfg.ReturnHalf {
@@ -272,6 +279,9 @@ func (hd *Handle) returnAll() {
 // blocks costs n+1 stores and one successful CAS instead of n.
 func (h *Heap) freeBatch(c int, shard uint32, blocks []uint64) {
 	r := h.region
+	sc := &h.stats[shard&h.shardMask]
+	sc.freeBatches.Add(1)
+	sc.freeBlocks.Add(uint64(len(blocks)))
 	idx, ok := h.lay.descIndexOf(blocks[0])
 	if !ok {
 		panic(fmt.Sprintf("ralloc: Free(%#x) outside the superblock region", blocks[0]))

@@ -85,6 +85,11 @@ type Heap struct {
 	shardMask uint32 // shards - 1
 	nextShard atomic.Uint32
 
+	// stats are the per-shard slow-path telemetry counters (stats.go).
+	// Fixed-size so no (re)allocation is needed across setShards; only
+	// the first `shards` entries are written.
+	stats [MaxShards]shardCounters
+
 	mu      sync.Mutex // guards handles and filters
 	handles []*Handle
 	filters [NumRoots]Filter

@@ -72,11 +72,16 @@ func (h *Heap) pushPartial(c int, s uint32, idx uint32) {
 }
 
 // popPartial pops a descriptor from class c's partial list, trying the home
-// shard first and then stealing round-robin from the remaining shards.
+// shard first and then stealing round-robin from the remaining shards. A
+// success at i > 0 is a steal, counted on the home shard's telemetry block
+// (the thief pays, so a hot shard's steal rate shows up on its own row).
 func (h *Heap) popPartial(c int, home uint32) (uint32, bool) {
 	for i := uint32(0); i < h.shards; i++ {
 		s := (home + i) & h.shardMask
 		if idx, ok := h.popDesc(partialHeadOff(c, s), dOffNextPartial); ok {
+			if i > 0 {
+				h.stats[home&h.shardMask].steals.Add(1)
+			}
 			return idx, true
 		}
 	}

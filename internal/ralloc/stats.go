@@ -1,0 +1,126 @@
+package ralloc
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/pptr"
+	"repro/internal/sizeclass"
+)
+
+// Per-shard allocator telemetry. The Malloc/Free fast paths — thread-cache
+// hit, no synchronization — are deliberately uninstrumented: Ralloc's whole
+// point is that the common case costs nothing, and a shared counter there
+// would reintroduce exactly the cache-line traffic the sharded lists remove.
+// Counters live on the slow paths only (cache refill, cache drain, remote-
+// free batches, region growth), so alloc/free volume is reported at
+// refill/return granularity. Each shard's block is one padded cache line;
+// handles homed on different shards never false-share.
+
+// shardCounters is one shard's slow-path counter block (64 bytes).
+type shardCounters struct {
+	refills      atomic.Uint64 // cache refills served (any source)
+	refillBlocks atomic.Uint64 // blocks acquired from global lists/region
+	steals       atomic.Uint64 // refills served by another shard's list
+	grows        atomic.Uint64 // region expansions
+	drains       atomic.Uint64 // cache overflows returned to superblocks
+	freeBatches  atomic.Uint64 // anchor-CAS batches (one per SB group)
+	freeBlocks   atomic.Uint64 // blocks returned inside those batches
+	_            [8]byte
+}
+
+// ShardStats is a point-in-time copy of one shard's counters plus a bounded
+// estimate of its partial-list population.
+type ShardStats struct {
+	Refills      uint64
+	RefillBlocks uint64
+	Steals       uint64
+	Grows        uint64
+	Drains       uint64
+	FreeBatches  uint64
+	FreeBlocks   uint64
+	// PartialSBs counts descriptors on this shard's partial lists across
+	// all size classes, from a bounded lock-free walk: concurrent pushes
+	// and pops can skew it, and the walk stops at a safety cap, so it is
+	// an observability estimate, never an invariant.
+	PartialSBs int
+}
+
+// partialWalkCap bounds ShardStats' list walks: the Treiber links are
+// mutated concurrently, so an unlucky snapshot could chase a stale chain;
+// capping the walk keeps a /metrics scrape O(1) regardless.
+const partialWalkCap = 1 << 14
+
+// ShardStats snapshots every shard's counters. Safe during live traffic.
+func (h *Heap) ShardStats() []ShardStats {
+	out := make([]ShardStats, h.shards)
+	for s := range out {
+		c := &h.stats[s]
+		out[s] = ShardStats{
+			Refills:      c.refills.Load(),
+			RefillBlocks: c.refillBlocks.Load(),
+			Steals:       c.steals.Load(),
+			Grows:        c.grows.Load(),
+			Drains:       c.drains.Load(),
+			FreeBatches:  c.freeBatches.Load(),
+			FreeBlocks:   c.freeBlocks.Load(),
+			PartialSBs:   h.partialLenBounded(uint32(s)),
+		}
+	}
+	return out
+}
+
+// partialLenBounded walks shard s's per-class partial lists under the
+// global walk cap.
+func (h *Heap) partialLenBounded(s uint32) int {
+	n, budget := 0, partialWalkCap
+	for c := 1; c <= sizeclass.NumClasses && budget > 0; c++ {
+		got := h.listLenBounded(partialHeadOff(c, s), dOffNextPartial, budget)
+		n += got
+		budget -= got
+	}
+	return n
+}
+
+// listLenBounded is listLen with an iteration cap, safe to call during
+// concurrent mutation (the count is approximate; the walk always ends).
+func (h *Heap) listLenBounded(headOff, linkOff uint64, max int) int {
+	n := 0
+	_, idx, ok := pptr.UnpackHead(h.region.Load(headOff))
+	for ok && n < max {
+		n++
+		next := h.region.Load(h.lay.descOff(idx) + linkOff)
+		if next == 0 {
+			break
+		}
+		idx = uint32(next - 1)
+	}
+	return n
+}
+
+// Collect implements obs.Collector: the allocator's /metrics families,
+// labeled by shard, plus heap-level gauges.
+func (h *Heap) Collect(e *obs.Emitter) {
+	e.Family("ralloc_allocator_refills_total", "counter", "Thread-cache refills per shard.")
+	e.Family("ralloc_allocator_refill_blocks_total", "counter", "Blocks acquired from global lists per shard.")
+	e.Family("ralloc_allocator_steals_total", "counter", "Refills served by stealing from another shard.")
+	e.Family("ralloc_allocator_grows_total", "counter", "Superblock-region expansions per shard.")
+	e.Family("ralloc_allocator_drains_total", "counter", "Thread-cache overflow drains per shard.")
+	e.Family("ralloc_allocator_free_batches_total", "counter", "Batched remote frees (one anchor CAS per superblock group).")
+	e.Family("ralloc_allocator_free_blocks_total", "counter", "Blocks returned via remote-free batches.")
+	e.Family("ralloc_allocator_partial_superblocks", "gauge", "Partial-list descriptors per shard (bounded estimate).")
+	for i, s := range h.ShardStats() {
+		shard := fmt.Sprintf("%d", i)
+		e.Value("ralloc_allocator_refills_total", float64(s.Refills), "shard", shard)
+		e.Value("ralloc_allocator_refill_blocks_total", float64(s.RefillBlocks), "shard", shard)
+		e.Value("ralloc_allocator_steals_total", float64(s.Steals), "shard", shard)
+		e.Value("ralloc_allocator_grows_total", float64(s.Grows), "shard", shard)
+		e.Value("ralloc_allocator_drains_total", float64(s.Drains), "shard", shard)
+		e.Value("ralloc_allocator_free_batches_total", float64(s.FreeBatches), "shard", shard)
+		e.Value("ralloc_allocator_free_blocks_total", float64(s.FreeBlocks), "shard", shard)
+		e.Value("ralloc_allocator_partial_superblocks", float64(s.PartialSBs), "shard", shard)
+	}
+	e.Family("ralloc_allocator_sb_used_bytes", "gauge", "Used portion of the superblock region.")
+	e.Value("ralloc_allocator_sb_used_bytes", float64(h.SBUsed()))
+}

@@ -57,6 +57,12 @@ func commandDefs() []*Command {
 		{Name: "INFO", Arity: -1, Flags: FlagReadonly, Handler: cmdInfo},
 		{Name: "SAVE", Arity: 1, Flags: FlagAdmin | FlagDenyTxn, Handler: cmdSave},
 		{Name: "SHUTDOWN", Arity: 1, Flags: FlagAdmin | FlagDenyTxn, Handler: cmdShutdown},
+
+		// Observability (commands_obs.go): the slow log and the latency
+		// event timeline. Readonly — they touch obs state, never the
+		// keyspace (ralloc-vet's obspurity analyzer holds obs to that).
+		{Name: "SLOWLOG", Arity: -2, Flags: FlagReadonly, Handler: cmdSlowlog},
+		{Name: "LATENCY", Arity: -2, Flags: FlagReadonly, Handler: cmdLatency},
 	}
 	// Typed objects (commands_object.go): the HSET and LPUSH families.
 	return append(defs, objectCommandDefs()...)
@@ -392,8 +398,14 @@ func cmdInfo(ctx *Ctx) {
 	// just to discard the result.
 	if len(ctx.args) == 2 && len(ctx.args[1]) <= 64 {
 		section := strings.ToLower(string(ctx.args[1]))
+		// commandstats and latencystats render from the per-command
+		// histograms and are omitted from the default reply, as in Redis.
 		if section == "commandstats" {
 			ctx.w.bulk([]byte(ctx.s.commandStats()))
+			return
+		}
+		if section == "latencystats" {
+			ctx.w.bulk([]byte(ctx.s.latencyStats()))
 			return
 		}
 		// The per-type keyspace census walks the whole map; only pay it

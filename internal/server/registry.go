@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/alloc"
+	"repro/internal/obs"
 )
 
 // This file is the command-table API: every command the server speaks is a
@@ -177,15 +178,15 @@ func arityOK(arity, n int) bool {
 	return n >= -arity
 }
 
-// cmdStats is one command's per-server counter block (boundCmd.invoke's
-// target). Latency is sampled 1-in-64 — a time.Time pair per call would
-// cost a measurable fraction of a pipelined GET — and reported as an
-// estimate.
+// cmdStats is one command's per-server telemetry block (boundCmd.invoke's
+// target): a full fixed-layout latency histogram — every invocation is
+// recorded, not sampled, which is what makes INFO latencystats' p50/p99/p999
+// real quantiles — plus an error-reply counter. Recording is two atomic
+// fetch-adds and allocates nothing (see obs.Histogram), so the dispatch
+// overhead gate still holds with it enabled.
 type cmdStats struct {
-	calls     atomic.Uint64
-	errs      atomic.Uint64
-	sampled   atomic.Uint64
-	sampledNs atomic.Int64
+	hist obs.Histogram
+	errs atomic.Uint64
 }
 
 // lock modes precomputed from a Command's flags and KeySpec so dispatch
@@ -222,24 +223,24 @@ func lockModeOf(c *Command) uint8 {
 
 // invoke is the innermost, built-in layer of the middleware chain, inlined
 // rather than closure-wrapped because it sits on the pipelined hot path: it
-// counts calls and error replies on every invocation and samples wall-clock
-// latency on every 64th (two clock reads per command are measurable there).
-// Error detection piggybacks on the reply writer: any handler that writes an
-// error reply bumps w.errs. Config.Middleware layers wrap outside this, in
-// bc.run.
+// times every invocation into the command's histogram (two clock reads plus
+// two atomic adds — the dispatch overhead gate pins this under 5%) and
+// counts error replies. Error detection piggybacks on the reply writer: any
+// handler that writes an error reply bumps w.errs. Executions at or over
+// the server's slowlog/latency thresholds take the slow path — by
+// definition not hot — which appends to the slow log ring and the LATENCY
+// event timeline. Config.Middleware layers wrap outside this, in bc.run.
 func (bc *boundCmd) invoke(ctx *Ctx) {
-	n := bc.stats.calls.Add(1)
 	e0 := ctx.w.errs
-	if n&63 == 0 {
-		t0 := time.Now()
-		bc.run(ctx)
-		bc.stats.sampledNs.Add(int64(time.Since(t0)))
-		bc.stats.sampled.Add(1)
-	} else {
-		bc.run(ctx)
-	}
+	t0 := time.Now()
+	bc.run(ctx)
+	d := time.Since(t0)
+	bc.stats.hist.Record(d)
 	if ctx.w.errs != e0 {
 		bc.stats.errs.Add(1)
+	}
+	if int64(d) >= ctx.s.slowNs || int64(d) >= ctx.s.latNs {
+		ctx.s.recordSlow(bc, ctx.args, t0, d)
 	}
 }
 

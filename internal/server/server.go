@@ -12,7 +12,30 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/kvstore"
+	"repro/internal/obs"
 )
+
+// InfoSection is one embedder-contributed INFO section: Render returns the
+// section's "key:value\r\n" lines (no "# Header" line — the server writes
+// it from Name, or splices the lines into the matching builtin section).
+type InfoSection struct {
+	Name   string // lowercase section name, e.g. "heap", "persistence"
+	Render func() string
+}
+
+// thresholdNs folds a config threshold into the one-comparison form invoke
+// uses: zero (unset) disables via the MaxInt64 sentinel, negative admits
+// everything, positive is the nanosecond threshold itself.
+func thresholdNs(d time.Duration) int64 {
+	switch {
+	case d == 0:
+		return math.MaxInt64
+	case d < 0:
+		return 0
+	default:
+		return int64(d)
+	}
+}
 
 // Config tunes a Server.
 type Config struct {
@@ -27,9 +50,26 @@ type Config struct {
 	// SHUTDOWN, after the +OK reply is flushed. The owner is expected to
 	// call Shutdown and close the heap.
 	OnShutdown func()
-	// Info, if non-nil, contributes extra sections to the INFO reply
-	// (heap statistics, say).
-	Info func() string
+	// InfoSections contributes extra named sections to the INFO reply
+	// (heap statistics, allocator shard counters, ...). A section whose
+	// Name matches a builtin section (notably "persistence") is appended
+	// inside that builtin block instead of rendered standalone, so an
+	// embedder can extend INFO persistence with recovery statistics. Every
+	// name here is advertised by Sections and must round-trip through
+	// INFO <name> (a registry-generated test enforces this).
+	InfoSections []InfoSection
+	// SlowlogSlowerThan is the slow-log admission threshold, Redis's
+	// slowlog-log-slower-than: executions taking at least this long are
+	// recorded. Zero (the zero value) disables the slow log; negative
+	// logs every command.
+	SlowlogSlowerThan time.Duration
+	// SlowlogMaxLen bounds the slow-log ring (default 128).
+	SlowlogMaxLen int
+	// LatencyThreshold is the LATENCY event-timeline admission threshold
+	// for the "command" event, Redis's latency-monitor-threshold.
+	// Zero disables command latency events; checkpoint, expiry-cycle and
+	// embedder-recorded events are always kept.
+	LatencyThreshold time.Duration
 	// ActiveExpiryInterval, if positive, starts the active expiry cycle: a
 	// goroutine that every interval samples TTL'd keys and reclaims the
 	// expired ones. It runs under the same barrier as commands (execMu
@@ -80,6 +120,24 @@ type Server struct {
 	commands     atomic.Uint64
 	expiryCycles atomic.Uint64
 
+	// Observability state (internal/obs): the slow-command ring, the named
+	// latency-event timeline, and the thresholds invoke compares against.
+	// slowNs/latNs are precomputed to int64 nanoseconds with MaxInt64 as
+	// the "disabled" sentinel so the hot path pays one comparison each.
+	slow   *obs.SlowLog
+	events *obs.Events
+	slowNs int64
+	latNs  int64
+
+	// Checkpoint and expiry phase telemetry: monotonically counted and
+	// last-duration words, surfaced by INFO persistence and /metrics.
+	saves         atomic.Uint64
+	saveErrs      atomic.Uint64
+	lastSaveUnix  atomic.Int64
+	saveQuiesceNs atomic.Int64 // last checkpoint's barrier-acquire wait
+	saveTotalNs   atomic.Int64 // last checkpoint end to end
+	expiryLastNs  atomic.Int64 // last expiry cycle duration
+
 	// cmds is the registry bound to this server: each table entry wrapped
 	// in the stats middleware (plus Config.Middleware) with its own
 	// counters. Built once in New; read-only afterwards.
@@ -102,6 +160,10 @@ func New(a alloc.Allocator, st *kvstore.Store, cfg Config) *Server {
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
 		start:     time.Now(),
+		slow:      obs.NewSlowLog(cfg.SlowlogMaxLen),
+		events:    obs.NewEvents(),
+		slowNs:    thresholdNs(cfg.SlowlogSlowerThan),
+		latNs:     thresholdNs(cfg.LatencyThreshold),
 	}
 	s.bindCommands()
 	if cfg.MaxConns > 0 {
@@ -134,8 +196,12 @@ func (s *Server) expiryLoop() {
 		case <-s.stopExpiry:
 			return
 		case <-t.C:
+			t0 := time.Now()
 			s.reclaimUnderBarrier(hd, sample)
+			d := time.Since(t0)
 			s.expiryCycles.Add(1)
+			s.expiryLastNs.Store(int64(d))
+			s.events.Record("expiry-cycle", t0, d)
 		}
 	}
 }
@@ -414,47 +480,204 @@ func (s *Server) info(census bool) string {
 	fmt.Fprintf(&b, "hits:%d\r\nmisses:%d\r\nsets:%d\r\ndeletes:%d\r\nevictions:%d\r\n",
 		st.Hits, st.Misses, st.Sets, st.Deletes, st.Evictions)
 	fmt.Fprintf(&b, "# Expires\r\n")
-	fmt.Fprintf(&b, "keys_with_ttl:%d\r\nexpired_lazy:%d\r\nexpired_reclaimed:%d\r\nexpiry_cycles:%d\r\n",
-		st.TTLd, st.Expired, st.Reclaimed, s.expiryCycles.Load())
-	if s.cfg.Info != nil {
-		b.WriteString(s.cfg.Info())
+	fmt.Fprintf(&b, "keys_with_ttl:%d\r\nexpired_lazy:%d\r\nexpired_reclaimed:%d\r\nexpiry_cycles:%d\r\nexpiry_last_cycle_us:%d\r\n",
+		st.TTLd, st.Expired, st.Reclaimed, s.expiryCycles.Load(), s.expiryLastNs.Load()/1e3)
+	b.WriteString(s.persistenceInfo())
+	for _, sec := range s.cfg.InfoSections {
+		if strings.EqualFold(sec.Name, "persistence") {
+			continue // spliced into the builtin block above
+		}
+		fmt.Fprintf(&b, "# %s\r\n", infoTitle(sec.Name))
+		b.WriteString(sec.Render())
 	}
 	return b.String()
 }
 
+// persistenceInfo renders the builtin "# Persistence" section — checkpoint
+// counts and last-checkpoint phase timings — with any embedder InfoSection
+// named "persistence" (recovery statistics, save-file size, ...) spliced
+// into the same block, the way Redis keeps all durability facts under one
+// header.
+func (s *Server) persistenceInfo() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Persistence\r\n")
+	fmt.Fprintf(&b, "checkpoints:%d\r\ncheckpoint_errors:%d\r\nlast_checkpoint_unix:%d\r\n",
+		s.saves.Load(), s.saveErrs.Load(), s.lastSaveUnix.Load())
+	fmt.Fprintf(&b, "last_checkpoint_quiesce_us:%d\r\nlast_checkpoint_total_us:%d\r\n",
+		s.saveQuiesceNs.Load()/1e3, s.saveTotalNs.Load()/1e3)
+	for _, sec := range s.cfg.InfoSections {
+		if strings.EqualFold(sec.Name, "persistence") {
+			b.WriteString(sec.Render())
+		}
+	}
+	return b.String()
+}
+
+// infoTitle renders a section name as its INFO header ("heap" → "Heap").
+func infoTitle(name string) string {
+	if name == "" {
+		return name
+	}
+	return strings.ToUpper(name[:1]) + name[1:]
+}
+
+// Sections lists every section name INFO <section> serves directly:
+// builtins first, then the embedder's. The registry-generated round-trip
+// test drives INFO with each of these and requires the reply to be exactly
+// that section.
+func (s *Server) Sections() []string {
+	names := []string{"server", "keyspace", "expires", "persistence", "commandstats", "latencystats"}
+	for _, sec := range s.cfg.InfoSections {
+		if !strings.EqualFold(sec.Name, "persistence") {
+			names = append(names, strings.ToLower(sec.Name))
+		}
+	}
+	return names
+}
+
 // commandStats renders the INFO commandstats section from the per-command
-// counters the stats layer maintains: calls, errors, and a latency estimate
-// from the 1-in-64 sample (usec_per_call is the sampled mean; usec scales
-// it by the call count). Only commands that have been called appear, in
+// histograms: calls, total and mean latency, and error-reply counts. The
+// line format is unchanged from the sampling era (byte-compatible with
+// existing parsers), but the numbers now come from every invocation rather
+// than a 1-in-64 estimate. Only commands that have been called appear, in
 // registry (name) order.
 func (s *Server) commandStats() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "# Commandstats\r\n")
 	for _, c := range commandList {
 		bc := s.cmds[c.Name]
-		calls := bc.stats.calls.Load()
-		if calls == 0 {
+		snap := bc.stats.hist.Snapshot()
+		if snap.Count == 0 {
 			continue
 		}
-		var perCall float64
-		if n := bc.stats.sampled.Load(); n > 0 {
-			perCall = float64(bc.stats.sampledNs.Load()) / float64(n) / 1e3
-		}
 		fmt.Fprintf(&b, "cmdstat_%s:calls=%d,usec=%.0f,usec_per_call=%.2f,errors=%d\r\n",
-			strings.ToLower(c.Name), calls, perCall*float64(calls), perCall, bc.stats.errs.Load())
+			strings.ToLower(c.Name), snap.Count, float64(snap.Sum)/1e3, snap.Mean()/1e3, bc.stats.errs.Load())
 	}
 	return b.String()
 }
 
+// latencyStats renders the INFO latencystats section, Redis 7 shaped: one
+// latency_percentiles_usec line per called command with p50/p99/p99.9
+// interpolated from its histogram.
+func (s *Server) latencyStats() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Latencystats\r\n")
+	for _, c := range commandList {
+		bc := s.cmds[c.Name]
+		snap := bc.stats.hist.Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "latency_percentiles_usec_%s:p50=%.3f,p99=%.3f,p99.9=%.3f\r\n",
+			strings.ToLower(c.Name), snap.Quantile(0.50)/1e3, snap.Quantile(0.99)/1e3, snap.Quantile(0.999)/1e3)
+	}
+	return b.String()
+}
+
+// recordSlow is invoke's over-threshold slow path: append to the slow log
+// ring and/or the "command" latency-event timeline. ctx.args is copied (and
+// truncated) by SlowLog.Add before dispatch's scratch reuse can touch it.
+func (s *Server) recordSlow(bc *boundCmd, args [][]byte, t0 time.Time, d time.Duration) {
+	if int64(d) >= s.slowNs {
+		s.slow.Add(t0.Unix(), d, args)
+	}
+	if int64(d) >= s.latNs {
+		s.events.Record("command", t0, d)
+	}
+}
+
+// Events exposes the server's latency-event timeline so embedders can
+// record their own named events (recovery phases, attach time) into the
+// same LATENCY LATEST/HISTORY surface the builtin events use.
+func (s *Server) Events() *obs.Events { return s.events }
+
+// LatencySnapshot merges every command's histogram into one distribution —
+// the server-wide command latency profile benchmarks report p50/p99 from.
+func (s *Server) LatencySnapshot() obs.HistSnapshot {
+	var total obs.HistSnapshot
+	for _, bc := range s.cmds {
+		snap := bc.stats.hist.Snapshot()
+		total.Merge(&snap)
+	}
+	return total
+}
+
+// Collect implements obs.Collector: the server's /metrics families —
+// connection and command totals, per-command latency histograms and error
+// counts, checkpoint and expiry telemetry, keyspace gauges.
+func (s *Server) Collect(e *obs.Emitter) {
+	e.Family("ralloc_connections_accepted_total", "counter", "Connections accepted since start.")
+	e.Value("ralloc_connections_accepted_total", float64(s.accepted.Load()))
+	e.Family("ralloc_connected_clients", "gauge", "Currently served connections.")
+	e.Value("ralloc_connected_clients", float64(s.connCount()))
+	e.Family("ralloc_commands_processed_total", "counter", "Commands dispatched since start.")
+	e.Value("ralloc_commands_processed_total", float64(s.commands.Load()))
+
+	e.Family("ralloc_command_calls_total", "counter", "Calls per command.")
+	e.Family("ralloc_command_errors_total", "counter", "Error replies per command.")
+	e.Family("ralloc_command_latency_seconds", "histogram", "Command execution latency.")
+	for _, c := range commandList {
+		bc := s.cmds[c.Name]
+		snap := bc.stats.hist.Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		name := strings.ToLower(c.Name)
+		e.Value("ralloc_command_calls_total", float64(snap.Count), "cmd", name)
+		e.Value("ralloc_command_errors_total", float64(bc.stats.errs.Load()), "cmd", name)
+		e.Histogram("ralloc_command_latency_seconds", &snap, "cmd", name)
+	}
+
+	e.Family("ralloc_checkpoints_total", "counter", "Checkpoints (SAVE) completed, including failed.")
+	e.Value("ralloc_checkpoints_total", float64(s.saves.Load()))
+	e.Family("ralloc_checkpoint_errors_total", "counter", "Checkpoints that returned an error.")
+	e.Value("ralloc_checkpoint_errors_total", float64(s.saveErrs.Load()))
+	e.Family("ralloc_checkpoint_last_duration_seconds", "gauge", "Last checkpoint duration end to end.")
+	e.Value("ralloc_checkpoint_last_duration_seconds", float64(s.saveTotalNs.Load())/1e9)
+	e.Family("ralloc_checkpoint_last_quiesce_seconds", "gauge", "Last checkpoint barrier-acquire wait.")
+	e.Value("ralloc_checkpoint_last_quiesce_seconds", float64(s.saveQuiesceNs.Load())/1e9)
+
+	e.Family("ralloc_expiry_cycles_total", "counter", "Active-expiry cycles completed.")
+	e.Value("ralloc_expiry_cycles_total", float64(s.expiryCycles.Load()))
+	e.Family("ralloc_expiry_last_cycle_seconds", "gauge", "Last expiry cycle duration.")
+	e.Value("ralloc_expiry_last_cycle_seconds", float64(s.expiryLastNs.Load())/1e9)
+
+	e.Family("ralloc_keyspace_records", "gauge", "Live records in the keyspace.")
+	e.Value("ralloc_keyspace_records", float64(s.st.Len()))
+	e.Family("ralloc_slowlog_length", "gauge", "Entries currently retained in the slow log.")
+	e.Value("ralloc_slowlog_length", float64(s.slow.Len()))
+}
+
 // Save quiesces command execution and runs the configured checkpoint: the
 // persistent image written is a consistent snapshot in which every
-// acknowledged write is present.
+// acknowledged write is present. Both phases are timed — the quiesce wait
+// (barrier acquisition, i.e. how long in-flight commands made the
+// checkpoint wait) and the checkpoint itself — and recorded as the
+// "checkpoint-quiesce" and "checkpoint" LATENCY events plus the INFO
+// persistence last-checkpoint fields.
 func (s *Server) Save() error {
 	if s.cfg.Checkpoint == nil {
 		return errors.New("server: no checkpoint configured")
 	}
+	t0 := time.Now()
+	err := s.saveQuiesced(t0)
+	total := time.Since(t0)
+	s.saveTotalNs.Store(int64(total))
+	s.lastSaveUnix.Store(t0.Unix())
+	s.saves.Add(1)
+	if err != nil {
+		s.saveErrs.Add(1)
+	}
+	s.events.Record("checkpoint", t0, total)
+	return err
+}
+
+func (s *Server) saveQuiesced(t0 time.Time) error {
 	s.execMu.Lock()
 	defer s.execMu.Unlock()
+	quiesce := time.Since(t0)
+	s.saveQuiesceNs.Store(int64(quiesce))
+	s.events.Record("checkpoint-quiesce", t0, quiesce)
 	return s.cfg.Checkpoint()
 }
 
