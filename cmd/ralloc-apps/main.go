@@ -47,7 +47,8 @@ func main() {
 		ttlFrac   = flag.Float64("ttlfrac", -1, "fraction of updates that attach a TTL (-1: workload default)")
 		ttlMillis = flag.Int64("ttlms", 0, "TTL upper bound in ms for expiring updates (0: workload default)")
 		fields    = flag.Int("fields", 0, "hash fields per record for workload h (0: workload default, 16)")
-		jsonOut   = flag.String("out", "BENCH_7.json", "output path for -app benchjson")
+		jsonOut   = flag.String("out", "BENCH_8.json", "output path for -app benchjson")
+		p99Gate   = flag.Float64("p99-save-gate", 0, "benchjson: fail if workload-a p99 under background SAVE exceeds this multiple of the steady-state p99; 0 disables")
 		threadStr = flag.String("threads", "", "comma-separated thread counts")
 		scale     = flag.Float64("scale", 1.0, "workload scale factor")
 		records   = flag.Int("records", 100_000, "memcached record count (paper: 100K)")
@@ -143,10 +144,11 @@ func main() {
 		}
 	case "benchjson":
 		// CI perf-trajectory baseline: pipelined network-mode K ops/s for
-		// the GET-only, GET/SET, and HGET/HSET workloads on ralloc, written
-		// as one JSON document (BENCH_5.json) so every future PR can diff
+		// the GET-only, GET/SET, and HGET/HSET workloads on ralloc — each
+		// also measured under a background online SAVE loop — written as
+		// one JSON document (BENCH_8.json) so every future PR can diff
 		// against it.
-		if err := benchJSON(factories, *records, scaleN(20000), *pipeline, *heapMB<<20, *jsonOut); err != nil {
+		if err := benchJSON(factories, *records, scaleN(20000), *pipeline, *heapMB<<20, *jsonOut, *p99Gate); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -159,8 +161,13 @@ func main() {
 // benchJSON runs the three pipelined serving workloads — c (pure GET), a
 // (GET/SET 50/50), h (HGET/HSET 50/50 over hash objects) — against the
 // ralloc-backed server and writes K ops/s plus server-side p50/p99 command
-// latency (from the per-command histograms) per workload as JSON.
-func benchJSON(factories map[string]bench.Factory, records, opsPerTh, pipeline int, heap uint64, out string) error {
+// latency (from the per-command histograms) per workload as JSON. Each
+// workload also runs under a continuous background online SAVE loop; the
+// p99 under that checkpoint pressure is recorded per workload, and with
+// gateFactor > 0 a workload-A p99-under-save worse than gateFactor× the
+// steady-state p99 fails the run — the regression gate for the online
+// checkpoint's "don't stop the world" promise.
+func benchJSON(factories map[string]bench.Factory, records, opsPerTh, pipeline int, heap uint64, out string, gateFactor float64) error {
 	threads := runtime.GOMAXPROCS(0)
 	if threads > 4 {
 		threads = 4
@@ -173,6 +180,8 @@ func benchJSON(factories map[string]bench.Factory, records, opsPerTh, pipeline i
 	kops := map[string]float64{}
 	p50 := map[string]float64{}
 	p99 := map[string]float64{}
+	p99save := map[string]float64{}
+	saves := map[string]uint64{}
 	for _, w := range workloads {
 		cfg := bench.MemcachedConfig{Workload: w, OpsPerTh: opsPerTh}
 		series, err := bench.Sweep(factories["ralloc"], "ralloc", heap, []int{threads},
@@ -184,25 +193,74 @@ func benchJSON(factories map[string]bench.Factory, records, opsPerTh, pipeline i
 		kops[w.Name] = res.Kops()
 		p50[w.Name] = res.P50us
 		p99[w.Name] = res.P99us
-		fmt.Printf("benchjson: workload %s: %.1f K ops/s, p50=%.1fus p99=%.1fus (threads=%d pipeline=%d)\n",
-			w.Name, kops[w.Name], p50[w.Name], p99[w.Name], threads, pipeline)
+
+		// The save variant runs on a right-sized region and a longer
+		// operation phase: the checkpoint loop must complete several full
+		// copy + fence cycles *during* traffic so the measured p99
+		// actually contains fence stalls — on a multi-GB region a single
+		// streaming pass outlives the whole benchmark and the cut-over
+		// never happens. The region is sized to ~2x the workload's record
+		// footprint (min 64MB) and the op count scales with it so the run
+		// outlasts the copy. Its throughput is not recorded, so the extra
+		// ops don't skew the kops baseline.
+		fields := w.Fields
+		if fields < 1 {
+			fields = 1
+		}
+		saveHeap := uint64(w.Records) * uint64(fields) * uint64(w.ValueSize+160) * 2
+		if saveHeap < 64<<20 {
+			saveHeap = 64 << 20
+		}
+		if saveHeap > heap {
+			saveHeap = heap
+		}
+		mult := 8 * int((saveHeap+64<<20-1)/(64<<20))
+		if mult > 64 {
+			mult = 64
+		}
+		saveCfg := cfg
+		saveCfg.OpsPerTh = cfg.OpsPerTh * mult
+		series, err = bench.Sweep(factories["ralloc"], "ralloc", saveHeap, []int{threads},
+			func(a alloc.Allocator, t int) bench.Result { return bench.MemcachedNetSave(a, t, saveCfg, pipeline) })
+		if err != nil {
+			return err
+		}
+		sres := series.Points[0].Result
+		p99save[w.Name] = sres.P99us
+		saves[w.Name] = sres.Saves
+		fmt.Printf("benchjson: workload %s: %.1f K ops/s, p50=%.1fus p99=%.1fus, p99-under-save=%.1fus (%d saves; threads=%d pipeline=%d)\n",
+			w.Name, kops[w.Name], p50[w.Name], p99[w.Name], p99save[w.Name], saves[w.Name], threads, pipeline)
 	}
 	doc := struct {
-		Schema   string             `json:"schema"`
-		App      string             `json:"app"`
-		Records  int                `json:"records"`
-		OpsPerTh int                `json:"ops_per_thread"`
-		Threads  int                `json:"threads"`
-		Pipeline int                `json:"pipeline"`
-		Kops     map[string]float64 `json:"kops_per_workload"`
-		P50us    map[string]float64 `json:"p50_us_per_workload"`
-		P99us    map[string]float64 `json:"p99_us_per_workload"`
-	}{"ralloc-bench-7", "memcached-net", records, opsPerTh, threads, pipeline, kops, p50, p99}
+		Schema    string             `json:"schema"`
+		App       string             `json:"app"`
+		Records   int                `json:"records"`
+		OpsPerTh  int                `json:"ops_per_thread"`
+		Threads   int                `json:"threads"`
+		Pipeline  int                `json:"pipeline"`
+		Kops      map[string]float64 `json:"kops_per_workload"`
+		P50us     map[string]float64 `json:"p50_us_per_workload"`
+		P99us     map[string]float64 `json:"p99_us_per_workload"`
+		P99SaveUs map[string]float64 `json:"p99_save_us_per_workload"`
+		Saves     map[string]uint64  `json:"saves_per_workload"`
+	}{"ralloc-bench-8", "memcached-net", records, opsPerTh, threads, pipeline, kops, p50, p99, p99save, saves}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(out, append(data, '\n'), 0o644)
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	if gateFactor > 0 {
+		limit := p99["a"] * gateFactor
+		if p99save["a"] > limit {
+			return fmt.Errorf("p99 gate: workload a p99 under background SAVE %.1fus exceeds %.1fx steady-state p99 (%.1fus limit)",
+				p99save["a"], gateFactor, limit)
+		}
+		fmt.Printf("benchjson: p99 gate ok: workload a under-save %.1fus <= %.1fus (%.1fx of %.1fus)\n",
+			p99save["a"], limit, gateFactor, p99["a"])
+	}
+	return nil
 }
 
 func printSweep(factories map[string]bench.Factory, allocs []string, threads []int,

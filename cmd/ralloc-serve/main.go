@@ -9,6 +9,12 @@
 //	ralloc-serve -heap /tmp/kv.heap -tcp :6379
 //	ralloc-serve -heap /tmp/kv.heap -unix /tmp/kv.sock -boundmb 64 -checkpoint 30s
 //	ralloc-serve -heap /tmp/kv.heap -expire-cycle 50ms -expire-sample 100
+//	ralloc-serve -heap /tmp/kv.heap -save-online=false   # stop-the-world SAVE
+//
+// SAVE checkpoints online by default: a write barrier tracks lines dirtied
+// while the image streams out, dirty lines are re-copied, and commands are
+// excluded only for the final cut-over delta (-save-online=false restores
+// the quiesced stop-the-world path).
 //
 // Keys may carry TTLs (EXPIRE/PEXPIRE/SETEX/PSETEX/TTL/PTTL/PERSIST): the
 // deadline is persisted inside the record itself, so expiration survives
@@ -52,6 +58,7 @@ func main() {
 		unixAddr   = flag.String("unix", "", "unix socket path")
 		maxConns   = flag.Int("maxconns", 0, "max simultaneous connections; 0 = unlimited")
 		checkpoint = flag.Duration("checkpoint", 0, "periodic checkpoint interval (file-backed heaps); 0 disables")
+		saveOnline = flag.Bool("save-online", true, "checkpoint online (write barrier + short cut-over fence) instead of stopping the world for the whole image write")
 		drain      = flag.Duration("drain", 5*time.Second, "graceful shutdown drain timeout")
 		expireTick = flag.Duration("expire-cycle", 100*time.Millisecond, "active expiry cycle interval; 0 disables (lazy expiry only)")
 		expireN    = flag.Int("expire-sample", 20, "max expired keys reclaimed per expiry cycle")
@@ -148,13 +155,31 @@ func main() {
 		},
 	}
 	if *heapPath != "" {
-		srvCfg.Checkpoint = func() error {
-			// With command execution quiesced, a full write-back makes the
-			// shadow image consistent; SaveFile then checkpoints exactly
-			// the survivable state (the dirty flag rides along still set,
-			// so a SIGKILL after this point recovers from here).
-			heap.Region().Persist()
-			return heap.Region().SaveFile(*heapPath)
+		if *saveOnline {
+			// Online checkpoint: the copy phases run while commands keep
+			// executing; only the final delta happens under the server's
+			// cut-over fence. The image captures the volatile words at the
+			// fence — with commands drained, that is exactly the state every
+			// acknowledged write reached (the dirty flag rides along still
+			// set, so a SIGKILL after this point recovers from here).
+			srvCfg.CheckpointOnline = func(fence func(cut func() error) error) (server.CheckpointStats, error) {
+				st, err := heap.Region().SaveFileOnline(*heapPath, fence)
+				return server.CheckpointStats{
+					Lines:         st.Lines,
+					Recopied:      st.Recopied,
+					FenceRecopied: st.FenceRecopied,
+					Rounds:        st.Rounds,
+				}, err
+			}
+		} else {
+			srvCfg.Checkpoint = func() error {
+				// With command execution quiesced, a full write-back makes the
+				// shadow image consistent; SaveFile then checkpoints exactly
+				// the survivable state (the dirty flag rides along still set,
+				// so a SIGKILL after this point recovers from here).
+				heap.Region().Persist()
+				return heap.Region().SaveFile(*heapPath)
+			}
 		}
 	}
 	srv := server.New(a, store, srvCfg)

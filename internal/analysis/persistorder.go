@@ -15,6 +15,11 @@ import (
 // between the publish and the (missing) write-back recovers a reachable
 // record with torn payload.
 //
+// Checkpoint calls are covered too: SaveFile (quiesced, shadow-based) with
+// unflushed writes in scope is reported — the file would silently lack them —
+// while SaveFileOnline is recognized as its own publish point (write barrier
+// + cut-over fence + atomic rename) needing no prior flush.
+//
 // The analysis is linear per function scope: statements are considered in
 // source order, any Flush is credited against all earlier writes (the real
 // code flushes whole node ranges), and branches are not path-sensitive.
@@ -73,6 +78,26 @@ func runPersistOrder(pass *Pass) {
 					// write-back being synchronous) needs no separate fence.
 					unflushed = unflushed[:0]
 					needFence = false
+				case "SaveFile":
+					// The quiesced checkpoint writes the *shadow* image: a
+					// write not yet flushed is silently absent from the
+					// file, so a checkpoint taken here would lose data the
+					// caller already acknowledged. Either Persist first or
+					// take the online path.
+					if len(unflushed) > 0 {
+						first := pass.Pkg.Fset.Position(unflushed[0])
+						pass.Reportf(call.Pos(),
+							"SaveFile checkpoints the shadow image with %d unflushed write(s) before it (first at line %d): call Persist first, or use SaveFileOnline whose write barrier captures live stores",
+							len(unflushed), first.Line)
+					}
+				case "SaveFileOnline":
+					// The online checkpoint is its own publish point: the
+					// write barrier plus cut-over fence capture the
+					// volatile image regardless of flush state, and the
+					// fsync + rename + directory-sync sequence publishes
+					// it durably. No prior flush or fence is required —
+					// and the region's lines stay dirty afterwards, so the
+					// tracked flush state is deliberately left untouched.
 				}
 				return true
 			})

@@ -54,3 +54,26 @@ func goodMarkerSameLine(r *pmem.Region) {
 	r.Fence()
 	r.Store(8, 16) //pmem:publish
 }
+
+// badSaveFile checkpoints the shadow with live unflushed writes: the image
+// silently lacks them.
+func badSaveFile(r *pmem.Region) {
+	r.Store(16, 7)
+	r.WriteBytes(24, []byte("x"))
+	r.SaveFile("kv.img") // want "SaveFile checkpoints the shadow image with 2 unflushed write"
+}
+
+// goodSaveFile persists first, so the shadow is complete at checkpoint time.
+func goodSaveFile(r *pmem.Region) {
+	r.Store(16, 7)
+	r.Persist()
+	r.SaveFile("kv.img")
+}
+
+// goodSaveFileOnline needs no prior flush: the write barrier and cut-over
+// fence capture the volatile image.
+func goodSaveFileOnline(r *pmem.Region) {
+	r.Store(16, 7)
+	r.WriteBytes(24, []byte("x"))
+	r.SaveFileOnline("kv.img", func(cut func() error) error { return cut() })
+}

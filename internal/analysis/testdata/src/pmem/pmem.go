@@ -18,6 +18,13 @@ func (r *Region) Flush(off uint64)                   {}
 func (r *Region) FlushRange(off, n uint64)           {}
 func (r *Region) Fence()                             {}
 func (r *Region) Persist()                           {}
+func (r *Region) SaveFile(path string) error         { return nil }
+func (r *Region) SaveFileOnline(path string, fence func(cut func() error) error) (SnapshotStats, error) {
+	return SnapshotStats{}, nil
+}
+
+// SnapshotStats mimics the online-snapshot copy counters.
+type SnapshotStats struct{ Lines, Recopied, FenceRecopied uint64 }
 
 // Config mimics the hook surface hookpurity inspects.
 type Config struct {

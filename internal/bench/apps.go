@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -162,6 +163,21 @@ var netSockSeq atomic.Uint64
 // stack and protocol. pipeline is the number of commands in flight per
 // client batch (1 = strict request/response).
 func MemcachedNet(a alloc.Allocator, t int, cfg MemcachedConfig, pipeline int) Result {
+	return memcachedNet(a, t, cfg, pipeline, false)
+}
+
+// MemcachedNetSave is MemcachedNet with a continuous background online SAVE:
+// while the YCSB traffic runs, a checkpoint loop snapshots the whole region
+// to a temp file over and over (write barrier + cut-over fence per cycle).
+// The returned P99us is therefore the p99 command latency *under checkpoint
+// pressure* — the number the online snapshot exists to keep close to the
+// steady-state p99, where the quiesced path would stretch it by whole
+// stop-the-world image writes.
+func MemcachedNetSave(a alloc.Allocator, t int, cfg MemcachedConfig, pipeline int) Result {
+	return memcachedNet(a, t, cfg, pipeline, true)
+}
+
+func memcachedNet(a alloc.Allocator, t int, cfg MemcachedConfig, pipeline int, bgSave bool) Result {
 	if pipeline < 1 {
 		pipeline = 1
 	}
@@ -183,12 +199,52 @@ func MemcachedNet(a alloc.Allocator, t int, cfg MemcachedConfig, pipeline int) R
 		srvCfg.ActiveExpiryInterval = 50 * time.Millisecond
 		srvCfg.ActiveExpirySample = 128
 	}
+	var savePath string
+	if bgSave {
+		savePath = sock + ".img"
+		srvCfg.CheckpointOnline = func(fence func(cut func() error) error) (server.CheckpointStats, error) {
+			st, err := a.Region().SaveFileOnline(savePath, fence)
+			return server.CheckpointStats{
+				Lines:         st.Lines,
+				Recopied:      st.Recopied,
+				FenceRecopied: st.FenceRecopied,
+				Rounds:        st.Rounds,
+			}, err
+		}
+	}
 	srv := server.New(a, store, srvCfg)
 	go srv.Serve(l)
 	defer func() {
 		srv.Shutdown(5 * time.Second)
 		os.Remove(sock)
 	}()
+
+	var saves atomic.Uint64
+	if bgSave {
+		stopSave := make(chan struct{})
+		var saveWG sync.WaitGroup
+		saveWG.Add(1)
+		go func() {
+			defer saveWG.Done()
+			for {
+				select {
+				case <-stopSave:
+					return
+				default:
+				}
+				if err := srv.Save(); err != nil {
+					panic(fmt.Sprintf("%s: background SAVE: %v", a.Name(), err))
+				}
+				saves.Add(1)
+			}
+		}()
+		defer func() {
+			close(stopSave)
+			saveWG.Wait()
+			os.Remove(savePath)
+			os.Remove(savePath + ".tmp")
+		}()
+	}
 
 	elapsed := runThreads(t, func(id int) {
 		c, err := server.Dial("unix", sock)
@@ -244,7 +300,7 @@ func MemcachedNet(a alloc.Allocator, t int, cfg MemcachedConfig, pipeline int) R
 		}
 	})
 	ops := uint64(t) * uint64(cfg.OpsPerTh)
-	res := Result{Allocator: a.Name(), Threads: t, Ops: ops, Elapsed: elapsed}
+	res := Result{Allocator: a.Name(), Threads: t, Ops: ops, Elapsed: elapsed, Saves: saves.Load()}
 	// Server-side command latency percentiles from the merged per-command
 	// histograms: what the server spent executing each command, free of
 	// client-side pipelining slack.

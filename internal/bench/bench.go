@@ -81,6 +81,9 @@ type Result struct {
 	Elapsed   time.Duration
 	P50us     float64
 	P99us     float64
+	// Saves counts background online checkpoints completed during the
+	// operation phase (MemcachedNetSave only; zero elsewhere).
+	Saves uint64
 }
 
 // Seconds returns the elapsed wall time in seconds (the paper's unit for

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync/atomic"
 )
 
@@ -16,22 +17,49 @@ import (
 // address — on the next start. Only the *persistent* image is saved: in
 // crash-sim mode that is the shadow, so saving right after a simulated crash
 // round-trips exactly the survivable state.
+//
+// Image format (version 2, magic RPMEM002): an 8-byte magic, then three
+// little-endian 64-bit header words — region size in bytes, the Mode the
+// region ran in, and a flags word (bit 0: written by an online snapshot) —
+// followed by the raw words of the image. Version 1 (RPMEM001) lacked the
+// flags word; LoadRegion still accepts it. The header's mode word is
+// validated against the loading Config: silently attaching a fast-mode
+// image as crash-sim (or the reverse) would change the image's durability
+// semantics underneath its data, so a mismatch is ErrBadImage.
 
-var fileMagic = [8]byte{'R', 'P', 'M', 'E', 'M', '0', '0', '1'}
+var (
+	fileMagic   = [8]byte{'R', 'P', 'M', 'E', 'M', '0', '0', '2'}
+	fileMagicV1 = [8]byte{'R', 'P', 'M', 'E', 'M', '0', '0', '1'}
+)
+
+const (
+	// imageHeaderLen is the byte offset of the first data word in a
+	// version-2 image: magic + size + mode + flags.
+	imageHeaderLen = 8 + 3*8
+	// imageFlagOnline marks an image written by SaveFileOnline rather than
+	// a quiesced Save. Informational: both are consistent cut-over images.
+	imageFlagOnline = uint64(1)
+)
+
+// writeImageHeader writes the version-2 image header.
+func writeImageHeader(w io.Writer, size uint64, mode Mode, flags uint64) error {
+	var hdr [imageHeaderLen]byte
+	copy(hdr[:8], fileMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:], size)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(mode))
+	binary.LittleEndian.PutUint64(hdr[24:], flags)
+	_, err := w.Write(hdr[:])
+	return err
+}
 
 // Save writes the region's persistent image to w. Words are read atomically,
 // so Save may run while the region is still mapped (a live checkpoint);
-// callers that need a *consistent* image must quiesce writers first — the
-// server's SAVE path does exactly that before checkpointing.
+// callers that need a *consistent* image must quiesce writers first — or use
+// SaveFileOnline, which trades the quiesce for a write barrier and a short
+// cut-over fence.
 func (r *Region) Save(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := bw.Write(fileMagic[:]); err != nil {
-		return err
-	}
-	var hdr [16]byte
-	binary.LittleEndian.PutUint64(hdr[0:], r.size)
-	binary.LittleEndian.PutUint64(hdr[8:], uint64(r.cfg.Mode))
-	if _, err := bw.Write(hdr[:]); err != nil {
+	if err := writeImageHeader(bw, r.size, r.cfg.Mode, 0); err != nil {
 		return err
 	}
 	img := r.words
@@ -48,29 +76,45 @@ func (r *Region) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ErrBadImage is returned when a file is not a valid region image.
+// ErrBadImage is returned when a file is not a valid region image — wrong
+// magic, torn/truncated content, or a mode that contradicts the loading
+// configuration.
 var ErrBadImage = errors.New("pmem: bad region image")
 
 // LoadRegion reads a persistent image from rd and returns a Region built
 // from it with the given configuration. The image populates both the
 // volatile and (in crash-sim mode) shadow images, modeling a fresh DAX map
-// of previously persisted state.
+// of previously persisted state. Every way an image can be short or
+// inconsistent — including a partially-written checkpoint a crash left
+// behind — reports ErrBadImage, so callers can distinguish "no usable
+// image" from I/O failure.
 func LoadRegion(rd io.Reader, cfg Config) (*Region, error) {
 	br := bufio.NewReaderSize(rd, 1<<20)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: truncated magic: %v", ErrBadImage, err)
 	}
-	if magic != fileMagic {
+	hdrWords := 3
+	if magic == fileMagicV1 {
+		hdrWords = 2 // v1: size + mode, no flags
+	} else if magic != fileMagic {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrBadImage, magic[:])
 	}
-	var hdr [16]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, err
+	hdr := make([]byte, hdrWords*8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("%w: truncated header: %v", ErrBadImage, err)
 	}
 	size := binary.LittleEndian.Uint64(hdr[0:])
 	if size == 0 || size%LineBytes != 0 {
 		return nil, fmt.Errorf("%w: bad size %d", ErrBadImage, size)
+	}
+	mode := Mode(binary.LittleEndian.Uint64(hdr[8:]))
+	if mode != ModeFast && mode != ModeCrashSim {
+		return nil, fmt.Errorf("%w: bad mode word %d", ErrBadImage, int(mode))
+	}
+	if mode != cfg.Mode {
+		return nil, fmt.Errorf("%w: image was saved in %v mode, loading config wants %v",
+			ErrBadImage, mode, cfg.Mode)
 	}
 	r := NewRegion(size, cfg)
 	var buf [WordBytes]byte
@@ -88,7 +132,11 @@ func LoadRegion(rd io.Reader, cfg Config) (*Region, error) {
 }
 
 // SaveFile writes the region's persistent image to path atomically (write to
-// a temp file, then rename), like a careful DAX-file checkpoint.
+// a temp file, fsync, rename, fsync the parent directory), like a careful
+// DAX-file checkpoint. The directory sync matters: rename alone orders the
+// new name only in the page cache, and a power loss after SaveFile returned
+// could otherwise still resurrect the old image — losing a checkpoint the
+// caller already treated as durable.
 func (r *Region) SaveFile(path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -109,7 +157,25 @@ func (r *Region) SaveFile(path string) error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(path)
+}
+
+// syncDir fsyncs path's parent directory, making a just-renamed file's
+// directory entry durable.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // LoadFile reads a region image from path.

@@ -1,0 +1,136 @@
+package pmem
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadRegionRejectsModeMismatch: an image carries the Mode it was saved
+// under; attaching it under the other mode would silently change its
+// durability semantics (a crash-sim image would lose its shadow, a fast
+// image would gain one it never earned). Both directions are ErrBadImage.
+func TestLoadRegionRejectsModeMismatch(t *testing.T) {
+	for _, tc := range []struct{ save, load Mode }{
+		{ModeCrashSim, ModeFast},
+		{ModeFast, ModeCrashSim},
+	} {
+		r := NewRegion(4096, Config{Mode: tc.save})
+		r.Store(0, 42)
+		r.Persist()
+		var buf bytes.Buffer
+		if err := r.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		_, err := LoadRegion(&buf, Config{Mode: tc.load})
+		if !errors.Is(err, ErrBadImage) {
+			t.Fatalf("load %v image as %v: err = %v, want ErrBadImage", tc.save, tc.load, err)
+		}
+	}
+}
+
+// TestLoadRegionRejectsGarbageModeWord: a corrupt mode word (neither fast
+// nor crashsim) is a bad image, not a zero-value fallback.
+func TestLoadRegionRejectsGarbageModeWord(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeImageHeader(&buf, LineBytes, Mode(7), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(make([]byte, LineBytes))
+	if _, err := LoadRegion(&buf, Config{}); !errors.Is(err, ErrBadImage) {
+		t.Fatalf("err = %v, want ErrBadImage", err)
+	}
+}
+
+// TestLoadRegionAcceptsV1Image: the pre-snapshot format (RPMEM001, no flags
+// word) must keep loading — existing heap files predate the version bump.
+func TestLoadRegionAcceptsV1Image(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(fileMagicV1[:])
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], LineBytes)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(ModeCrashSim))
+	buf.Write(hdr[:])
+	line := make([]byte, LineBytes)
+	binary.LittleEndian.PutUint64(line, 0xFEED)
+	buf.Write(line)
+	r, err := LoadRegion(&buf, Config{Mode: ModeCrashSim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Load(0) != 0xFEED {
+		t.Fatalf("v1 word = %#x, want 0xFEED", r.Load(0))
+	}
+}
+
+// TestLoadFileTruncatedIsBadImage: every truncation of a checkpoint file —
+// the torn output a crash mid-SaveFile leaves in the temp file — must fail
+// with ErrBadImage, never half-load.
+func TestLoadFileTruncatedIsBadImage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "full.img")
+	r := NewRegion(4096, Config{Mode: ModeCrashSim})
+	for off := uint64(0); off < r.Size(); off += 8 {
+		r.Store(off, off+3)
+	}
+	r.Persist()
+	if err := r.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 3, 8, 15, imageHeaderLen - 1, imageHeaderLen,
+		imageHeaderLen + 7, len(full) / 2, len(full) - 1} {
+		p := filepath.Join(dir, "trunc.img")
+		if err := os.WriteFile(p, full[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadFile(p, Config{Mode: ModeCrashSim}); !errors.Is(err, ErrBadImage) {
+			t.Fatalf("truncation at %d bytes: err = %v, want ErrBadImage", n, err)
+		}
+	}
+	// The untruncated file still round-trips.
+	r2, err := LoadFile(path, Config{Mode: ModeCrashSim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Load(8) != 11 {
+		t.Fatalf("round trip word = %d, want 11", r2.Load(8))
+	}
+}
+
+// TestSaveFileErrorPaths: a failed publish must not leave the temp file
+// behind, and must surface the error (the caller's dirty-flag protocol
+// depends on seeing it).
+func TestSaveFileErrorPaths(t *testing.T) {
+	r := NewRegion(4096, Config{})
+	// Create failure: parent directory missing.
+	if err := r.SaveFile(filepath.Join(t.TempDir(), "no", "such", "dir", "x.img")); err == nil {
+		t.Fatal("SaveFile into missing directory succeeded")
+	}
+	// Rename failure: the target path is an (empty) directory.
+	dir := t.TempDir()
+	target := filepath.Join(dir, "occupied")
+	if err := os.Mkdir(target, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SaveFile(target); err == nil {
+		t.Fatal("SaveFile over a directory succeeded")
+	}
+	if _, err := os.Stat(target + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind after failed rename: %v", err)
+	}
+	// Online path, same discipline.
+	var q quiesceFence
+	if _, err := r.SaveFileOnline(target, q.fence); err == nil {
+		t.Fatal("SaveFileOnline over a directory succeeded")
+	}
+	if _, err := os.Stat(target + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind after failed online rename: %v", err)
+	}
+}

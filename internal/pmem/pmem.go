@@ -86,6 +86,12 @@ type Config struct {
 	// it to inject crashes at precise points inside multi-step operations
 	// (typically by panicking with a sentinel that the test recovers).
 	StoreHook func()
+	// SnapshotHook, if non-nil, is invoked at each phase boundary of an
+	// online snapshot (SaveFileOnline). Crash-injection tests use it the
+	// way StoreHook is used for stores: panic with a sentinel to simulate
+	// the process dying mid-copy, mid-delta, mid-fence, or mid-rename, and
+	// then assert that the previous image is still the one that loads.
+	SnapshotHook func(phase SnapshotPhase)
 }
 
 // Stats counts the persistence-relevant events on a Region. All counters are
@@ -119,6 +125,13 @@ type Region struct {
 
 	crashMu sync.Mutex // serializes Crash/Persist against each other
 	rng     *rand.Rand
+
+	// snap is the online-snapshot write barrier: non-nil only while a
+	// SaveFileOnline pass is running. Mutators mark the lines they touch
+	// *after* the word store (see snapshot.go for the ordering argument);
+	// the snapshot pass re-copies marked lines until the cut-over fence.
+	snap   atomic.Pointer[snapTracker]
+	snapMu sync.Mutex // one online snapshot at a time
 }
 
 // NewRegion creates a Region of the given size in bytes (rounded up to a
@@ -182,6 +195,7 @@ func (r *Region) Store(off, v uint64) {
 		atomic.StoreUint32(&r.dirty[off/LineBytes], 1)
 	}
 	atomic.StoreUint64(&r.words[i], v)
+	r.snapMark(off)
 	if r.cfg.StoreHook != nil {
 		r.cfg.StoreHook()
 	}
@@ -198,6 +212,7 @@ func (r *Region) CAS(off, old, new uint64) bool {
 		atomic.StoreUint32(&r.dirty[off/LineBytes], 1)
 	}
 	ok := atomic.CompareAndSwapUint64(&r.words[i], old, new)
+	r.snapMark(off)
 	if r.cfg.StoreHook != nil {
 		r.cfg.StoreHook()
 	}
@@ -213,6 +228,7 @@ func (r *Region) Add(off, delta uint64) uint64 {
 		atomic.StoreUint32(&r.dirty[off/LineBytes], 1)
 	}
 	v := atomic.AddUint64(&r.words[i], delta)
+	r.snapMark(off)
 	if r.cfg.StoreHook != nil {
 		r.cfg.StoreHook()
 	}
@@ -394,6 +410,7 @@ func (r *Region) WriteBytes(off uint64, b []byte) {
 		atomic.StoreUint64(&r.words[wi], w)
 		i++
 	}
+	r.snapMarkRange(off, uint64(len(b)))
 }
 
 // Zero clears n bytes starting at off (both must be word-aligned), marking
@@ -411,4 +428,5 @@ func (r *Region) Zero(off, n uint64) {
 		}
 		atomic.StoreUint64(&r.words[o/WordBytes], 0)
 	}
+	r.snapMarkRange(off, n)
 }

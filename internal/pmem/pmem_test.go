@@ -349,7 +349,7 @@ func TestSaveExcludesUnflushed(t *testing.T) {
 	if err := r.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	r2, err := LoadRegion(&buf, Config{})
+	r2, err := LoadRegion(&buf, Config{Mode: ModeCrashSim})
 	if err != nil {
 		t.Fatal(err)
 	}

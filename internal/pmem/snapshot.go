@@ -1,0 +1,273 @@
+package pmem
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// Online snapshots: checkpoint the region to a file while mutators keep
+// running, in the style of a concurrent mark phase. The quiesced path
+// (Persist + SaveFile) stops every writer for the full image write; here the
+// writers only stop for the final delta.
+//
+// Mechanism. SaveFileOnline arms a write barrier — a per-cache-line dirty
+// bitmap separate from the crash-sim write-back flags — and then
+//
+//  1. copy: streams every line of the volatile image to the temp file,
+//     sequentially, while commands execute;
+//  2. delta: re-copies the lines the barrier reported dirty since they were
+//     last copied, in bounded rounds, still concurrent;
+//  3. fence: inside the caller-supplied fence (the server takes its execMu
+//     write side: in-flight command batches drain, new ones wait), re-copies
+//     the final dirty set and disarms the barrier;
+//  4. publish: fsync, rename over the previous image, fsync the directory.
+//
+// Ordering argument. A mutator marks a line *after* storing to it; the
+// copier clears a line's mark *before* reading it. For a store S with mark M
+// (S before M) and a copy with clear C before read R (C before R), losing S
+// would need R before S (stale copy) and M before C (mark erased) — i.e.
+// M < C < R < S, contradicting S < M. So every store is either in the copy
+// or re-marked for the next round; the fence round runs with mutators
+// drained, after which the file equals the volatile image at the cut-over
+// point exactly.
+//
+// Consistency. At the fence every command batch has completed, so the
+// captured state is the same fully-applied image the quiesced path's
+// Persist-then-SaveFile would have written (a completed command has flushed
+// and fenced everything it acknowledged; transient scribble that a real
+// crash would lose rides along in both paths). The image is written with the
+// dirty flag as-is — still set during serving — so a later kill -9 recovers
+// from this checkpoint through the normal dirty → Recover path.
+
+// snapTracker is the write barrier's state, armed for the duration of one
+// online snapshot.
+type snapTracker struct {
+	dirty []uint32 // per-line: set by mutators after the store, cleared by the copier before the re-read
+}
+
+// snapMark records a write-barrier hit for the line containing off. It must
+// be called after the word store it covers (see the ordering argument
+// above); when no snapshot is armed it costs one atomic pointer load.
+func (r *Region) snapMark(off uint64) {
+	if t := r.snap.Load(); t != nil {
+		atomic.StoreUint32(&t.dirty[off/LineBytes], 1)
+	}
+}
+
+// snapMarkRange marks every line overlapping [off, off+n), after the stores.
+func (r *Region) snapMarkRange(off, n uint64) {
+	if n == 0 {
+		return
+	}
+	t := r.snap.Load()
+	if t == nil {
+		return
+	}
+	for l := off / LineBytes; l <= (off + n - 1) / LineBytes; l++ {
+		atomic.StoreUint32(&t.dirty[l], 1)
+	}
+}
+
+// SnapshotPhase names the phase boundaries of an online snapshot, for
+// Config.SnapshotHook crash injection.
+type SnapshotPhase int
+
+const (
+	// SnapCopy fires midway through the streaming full-image pass (the
+	// temp file is genuinely partial at this point).
+	SnapCopy SnapshotPhase = iota
+	// SnapDelta fires after each concurrent re-copy round.
+	SnapDelta
+	// SnapFence fires inside the cut-over fence, before the final delta —
+	// mutators are drained, the caller's exclusive lock is held.
+	SnapFence
+	// SnapRename fires after the temp file is synced and closed, before it
+	// is renamed over the previous image.
+	SnapRename
+)
+
+func (p SnapshotPhase) String() string {
+	switch p {
+	case SnapCopy:
+		return "copy"
+	case SnapDelta:
+		return "delta"
+	case SnapFence:
+		return "fence"
+	case SnapRename:
+		return "rename"
+	default:
+		return fmt.Sprintf("SnapshotPhase(%d)", int(p))
+	}
+}
+
+// SnapshotStats reports what one online snapshot copied.
+type SnapshotStats struct {
+	Lines         uint64 // lines streamed by the full copy pass (the whole region)
+	Recopied      uint64 // lines re-copied after the barrier marked them, all rounds
+	FenceRecopied uint64 // of those, lines re-copied under the cut-over fence
+	Rounds        int    // concurrent delta rounds before the fence
+}
+
+const (
+	// snapMaxDeltaRounds bounds the chase: past this many concurrent
+	// rounds the write rate has plateaued and the fence takes the rest.
+	snapMaxDeltaRounds = 8
+	// snapDeltaCutoff ends the concurrent rounds early: once a round
+	// re-copies this few lines, another round cannot shrink the fence's
+	// work enough to matter.
+	snapDeltaCutoff = 64
+	// snapMaxRunLines caps one WriteAt batch of contiguous dirty lines.
+	snapMaxRunLines = 1024
+)
+
+// SaveFileOnline checkpoints the region to path while mutators keep running,
+// calling fence(cut) exactly once at cut-over. fence must stop every region
+// mutator (the server acquires its checkpoint barrier's write side), invoke
+// cut() — the final delta copy — and release; its exclusive section is the
+// only part of the checkpoint that stalls writers. Like SaveFile, the
+// publish is atomic: temp file, fsync, rename, directory sync — a crash at
+// any point leaves either the previous image or the new one, never a tear.
+//
+// Concurrent callers serialize; Crash must not run while a snapshot is in
+// flight (a crash discards the volatile image mid-copy — the real-world
+// analog is the checkpointing process dying with the machine, and the
+// previous on-disk image is what recovers).
+func (r *Region) SaveFileOnline(path string, fence func(cut func() error) error) (SnapshotStats, error) {
+	r.snapMu.Lock()
+	defer r.snapMu.Unlock()
+
+	var st SnapshotStats
+	lines := r.size / LineBytes
+	t := &snapTracker{dirty: make([]uint32, lines)}
+	// Arm before the first line is read so no concurrent store can slip
+	// between read and barrier; disarm on every exit (the fence's cut
+	// disarms earlier on the success path, Store handles the nil fine).
+	r.snap.Store(t)
+	defer r.snap.Store(nil)
+
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return st, err
+	}
+	fail := func(err error) (SnapshotStats, error) {
+		f.Close()
+		os.Remove(tmp)
+		return st, err
+	}
+
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := writeImageHeader(bw, r.size, r.cfg.Mode, imageFlagOnline); err != nil {
+		return fail(err)
+	}
+	// Phase 1 — streaming copy of every line, concurrent with mutators.
+	var buf [LineBytes]byte
+	for l := uint64(0); l < lines; l++ {
+		if r.cfg.SnapshotHook != nil && l == lines/2 {
+			bw.Flush() // the injected kill sees a genuinely partial file
+			r.cfg.SnapshotHook(SnapCopy)
+		}
+		r.snapReadLine(l, buf[:])
+		if _, err := bw.Write(buf[:]); err != nil {
+			return fail(err)
+		}
+	}
+	st.Lines = lines
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+
+	// Phase 2 — concurrent delta rounds: chase the write barrier until the
+	// dirty set is small or stops shrinking.
+	for round := 0; round < snapMaxDeltaRounds; round++ {
+		n, err := r.snapCopyDelta(t, f)
+		if err != nil {
+			return fail(err)
+		}
+		st.Rounds++
+		st.Recopied += n
+		if r.cfg.SnapshotHook != nil {
+			r.cfg.SnapshotHook(SnapDelta)
+		}
+		if n <= snapDeltaCutoff {
+			break
+		}
+	}
+
+	// Phase 3 — cut-over: the caller stops mutators, we copy the final
+	// delta and disarm. After cut returns the file is a point-in-time image.
+	if err := fence(func() error {
+		if r.cfg.SnapshotHook != nil {
+			r.cfg.SnapshotHook(SnapFence)
+		}
+		n, err := r.snapCopyDelta(t, f)
+		st.Recopied += n
+		st.FenceRecopied = n
+		r.snap.Store(nil)
+		return err
+	}); err != nil {
+		return fail(err)
+	}
+
+	// Phase 4 — durable publish, same discipline as SaveFile.
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return st, err
+	}
+	if r.cfg.SnapshotHook != nil {
+		r.cfg.SnapshotHook(SnapRename)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return st, err
+	}
+	return st, syncDir(path)
+}
+
+// snapReadLine copies line l of the volatile image into b, word-atomically.
+func (r *Region) snapReadLine(l uint64, b []byte) {
+	w := l * LineWords
+	for i := uint64(0); i < LineWords; i++ {
+		binary.LittleEndian.PutUint64(b[i*WordBytes:], atomic.LoadUint64(&r.words[w+i]))
+	}
+}
+
+// snapCopyDelta re-copies every line the barrier has marked since its last
+// copy, clearing each mark before the re-read (the order the correctness
+// argument needs). Contiguous dirty runs are batched into one WriteAt.
+func (r *Region) snapCopyDelta(t *snapTracker, f *os.File) (uint64, error) {
+	var n uint64
+	var buf []byte
+	for l := 0; l < len(t.dirty); {
+		if atomic.LoadUint32(&t.dirty[l]) == 0 {
+			l++
+			continue
+		}
+		start := l
+		for l < len(t.dirty) && l-start < snapMaxRunLines && atomic.LoadUint32(&t.dirty[l]) != 0 {
+			atomic.StoreUint32(&t.dirty[l], 0)
+			l++
+		}
+		run := l - start
+		need := run * LineBytes
+		if cap(buf) < need {
+			buf = make([]byte, need)
+		}
+		b := buf[:need]
+		for i := 0; i < run; i++ {
+			r.snapReadLine(uint64(start+i), b[i*LineBytes:])
+		}
+		if _, err := f.WriteAt(b, int64(imageHeaderLen+uint64(start)*LineBytes)); err != nil {
+			return n, err
+		}
+		n += uint64(run)
+	}
+	return n, nil
+}

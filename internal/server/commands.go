@@ -450,7 +450,7 @@ func infoSection(full, section string) (string, bool) {
 // while EXEC holds a transaction's key stripes would deadlock against
 // writers blocked on those stripes still holding their read side.
 func cmdSave(ctx *Ctx) {
-	if ctx.s.cfg.Checkpoint == nil {
+	if ctx.s.cfg.Checkpoint == nil && ctx.s.cfg.CheckpointOnline == nil {
 		ctx.w.errorf("no checkpoint configured (volatile heap)")
 		return
 	}

@@ -42,10 +42,18 @@ type Config struct {
 	// MaxConns caps simultaneously served connections; further accepted
 	// connections wait for a slot. 0 means unlimited.
 	MaxConns int
-	// Checkpoint, if non-nil, implements the SAVE command. The server
-	// quiesces all command execution before invoking it, so it observes
-	// (and may persist) a consistent heap image.
+	// Checkpoint, if non-nil, implements the SAVE command the quiesced
+	// way: the server stops all command execution before invoking it, so
+	// it observes (and may persist) a consistent heap image.
 	Checkpoint func() error
+	// CheckpointOnline, if non-nil, implements SAVE as an online snapshot
+	// and takes precedence over Checkpoint. The function runs its copy
+	// phases concurrently with command execution and must call fence(cut)
+	// exactly once at cut-over; the server implements fence by holding the
+	// checkpoint barrier's write side only for the final delta (cut), so
+	// commands stall for the delta — not the whole image write. Wired to
+	// pmem.Region.SaveFileOnline by ralloc-serve.
+	CheckpointOnline func(fence func(cut func() error) error) (CheckpointStats, error)
 	// OnShutdown, if non-nil, is invoked (once) when a client issues
 	// SHUTDOWN, after the +OK reply is flushed. The owner is expected to
 	// call Shutdown and close the heap.
@@ -85,6 +93,22 @@ type Config struct {
 	// Use it for cross-cutting concerns — auditing, slowlog-style tracing —
 	// without touching the command table.
 	Middleware []Middleware
+}
+
+// CheckpointStats reports what an online checkpoint copied. Mirrors
+// pmem.SnapshotStats without importing pmem (the server is storage-agnostic;
+// the embedder converts).
+type CheckpointStats struct {
+	// Lines is the total cache lines streamed in the full copy pass.
+	Lines uint64
+	// Recopied is lines copied again because the write barrier reported
+	// them dirtied during the copy (delta rounds plus the fence delta).
+	Recopied uint64
+	// FenceRecopied is the subset of Recopied written inside the cut-over
+	// fence — the lines commands actually stalled for.
+	FenceRecopied uint64
+	// Rounds is how many concurrent delta rounds ran before the fence.
+	Rounds int
 }
 
 // ErrServerClosed is returned by Serve after Shutdown or Abort.
@@ -136,7 +160,19 @@ type Server struct {
 	lastSaveUnix  atomic.Int64
 	saveQuiesceNs atomic.Int64 // last checkpoint's barrier-acquire wait
 	saveTotalNs   atomic.Int64 // last checkpoint end to end
+	saveFenceNs   atomic.Int64 // last online checkpoint's cut-over fence
 	expiryLastNs  atomic.Int64 // last expiry cycle duration
+
+	// Online-checkpoint copy telemetry: cumulative line counts across all
+	// online SAVEs (copied = streamed clean, recopied = barrier-reported
+	// dirty and copied again) plus the last run's fence-delta size and
+	// round count. The copied:recopied ratio is the online snapshot's
+	// efficiency measure — how much the write barrier cost beyond one
+	// sequential pass.
+	saveLines         atomic.Uint64
+	saveRecopied      atomic.Uint64
+	saveFenceRecopied atomic.Uint64
+	saveRounds        atomic.Int64
 
 	// cmds is the registry bound to this server: each table entry wrapped
 	// in the stats middleware (plus Config.Middleware) with its own
@@ -505,6 +541,10 @@ func (s *Server) persistenceInfo() string {
 		s.saves.Load(), s.saveErrs.Load(), s.lastSaveUnix.Load())
 	fmt.Fprintf(&b, "last_checkpoint_quiesce_us:%d\r\nlast_checkpoint_total_us:%d\r\n",
 		s.saveQuiesceNs.Load()/1e3, s.saveTotalNs.Load()/1e3)
+	fmt.Fprintf(&b, "last_checkpoint_fence_us:%d\r\nlast_checkpoint_fence_lines:%d\r\nlast_checkpoint_rounds:%d\r\n",
+		s.saveFenceNs.Load()/1e3, s.saveFenceRecopied.Load(), s.saveRounds.Load())
+	fmt.Fprintf(&b, "checkpoint_lines_copied:%d\r\ncheckpoint_lines_recopied:%d\r\n",
+		s.saveLines.Load(), s.saveRecopied.Load())
 	for _, sec := range s.cfg.InfoSections {
 		if strings.EqualFold(sec.Name, "persistence") {
 			b.WriteString(sec.Render())
@@ -628,7 +668,7 @@ func (s *Server) Collect(e *obs.Emitter) {
 		e.Histogram("ralloc_command_latency_seconds", &snap, "cmd", name)
 	}
 
-	e.Family("ralloc_checkpoints_total", "counter", "Checkpoints (SAVE) completed, including failed.")
+	e.Family("ralloc_checkpoints_total", "counter", "Checkpoints (SAVE) completed successfully.")
 	e.Value("ralloc_checkpoints_total", float64(s.saves.Load()))
 	e.Family("ralloc_checkpoint_errors_total", "counter", "Checkpoints that returned an error.")
 	e.Value("ralloc_checkpoint_errors_total", float64(s.saveErrs.Load()))
@@ -636,6 +676,12 @@ func (s *Server) Collect(e *obs.Emitter) {
 	e.Value("ralloc_checkpoint_last_duration_seconds", float64(s.saveTotalNs.Load())/1e9)
 	e.Family("ralloc_checkpoint_last_quiesce_seconds", "gauge", "Last checkpoint barrier-acquire wait.")
 	e.Value("ralloc_checkpoint_last_quiesce_seconds", float64(s.saveQuiesceNs.Load())/1e9)
+	e.Family("ralloc_checkpoint_last_fence_seconds", "gauge", "Last online checkpoint cut-over fence duration.")
+	e.Value("ralloc_checkpoint_last_fence_seconds", float64(s.saveFenceNs.Load())/1e9)
+	e.Family("ralloc_checkpoint_lines_copied_total", "counter", "Cache lines streamed by online checkpoints.")
+	e.Value("ralloc_checkpoint_lines_copied_total", float64(s.saveLines.Load()))
+	e.Family("ralloc_checkpoint_lines_recopied_total", "counter", "Cache lines re-copied after the write barrier marked them dirty.")
+	e.Value("ralloc_checkpoint_lines_recopied_total", float64(s.saveRecopied.Load()))
 
 	e.Family("ralloc_expiry_cycles_total", "counter", "Active-expiry cycles completed.")
 	e.Value("ralloc_expiry_cycles_total", float64(s.expiryCycles.Load()))
@@ -648,28 +694,44 @@ func (s *Server) Collect(e *obs.Emitter) {
 	e.Value("ralloc_slowlog_length", float64(s.slow.Len()))
 }
 
-// Save quiesces command execution and runs the configured checkpoint: the
-// persistent image written is a consistent snapshot in which every
-// acknowledged write is present. Both phases are timed — the quiesce wait
-// (barrier acquisition, i.e. how long in-flight commands made the
-// checkpoint wait) and the checkpoint itself — and recorded as the
-// "checkpoint-quiesce" and "checkpoint" LATENCY events plus the INFO
-// persistence last-checkpoint fields.
+// Save runs the configured checkpoint and produces a consistent persistent
+// image in which every acknowledged write is present. With CheckpointOnline
+// set the copy phases run concurrently with command execution and only the
+// cut-over fence excludes commands (recorded as the "checkpoint-fence"
+// LATENCY event); otherwise the quiesced path stops the world for the whole
+// write ("checkpoint-quiesce"). Telemetry is stamped only when the
+// checkpoint succeeds — a failed SAVE must not advance last_checkpoint_unix
+// or the completion counter, or an operator watching "time since last
+// checkpoint" would read a broken disk as a fresh checkpoint. Failures
+// count in checkpoint_errors alone.
 func (s *Server) Save() error {
-	if s.cfg.Checkpoint == nil {
+	if s.cfg.Checkpoint == nil && s.cfg.CheckpointOnline == nil {
 		return errors.New("server: no checkpoint configured")
 	}
 	t0 := time.Now()
-	err := s.saveQuiesced(t0)
+	var err error
+	var st CheckpointStats
+	if s.cfg.CheckpointOnline != nil {
+		st, err = s.cfg.CheckpointOnline(func(cut func() error) error {
+			return s.checkpointFence(t0, cut)
+		})
+	} else {
+		err = s.saveQuiesced(t0)
+	}
+	if err != nil {
+		s.saveErrs.Add(1)
+		return err
+	}
 	total := time.Since(t0)
 	s.saveTotalNs.Store(int64(total))
 	s.lastSaveUnix.Store(t0.Unix())
 	s.saves.Add(1)
-	if err != nil {
-		s.saveErrs.Add(1)
-	}
+	s.saveLines.Add(st.Lines)
+	s.saveRecopied.Add(st.Recopied)
+	s.saveFenceRecopied.Store(st.FenceRecopied)
+	s.saveRounds.Store(int64(st.Rounds))
 	s.events.Record("checkpoint", t0, total)
-	return err
+	return nil
 }
 
 func (s *Server) saveQuiesced(t0 time.Time) error {
@@ -679,6 +741,24 @@ func (s *Server) saveQuiesced(t0 time.Time) error {
 	s.saveQuiesceNs.Store(int64(quiesce))
 	s.events.Record("checkpoint-quiesce", t0, quiesce)
 	return s.cfg.Checkpoint()
+}
+
+// checkpointFence is the online checkpoint's cut-over: it takes the write
+// side of the command barrier, runs the final delta (cut), and releases.
+// Commands are excluded only for this window — the fence duration is the
+// online path's whole stop-the-world cost, recorded as the
+// "checkpoint-fence" LATENCY event and the quiesce wait (time spent
+// acquiring the barrier against in-flight commands) as before.
+func (s *Server) checkpointFence(t0 time.Time, cut func() error) error {
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
+	s.saveQuiesceNs.Store(int64(time.Since(t0)))
+	tf := time.Now()
+	err := cut()
+	fence := time.Since(tf)
+	s.saveFenceNs.Store(int64(fence))
+	s.events.Record("checkpoint-fence", tf, fence)
+	return err
 }
 
 // Shutdown gracefully drains the server: listeners close immediately, each

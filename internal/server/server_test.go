@@ -1,11 +1,14 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"net"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -423,5 +426,258 @@ func TestSaveCheckpointAndReopenAfterKill(t *testing.T) {
 	}
 	if _, ok := st2.Get("after-save"); ok {
 		t.Fatal("post-checkpoint write survived the kill (checkpoint not the boundary?)")
+	}
+}
+
+// onlineCheckpoint wires a heap's online snapshot to the server config, the
+// way ralloc-serve does with -save-online.
+func onlineCheckpoint(h *ralloc.Heap, path string) func(func(func() error) error) (CheckpointStats, error) {
+	return func(fence func(cut func() error) error) (CheckpointStats, error) {
+		st, err := h.Region().SaveFileOnline(path, fence)
+		return CheckpointStats{
+			Lines:         st.Lines,
+			Recopied:      st.Recopied,
+			FenceRecopied: st.FenceRecopied,
+			Rounds:        st.Rounds,
+		}, err
+	}
+}
+
+// hasLatencyEvent reports whether a LATENCY LATEST reply names the event.
+func hasLatencyEvent(rp Reply, event string) bool {
+	for _, row := range rp.Elems {
+		if len(row.Elems) > 0 && string(row.Elems[0].Bulk) == event {
+			return true
+		}
+	}
+	return false
+}
+
+func TestOnlineSaveUnderTrafficAndReopenAfterKill(t *testing.T) {
+	// The online checkpoint's contract under real traffic: SAVE runs while
+	// writers keep writing, and the published image is a consistent state
+	// no older than the moment SAVE was issued. So every write acked
+	// before SAVE must recover; writes racing the copy may or may not,
+	// but nothing may be torn.
+	dir := t.TempDir()
+	heapPath := filepath.Join(dir, "kv.heap")
+	cfg := ralloc.Config{SBRegion: 32 << 20, Pmem: pmem.Config{Mode: pmem.ModeCrashSim}}
+	h, dirty, err := ralloc.Open(heapPath, cfg)
+	if err != nil || dirty {
+		t.Fatalf("open: %v dirty=%v", err, dirty)
+	}
+	a := h.AsAllocator()
+	st, root := kvstore.Open(a, a.NewHandle(), 1024)
+	h.SetRoot(0, root)
+	srv := New(a, st, Config{CheckpointOnline: onlineCheckpoint(h, heapPath)})
+	sock := filepath.Join(dir, "s.sock")
+	l, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+
+	const writers = 4
+	var acked [writers]atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial("unix", sock)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := c.Set(fmt.Sprintf("w%d-%06d", g, i), fmt.Sprintf("v%d-%06d", g, i)); err != nil {
+					select {
+					case <-stop: // server shut down under us: fine
+					default:
+						t.Errorf("writer %d: %v", g, err)
+					}
+					return
+				}
+				acked[g].Add(1)
+			}
+		}(g)
+	}
+	// Let the writers build up state so the copy phases race real stores.
+	for {
+		var total uint64
+		for g := range acked {
+			total += acked[g].Load()
+		}
+		if total >= 2000 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The floor: everything acked before SAVE is issued must survive.
+	var floor [writers]uint64
+	for g := range acked {
+		floor[g] = acked[g].Load()
+	}
+	cs, err := Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp, err := cs.Do("SAVE"); err != nil || rp.Str != "OK" {
+		t.Fatalf("SAVE = %+v, %v", rp, err)
+	}
+	// The fence and copy telemetry must show an online run.
+	rp, err := cs.Do("INFO", "persistence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := string(rp.Bulk)
+	for _, want := range []string{"checkpoints:1", "checkpoint_errors:0",
+		"last_checkpoint_fence_us:", "checkpoint_lines_copied:", "checkpoint_lines_recopied:"} {
+		if !strings.Contains(info, want) {
+			t.Fatalf("INFO persistence missing %q:\n%s", want, info)
+		}
+	}
+	if rp, err := cs.Do("LATENCY", "LATEST"); err != nil || !hasLatencyEvent(rp, "checkpoint-fence") {
+		t.Fatalf("LATENCY LATEST lacks checkpoint-fence event: %+v, %v", rp, err)
+	}
+	cs.Close()
+
+	close(stop)
+	wg.Wait()
+	srv.Abort() // kill: no clean Close, the image on disk is the checkpoint
+
+	h2, dirty, err := ralloc.Open(heapPath, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dirty {
+		t.Fatal("killed server's image reported clean")
+	}
+	a2 := h2.AsAllocator()
+	h2.GetRoot(0, kvstore.Filter(a2, root))
+	if _, err := h2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := kvstore.Attach(a2, root)
+	for g := 0; g < writers; g++ {
+		for i := uint64(0); i < floor[g]; i++ {
+			k := fmt.Sprintf("w%d-%06d", g, i)
+			v, ok := st2.Get(k)
+			if !ok {
+				t.Fatalf("pre-SAVE acked key %s missing after recovery", k)
+			}
+			if want := fmt.Sprintf("v%d-%06d", g, i); v != want {
+				t.Fatalf("%s = %q, want %q (torn image?)", k, v, want)
+			}
+		}
+	}
+}
+
+func TestSaveFailureDoesNotStampSuccess(t *testing.T) {
+	// A failed checkpoint must not advance the success telemetry: an
+	// operator alerting on "time since last checkpoint" would otherwise
+	// read a broken disk as a fresh save.
+	boom := errors.New("disk on fire")
+	for name, cfg := range map[string]Config{
+		"quiesced": {Checkpoint: func() error { return boom }},
+		"online": {CheckpointOnline: func(fence func(cut func() error) error) (CheckpointStats, error) {
+			return CheckpointStats{}, boom
+		}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			ts := startServer(t, cfg, 0)
+			c := dial(t, ts)
+			if rp, err := c.Do("SAVE"); err != nil || rp.Kind != '-' {
+				t.Fatalf("SAVE = %+v, %v (want error reply)", rp, err)
+			}
+			rp, err := c.Do("INFO", "persistence")
+			if err != nil {
+				t.Fatal(err)
+			}
+			info := string(rp.Bulk)
+			for _, want := range []string{"checkpoints:0", "checkpoint_errors:1", "last_checkpoint_unix:0"} {
+				if !strings.Contains(info, want) {
+					t.Fatalf("INFO persistence after failed SAVE missing %q:\n%s", want, info)
+				}
+			}
+		})
+	}
+}
+
+func TestTornCheckpointRejectedPreviousImageRecovers(t *testing.T) {
+	// End to end: a checkpoint file torn on disk (bit rot, partial copy)
+	// must refuse to load as ErrBadImage — and the previous intact image
+	// must still bring the server back.
+	dir := t.TempDir()
+	heapPath := filepath.Join(dir, "kv.heap")
+	cfg := ralloc.Config{SBRegion: 32 << 20, Pmem: pmem.Config{Mode: pmem.ModeCrashSim}}
+	h, _, err := ralloc.Open(heapPath, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := h.AsAllocator()
+	st, root := kvstore.Open(a, a.NewHandle(), 1024)
+	h.SetRoot(0, root)
+	srv := New(a, st, Config{CheckpointOnline: onlineCheckpoint(h, heapPath)})
+	sock := filepath.Join(dir, "s.sock")
+	l, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	c, err := Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := c.Set(fmt.Sprintf("k-%03d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rp, err := c.Do("SAVE"); err != nil || rp.Str != "OK" {
+		t.Fatalf("SAVE = %+v, %v", rp, err)
+	}
+	c.Close()
+	srv.Abort()
+
+	good, err := os.ReadFile(heapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the published file the way a crashed copy would.
+	if err := os.WriteFile(heapPath, good[:len(good)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ralloc.Open(heapPath, cfg); !errors.Is(err, pmem.ErrBadImage) {
+		t.Fatalf("torn image: err = %v, want ErrBadImage", err)
+	}
+	// Restore the intact previous image (the operator's backup / the
+	// not-yet-renamed old file): the server comes back with its data.
+	if err := os.WriteFile(heapPath, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h2, dirty, err := ralloc.Open(heapPath, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dirty {
+		t.Fatal("expected dirty image after kill")
+	}
+	a2 := h2.AsAllocator()
+	h2.GetRoot(0, kvstore.Filter(a2, root))
+	if _, err := h2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := kvstore.Attach(a2, root)
+	if st2.Len() != 100 {
+		t.Fatalf("recovered %d records, want 100", st2.Len())
 	}
 }
