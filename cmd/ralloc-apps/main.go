@@ -47,7 +47,7 @@ func main() {
 		ttlFrac   = flag.Float64("ttlfrac", -1, "fraction of updates that attach a TTL (-1: workload default)")
 		ttlMillis = flag.Int64("ttlms", 0, "TTL upper bound in ms for expiring updates (0: workload default)")
 		fields    = flag.Int("fields", 0, "hash fields per record for workload h (0: workload default, 16)")
-		jsonOut   = flag.String("out", "BENCH_8.json", "output path for -app benchjson")
+		jsonOut   = flag.String("out", "BENCH_9.json", "output path for -app benchjson")
 		p99Gate   = flag.Float64("p99-save-gate", 0, "benchjson: fail if workload-a p99 under background SAVE exceeds this multiple of the steady-state p99; 0 disables")
 		threadStr = flag.String("threads", "", "comma-separated thread counts")
 		scale     = flag.Float64("scale", 1.0, "workload scale factor")
@@ -146,7 +146,7 @@ func main() {
 		// CI perf-trajectory baseline: pipelined network-mode K ops/s for
 		// the GET-only, GET/SET, and HGET/HSET workloads on ralloc — each
 		// also measured under a background online SAVE loop — written as
-		// one JSON document (BENCH_8.json) so every future PR can diff
+		// one JSON document (BENCH_9.json) so every future PR can diff
 		// against it.
 		if err := benchJSON(factories, *records, scaleN(20000), *pipeline, *heapMB<<20, *jsonOut, *p99Gate); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -161,7 +161,8 @@ func main() {
 // benchJSON runs the three pipelined serving workloads — c (pure GET), a
 // (GET/SET 50/50), h (HGET/HSET 50/50 over hash objects) — against the
 // ralloc-backed server and writes K ops/s plus server-side p50/p99 command
-// latency (from the per-command histograms) per workload as JSON. Each
+// latency (from the per-command histograms) per workload as JSON, and then
+// the workload-C read fan-out over 1 and 2 feed-bootstrapped replicas. Each
 // workload also runs under a continuous background online SAVE loop; the
 // p99 under that checkpoint pressure is recorded per workload, and with
 // gateFactor > 0 a workload-A p99-under-save worse than gateFactor× the
@@ -231,6 +232,28 @@ func benchJSON(factories map[string]bench.Factory, records, opsPerTh, pipeline i
 		fmt.Printf("benchjson: workload %s: %.1f K ops/s, p50=%.1fus p99=%.1fus, p99-under-save=%.1fus (%d saves; threads=%d pipeline=%d)\n",
 			w.Name, kops[w.Name], p50[w.Name], p99[w.Name], p99save[w.Name], saves[w.Name], threads, pipeline)
 	}
+
+	// Read fan-out: workload C served by 1 vs 2 replicas of one primary,
+	// each replica bootstrapped through the replication feed. The pair of
+	// rows is the scaling claim — the second replica should buy real read
+	// throughput because replicas serve from their own heaps.
+	replKops := map[string]float64{}
+	for _, n := range []int{1, 2} {
+		cfg := bench.MemcachedConfig{Workload: ycsb.WorkloadC(records), OpsPerTh: opsPerTh}
+		// At least one client thread per replica, or round-robin never
+		// reaches the second node and the scaling row measures nothing.
+		rthreads := threads
+		if rthreads < n {
+			rthreads = n
+		}
+		res, err := bench.MemcachedNetReplicas(factories["ralloc"], heap, rthreads, cfg, pipeline, n)
+		if err != nil {
+			return fmt.Errorf("workload-c-replicas (%d): %w", n, err)
+		}
+		replKops[strconv.Itoa(n)] = res.Kops()
+		fmt.Printf("benchjson: workload c x%d replica(s): %.1f K ops/s, p50=%.1fus p99=%.1fus (threads=%d pipeline=%d)\n",
+			n, res.Kops(), res.P50us, res.P99us, rthreads, pipeline)
+	}
 	doc := struct {
 		Schema    string             `json:"schema"`
 		App       string             `json:"app"`
@@ -243,7 +266,8 @@ func benchJSON(factories map[string]bench.Factory, records, opsPerTh, pipeline i
 		P99us     map[string]float64 `json:"p99_us_per_workload"`
 		P99SaveUs map[string]float64 `json:"p99_save_us_per_workload"`
 		Saves     map[string]uint64  `json:"saves_per_workload"`
-	}{"ralloc-bench-8", "memcached-net", records, opsPerTh, threads, pipeline, kops, p50, p99, p99save, saves}
+		ReplKops  map[string]float64 `json:"kops_workload_c_by_replicas"`
+	}{"ralloc-bench-9", "memcached-net", records, opsPerTh, threads, pipeline, kops, p50, p99, p99save, saves, replKops}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

@@ -10,6 +10,7 @@
 //	ralloc-serve -heap /tmp/kv.heap -unix /tmp/kv.sock -boundmb 64 -checkpoint 30s
 //	ralloc-serve -heap /tmp/kv.heap -expire-cycle 50ms -expire-sample 100
 //	ralloc-serve -heap /tmp/kv.heap -save-online=false   # stop-the-world SAVE
+//	ralloc-serve -heap /tmp/replica.heap -tcp :6380 -replicaof localhost:6379
 //
 // SAVE checkpoints online by default: a write barrier tracks lines dirtied
 // while the image streams out, dirty lines are re-copied, and commands are
@@ -22,6 +23,16 @@
 // recovery. Space is reclaimed by the active expiry cycle (-expire-cycle),
 // which runs under the same quiesce barrier as SAVE checkpoints.
 //
+// Replication: any file-backed server is a potential primary — replicas
+// bootstrap with PSYNC, fetching a checkpoint image and then the live write
+// feed. -replicaof starts the process as a replica: with no local image it
+// downloads one; with an image it probes whether the primary's backlog
+// still covers the image's stamped offset (partial resync) and re-downloads
+// only if not. A replica serves reads, answers writes with -READONLY, and
+// is promoted in place by REPLICAOF NO ONE. When the primary demands a full
+// resync mid-stream, the process drains, discards its heap state, and
+// re-bootstraps automatically.
+//
 // Speak to it with any RESP client (redis-cli included), or
 // internal/server.Client, or cmd/ralloc-apps -app memcached -net.
 package main
@@ -29,6 +40,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -42,48 +54,105 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pmem"
 	"repro/internal/ralloc"
+	"repro/internal/repl"
 	"repro/internal/server"
 )
 
 const rootKV = 0
 
-func main() {
-	var (
-		heapPath   = flag.String("heap", "", "heap image path (empty: volatile, data dies with the process)")
-		heapMB     = flag.Uint64("heapmb", 256, "superblock region size (MB)")
-		shards     = flag.Int("shards", 0, "partial-list shards per size class (0: near GOMAXPROCS)")
-		buckets    = flag.Int("buckets", 65536, "hash buckets for a freshly created store")
-		boundMB    = flag.Uint64("boundmb", 0, "LRU memory budget (MB); 0 = unbounded")
-		tcpAddr    = flag.String("tcp", "", "TCP listen address (e.g. :6379)")
-		unixAddr   = flag.String("unix", "", "unix socket path")
-		maxConns   = flag.Int("maxconns", 0, "max simultaneous connections; 0 = unlimited")
-		checkpoint = flag.Duration("checkpoint", 0, "periodic checkpoint interval (file-backed heaps); 0 disables")
-		saveOnline = flag.Bool("save-online", true, "checkpoint online (write barrier + short cut-over fence) instead of stopping the world for the whole image write")
-		drain      = flag.Duration("drain", 5*time.Second, "graceful shutdown drain timeout")
-		expireTick = flag.Duration("expire-cycle", 100*time.Millisecond, "active expiry cycle interval; 0 disables (lazy expiry only)")
-		expireN    = flag.Int("expire-sample", 20, "max expired keys reclaimed per expiry cycle")
+// options is the parsed flag set, carried whole through the serve/resync
+// loop so every iteration runs with identical configuration.
+type options struct {
+	heapPath    string
+	heapMB      uint64
+	shards      int
+	buckets     int
+	boundMB     uint64
+	tcpAddr     string
+	unixAddr    string
+	maxConns    int
+	checkpoint  time.Duration
+	saveOnline  bool
+	drain       time.Duration
+	expireTick  time.Duration
+	expireN     int
+	metricsAddr string
+	slowerThan  time.Duration
+	slowlogLen  int
+	latThresh   time.Duration
+	replicaOf   string
+	replBacklog int
+}
 
-		metricsAddr = flag.String("metrics-addr", "", "HTTP listen address for /metrics (Prometheus text) and /debug/pprof; empty disables")
-		slowerThan  = flag.Duration("slowlog-log-slower-than", 10*time.Millisecond, "slow-log threshold; negative logs every command, 0 disables the slow log")
-		slowlogLen  = flag.Int("slowlog-max-len", 128, "slow-log ring capacity")
-		latThresh   = flag.Duration("latency-threshold", 0, "LATENCY 'command' event threshold; 0 disables command latency events")
-	)
+func main() {
+	var o options
+	flag.StringVar(&o.heapPath, "heap", "", "heap image path (empty: volatile, data dies with the process)")
+	flag.Uint64Var(&o.heapMB, "heapmb", 256, "superblock region size (MB)")
+	flag.IntVar(&o.shards, "shards", 0, "partial-list shards per size class (0: near GOMAXPROCS)")
+	flag.IntVar(&o.buckets, "buckets", 65536, "hash buckets for a freshly created store")
+	flag.Uint64Var(&o.boundMB, "boundmb", 0, "LRU memory budget (MB); 0 = unbounded")
+	flag.StringVar(&o.tcpAddr, "tcp", "", "TCP listen address (e.g. :6379)")
+	flag.StringVar(&o.unixAddr, "unix", "", "unix socket path")
+	flag.IntVar(&o.maxConns, "maxconns", 0, "max simultaneous connections; 0 = unlimited")
+	flag.DurationVar(&o.checkpoint, "checkpoint", 0, "periodic checkpoint interval (file-backed heaps); 0 disables")
+	flag.BoolVar(&o.saveOnline, "save-online", true, "checkpoint online (write barrier + short cut-over fence) instead of stopping the world for the whole image write")
+	flag.DurationVar(&o.drain, "drain", 5*time.Second, "graceful shutdown drain timeout")
+	flag.DurationVar(&o.expireTick, "expire-cycle", 100*time.Millisecond, "active expiry cycle interval; 0 disables (lazy expiry only)")
+	flag.IntVar(&o.expireN, "expire-sample", 20, "max expired keys reclaimed per expiry cycle")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "HTTP listen address for /metrics (Prometheus text) and /debug/pprof; empty disables")
+	flag.DurationVar(&o.slowerThan, "slowlog-log-slower-than", 10*time.Millisecond, "slow-log threshold; negative logs every command, 0 disables the slow log")
+	flag.IntVar(&o.slowlogLen, "slowlog-max-len", 128, "slow-log ring capacity")
+	flag.DurationVar(&o.latThresh, "latency-threshold", 0, "LATENCY 'command' event threshold; 0 disables command latency events")
+	flag.StringVar(&o.replicaOf, "replicaof", "", "start as a replica of this primary (host:port or unix socket path); bootstraps the heap from the primary's checkpoint")
+	flag.IntVar(&o.replBacklog, "repl-backlog", 1<<20, "replication backlog capacity in bytes")
 	flag.Parse()
-	if *tcpAddr == "" && *unixAddr == "" {
-		*tcpAddr = ":6379"
+	if o.tcpAddr == "" && o.unixAddr == "" {
+		o.tcpAddr = ":6379"
+	}
+	if o.replicaOf != "" && o.heapPath == "" {
+		fatal(fmt.Errorf("-replicaof requires -heap: the replica bootstraps by downloading the primary's checkpoint image"))
+	}
+	if o.boundMB > 0 && o.replicaOf != "" {
+		// A bounded store evicts under LRU pressure, and evictions are not
+		// propagated through the feed — a bounded replica would silently
+		// diverge from its primary.
+		fatal(fmt.Errorf("-boundmb cannot be combined with -replicaof: LRU evictions are not replicated"))
+	}
+
+	// The serve loop: one iteration per server lifetime. A replica whose
+	// primary demands a full resync exits its iteration with resync=true and
+	// re-enters — re-probing (and re-downloading) the image before serving
+	// again. Everything else exits the loop.
+	for {
+		if !run(&o) {
+			return
+		}
+		fmt.Println("re-bootstrapping from primary after full-resync demand...")
+	}
+}
+
+// run serves one server lifetime and reports whether the process should
+// re-bootstrap and serve again (replica full-resync path).
+func run(o *options) (resync bool) {
+	// Replica bootstrap happens before the heap opens: with no usable local
+	// image the primary's checkpoint becomes our initial heap state.
+	if o.replicaOf != "" {
+		if err := bootstrapReplica(o); err != nil {
+			fatal(fmt.Errorf("replica bootstrap: %w", err))
+		}
 	}
 
 	cfg := ralloc.Config{
-		SBRegion: *heapMB << 20,
-		Shards:   *shards,
+		SBRegion: o.heapMB << 20,
+		Shards:   o.shards,
 		Pmem:     pmem.Config{Mode: pmem.ModeCrashSim},
 	}
-	heap, dirty, err := ralloc.Open(*heapPath, cfg)
+	heap, dirty, err := ralloc.Open(o.heapPath, cfg)
 	if err != nil {
 		fatal(err)
 	}
 	a := heap.AsAllocator()
-	bound := *boundMB << 20
+	bound := o.boundMB << 20
 
 	// Recovery-on-restart sequence: locate the persistent root, run GC
 	// recovery if the last session did not close cleanly, then re-attach
@@ -102,12 +171,12 @@ func main() {
 	case root == 0:
 		hd := heap.NewHandle()
 		if bound > 0 {
-			store, root = kvstore.OpenBounded(a, hd, *buckets, bound)
+			store, root = kvstore.OpenBounded(a, hd, o.buckets, bound)
 		} else {
-			store, root = kvstore.Open(a, hd, *buckets)
+			store, root = kvstore.Open(a, hd, o.buckets)
 		}
 		heap.SetRoot(rootKV, root)
-		fmt.Printf("created store (%d buckets, bound %d MB)\n", *buckets, *boundMB)
+		fmt.Printf("created store (%d buckets, bound %d MB)\n", o.buckets, o.boundMB)
 	case dirty:
 		heap.GetRoot(rootKV, kvstore.Filter(a, root))
 		stats, err := heap.Recover()
@@ -126,6 +195,7 @@ func main() {
 
 	shutdownCh := make(chan os.Signal, 2)
 	signal.Notify(shutdownCh, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(shutdownCh)
 	// requestShutdown never blocks: after the first delivery the main
 	// goroutine stops receiving, and extra triggers must not hang senders.
 	requestShutdown := func() {
@@ -134,15 +204,16 @@ func main() {
 		default:
 		}
 	}
+	resyncCh := make(chan struct{}, 1)
 
 	srvCfg := server.Config{
-		MaxConns:             *maxConns,
+		MaxConns:             o.maxConns,
 		OnShutdown:           requestShutdown,
-		ActiveExpiryInterval: *expireTick,
-		ActiveExpirySample:   *expireN,
-		SlowlogSlowerThan:    *slowerThan,
-		SlowlogMaxLen:        *slowlogLen,
-		LatencyThreshold:     *latThresh,
+		ActiveExpiryInterval: o.expireTick,
+		ActiveExpirySample:   o.expireN,
+		SlowlogSlowerThan:    o.slowerThan,
+		SlowlogMaxLen:        o.slowlogLen,
+		LatencyThreshold:     o.latThresh,
 		InfoSections: []server.InfoSection{
 			{Name: "heap", Render: func() string {
 				return fmt.Sprintf("sb_used_bytes:%d\r\nheap_dirty_at_open:%v\r\n",
@@ -154,8 +225,8 @@ func main() {
 			}},
 		},
 	}
-	if *heapPath != "" {
-		if *saveOnline {
+	if o.heapPath != "" {
+		if o.saveOnline {
 			// Online checkpoint: the copy phases run while commands keep
 			// executing; only the final delta happens under the server's
 			// cut-over fence. The image captures the volatile words at the
@@ -163,7 +234,7 @@ func main() {
 			// acknowledged write reached (the dirty flag rides along still
 			// set, so a SIGKILL after this point recovers from here).
 			srvCfg.CheckpointOnline = func(fence func(cut func() error) error) (server.CheckpointStats, error) {
-				st, err := heap.Region().SaveFileOnline(*heapPath, fence)
+				st, err := heap.Region().SaveFileOnline(o.heapPath, fence)
 				return server.CheckpointStats{
 					Lines:         st.Lines,
 					Recopied:      st.Recopied,
@@ -178,13 +249,35 @@ func main() {
 				// the survivable state (the dirty flag rides along still set,
 				// so a SIGKILL after this point recovers from here).
 				heap.Region().Persist()
-				return heap.Region().SaveFile(*heapPath)
+				return heap.Region().SaveFile(o.heapPath)
+			}
+		}
+		if bound == 0 {
+			// Replication rides on file-backed checkpoints: the image header
+			// carries the feed position (SetReplMeta, stamped inside every
+			// cut-over fence), and full resyncs stream the image file. A
+			// bounded store stays replication-free — LRU evictions are not
+			// in the feed.
+			srvCfg.ReplBacklogBytes = o.replBacklog
+			srvCfg.ReplicaOf = o.replicaOf
+			srvCfg.ReplID, srvCfg.ReplOffset = heap.Region().ReplMeta()
+			srvCfg.CheckpointOffset = func(id, off uint64) { heap.Region().SetReplMeta(id, off) }
+			srvCfg.OpenCheckpoint = func() (*server.CheckpointImage, error) { return openCheckpoint(o.heapPath) }
+			srvCfg.OnFullResyncNeeded = func() {
+				select {
+				case resyncCh <- struct{}{}:
+				default:
+				}
+				requestShutdown()
 			}
 		}
 	}
 	srv := server.New(a, store, srvCfg)
 	fmt.Printf("serving %d commands (COMMAND / COMMAND INFO for introspection, INFO commandstats for per-command counters)\n",
 		server.CommandCount())
+	if o.replicaOf != "" {
+		fmt.Printf("replica of %s (writes answer -READONLY; promote with REPLICAOF NO ONE)\n", o.replicaOf)
+	}
 
 	// Startup timeline events: recovery phases (when GC recovery ran) and
 	// the attach duration land in the same LATENCY surface as checkpoints,
@@ -199,14 +292,14 @@ func main() {
 
 	// Optional observability listener: /metrics (Prometheus text, no
 	// dependencies) plus /debug/pprof on a private mux. The registry draws
-	// from the server (commands, checkpoints, keyspace) and the heap
-	// (per-shard allocator counters).
+	// from the server (commands, checkpoints, replication, keyspace) and
+	// the heap (per-shard allocator counters).
 	var metricsSrv *http.Server
-	if *metricsAddr != "" {
+	if o.metricsAddr != "" {
 		reg := obs.NewRegistry()
 		reg.Register(srv)
 		reg.Register(heap)
-		ml, err := net.Listen("tcp", *metricsAddr)
+		ml, err := net.Listen("tcp", o.metricsAddr)
 		if err != nil {
 			fatal(fmt.Errorf("metrics listener: %w", err))
 		}
@@ -219,7 +312,7 @@ func main() {
 		}()
 	}
 
-	for _, l := range listen(*tcpAddr, *unixAddr) {
+	for _, l := range listen(o.tcpAddr, o.unixAddr) {
 		fmt.Printf("listening on %s://%s\n", l.Addr().Network(), l.Addr())
 		go func(l net.Listener) {
 			if err := srv.Serve(l); err != nil && err != server.ErrServerClosed {
@@ -234,11 +327,11 @@ func main() {
 
 	stopTicker := make(chan struct{})
 	var tickerWG sync.WaitGroup
-	if *checkpoint > 0 && *heapPath != "" {
+	if o.checkpoint > 0 && o.heapPath != "" {
 		tickerWG.Add(1)
 		go func() {
 			defer tickerWG.Done()
-			t := time.NewTicker(*checkpoint)
+			t := time.NewTicker(o.checkpoint)
 			defer t.Stop()
 			for {
 				select {
@@ -259,21 +352,106 @@ func main() {
 	// not race Close's own SaveFile on the same image path.
 	close(stopTicker)
 	tickerWG.Wait()
-	if err := srv.Shutdown(*drain); err != nil {
+	if err := srv.Shutdown(o.drain); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 	}
 	if metricsSrv != nil {
 		metricsSrv.Close()
 	}
-	if *unixAddr != "" {
-		os.Remove(*unixAddr)
+	if o.unixAddr != "" {
+		os.Remove(o.unixAddr)
+	}
+	// Stamp the final feed position into the region before the clean-close
+	// save, so the written image records exactly where the stream stopped —
+	// a restart resumes with a partial resync from here.
+	if id, off := srv.ReplMeta(); id != 0 {
+		heap.Region().SetReplMeta(id, off)
 	}
 	if err := heap.Close(); err != nil {
 		fatal(err)
 	}
-	if *heapPath != "" {
-		fmt.Printf("heap saved cleanly to %s\n", *heapPath)
+	if o.heapPath != "" {
+		fmt.Printf("heap saved cleanly to %s\n", o.heapPath)
 	}
+	select {
+	case <-resyncCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// bootstrapReplica ensures the local heap image is a usable starting point
+// for following the primary: with no image it downloads the primary's
+// checkpoint; with one it probes whether the stream position stamped in the
+// image header is still inside the primary's backlog — re-downloading (on
+// the same connection, consuming the checkpoint the probe already produced)
+// only when it is not. Transient dial failures retry briefly so a replica
+// and its primary can be started in either order.
+func bootstrapReplica(o *options) error {
+	var id, off uint64
+	havImage := false
+	if _, err := os.Stat(o.heapPath); err == nil {
+		rid, roff, err := pmem.ReadImageMeta(o.heapPath)
+		if err != nil {
+			return fmt.Errorf("reading local image header: %w", err)
+		}
+		id, off = rid, roff
+		havImage = id != 0
+	}
+	var lastErr error
+	for attempt, backoff := 0, 200*time.Millisecond; attempt < 10; attempt++ {
+		if havImage {
+			partial, nid, noff, err := repl.ProbeSync(o.replicaOf, o.heapPath, id, off)
+			if err == nil {
+				if partial {
+					fmt.Printf("resuming replication at offset %d (stream %016x)\n", noff, nid)
+				} else {
+					fmt.Printf("stream position no longer covered: downloaded fresh image (stream %016x, offset %d)\n", nid, noff)
+				}
+				return nil
+			}
+			lastErr = err
+		} else {
+			nid, noff, err := repl.BootstrapImage(o.replicaOf, o.heapPath)
+			if err == nil {
+				fmt.Printf("bootstrapped image from %s (stream %016x, offset %d)\n", o.replicaOf, nid, noff)
+				return nil
+			}
+			lastErr = err
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+	return lastErr
+}
+
+// openCheckpoint opens the checkpoint image for streaming to a replica,
+// reading the stamped stream position from the opened descriptor itself —
+// not a separate path read, which could race a concurrent checkpoint's
+// rename and return a different image's header.
+func openCheckpoint(path string) (*server.CheckpointImage, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, pmem.ImageMetaLen)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	id, off, err := pmem.ParseImageMeta(hdr)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &server.CheckpointImage{R: f, ReplID: id, ReplOffset: off}, nil
 }
 
 // allocatorInfo renders the INFO allocator section from the heap's

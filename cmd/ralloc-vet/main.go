@@ -1,6 +1,6 @@
 // ralloc-vet is the repository's static-analysis multichecker: it runs the
 // internal/analysis suite (persistorder, deferunlock, atomicword,
-// hookpurity, obspurity) over the given package patterns and fails on any
+// hookpurity, obspurity, replpurity) over the given package patterns and fails on any
 // diagnostic.
 //
 // Usage:

@@ -20,9 +20,9 @@
 //	    diagnostics on it. The reason is mandatory: a bare ignore is
 //	    itself reported, so every suppression is forced to explain itself.
 //
-// Analyzers: persistorder, deferunlock, atomicword, hookpurity, obspurity —
-// see each file's doc comment, and DESIGN.md "Static analysis" for the rules
-// prose.
+// Analyzers: persistorder, deferunlock, atomicword, hookpurity, obspurity,
+// replpurity — see each file's doc comment, and DESIGN.md "Static analysis"
+// for the rules prose.
 package analysis
 
 import (
@@ -205,7 +205,7 @@ func Run(pkgs []*load.Package, analyzers []*Analyzer) []Diagnostic {
 
 // Analyzers returns the full ralloc-vet suite.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{PersistOrder, DeferUnlock, AtomicWord, HookPurity, ObsPurity}
+	return []*Analyzer{PersistOrder, DeferUnlock, AtomicWord, HookPurity, ObsPurity, ReplPurity}
 }
 
 // ---- shared type-resolution helpers ----

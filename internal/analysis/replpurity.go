@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"go/ast"
+	"regexp"
+)
+
+// ReplPurity keeps the replication transport volatile. internal/repl owns
+// the feed ring, the backlog, and the PSYNC wire protocol — all DRAM and
+// socket state that is rebuilt from scratch on restart. Durability crossings
+// are the embedder's alone: the server stamps the replication offset into
+// the checkpoint image header through the CheckpointOffset hook, under the
+// same quiesce that makes the image itself consistent. A pmem.Region
+// mutation from inside repl would be a second, unaudited durability path —
+// an offset or entry write that crash-injection sweeps and the persistorder
+// analyzer never see, and whose recovery story nobody wrote. Reads are not
+// reported: inspecting a region (image headers during bootstrap) does not
+// create recovery obligations.
+var ReplPurity = &Analyzer{
+	Name: "replpurity",
+	Doc:  "internal/repl must not mutate pmem regions: offset durability belongs to the embedder's checkpoint",
+	Run:  runReplPurity,
+}
+
+// replPackages names the package path suffixes replpurity guards. A variable
+// so fixture tests can reuse the directory name.
+var replPackages = regexp.MustCompile(`(^|/)repl$`)
+
+func runReplPurity(pass *Pass) {
+	if !replPackages.MatchString(pass.Pkg.Types.Path()) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if m, ok := regionMethod(info, call); ok && regionMutators[m] {
+				pass.Reportf(call.Pos(),
+					"repl calls pmem.Region.%s: the replication transport is volatile — durable offset stamping belongs to the embedder's checkpoint hook", m)
+			}
+			return true
+		})
+	}
+}

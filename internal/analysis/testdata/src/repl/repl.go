@@ -1,0 +1,30 @@
+// Failing fixtures for the replpurity analyzer: the package path ends in
+// /repl, so any pmem.Region mutator call is reported. Reads stay legal —
+// bootstrap inspects image headers without creating recovery obligations.
+package repl
+
+import (
+	"fixture/pmem"
+)
+
+// stampOffset is the forbidden shape: the transport writing its own offset
+// into persistent memory, bypassing the embedder's checkpoint quiesce.
+func stampOffset(r *pmem.Region, off uint64) {
+	r.Store(128, off) // want "repl calls pmem.Region.Store: the replication transport is volatile"
+}
+
+// publishEntry smuggles feed bytes into the region — same class, byte form.
+func publishEntry(r *pmem.Region, entry []byte) {
+	r.WriteBytes(4096, entry) // want "repl calls pmem.Region.WriteBytes: the replication transport is volatile"
+}
+
+// bumpApplied uses the atomic flavor; still a durability crossing.
+func bumpApplied(r *pmem.Region) {
+	r.Add(136, 1) // want "repl calls pmem.Region.Add: the replication transport is volatile"
+}
+
+// readMeta is the compliant shape: reading an image header during bootstrap
+// mutates nothing and is not reported.
+func readMeta(r *pmem.Region) uint64 {
+	return r.Load(128)
+}

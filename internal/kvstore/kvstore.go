@@ -349,35 +349,70 @@ func (s *Store) PTTL(key string) int64 {
 // concurrently re-SET or PERSISTed is never swept. The serving layer calls
 // this from its expiry cycle under the checkpoint barrier.
 func (s *Store) ReclaimExpired(h alloc.Handle, max int) int {
-	now := s.now()
 	n := 0
-	for _, cand := range s.exp.sample(max, now) {
-		if s.m.DeleteExpired(h, []byte(cand.key), uint64(now)) {
-			s.deletes.Add(1)
-			s.reclaimed.Add(1)
-			// Conditional removal: a concurrent SETEX may have re-created
-			// the key and refreshed its hint between our delete and here;
-			// that fresh hint must survive for the record to be reclaimed
-			// when it expires.
-			s.exp.removeIf(cand.key, cand.at)
-			if s.lru != nil {
-				s.lru.remove(cand.key)
-			}
+	for _, cand := range s.ExpiredCandidates(max) {
+		if s.ReclaimIfExpired(h, cand.Key, cand.At) {
 			n++
-		} else {
-			// The persisted stamp disagrees with the sampled hint (the key
-			// was deleted, re-SET, or PERSISTed since, possibly by writers
-			// racing each other): repair the hint from the current stamp so
-			// phantom entries don't get re-sampled every cycle.
-			_, at, ok := s.m.GetExpire([]byte(cand.key))
-			persisted := int64(0)
-			if ok {
-				persisted = int64(at)
-			}
-			s.exp.fix(cand.key, cand.at, persisted)
 		}
 	}
 	return n
+}
+
+// ExpiredCandidate is one sampled (key, hint-deadline) pair from the
+// volatile index. A caller that must interleave its own work with each
+// deletion — a replicating primary propagates every reclaim as a DEL under
+// the key's lock — samples with ExpiredCandidates and confirms each key with
+// ReclaimIfExpired instead of using ReclaimExpired's batch loop.
+type ExpiredCandidate struct {
+	Key string
+	At  int64 // sampled hint deadline, passed back to ReclaimIfExpired
+}
+
+// ExpiredCandidates samples up to max keys whose volatile hint has passed.
+// Candidates are hints, possibly stale: only ReclaimIfExpired, which
+// re-checks the persisted stamp, may act on one.
+func (s *Store) ExpiredCandidates(max int) []ExpiredCandidate {
+	sampled := s.exp.sample(max, s.now())
+	if len(sampled) == 0 {
+		return nil
+	}
+	out := make([]ExpiredCandidate, len(sampled))
+	for i, c := range sampled {
+		out[i] = ExpiredCandidate{Key: c.key, At: c.at}
+	}
+	return out
+}
+
+// ReclaimIfExpired is the single-key body of ReclaimExpired: it deletes key
+// iff its *persisted* stamp has passed (checked under the stripe lock),
+// repairs the volatile hint otherwise, and reports whether it freed the
+// record. hintAt must be the At the key was sampled with, so a hint
+// refreshed by a concurrent re-SETEX survives the cleanup.
+func (s *Store) ReclaimIfExpired(h alloc.Handle, key string, hintAt int64) bool {
+	if s.m.DeleteExpired(h, []byte(key), uint64(s.now())) {
+		s.deletes.Add(1)
+		s.reclaimed.Add(1)
+		// Conditional removal: a concurrent SETEX may have re-created
+		// the key and refreshed its hint between our delete and here;
+		// that fresh hint must survive for the record to be reclaimed
+		// when it expires.
+		s.exp.removeIf(key, hintAt)
+		if s.lru != nil {
+			s.lru.remove(key)
+		}
+		return true
+	}
+	// The persisted stamp disagrees with the sampled hint (the key was
+	// deleted, re-SET, or PERSISTed since, possibly by writers racing each
+	// other): repair the hint from the current stamp so phantom entries
+	// don't get re-sampled every cycle.
+	_, at, ok := s.m.GetExpire([]byte(key))
+	persisted := int64(0)
+	if ok {
+		persisted = int64(at)
+	}
+	s.exp.fix(key, hintAt, persisted)
+	return false
 }
 
 // Delete removes a key. The return reports whether an *observably live* key

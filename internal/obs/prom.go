@@ -79,6 +79,14 @@ func (e *Emitter) Family(name, typ, help string) {
 	fmt.Fprintf(e.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 }
 
+// Single announces a single-sample family and writes its one value — the
+// common shape for server-wide gauges and counters, collapsing the
+// Family+Value pair call sites would otherwise repeat.
+func (e *Emitter) Single(name, typ, help string, v float64) {
+	e.Family(name, typ, help)
+	e.Value(name, v)
+}
+
 // Value writes one sample. labels are alternating key, value pairs.
 func (e *Emitter) Value(name string, v float64, labels ...string) {
 	e.w.WriteString(name)

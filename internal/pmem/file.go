@@ -18,36 +18,46 @@ import (
 // crash-sim mode that is the shadow, so saving right after a simulated crash
 // round-trips exactly the survivable state.
 //
-// Image format (version 2, magic RPMEM002): an 8-byte magic, then three
+// Image format (version 3, magic RPMEM003): an 8-byte magic, then five
 // little-endian 64-bit header words — region size in bytes, the Mode the
-// region ran in, and a flags word (bit 0: written by an online snapshot) —
-// followed by the raw words of the image. Version 1 (RPMEM001) lacked the
-// flags word; LoadRegion still accepts it. The header's mode word is
-// validated against the loading Config: silently attaching a fast-mode
-// image as crash-sim (or the reverse) would change the image's durability
-// semantics underneath its data, so a mismatch is ErrBadImage.
+// region ran in, a flags word (bit 0: written by an online snapshot), and
+// the replication metadata pair (stream ID and byte offset, see SetReplMeta)
+// — followed by the raw words of the image. Version 2 (RPMEM002) lacked the
+// replication words and version 1 (RPMEM001) additionally lacked flags;
+// LoadRegion still accepts both, with zero replication metadata. The
+// header's mode word is validated against the loading Config: silently
+// attaching a fast-mode image as crash-sim (or the reverse) would change
+// the image's durability semantics underneath its data, so a mismatch is
+// ErrBadImage.
 
 var (
-	fileMagic   = [8]byte{'R', 'P', 'M', 'E', 'M', '0', '0', '2'}
+	fileMagic   = [8]byte{'R', 'P', 'M', 'E', 'M', '0', '0', '3'}
+	fileMagicV2 = [8]byte{'R', 'P', 'M', 'E', 'M', '0', '0', '2'}
 	fileMagicV1 = [8]byte{'R', 'P', 'M', 'E', 'M', '0', '0', '1'}
 )
 
 const (
 	// imageHeaderLen is the byte offset of the first data word in a
-	// version-2 image: magic + size + mode + flags.
-	imageHeaderLen = 8 + 3*8
+	// version-3 image: magic + size + mode + flags + replID + replOffset.
+	imageHeaderLen = 8 + 5*8
 	// imageFlagOnline marks an image written by SaveFileOnline rather than
 	// a quiesced Save. Informational: both are consistent cut-over images.
 	imageFlagOnline = uint64(1)
+	// replMetaHeaderOff is the byte offset of the replication metadata pair
+	// inside the header (SaveFileOnline re-stamps it under the cut-over
+	// fence, after the metadata has reached its final value).
+	replMetaHeaderOff = 8 + 3*8
 )
 
-// writeImageHeader writes the version-2 image header.
-func writeImageHeader(w io.Writer, size uint64, mode Mode, flags uint64) error {
+// writeImageHeader writes the version-3 image header.
+func writeImageHeader(w io.Writer, size uint64, mode Mode, flags, replID, replOff uint64) error {
 	var hdr [imageHeaderLen]byte
 	copy(hdr[:8], fileMagic[:])
 	binary.LittleEndian.PutUint64(hdr[8:], size)
 	binary.LittleEndian.PutUint64(hdr[16:], uint64(mode))
 	binary.LittleEndian.PutUint64(hdr[24:], flags)
+	binary.LittleEndian.PutUint64(hdr[32:], replID)
+	binary.LittleEndian.PutUint64(hdr[40:], replOff)
 	_, err := w.Write(hdr[:])
 	return err
 }
@@ -59,7 +69,8 @@ func writeImageHeader(w io.Writer, size uint64, mode Mode, flags uint64) error {
 // cut-over fence.
 func (r *Region) Save(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
-	if err := writeImageHeader(bw, r.size, r.cfg.Mode, 0); err != nil {
+	id, off := r.ReplMeta()
+	if err := writeImageHeader(bw, r.size, r.cfg.Mode, 0, id, off); err != nil {
 		return err
 	}
 	img := r.words
@@ -94,10 +105,14 @@ func LoadRegion(rd io.Reader, cfg Config) (*Region, error) {
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("%w: truncated magic: %v", ErrBadImage, err)
 	}
-	hdrWords := 3
-	if magic == fileMagicV1 {
+	hdrWords := 5
+	switch magic {
+	case fileMagic:
+	case fileMagicV2:
+		hdrWords = 3 // v2: size + mode + flags, no replication metadata
+	case fileMagicV1:
 		hdrWords = 2 // v1: size + mode, no flags
-	} else if magic != fileMagic {
+	default:
 		return nil, fmt.Errorf("%w: bad magic %q", ErrBadImage, magic[:])
 	}
 	hdr := make([]byte, hdrWords*8)
@@ -117,6 +132,9 @@ func LoadRegion(rd io.Reader, cfg Config) (*Region, error) {
 			ErrBadImage, mode, cfg.Mode)
 	}
 	r := NewRegion(size, cfg)
+	if hdrWords >= 5 {
+		r.SetReplMeta(binary.LittleEndian.Uint64(hdr[24:]), binary.LittleEndian.Uint64(hdr[32:]))
+	}
 	var buf [WordBytes]byte
 	for i := range r.words {
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
@@ -186,4 +204,47 @@ func LoadFile(path string, cfg Config) (*Region, error) {
 	}
 	defer f.Close()
 	return LoadRegion(f, cfg)
+}
+
+// ParseImageMeta extracts the replication metadata pair from an image
+// header prefix (the first imageHeaderLen bytes of an image stream) without
+// loading the region. Pre-v3 images report (0, 0) — they carry no
+// replication words. The replication layer uses this to learn a streamed
+// bootstrap image's offset before the image is ever attached.
+func ParseImageMeta(hdr []byte) (replID, replOff uint64, err error) {
+	if len(hdr) < 8 {
+		return 0, 0, fmt.Errorf("%w: truncated magic", ErrBadImage)
+	}
+	var magic [8]byte
+	copy(magic[:], hdr)
+	switch magic {
+	case fileMagic:
+		if len(hdr) < imageHeaderLen {
+			return 0, 0, fmt.Errorf("%w: truncated header", ErrBadImage)
+		}
+		return binary.LittleEndian.Uint64(hdr[replMetaHeaderOff:]),
+			binary.LittleEndian.Uint64(hdr[replMetaHeaderOff+8:]), nil
+	case fileMagicV2, fileMagicV1:
+		return 0, 0, nil
+	default:
+		return 0, 0, fmt.Errorf("%w: bad magic %q", ErrBadImage, magic[:])
+	}
+}
+
+// ImageMetaLen is how many leading image bytes ParseImageMeta needs.
+const ImageMetaLen = imageHeaderLen
+
+// ReadImageMeta reads the replication metadata pair from the image at path.
+func ReadImageMeta(path string) (replID, replOff uint64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	hdr := make([]byte, imageHeaderLen)
+	n, err := io.ReadFull(f, hdr)
+	if err != nil && err != io.ErrUnexpectedEOF {
+		return 0, 0, fmt.Errorf("%w: %v", ErrBadImage, err)
+	}
+	return ParseImageMeta(hdr[:n])
 }

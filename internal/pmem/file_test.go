@@ -36,7 +36,7 @@ func TestLoadRegionRejectsModeMismatch(t *testing.T) {
 // nor crashsim) is a bad image, not a zero-value fallback.
 func TestLoadRegionRejectsGarbageModeWord(t *testing.T) {
 	var buf bytes.Buffer
-	if err := writeImageHeader(&buf, LineBytes, Mode(7), 0); err != nil {
+	if err := writeImageHeader(&buf, LineBytes, Mode(7), 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	buf.Write(make([]byte, LineBytes))
@@ -132,5 +132,58 @@ func TestSaveFileErrorPaths(t *testing.T) {
 	}
 	if _, err := os.Stat(target + ".tmp"); !os.IsNotExist(err) {
 		t.Fatalf("temp file left behind after failed online rename: %v", err)
+	}
+}
+
+// TestReplMetaRoundTrip: the replication metadata pair survives both save
+// paths and the load, and reads back via ReadImageMeta without attaching;
+// v2/v1 images report (0, 0).
+func TestReplMetaRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "repl.img")
+	r := NewRegion(4096, Config{Mode: ModeCrashSim})
+	r.Store(0, 42)
+	r.Flush(0)
+	r.Fence()
+	r.SetReplMeta(0xabcdef01, 77123)
+	if err := r.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	id, off, err := ReadImageMeta(path)
+	if err != nil || id != 0xabcdef01 || off != 77123 {
+		t.Fatalf("ReadImageMeta = (%#x, %d, %v), want (0xabcdef01, 77123, nil)", id, off, err)
+	}
+	r2, err := LoadFile(path, Config{Mode: ModeCrashSim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, off := r2.ReplMeta(); id != 0xabcdef01 || off != 77123 {
+		t.Fatalf("loaded ReplMeta = (%#x, %d)", id, off)
+	}
+
+	// Online path: the meta visible at the cut-over fence wins, even if the
+	// header was first streamed with a stale value.
+	r.SetReplMeta(0xabcdef01, 1)
+	_, err = r.SaveFileOnline(path, func(cut func() error) error {
+		r.SetReplMeta(0xabcdef01, 99000)
+		return cut()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, off, _ := ReadImageMeta(path); id != 0xabcdef01 || off != 99000 {
+		t.Fatalf("online ReadImageMeta = (%#x, %d), want fence-time value 99000", id, off)
+	}
+
+	// Pre-v3 images carry no replication words.
+	var buf bytes.Buffer
+	buf.Write(fileMagicV1[:])
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], LineBytes)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(ModeFast))
+	buf.Write(hdr[:])
+	buf.Write(make([]byte, LineBytes))
+	if id, off, err := ParseImageMeta(buf.Bytes()); err != nil || id != 0 || off != 0 {
+		t.Fatalf("v1 ParseImageMeta = (%d, %d, %v), want zeros", id, off, err)
 	}
 }

@@ -132,6 +132,29 @@ type Region struct {
 	// the snapshot pass re-copies marked lines until the cut-over fence.
 	snap   atomic.Pointer[snapTracker]
 	snapMu sync.Mutex // one online snapshot at a time
+
+	// replID/replOff are the replication metadata pair stamped into the
+	// image header by Save/SaveFileOnline and restored by LoadRegion. They
+	// are volatile bookkeeping, not region data: the replication layer sets
+	// them as the write feed advances, and a checkpoint image records the
+	// feed position its contents correspond to.
+	replID  atomic.Uint64
+	replOff atomic.Uint64
+}
+
+// SetReplMeta records the replication stream ID and byte offset that the
+// region's current contents correspond to. The next checkpoint image stamps
+// the pair into its header (for SaveFileOnline, re-stamped under the
+// cut-over fence, when the value is final for the captured state).
+func (r *Region) SetReplMeta(id, off uint64) {
+	r.replID.Store(id)
+	r.replOff.Store(off)
+}
+
+// ReplMeta returns the replication metadata pair last set by SetReplMeta
+// (or restored from the loaded image's header).
+func (r *Region) ReplMeta() (id, off uint64) {
+	return r.replID.Load(), r.replOff.Load()
 }
 
 // NewRegion creates a Region of the given size in bytes (rounded up to a

@@ -66,7 +66,7 @@ func (r *Region) snapMarkRange(off, n uint64) {
 	if t == nil {
 		return
 	}
-	for l := off / LineBytes; l <= (off + n - 1) / LineBytes; l++ {
+	for l := off / LineBytes; l <= (off+n-1)/LineBytes; l++ {
 		atomic.StoreUint32(&t.dirty[l], 1)
 	}
 }
@@ -161,7 +161,8 @@ func (r *Region) SaveFileOnline(path string, fence func(cut func() error) error)
 	}
 
 	bw := bufio.NewWriterSize(f, 1<<20)
-	if err := writeImageHeader(bw, r.size, r.cfg.Mode, imageFlagOnline); err != nil {
+	id, off := r.ReplMeta()
+	if err := writeImageHeader(bw, r.size, r.cfg.Mode, imageFlagOnline, id, off); err != nil {
 		return fail(err)
 	}
 	// Phase 1 — streaming copy of every line, concurrent with mutators.
@@ -199,7 +200,9 @@ func (r *Region) SaveFileOnline(path string, fence func(cut func() error) error)
 	}
 
 	// Phase 3 — cut-over: the caller stops mutators, we copy the final
-	// delta and disarm. After cut returns the file is a point-in-time image.
+	// delta, re-stamp the replication metadata (final now that mutators are
+	// drained — the header written in phase 1 carried a pre-copy value) and
+	// disarm. After cut returns the file is a point-in-time image.
 	if err := fence(func() error {
 		if r.cfg.SnapshotHook != nil {
 			r.cfg.SnapshotHook(SnapFence)
@@ -207,6 +210,13 @@ func (r *Region) SaveFileOnline(path string, fence func(cut func() error) error)
 		n, err := r.snapCopyDelta(t, f)
 		st.Recopied += n
 		st.FenceRecopied = n
+		if err == nil {
+			var meta [16]byte
+			id, off := r.ReplMeta()
+			binary.LittleEndian.PutUint64(meta[:8], id)
+			binary.LittleEndian.PutUint64(meta[8:], off)
+			_, err = f.WriteAt(meta[:], replMetaHeaderOff)
+		}
 		r.snap.Store(nil)
 		return err
 	}); err != nil {

@@ -1,0 +1,465 @@
+package repl
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Wire format. The replication link speaks three shapes, all RESP-derived:
+//
+//   - feed entries: canonical RESP arrays of bulk strings — exactly what
+//     the server's own reader accepts, so a replica can hand entries
+//     straight to dispatch. The feed offset counts these bytes.
+//   - handshake lines: "+FULLRESYNC <id-hex> <offset>\r\n" (an image
+//     follows, then the feed from <offset>) or "+CONTINUE <offset>\r\n"
+//     (the feed resumes at <offset>, no image).
+//   - the bootstrap image: a sequence of non-empty chunks "$<n>\r\n<n
+//     bytes>\r\n" terminated by an empty chunk "$0\r\n\r\n", so the
+//     replica knows the image ended cleanly rather than the connection
+//     dying mid-stream.
+//
+// At any entry or chunk boundary the sender may emit a "-ERR ...\r\n" line
+// instead: a clean abort (primary shutting down mid-PSYNC). Readers surface
+// it as ErrStreamAbort so the replica logs the reason and reconnects,
+// instead of waiting out a TCP timeout on a wedged stream.
+
+const (
+	// maxEntryArgs and maxEntryBulk bound a decoded feed entry; they mirror
+	// the server reader's hostile-input caps.
+	maxEntryArgs = 1 << 17
+	maxEntryBulk = 64 << 20
+	// maxLineLen bounds any single protocol line.
+	maxLineLen = 64 << 10
+	// imageChunkBytes is the bulk size the image streams in.
+	imageChunkBytes = 256 << 10
+)
+
+// ErrStreamAbort is wrapped around the sender's message when the stream is
+// cleanly aborted with a "-ERR" line.
+var ErrStreamAbort = errors.New("repl: stream aborted by peer")
+
+// ErrProto reports a malformed replication stream.
+var ErrProto = errors.New("repl: protocol error")
+
+// AppendEntry appends the canonical RESP encoding of args to dst and
+// returns it. This is the feed's byte format: what Append offsets count and
+// what the replica's reader decodes.
+func AppendEntry(dst []byte, args [][]byte) []byte {
+	dst = append(dst, '*')
+	dst = strconv.AppendInt(dst, int64(len(args)), 10)
+	dst = append(dst, '\r', '\n')
+	for _, a := range args {
+		dst = append(dst, '$')
+		dst = strconv.AppendInt(dst, int64(len(a)), 10)
+		dst = append(dst, '\r', '\n')
+		dst = append(dst, a...)
+		dst = append(dst, '\r', '\n')
+	}
+	return dst
+}
+
+// EntryLen returns the encoded byte length of args without encoding it.
+func EntryLen(args [][]byte) int {
+	n := 1 + intLen(len(args)) + 2
+	for _, a := range args {
+		n += 1 + intLen(len(a)) + 2 + len(a) + 2
+	}
+	return n
+}
+
+func intLen(v int) int {
+	n := 1
+	for v >= 10 {
+		v /= 10
+		n++
+	}
+	return n
+}
+
+// readLine reads one CRLF-terminated line (without the CRLF), bounded by
+// maxLineLen, appending the raw bytes (with CRLF) to *raw when raw != nil.
+func readLine(br *bufio.Reader, raw *[]byte) ([]byte, error) {
+	line, err := br.ReadSlice('\n')
+	if err != nil {
+		if err == bufio.ErrBufferFull {
+			return nil, fmt.Errorf("%w: line too long", ErrProto)
+		}
+		return nil, err
+	}
+	if raw != nil {
+		*raw = append(*raw, line...)
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return nil, fmt.Errorf("%w: bare LF", ErrProto)
+	}
+	return line[:len(line)-2], nil
+}
+
+// ReadEntry decodes one feed entry from br, returning the parsed arguments
+// and the entry's exact wire bytes (what AppendRaw re-appends on a
+// replica). A "-..." line at the boundary returns ErrStreamAbort carrying
+// the sender's message.
+func ReadEntry(br *bufio.Reader) (args [][]byte, raw []byte, err error) {
+	raw = make([]byte, 0, 64)
+	line, err := readLine(br, &raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(line) == 0 {
+		return nil, nil, fmt.Errorf("%w: empty line", ErrProto)
+	}
+	if line[0] == '-' {
+		return nil, nil, fmt.Errorf("%w: %s", ErrStreamAbort, strings.TrimPrefix(string(line[1:]), "ERR "))
+	}
+	if line[0] != '*' {
+		return nil, nil, fmt.Errorf("%w: expected array, got %q", ErrProto, line[0])
+	}
+	n, err := strconv.Atoi(string(line[1:]))
+	if err != nil || n < 1 || n > maxEntryArgs {
+		return nil, nil, fmt.Errorf("%w: bad array header %q", ErrProto, line)
+	}
+	args = make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		line, err := readLine(br, &raw)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(line) == 0 || line[0] != '$' {
+			return nil, nil, fmt.Errorf("%w: expected bulk, got %q", ErrProto, line)
+		}
+		bl, err := strconv.Atoi(string(line[1:]))
+		if err != nil || bl < 0 || bl > maxEntryBulk {
+			return nil, nil, fmt.Errorf("%w: bad bulk header %q", ErrProto, line)
+		}
+		body := make([]byte, bl+2)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return nil, nil, err
+		}
+		if body[bl] != '\r' || body[bl+1] != '\n' {
+			return nil, nil, fmt.Errorf("%w: bulk not CRLF-terminated", ErrProto)
+		}
+		raw = append(raw, body...)
+		args = append(args, body[:bl])
+	}
+	return args, raw, nil
+}
+
+// Handshake is the parsed reply to a PSYNC request.
+type Handshake struct {
+	Full   bool   // true: FULLRESYNC (image follows); false: CONTINUE
+	ID     uint64 // stream ID (FULLRESYNC only)
+	Offset uint64 // stream offset the feed will start/resume at
+}
+
+// WriteFullResync writes the full-resync handshake line.
+func WriteFullResync(w io.Writer, id, off uint64) error {
+	_, err := fmt.Fprintf(w, "+FULLRESYNC %016x %d\r\n", id, off)
+	return err
+}
+
+// WriteContinue writes the partial-resync handshake line.
+func WriteContinue(w io.Writer, off uint64) error {
+	_, err := fmt.Fprintf(w, "+CONTINUE %d\r\n", off)
+	return err
+}
+
+// WriteAbort writes the clean-abort error line a reader surfaces as
+// ErrStreamAbort. msg must be a single line; CR/LF are replaced.
+func WriteAbort(w io.Writer, msg string) error {
+	msg = strings.Map(func(r rune) rune {
+		if r == '\r' || r == '\n' {
+			return ' '
+		}
+		return r
+	}, msg)
+	_, err := fmt.Fprintf(w, "-ERR %s\r\n", msg)
+	return err
+}
+
+// ReadHandshake parses the reply to PSYNC: FULLRESYNC, CONTINUE, or a
+// "-ERR" refusal (returned as ErrStreamAbort).
+func ReadHandshake(br *bufio.Reader) (Handshake, error) {
+	var h Handshake
+	line, err := readLine(br, nil)
+	if err != nil {
+		return h, err
+	}
+	if len(line) == 0 {
+		return h, fmt.Errorf("%w: empty handshake", ErrProto)
+	}
+	if line[0] == '-' {
+		return h, fmt.Errorf("%w: %s", ErrStreamAbort, strings.TrimPrefix(string(line[1:]), "ERR "))
+	}
+	if line[0] != '+' {
+		return h, fmt.Errorf("%w: bad handshake %q", ErrProto, line)
+	}
+	fields := strings.Fields(string(line[1:]))
+	switch {
+	case len(fields) == 3 && fields[0] == "FULLRESYNC":
+		id, err1 := strconv.ParseUint(fields[1], 16, 64)
+		off, err2 := strconv.ParseUint(fields[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			return h, fmt.Errorf("%w: bad FULLRESYNC %q", ErrProto, line)
+		}
+		return Handshake{Full: true, ID: id, Offset: off}, nil
+	case len(fields) == 2 && fields[0] == "CONTINUE":
+		off, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return h, fmt.Errorf("%w: bad CONTINUE %q", ErrProto, line)
+		}
+		return Handshake{Offset: off}, nil
+	default:
+		return h, fmt.Errorf("%w: bad handshake %q", ErrProto, line)
+	}
+}
+
+// CopyImageChunks streams r to w in the chunked-bulk image framing,
+// finishing with the empty terminator chunk. Returns the image byte count.
+func CopyImageChunks(w io.Writer, r io.Reader) (int64, error) {
+	buf := make([]byte, imageChunkBytes)
+	var total int64
+	for {
+		n, rerr := r.Read(buf)
+		if n > 0 {
+			if _, err := fmt.Fprintf(w, "$%d\r\n", n); err != nil {
+				return total, err
+			}
+			if _, err := w.Write(buf[:n]); err != nil {
+				return total, err
+			}
+			if _, err := io.WriteString(w, "\r\n"); err != nil {
+				return total, err
+			}
+			total += int64(n)
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return total, rerr
+		}
+	}
+	_, err := io.WriteString(w, "$0\r\n\r\n")
+	return total, err
+}
+
+// CopyImageChunksAbort is CopyImageChunks with an abort check between
+// chunks: when abort returns a non-empty reason, the stream is cut with a
+// clean "-ERR" line (legal at a chunk boundary) and ErrStreamAbort is
+// returned. A primary shutting down mid-PSYNC uses this so the replica sees
+// a parseable refusal instead of a wedged or torn image stream.
+func CopyImageChunksAbort(w io.Writer, r io.Reader, abort func() string) (int64, error) {
+	buf := make([]byte, imageChunkBytes)
+	var total int64
+	for {
+		if msg := abort(); msg != "" {
+			if err := WriteAbort(w, msg); err != nil {
+				return total, err
+			}
+			return total, fmt.Errorf("%w: %s", ErrStreamAbort, msg)
+		}
+		n, rerr := r.Read(buf)
+		if n > 0 {
+			if _, err := fmt.Fprintf(w, "$%d\r\n", n); err != nil {
+				return total, err
+			}
+			if _, err := w.Write(buf[:n]); err != nil {
+				return total, err
+			}
+			if _, err := io.WriteString(w, "\r\n"); err != nil {
+				return total, err
+			}
+			total += int64(n)
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return total, rerr
+		}
+	}
+	_, err := io.WriteString(w, "$0\r\n\r\n")
+	return total, err
+}
+
+// ReadImage consumes a chunked image stream from br into dst, returning the
+// image byte count. A "-ERR" line at a chunk boundary aborts cleanly.
+func ReadImage(br *bufio.Reader, dst io.Writer) (int64, error) {
+	var total int64
+	buf := make([]byte, 32<<10)
+	for {
+		line, err := readLine(br, nil)
+		if err != nil {
+			return total, err
+		}
+		if len(line) == 0 {
+			return total, fmt.Errorf("%w: empty chunk header", ErrProto)
+		}
+		if line[0] == '-' {
+			return total, fmt.Errorf("%w: %s", ErrStreamAbort, strings.TrimPrefix(string(line[1:]), "ERR "))
+		}
+		if line[0] != '$' {
+			return total, fmt.Errorf("%w: bad chunk header %q", ErrProto, line)
+		}
+		n, err := strconv.Atoi(string(line[1:]))
+		if err != nil || n < 0 || n > imageChunkBytes*4 {
+			return total, fmt.Errorf("%w: bad chunk length %q", ErrProto, line)
+		}
+		if n > 0 {
+			if _, err := io.CopyBuffer(dst, io.LimitReader(br, int64(n)), buf); err != nil {
+				return total, err
+			}
+			total += int64(n)
+		}
+		var crlf [2]byte
+		if _, err := io.ReadFull(br, crlf[:]); err != nil {
+			return total, err
+		}
+		if crlf != [2]byte{'\r', '\n'} {
+			return total, fmt.Errorf("%w: chunk not CRLF-terminated", ErrProto)
+		}
+		if n == 0 {
+			return total, nil
+		}
+	}
+}
+
+// Dial connects to a replication peer address. Addresses containing a path
+// separator are unix sockets; everything else is TCP — the same convention
+// the serving layer's client uses.
+func Dial(addr string) (net.Conn, error) {
+	network := "tcp"
+	if strings.Contains(addr, "/") {
+		network = "unix"
+	}
+	return net.Dial(network, addr)
+}
+
+// BootstrapImage dials the primary at addr, requests a full resync
+// ("PSYNC ? 0"), and writes the streamed checkpoint image to path with the
+// checkpoint publish discipline (temp file, fsync, rename, directory sync).
+// It returns the stream ID and offset the image corresponds to; the caller
+// attaches the image and then opens the live link with a partial resync
+// from that position. The feed after the image is deliberately not
+// consumed here: bootstrap runs before the heap exists, so applying must
+// wait for a served process — the backlog covers the gap.
+func BootstrapImage(addr, path string) (id, off uint64, err error) {
+	conn, err := Dial(addr)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer conn.Close()
+	if _, err := conn.Write(AppendEntry(nil, [][]byte{[]byte("PSYNC"), []byte("?"), []byte("0")})); err != nil {
+		return 0, 0, err
+	}
+	br := bufio.NewReaderSize(conn, 1<<16)
+	h, err := ReadHandshake(br)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !h.Full {
+		return 0, 0, fmt.Errorf("%w: CONTINUE in response to PSYNC ? 0", ErrProto)
+	}
+	if err := saveImageAtomic(br, path); err != nil {
+		return 0, 0, err
+	}
+	return h.ID, h.Offset, nil
+}
+
+// ProbeSync asks the primary whether the stream position (id, off) — a
+// restarting replica's image header — is still resumable. On CONTINUE it
+// reports partial=true and disconnects (the served process reopens the link
+// itself); on FULLRESYNC it consumes the image the primary already produced
+// on this same connection into path, so probing never costs a checkpoint
+// that is then thrown away. Either way the returned ID/offset are the
+// position the on-disk image now corresponds to.
+func ProbeSync(addr, path string, id, off uint64) (partial bool, newID, newOff uint64, err error) {
+	conn, err := Dial(addr)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	defer conn.Close()
+	req := [][]byte{
+		[]byte("PSYNC"),
+		[]byte(fmt.Sprintf("%016x", id)),
+		[]byte(strconv.FormatUint(off, 10)),
+	}
+	if _, err := conn.Write(AppendEntry(nil, req)); err != nil {
+		return false, 0, 0, err
+	}
+	br := bufio.NewReaderSize(conn, 1<<16)
+	h, err := ReadHandshake(br)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	if !h.Full {
+		return true, id, h.Offset, nil
+	}
+	if err := saveImageAtomic(br, path); err != nil {
+		return false, 0, 0, err
+	}
+	return false, h.ID, h.Offset, nil
+}
+
+// saveImageAtomic consumes a FULLRESYNC image stream from br and publishes
+// it at path with the checkpoint discipline: temp file, fsync, rename,
+// directory sync.
+func saveImageAtomic(br *bufio.Reader, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	cleanup := func(e error) error {
+		f.Close()
+		os.Remove(tmp)
+		return e
+	}
+	if _, err := ReadImage(br, f); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}
+
+// SplitEntries walks raw feed bytes and returns the byte boundaries of the
+// complete entries they contain (tests use it to assert alignment).
+func SplitEntries(raw []byte) (ends []int, err error) {
+	br := bufio.NewReader(bytes.NewReader(raw))
+	pos := 0
+	for pos < len(raw) {
+		_, entry, err := ReadEntry(br)
+		if err != nil {
+			return ends, err
+		}
+		pos += len(entry)
+		ends = append(ends, pos)
+	}
+	return ends, nil
+}

@@ -457,3 +457,26 @@ func (c *Client) Txn(cmds ...[]string) ([]Reply, error) {
 
 // DBSize returns the record count.
 func (c *Client) DBSize() (int64, error) { return c.intReply("DBSIZE") }
+
+// PExpireAt sets key's deadline as an absolute unix-millisecond timestamp
+// (PEXPIREAT); ok=false reports a missing key.
+func (c *Client) PExpireAt(key string, unixMs int64) (bool, error) {
+	n, err := c.intReply("PEXPIREAT", key, strconv.FormatInt(unixMs, 10))
+	return n == 1, err
+}
+
+// PSetExAt stores key=value with an absolute unix-millisecond deadline
+// (PSETEXAT).
+func (c *Client) PSetExAt(key string, unixMs int64, value string) error {
+	return c.okReply("PSETEXAT", key, strconv.FormatInt(unixMs, 10), value)
+}
+
+// Wait blocks until numReplicas connected replicas have acknowledged every
+// write this server had executed when WAIT began, or the timeout passes
+// (0 waits indefinitely). It returns how many replicas acknowledged.
+func (c *Client) Wait(numReplicas int, timeout time.Duration) (int64, error) {
+	return c.intReply("WAIT", strconv.Itoa(numReplicas), strconv.FormatInt(timeout.Milliseconds(), 10))
+}
+
+// Promote turns a replica into a writable primary (REPLICAOF NO ONE).
+func (c *Client) Promote() error { return c.okReply("REPLICAOF", "NO", "ONE") }

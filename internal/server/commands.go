@@ -40,9 +40,13 @@ func commandDefs() []*Command {
 		{Name: "DBSIZE", Arity: 1, Flags: FlagReadonly | FlagFast, Handler: cmdDBSize},
 		{Name: "FLUSHALL", Arity: 1, Flags: FlagWrite | FlagLockAll, Handler: cmdFlushAll},
 
-		// Expiration.
+		// Expiration. PEXPIREAT/PSETEXAT are the absolute-deadline forms
+		// EXPIRE/SETEX rewrite to for replication (repl.go) — clock-free, so
+		// replicas never resolve a relative duration themselves.
 		{Name: "EXPIRE", Arity: 3, Flags: FlagWrite | FlagFast, Keys: KeySpec{1, 1, 1}, Handler: cmdExpire},
 		{Name: "PEXPIRE", Arity: 3, Flags: FlagWrite | FlagFast, Keys: KeySpec{1, 1, 1}, Handler: cmdExpire},
+		{Name: "PEXPIREAT", Arity: 3, Flags: FlagWrite | FlagFast, Keys: KeySpec{1, 1, 1}, Handler: cmdPExpireAt},
+		{Name: "PSETEXAT", Arity: 4, Flags: FlagWrite, Keys: KeySpec{1, 1, 1}, Handler: cmdPSetExAt},
 		{Name: "TTL", Arity: 2, Flags: FlagReadonly | FlagFast, Keys: KeySpec{1, 1, 1}, Handler: cmdTTL},
 		{Name: "PTTL", Arity: 2, Flags: FlagReadonly | FlagFast, Keys: KeySpec{1, 1, 1}, Handler: cmdTTL},
 		{Name: "PERSIST", Arity: 2, Flags: FlagWrite | FlagFast, Keys: KeySpec{1, 1, 1}, Handler: cmdPersist},
@@ -57,6 +61,13 @@ func commandDefs() []*Command {
 		{Name: "INFO", Arity: -1, Flags: FlagReadonly, Handler: cmdInfo},
 		{Name: "SAVE", Arity: 1, Flags: FlagAdmin | FlagDenyTxn, Handler: cmdSave},
 		{Name: "SHUTDOWN", Arity: 1, Flags: FlagAdmin | FlagDenyTxn, Handler: cmdShutdown},
+
+		// Replication (repl.go): the PSYNC handshake, replica promotion,
+		// replica acknowledgments, and write-acknowledgment waits.
+		{Name: "REPLICAOF", Arity: 3, Flags: FlagAdmin | FlagDenyTxn, Handler: cmdReplicaOf},
+		{Name: "REPLCONF", Arity: -2, Flags: FlagAdmin | FlagFast, Handler: cmdReplConf},
+		{Name: "PSYNC", Arity: 3, Flags: FlagAdmin | FlagDenyTxn, Handler: cmdPSync},
+		{Name: "WAIT", Arity: 3, Flags: FlagDenyTxn, Handler: cmdWait},
 
 		// Observability (commands_obs.go): the slow log and the latency
 		// event timeline. Readonly — they touch obs state, never the
@@ -120,7 +131,11 @@ func cmdSetNX(ctx *Ctx) {
 	}
 }
 
-// cmdSetEx serves SETEX (seconds) and PSETEX (milliseconds).
+// cmdSetEx serves SETEX (seconds) and PSETEX (milliseconds). The relative
+// duration is resolved against this server's clock once, here, and the
+// command propagates to replicas as the absolute-deadline PSETEXAT — a
+// replica applying the relative form later (or with a different clock)
+// would compute a divergent deadline.
 func cmdSetEx(ctx *Ctx) {
 	name := commandName(ctx.args)
 	d, err := strconv.ParseInt(string(ctx.args[2]), 10, 64)
@@ -132,7 +147,9 @@ func cmdSetEx(ctx *Ctx) {
 		ctx.w.errorf("invalid expire time in '%s' command", name)
 		return
 	}
-	if !ctx.s.st.SetBytesExpire(ctx.hd, ctx.args[1], ctx.args[3], deadlineFrom(ctx.s.st.Now(), d, name == "setex")) {
+	at := deadlineFrom(ctx.s.st.Now(), d, name == "setex")
+	ctx.prop = [][]byte{[]byte("PSETEXAT"), ctx.args[1], []byte(strconv.FormatInt(at, 10)), ctx.args[3]}
+	if !ctx.s.st.SetBytesExpire(ctx.hd, ctx.args[1], ctx.args[3], at) {
 		ctx.w.errorf("out of memory")
 		return
 	}
@@ -287,7 +304,10 @@ func cmdFlushAll(ctx *Ctx) {
 	ctx.w.simple("OK")
 }
 
-// cmdExpire serves EXPIRE (seconds) and PEXPIRE (milliseconds).
+// cmdExpire serves EXPIRE (seconds) and PEXPIRE (milliseconds). Like
+// SETEX, the deadline is resolved here and propagated absolute (PEXPIREAT);
+// an EXPIRE on a missing key still propagates — as a no-op PEXPIREAT — so
+// replica feeds stay byte-identical regardless of local keyspace state.
 func cmdExpire(ctx *Ctx) {
 	name := commandName(ctx.args)
 	d, err := strconv.ParseInt(string(ctx.args[2]), 10, 64)
@@ -295,7 +315,9 @@ func cmdExpire(ctx *Ctx) {
 		ctx.w.errorf("value is not an integer or out of range")
 		return
 	}
-	if ctx.s.st.Expire(string(ctx.args[1]), deadlineFrom(ctx.s.st.Now(), d, name == "expire")) {
+	at := deadlineFrom(ctx.s.st.Now(), d, name == "expire")
+	ctx.prop = [][]byte{[]byte("PEXPIREAT"), ctx.args[1], []byte(strconv.FormatInt(at, 10))}
+	if ctx.s.st.Expire(string(ctx.args[1]), at) {
 		ctx.w.integer(1)
 	} else {
 		ctx.w.integer(0)

@@ -19,26 +19,28 @@ func TestEveryWriteCommandPersists(t *testing.T) {
 		cmd   []string   // the measured invocation; must not reply an error
 	}
 	samples := map[string]sample{
-		"SET":      {cmd: []string{"SET", "pw:set", "v"}},
-		"SETNX":    {cmd: []string{"SETNX", "pw:setnx", "v"}},
-		"SETEX":    {cmd: []string{"SETEX", "pw:setex", "100", "v"}},
-		"PSETEX":   {cmd: []string{"PSETEX", "pw:psetex", "100000", "v"}},
-		"APPEND":   {setup: [][]string{{"SET", "pw:append", "v"}}, cmd: []string{"APPEND", "pw:append", "w"}},
-		"GETSET":   {setup: [][]string{{"SET", "pw:getset", "v"}}, cmd: []string{"GETSET", "pw:getset", "w"}},
-		"GETDEL":   {setup: [][]string{{"SET", "pw:getdel", "v"}}, cmd: []string{"GETDEL", "pw:getdel"}},
-		"INCR":     {setup: [][]string{{"SET", "pw:incr", "41"}}, cmd: []string{"INCR", "pw:incr"}},
-		"MSET":     {cmd: []string{"MSET", "pw:mset1", "v", "pw:mset2", "v"}},
-		"DEL":      {setup: [][]string{{"SET", "pw:del", "v"}}, cmd: []string{"DEL", "pw:del"}},
-		"FLUSHALL": {setup: [][]string{{"SET", "pw:flushall", "v"}}, cmd: []string{"FLUSHALL"}},
-		"EXPIRE":   {setup: [][]string{{"SET", "pw:expire", "v"}}, cmd: []string{"EXPIRE", "pw:expire", "100"}},
-		"PEXPIRE":  {setup: [][]string{{"SET", "pw:pexpire", "v"}}, cmd: []string{"PEXPIRE", "pw:pexpire", "100000"}},
-		"PERSIST":  {setup: [][]string{{"SET", "pw:persist", "v"}, {"EXPIRE", "pw:persist", "100"}}, cmd: []string{"PERSIST", "pw:persist"}},
-		"HSET":     {cmd: []string{"HSET", "pw:hset", "f", "v"}},
-		"HDEL":     {setup: [][]string{{"HSET", "pw:hdel", "f", "v"}}, cmd: []string{"HDEL", "pw:hdel", "f"}},
-		"LPUSH":    {cmd: []string{"LPUSH", "pw:lpush", "v"}},
-		"RPUSH":    {cmd: []string{"RPUSH", "pw:rpush", "v"}},
-		"LPOP":     {setup: [][]string{{"RPUSH", "pw:lpop", "a", "b", "c"}}, cmd: []string{"LPOP", "pw:lpop"}},
-		"RPOP":     {setup: [][]string{{"RPUSH", "pw:rpop", "a", "b", "c"}}, cmd: []string{"RPOP", "pw:rpop"}},
+		"SET":       {cmd: []string{"SET", "pw:set", "v"}},
+		"SETNX":     {cmd: []string{"SETNX", "pw:setnx", "v"}},
+		"SETEX":     {cmd: []string{"SETEX", "pw:setex", "100", "v"}},
+		"PSETEX":    {cmd: []string{"PSETEX", "pw:psetex", "100000", "v"}},
+		"APPEND":    {setup: [][]string{{"SET", "pw:append", "v"}}, cmd: []string{"APPEND", "pw:append", "w"}},
+		"GETSET":    {setup: [][]string{{"SET", "pw:getset", "v"}}, cmd: []string{"GETSET", "pw:getset", "w"}},
+		"GETDEL":    {setup: [][]string{{"SET", "pw:getdel", "v"}}, cmd: []string{"GETDEL", "pw:getdel"}},
+		"INCR":      {setup: [][]string{{"SET", "pw:incr", "41"}}, cmd: []string{"INCR", "pw:incr"}},
+		"MSET":      {cmd: []string{"MSET", "pw:mset1", "v", "pw:mset2", "v"}},
+		"DEL":       {setup: [][]string{{"SET", "pw:del", "v"}}, cmd: []string{"DEL", "pw:del"}},
+		"FLUSHALL":  {setup: [][]string{{"SET", "pw:flushall", "v"}}, cmd: []string{"FLUSHALL"}},
+		"EXPIRE":    {setup: [][]string{{"SET", "pw:expire", "v"}}, cmd: []string{"EXPIRE", "pw:expire", "100"}},
+		"PEXPIRE":   {setup: [][]string{{"SET", "pw:pexpire", "v"}}, cmd: []string{"PEXPIRE", "pw:pexpire", "100000"}},
+		"PERSIST":   {setup: [][]string{{"SET", "pw:persist", "v"}, {"EXPIRE", "pw:persist", "100"}}, cmd: []string{"PERSIST", "pw:persist"}},
+		"PEXPIREAT": {setup: [][]string{{"SET", "pw:pexpireat", "v"}}, cmd: []string{"PEXPIREAT", "pw:pexpireat", "99999999999999"}},
+		"PSETEXAT":  {cmd: []string{"PSETEXAT", "pw:psetexat", "99999999999999", "v"}},
+		"HSET":      {cmd: []string{"HSET", "pw:hset", "f", "v"}},
+		"HDEL":      {setup: [][]string{{"HSET", "pw:hdel", "f", "v"}}, cmd: []string{"HDEL", "pw:hdel", "f"}},
+		"LPUSH":     {cmd: []string{"LPUSH", "pw:lpush", "v"}},
+		"RPUSH":     {cmd: []string{"RPUSH", "pw:rpush", "v"}},
+		"LPOP":      {setup: [][]string{{"RPUSH", "pw:lpop", "a", "b", "c"}}, cmd: []string{"LPOP", "pw:lpop"}},
+		"RPOP":      {setup: [][]string{{"RPUSH", "pw:rpop", "a", "b", "c"}}, cmd: []string{"RPOP", "pw:rpop"}},
 	}
 
 	// Both directions of completeness against the live registry.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"net"
 	"sort"
 	"strconv"
 	"strings"
@@ -121,6 +122,19 @@ type Ctx struct {
 	args [][]byte
 	cs   *connState
 	quit bool // set by SHUTDOWN; returned to the connection loop
+
+	// fromLink marks invocations replayed from the replication link: they
+	// bypass the replica's -READONLY gate and are not re-propagated by the
+	// tap (the link force-appends the primary's exact bytes instead).
+	fromLink bool
+	// prop, when set by a write handler, replaces ctx.args as the
+	// propagated form of this command (EXPIRE → PEXPIREAT and friends, so
+	// replicas never consult their own clock). Cleared by dispatch.
+	prop [][]byte
+	// hijack, when set by a handler (PSYNC), takes over the raw connection
+	// after the dispatch barrier is released; the connection loop stops
+	// reading commands and hands the conn to it.
+	hijack func(net.Conn)
 
 	// scratch buffers, reused across dispatches on this connection so the
 	// steady-state pipeline allocates nothing.
@@ -422,6 +436,7 @@ func (s *Server) dispatch(ctx *Ctx, args [][]byte) (quit bool) {
 	// it stays off the dispatch benchmark gate.
 	defer func() {
 		ctx.args = nil
+		ctx.prop = nil
 		clear(ctx.keybuf)
 		ctx.keybuf = ctx.keybuf[:0] // later clears are O(0), not O(stale len)
 		const maxScratch = 1024
@@ -473,6 +488,17 @@ func (s *Server) dispatch(ctx *Ctx, args [][]byte) (quit bool) {
 			ctx.cs.dirty = true
 		}
 		ctx.w.errorf("wrong number of arguments for '%s' command", strings.ToLower(string(args[0])))
+		return false
+	}
+	// Replicas refuse client writes: only the replication link (fromLink)
+	// mutates a replica's store, so its state is a pure function of the
+	// primary's feed. Checked before transaction queueing so a MULTI on a
+	// replica fails at queue time, not inside EXEC.
+	if bc.cmd.Flags&FlagWrite != 0 && !ctx.fromLink && s.repl != nil && s.repl.replica.Load() {
+		if ctx.cs != nil && ctx.cs.inTxn {
+			ctx.cs.dirty = true
+		}
+		ctx.w.errorKind("READONLY", "You can't write against a read only replica.")
 		return false
 	}
 	if ctx.cs != nil && ctx.cs.inTxn && bc.cmd.Flags&FlagTxnControl == 0 {

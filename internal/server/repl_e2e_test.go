@@ -1,0 +1,202 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestE2EReplicationFailover drives the full replication lifecycle across
+// real processes and real SIGKILLs: a ralloc-serve primary and a
+// -replicaof replica on unix sockets; the replica is killed mid-feed and
+// restarted (partial resync from its bootstrap image's stamped offset);
+// then the primary is killed, the replica promoted with REPLICAOF NO ONE
+// and written to, and the old primary restarted as a replica of the new
+// one — its stale stream ID forces a full re-bootstrap, after which it
+// serves every write it was dead for.
+func TestE2EReplicationFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping subprocess e2e in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "ralloc-serve")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/ralloc-serve")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ralloc-serve: %v\n%s", err, out)
+	}
+
+	type node struct {
+		heap, sock string
+	}
+	a := node{filepath.Join(dir, "a.heap"), filepath.Join(dir, "a.sock")}
+	b := node{filepath.Join(dir, "b.heap"), filepath.Join(dir, "b.sock")}
+
+	serve := func(n node, extra ...string) *exec.Cmd {
+		args := append([]string{"-heap", n.heap, "-unix", n.sock, "-heapmb", "64", "-buckets", "8192"}, extra...)
+		cmd := exec.Command(bin, args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting ralloc-serve: %v", err)
+		}
+		return cmd
+	}
+	dialRetry := func(n node) *Client {
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			c, err := DialTimeout("unix", n.sock, time.Second)
+			if err == nil {
+				return c
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("server on %s did not come up: %v", n.sock, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	writeBatch := func(c *Client, prefix string, n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if err := c.Send("SET", fmt.Sprintf("%s-%05d", prefix, i), prefix); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if rp, err := c.Recv(); err != nil || rp.Str != "OK" {
+				t.Fatalf("batch %s SET reply = %+v, %v", prefix, rp, err)
+			}
+		}
+	}
+	checkBatch := func(c *Client, prefix string, n int, where string) {
+		t.Helper()
+		for _, i := range []int{0, n / 2, n - 1} {
+			v, ok, err := c.Get(fmt.Sprintf("%s-%05d", prefix, i))
+			if err != nil || !ok || v != prefix {
+				t.Fatalf("%s: %s-%05d = (%q,%v,%v)", where, prefix, i, v, ok, err)
+			}
+		}
+	}
+
+	// -boundmb and -replicaof are mutually exclusive (LRU evictions are not
+	// replicated): the binary must refuse the combination at startup.
+	bad := exec.Command(bin, "-heap", filepath.Join(dir, "bad.heap"), "-unix",
+		filepath.Join(dir, "bad.sock"), "-boundmb", "8", "-replicaof", a.sock)
+	if out, err := bad.CombinedOutput(); err == nil {
+		t.Fatalf("-boundmb with -replicaof was accepted:\n%s", out)
+	}
+
+	primary := serve(a)
+	defer func() {
+		if primary.Process != nil {
+			primary.Process.Kill()
+		}
+	}()
+	pc := dialRetry(a)
+	writeBatch(pc, "batch-a", 2000)
+
+	replica := serve(b, "-replicaof", a.sock)
+	defer func() {
+		if replica.Process != nil {
+			replica.Process.Kill()
+		}
+	}()
+	rc := dialRetry(b)
+	if n, err := pc.Wait(1, 15*time.Second); err != nil || n < 1 {
+		t.Fatalf("WAIT for replica attach = %d, %v", n, err)
+	}
+	checkBatch(rc, "batch-a", 2000, "replica after bootstrap")
+	if rp, err := rc.Do("SET", "nope", "x"); err != nil || !strings.Contains(rp.Str, "READONLY") {
+		t.Fatalf("replica SET = %+v, %v (want READONLY)", rp, err)
+	}
+
+	// Kill the replica mid-feed; the primary keeps writing. The restarted
+	// replica resumes from its bootstrap image's stamped offset — batch B
+	// is well inside the 1 MiB default backlog, so this is a partial
+	// resync, not a re-download.
+	rc.Close()
+	if err := replica.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	replica.Wait()
+	writeBatch(pc, "batch-b", 1000)
+
+	replica2 := serve(b, "-replicaof", a.sock)
+	defer func() {
+		if replica2.Process != nil {
+			replica2.Process.Kill()
+		}
+	}()
+	rc2 := dialRetry(b)
+	if n, err := pc.Wait(1, 15*time.Second); err != nil || n < 1 {
+		t.Fatalf("WAIT after replica restart = %d, %v", n, err)
+	}
+	checkBatch(rc2, "batch-a", 2000, "restarted replica")
+	checkBatch(rc2, "batch-b", 1000, "restarted replica")
+	rp, err := rc2.Do("INFO", "replication")
+	if err != nil || !strings.Contains(string(rp.Bulk), "full_syncs:0") {
+		t.Fatalf("restarted replica took a full resync (INFO: %v, %v) — partial coverage was lost", rp.Text(), err)
+	}
+
+	// Failover: SIGKILL the primary, promote the replica, write through it.
+	pc.Close()
+	if err := primary.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	primary.Wait()
+	if err := rc2.Promote(); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	checkBatch(rc2, "batch-a", 2000, "promoted replica")
+	checkBatch(rc2, "batch-b", 1000, "promoted replica")
+	writeBatch(rc2, "batch-c", 500)
+
+	// Rejoin: the old primary restarts pointing at the new one. Its image
+	// carries the pre-failover stream ID, the promoted node answers with a
+	// fresh one, so the probe is refused CONTINUE and the node re-bootstraps
+	// from the new primary's checkpoint — converging on batch C, which it
+	// was dead for.
+	old := serve(a, "-replicaof", b.sock)
+	defer func() {
+		if old.Process != nil {
+			old.Process.Kill()
+		}
+	}()
+	oc := dialRetry(a)
+	if n, err := rc2.Wait(1, 15*time.Second); err != nil || n < 1 {
+		t.Fatalf("WAIT for rejoined node = %d, %v", n, err)
+	}
+	checkBatch(oc, "batch-a", 2000, "rejoined old primary")
+	checkBatch(oc, "batch-b", 1000, "rejoined old primary")
+	checkBatch(oc, "batch-c", 500, "rejoined old primary")
+	rp, err = rc2.Do("INFO", "replication")
+	if err != nil || !strings.Contains(string(rp.Bulk), "full_syncs:1") {
+		t.Fatalf("rejoin did not take exactly one full resync (INFO: %v, %v)", rp.Text(), err)
+	}
+
+	// And the feed keeps flowing to the rejoined node.
+	if err := rc2.Set("post-rejoin", "live"); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := rc2.Wait(1, 15*time.Second); err != nil || n < 1 {
+		t.Fatalf("WAIT post-rejoin = %d, %v", n, err)
+	}
+	if v, ok, err := oc.Get("post-rejoin"); err != nil || !ok || v != "live" {
+		t.Fatalf("post-rejoin write = (%q,%v,%v)", v, ok, err)
+	}
+
+	// Clean shutdown everywhere: the rejoined replica drains first, then
+	// the primary.
+	oc.Do("SHUTDOWN")
+	waitExit(t, old, 15*time.Second)
+	rc2.Do("SHUTDOWN")
+	waitExit(t, replica2, 15*time.Second)
+}

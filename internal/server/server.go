@@ -93,6 +93,35 @@ type Config struct {
 	// Use it for cross-cutting concerns — auditing, slowlog-style tracing —
 	// without touching the command table.
 	Middleware []Middleware
+
+	// ReplBacklogBytes enables replication with a backlog ring of that
+	// capacity. Replication is on when this is positive, ReplicaOf is set,
+	// or OpenCheckpoint is non-nil (backlog then defaults to 1 MiB).
+	ReplBacklogBytes int
+	// ReplicaOf, if non-empty, starts the server as a replica of the given
+	// primary address ("host:port", or a unix socket path containing "/").
+	// The heap must already hold the primary's bootstrapped image (see
+	// repl.BootstrapImage); the server resumes the feed at ReplOffset.
+	ReplicaOf string
+	// ReplID and ReplOffset seed the replication stream position, normally
+	// from the heap image's header (pmem.Region.ReplMeta). A zero ReplID on
+	// a primary mints a fresh random stream ID.
+	ReplID     uint64
+	ReplOffset uint64
+	// OpenCheckpoint opens the current checkpoint image for streaming to a
+	// full-resyncing replica, after the server has run Save. Required for
+	// serving full resyncs; partial resyncs work without it.
+	OpenCheckpoint func() (*CheckpointImage, error)
+	// CheckpointOffset, if non-nil, is called under the checkpoint barrier's
+	// write side immediately before every image cut, with the replication
+	// stream ID and offset the image corresponds to. Wired by ralloc-serve
+	// to pmem.Region.SetReplMeta, which stamps the image header.
+	CheckpointOffset func(id, off uint64)
+	// OnFullResyncNeeded, if non-nil, is called when the replication link
+	// needs a full resync (the primary's backlog no longer covers our
+	// offset, or streams diverged). The link is stopped when it fires; the
+	// embedder is expected to shut down and re-bootstrap from the primary.
+	OnFullResyncNeeded func()
 }
 
 // CheckpointStats reports what an online checkpoint copied. Mirrors
@@ -184,6 +213,10 @@ type Server struct {
 	// for FlagLockAll), always in ascending stripe order so multi-key
 	// commands and EXEC's union locking are deadlock-free.
 	rmwMu [64]sync.Mutex
+
+	// repl is the replication state (feed, senders, link); nil when
+	// replication is disabled. See repl.go.
+	repl *replState
 }
 
 // New creates a server over an open store. The allocator must be the one the
@@ -201,6 +234,13 @@ func New(a alloc.Allocator, st *kvstore.Store, cfg Config) *Server {
 		slowNs:    thresholdNs(cfg.SlowlogSlowerThan),
 		latNs:     thresholdNs(cfg.LatencyThreshold),
 	}
+	if cfg.ReplBacklogBytes > 0 || cfg.ReplicaOf != "" || cfg.OpenCheckpoint != nil {
+		s.repl = newReplState(s)
+		// The tap goes last in Middleware so it wraps innermost — directly
+		// around the handler, inside the embedder's layers — and therefore
+		// observes exactly the handler's success or error.
+		s.cfg.Middleware = append(append([]Middleware{}, cfg.Middleware...), s.repl.tap)
+	}
 	s.bindCommands()
 	if cfg.MaxConns > 0 {
 		s.sem = make(chan struct{}, cfg.MaxConns)
@@ -209,6 +249,9 @@ func New(a alloc.Allocator, st *kvstore.Store, cfg Config) *Server {
 		s.stopExpiry = make(chan struct{})
 		s.expiryWG.Add(1)
 		go s.expiryLoop()
+	}
+	if s.repl != nil && cfg.ReplicaOf != "" {
+		s.repl.startLink(cfg.ReplicaOf)
 	}
 	return s
 }
@@ -232,6 +275,13 @@ func (s *Server) expiryLoop() {
 		case <-s.stopExpiry:
 			return
 		case <-t.C:
+			// A replica never reclaims on its own: the primary runs the only
+			// expiry authority and propagates each reclamation as a DEL, so
+			// replicas cannot diverge by sampling different keys. Lazy reads
+			// on a replica see through expired deadlines without mutating.
+			if s.repl != nil && s.repl.replica.Load() {
+				continue
+			}
 			t0 := time.Now()
 			s.reclaimUnderBarrier(hd, sample)
 			d := time.Since(t0)
@@ -248,7 +298,28 @@ func (s *Server) expiryLoop() {
 func (s *Server) reclaimUnderBarrier(hd alloc.Handle, sample int) {
 	s.execMu.RLock()
 	defer s.execMu.RUnlock()
-	s.st.ReclaimExpired(hd, sample)
+	if s.repl == nil {
+		s.st.ReclaimExpired(hd, sample)
+		return
+	}
+	// With replication on, each reclamation must reach the feed as a DEL in
+	// the same order it hit the store, which means holding the key's stripe
+	// lock across reclaim+append exactly like a client DEL would.
+	for _, cand := range s.st.ExpiredCandidates(sample) {
+		s.reclaimPropagate(hd, cand)
+	}
+}
+
+// reclaimPropagate reclaims one expired candidate under its stripe lock and,
+// if the key actually died (the deadline may have moved since sampling),
+// appends the equivalent DEL to the replication feed.
+func (s *Server) reclaimPropagate(hd alloc.Handle, cand kvstore.ExpiredCandidate) {
+	mu := &s.rmwMu[s.stripeOf([]byte(cand.Key))]
+	mu.Lock()
+	defer mu.Unlock()
+	if s.st.ReclaimIfExpired(hd, cand.Key, cand.At) {
+		s.repl.feed.Append([][]byte{[]byte("DEL"), []byte(cand.Key)})
+	}
 }
 
 // Serve accepts connections on l until the server shuts down. It always
@@ -406,6 +477,18 @@ func (s *Server) handleConn(c net.Conn) {
 		}
 		s.commands.Add(1)
 		quit := s.dispatchBarrier(ctx, args)
+		if ctx.hijack != nil {
+			// PSYNC: hand the raw connection to the replication sender. The
+			// conn stays tracked (Shutdown's force-close still reaches it)
+			// and the deferred untrack/Close run when the stream ends.
+			h := ctx.hijack
+			ctx.hijack = nil
+			if err := w.flush(); err != nil {
+				return
+			}
+			h(c)
+			return
+		}
 		// Pipelining: only flush when the input is drained, so a burst of
 		// commands gets one batched reply write.
 		if quit || !r.buffered() {
@@ -519,6 +602,7 @@ func (s *Server) info(census bool) string {
 	fmt.Fprintf(&b, "keys_with_ttl:%d\r\nexpired_lazy:%d\r\nexpired_reclaimed:%d\r\nexpiry_cycles:%d\r\nexpiry_last_cycle_us:%d\r\n",
 		st.TTLd, st.Expired, st.Reclaimed, s.expiryCycles.Load(), s.expiryLastNs.Load()/1e3)
 	b.WriteString(s.persistenceInfo())
+	b.WriteString(s.replicationInfo())
 	for _, sec := range s.cfg.InfoSections {
 		if strings.EqualFold(sec.Name, "persistence") {
 			continue // spliced into the builtin block above
@@ -566,7 +650,7 @@ func infoTitle(name string) string {
 // test drives INFO with each of these and requires the reply to be exactly
 // that section.
 func (s *Server) Sections() []string {
-	names := []string{"server", "keyspace", "expires", "persistence", "commandstats", "latencystats"}
+	names := []string{"server", "keyspace", "expires", "persistence", "replication", "commandstats", "latencystats"}
 	for _, sec := range s.cfg.InfoSections {
 		if !strings.EqualFold(sec.Name, "persistence") {
 			names = append(names, strings.ToLower(sec.Name))
@@ -692,6 +776,7 @@ func (s *Server) Collect(e *obs.Emitter) {
 	e.Value("ralloc_keyspace_records", float64(s.st.Len()))
 	e.Family("ralloc_slowlog_length", "gauge", "Entries currently retained in the slow log.")
 	e.Value("ralloc_slowlog_length", float64(s.slow.Len()))
+	s.collectRepl(e)
 }
 
 // Save runs the configured checkpoint and produces a consistent persistent
@@ -740,6 +825,7 @@ func (s *Server) saveQuiesced(t0 time.Time) error {
 	quiesce := time.Since(t0)
 	s.saveQuiesceNs.Store(int64(quiesce))
 	s.events.Record("checkpoint-quiesce", t0, quiesce)
+	s.stampCheckpointOffset()
 	return s.cfg.Checkpoint()
 }
 
@@ -753,6 +839,10 @@ func (s *Server) checkpointFence(t0 time.Time, cut func() error) error {
 	s.execMu.Lock()
 	defer s.execMu.Unlock()
 	s.saveQuiesceNs.Store(int64(time.Since(t0)))
+	// The replication offset is stamped inside the fence: no write can land
+	// between the stamp and the cut, so the image's data corresponds exactly
+	// to the stamped feed position.
+	s.stampCheckpointOffset()
 	tf := time.Now()
 	err := cut()
 	fence := time.Since(tf)
@@ -768,6 +858,12 @@ func (s *Server) checkpointFence(t0 time.Time, cut func() error) error {
 func (s *Server) Shutdown(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	s.beginClose(deadline, true)
+	// Replication teardown runs outside beginClose (which holds s.mu): the
+	// feed closes, in-flight PSYNC streams abort at an entry boundary with a
+	// clean error line, and the replica link stops applying.
+	if s.repl != nil {
+		s.repl.close()
+	}
 	s.expiryWG.Wait()
 	done := make(chan struct{})
 	go func() {
@@ -790,6 +886,9 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 // no goroutine touches the heap after Abort returns.
 func (s *Server) Abort() {
 	s.beginClose(time.Time{}, false)
+	if s.repl != nil {
+		s.repl.close()
+	}
 	s.expiryWG.Wait()
 	s.closeConns()
 	s.wg.Wait()
