@@ -47,7 +47,7 @@ func main() {
 		ttlFrac   = flag.Float64("ttlfrac", -1, "fraction of updates that attach a TTL (-1: workload default)")
 		ttlMillis = flag.Int64("ttlms", 0, "TTL upper bound in ms for expiring updates (0: workload default)")
 		fields    = flag.Int("fields", 0, "hash fields per record for workload h (0: workload default, 16)")
-		jsonOut   = flag.String("out", "BENCH_9.json", "output path for -app benchjson")
+		jsonOut   = flag.String("out", "BENCH_10.json", "output path for -app benchjson")
 		p99Gate   = flag.Float64("p99-save-gate", 0, "benchjson: fail if workload-a p99 under background SAVE exceeds this multiple of the steady-state p99; 0 disables")
 		threadStr = flag.String("threads", "", "comma-separated thread counts")
 		scale     = flag.Float64("scale", 1.0, "workload scale factor")
@@ -145,10 +145,11 @@ func main() {
 	case "benchjson":
 		// CI perf-trajectory baseline: pipelined network-mode K ops/s for
 		// the GET-only, GET/SET, and HGET/HSET workloads on ralloc — each
-		// also measured under a background online SAVE loop — written as
-		// one JSON document (BENCH_9.json) so every future PR can diff
-		// against it.
-		if err := benchJSON(factories, *records, scaleN(20000), *pipeline, *heapMB<<20, *jsonOut, *p99Gate); err != nil {
+		// also measured under a background online SAVE loop — plus the
+		// shard-scaling axes (workload-a throughput and post-crash recovery
+		// by shard count), written as one JSON document (BENCH_10.json) so
+		// every future PR can diff against it.
+		if err := benchJSON(factories, pcfg, *records, scaleN(20000), *pipeline, *heapMB<<20, *jsonOut, *p99Gate); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -168,7 +169,15 @@ func main() {
 // gateFactor > 0 a workload-A p99-under-save worse than gateFactor× the
 // steady-state p99 fails the run — the regression gate for the online
 // checkpoint's "don't stop the world" promise.
-func benchJSON(factories map[string]bench.Factory, records, opsPerTh, pipeline int, heap uint64, out string, gateFactor float64) error {
+//
+// Two shard-scaling axes close the document: workload-A K ops/s and
+// post-crash recovery wall time at 1, 2, and 4 shards, total footprint held
+// constant across the rows. Both scale with available cores (independent
+// heaps recover and serve in parallel); on a single-core runner the rows
+// record the sharding overhead instead of its win — the numbers are honest
+// either way, and the recovery row still reports the parallel wall clock
+// next to the summed per-shard work.
+func benchJSON(factories map[string]bench.Factory, pcfg pmem.Config, records, opsPerTh, pipeline int, heap uint64, out string, gateFactor float64) error {
 	threads := runtime.GOMAXPROCS(0)
 	if threads > 4 {
 		threads = 4
@@ -254,20 +263,49 @@ func benchJSON(factories map[string]bench.Factory, records, opsPerTh, pipeline i
 		fmt.Printf("benchjson: workload c x%d replica(s): %.1f K ops/s, p50=%.1fus p99=%.1fus (threads=%d pipeline=%d)\n",
 			n, res.Kops(), res.P50us, res.P99us, rthreads, pipeline)
 	}
+	// Shard scaling: the same workload-A traffic against 1, 2, and 4 shards,
+	// and post-crash recovery of the same record set held as 1, 2, and 4
+	// shards. Total heap footprint is constant across each row set.
+	shardKops := map[string]float64{}
+	recoveryMs := map[string]float64{}
+	recHeap := heap
+	if recHeap > 256<<20 {
+		// Recovery rows run in crash-sim mode, whose shadow image doubles
+		// the region's memory; cap the footprint so the 1-shard row (one
+		// region of the full size) fits small runners.
+		recHeap = 256 << 20
+	}
+	for _, n := range []int{1, 2, 4} {
+		cfg := bench.MemcachedConfig{Workload: ycsb.WorkloadA(records), OpsPerTh: opsPerTh}
+		res, err := bench.MemcachedNetShards(threads, cfg, pipeline, n, heap, pcfg)
+		if err != nil {
+			return fmt.Errorf("workload-a-shards (%d): %w", n, err)
+		}
+		shardKops[strconv.Itoa(n)] = res.Kops()
+		rec, err := bench.RecoveryByShards(n, records, recHeap, pcfg)
+		if err != nil {
+			return fmt.Errorf("recovery-shards (%d): %w", n, err)
+		}
+		recoveryMs[strconv.Itoa(n)] = float64(rec.Wall) / 1e6
+		fmt.Printf("benchjson: %d shard(s): workload a %.1f K ops/s, p50=%.1fus p99=%.1fus; recovery %.1fms wall (%.1fms summed shard time, %d records)\n",
+			n, res.Kops(), res.P50us, res.P99us, float64(rec.Wall)/1e6, float64(rec.Work)/1e6, rec.Records)
+	}
 	doc := struct {
-		Schema    string             `json:"schema"`
-		App       string             `json:"app"`
-		Records   int                `json:"records"`
-		OpsPerTh  int                `json:"ops_per_thread"`
-		Threads   int                `json:"threads"`
-		Pipeline  int                `json:"pipeline"`
-		Kops      map[string]float64 `json:"kops_per_workload"`
-		P50us     map[string]float64 `json:"p50_us_per_workload"`
-		P99us     map[string]float64 `json:"p99_us_per_workload"`
-		P99SaveUs map[string]float64 `json:"p99_save_us_per_workload"`
-		Saves     map[string]uint64  `json:"saves_per_workload"`
-		ReplKops  map[string]float64 `json:"kops_workload_c_by_replicas"`
-	}{"ralloc-bench-9", "memcached-net", records, opsPerTh, threads, pipeline, kops, p50, p99, p99save, saves, replKops}
+		Schema     string             `json:"schema"`
+		App        string             `json:"app"`
+		Records    int                `json:"records"`
+		OpsPerTh   int                `json:"ops_per_thread"`
+		Threads    int                `json:"threads"`
+		Pipeline   int                `json:"pipeline"`
+		Kops       map[string]float64 `json:"kops_per_workload"`
+		P50us      map[string]float64 `json:"p50_us_per_workload"`
+		P99us      map[string]float64 `json:"p99_us_per_workload"`
+		P99SaveUs  map[string]float64 `json:"p99_save_us_per_workload"`
+		Saves      map[string]uint64  `json:"saves_per_workload"`
+		ReplKops   map[string]float64 `json:"kops_workload_c_by_replicas"`
+		ShardKops  map[string]float64 `json:"kops_workload_a_by_shards"`
+		RecoveryMs map[string]float64 `json:"recovery_ms_by_shards"`
+	}{"ralloc-bench-10", "memcached-net", records, opsPerTh, threads, pipeline, kops, p50, p99, p99save, saves, replKops, shardKops, recoveryMs}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

@@ -21,8 +21,8 @@
 //	    itself reported, so every suppression is forced to explain itself.
 //
 // Analyzers: persistorder, deferunlock, atomicword, hookpurity, obspurity,
-// replpurity — see each file's doc comment, and DESIGN.md "Static analysis"
-// for the rules prose.
+// replpurity, shardconfine — see each file's doc comment, and DESIGN.md
+// "Static analysis" for the rules prose.
 package analysis
 
 import (
@@ -205,7 +205,7 @@ func Run(pkgs []*load.Package, analyzers []*Analyzer) []Diagnostic {
 
 // Analyzers returns the full ralloc-vet suite.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{PersistOrder, DeferUnlock, AtomicWord, HookPurity, ObsPurity, ReplPurity}
+	return []*Analyzer{PersistOrder, DeferUnlock, AtomicWord, HookPurity, ObsPurity, ReplPurity, ShardConfine}
 }
 
 // ---- shared type-resolution helpers ----

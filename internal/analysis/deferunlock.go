@@ -17,7 +17,9 @@ import (
 //   - defer X.Unlock() / defer X.RUnlock() on the same receiver expression;
 //   - X is passed to a recognized unlocking helper: a same-package function
 //     that defer-releases the corresponding parameter (invokeUnlocking,
-//     invokeStripedUnlocking);
+//     invokeStripedUnlocking) — either the parameter itself or a field path
+//     through it (a helper taking the shard and deferring
+//     sh.locks.Exec.RUnlock() releases its caller's sh.locks.Exec);
 //   - the acquisition came from an acquisition helper (a function whose
 //     name starts with "lock", e.g. lockStripes) and the helper's first
 //     argument is later released via a deferred call to an "unlock"-named
@@ -51,8 +53,13 @@ func runDeferUnlock(pass *Pass) {
 	// fixpoint round is enough for the real helpers (invokeStripedUnlocking
 	// defers unlockStripes(stripes)).
 	type funcInfo struct {
-		decl     *ast.FuncDecl
-		released map[int]bool // parameter index -> defer-released
+		decl *ast.FuncDecl
+		// released maps a parameter index to the selector suffixes the
+		// function defer-releases through it: "" for defer p.Unlock(), and
+		// ".locks.Exec" for defer p.locks.Exec.RUnlock() — the sharded
+		// dispatch helpers release their shard argument's lock block by
+		// field path, and call sites get credit for exactly that path.
+		released map[int][]string
 		// acqHelper marks an acquisition primitive: a function whose name
 		// starts with "lock" and whose body takes mutex locks (lockStripes).
 		// Its internal Lock calls are exempt; its call sites must pair the
@@ -70,7 +77,7 @@ func runDeferUnlock(pass *Pass) {
 			if !ok {
 				continue
 			}
-			funcs[obj] = &funcInfo{decl: fd, released: map[int]bool{}}
+			funcs[obj] = &funcInfo{decl: fd, released: map[int][]string{}}
 		}
 	}
 	paramIndex := func(fd *ast.FuncDecl, id *ast.Ident) int {
@@ -106,9 +113,9 @@ func runDeferUnlock(pass *Pass) {
 			call := def.Call
 			if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
 				(sel.Sel.Name == "Unlock" || sel.Sel.Name == "RUnlock") {
-				if id, ok := sel.X.(*ast.Ident); ok {
+				if id, suffix, ok := rootSelector(sel.X); ok {
 					if i := paramIndex(fd, id); i >= 0 {
-						fi.released[i] = true
+						fi.released[i] = append(fi.released[i], suffix)
 					}
 				}
 				return true
@@ -118,7 +125,7 @@ func runDeferUnlock(pass *Pass) {
 				for _, a := range call.Args {
 					if id, ok := a.(*ast.Ident); ok {
 						if i := paramIndex(fd, id); i >= 0 {
-							fi.released[i] = true
+							fi.released[i] = append(fi.released[i], "")
 						}
 					}
 				}
@@ -212,8 +219,8 @@ func runDeferUnlock(pass *Pass) {
 				// acquisition helper (lockStripes(stripes)).
 				if ci := calleeInfo(call); ci != nil {
 					for i, a := range call.Args {
-						if ci.released[i] {
-							t := exprText(fset, a)
+						for _, suffix := range ci.released[i] {
+							t := exprText(fset, a) + suffix
 							addRelease(t, "Unlock")
 							addRelease(t, "RUnlock")
 						}
@@ -240,6 +247,24 @@ func runDeferUnlock(pass *Pass) {
 			}
 		})
 	}
+}
+
+// rootSelector resolves a plain selector chain to its base identifier and
+// the remaining path ("sh.locks.Exec" -> sh, ".locks.Exec"). Anything other
+// than idents and field selections (indexing, calls) fails the match: the
+// suffix must be a stable path for call-site credit to be sound.
+func rootSelector(e ast.Expr) (*ast.Ident, string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e, "", true
+	case *ast.SelectorExpr:
+		id, suffix, ok := rootSelector(e.X)
+		if !ok {
+			return nil, "", false
+		}
+		return id, suffix + "." + e.Sel.Name, true
+	}
+	return nil, "", false
 }
 
 // calleeName renders the called function's bare name ("invokeUnlocking",

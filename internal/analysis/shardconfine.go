@@ -1,0 +1,251 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// ShardConfine enforces the cluster's cross-shard lock-ordering contract
+// statically: outside internal/cluster (which owns the shardlock package and
+// its deadlock-ordered cross-shard entry points), no function may hold two
+// shards' stripe locks simultaneously. Hash-slot partitioning exists to make
+// that shape unnecessary — a command either confines to one shard or answers
+// -CROSSSLOT — so a second shard's stripes in one scope is either a latent
+// AB/BA deadlock or a cross-shard atomicity claim the system cannot keep.
+//
+// The rule is syntactic and per function scope. A "stripe acquisition" is:
+//
+//   - X.LockStripes(...) where X is a shardlock.Locks;
+//   - L.Stripes[i].Lock(), directly or through a local alias
+//     (mu := &L.Stripes[i]; mu.Lock()).
+//
+// A scope violates when it acquires stripes of two distinct lock-block
+// expressions, or acquires stripes under a base that varies with a loop
+// variable (iterating the shard slice and locking each one's stripes —
+// holding them cumulatively is the deadlock shape, and looping is how it is
+// written). Cross-shard work must instead go through the shardlock package's
+// ordered helpers (LockAllStripes, RLockAll, ExecLockAll), whose calls this
+// rule deliberately does not count: they encode the global order once.
+//
+// Test files are exempt, as in deferunlock: harnesses reach into lock
+// blocks in ways production code must not.
+var ShardConfine = &Analyzer{
+	Name: "shardconfine",
+	Doc:  "outside internal/cluster, one function must not hold two shards' stripe locks",
+	Run:  runShardConfine,
+}
+
+// clusterOwnedPackages matches the packages allowed to take cross-shard
+// stripe locks by hand: internal/cluster and everything beneath it
+// (shardlock itself lives there).
+var clusterOwnedPackages = regexp.MustCompile(`(^|/)cluster(/|$)`)
+
+func runShardConfine(pass *Pass) {
+	if clusterOwnedPackages.MatchString(pass.Pkg.Types.Path()) {
+		return
+	}
+	info := pass.Pkg.Info
+	fset := pass.Pkg.Fset
+
+	for _, f := range pass.Pkg.Syntax {
+		if strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		funcScopes(f, func(name string, body *ast.BlockStmt) {
+			// aliases maps a local identifier object to the lock-block base
+			// it indexes (mu := &sh.locks.Stripes[i] -> "sh.locks").
+			aliases := map[types.Object]string{}
+			// firstBase is the scope's established shard, "" until the first
+			// acquisition; loopBases tracks which loop-variable objects are
+			// in scope at the acquisition site.
+			firstBase := ""
+			var loopVars []map[types.Object]bool
+
+			inLoopVars := func(e ast.Expr) bool {
+				found := false
+				ast.Inspect(e, func(n ast.Node) bool {
+					id, ok := n.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					obj := info.Uses[id]
+					for _, vars := range loopVars {
+						if vars[obj] {
+							found = true
+						}
+					}
+					return !found
+				})
+				return found
+			}
+
+			acquire := func(pos ast.Node, base ast.Expr) {
+				text := exprText(fset, base)
+				if inLoopVars(base) {
+					pass.Reportf(pos.Pos(),
+						"stripe locks of loop-varying shard %s in %s: holding several shards' stripes is the cross-shard deadlock hash-slot routing forbids; use shardlock's ordered helpers (LockAllStripes) or confine to one shard",
+						text, name)
+					return
+				}
+				if firstBase == "" {
+					firstBase = text
+					return
+				}
+				if firstBase != text {
+					pass.Reportf(pos.Pos(),
+						"stripe locks of a second shard (%s after %s) in %s: code outside internal/cluster must not hold two shards' stripe locks simultaneously; route to one shard (CROSSSLOT) or use shardlock's ordered helpers",
+						text, firstBase, name)
+				}
+			}
+
+			var walk func(n ast.Node) bool
+			walk = func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.RangeStmt:
+					vars := map[types.Object]bool{}
+					for _, e := range []ast.Expr{n.Key, n.Value} {
+						if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+							if obj := info.Defs[id]; obj != nil {
+								vars[obj] = true
+							}
+						}
+					}
+					loopVars = append(loopVars, vars)
+					if n.Body != nil {
+						inspectShallow(n.Body, walk)
+					}
+					loopVars = loopVars[:len(loopVars)-1]
+					return false
+				case *ast.ForStmt:
+					vars := map[types.Object]bool{}
+					if init, ok := n.Init.(*ast.AssignStmt); ok {
+						for _, e := range init.Lhs {
+							if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+								if obj := info.Defs[id]; obj != nil {
+									vars[obj] = true
+								}
+							}
+						}
+					}
+					loopVars = append(loopVars, vars)
+					if n.Body != nil {
+						inspectShallow(n.Body, walk)
+					}
+					loopVars = loopVars[:len(loopVars)-1]
+					return false
+				case *ast.AssignStmt:
+					// mu := &sh.locks.Stripes[i] (with or without &): record
+					// the alias so mu.Lock() later charges sh.locks.
+					for i, rhs := range n.Rhs {
+						if i >= len(n.Lhs) {
+							break
+						}
+						id, ok := n.Lhs[i].(*ast.Ident)
+						if !ok {
+							continue
+						}
+						e := rhs
+						if u, ok := e.(*ast.UnaryExpr); ok {
+							e = u.X
+						}
+						if base, ok := stripesIndexBase(info, e); ok {
+							obj := info.Defs[id]
+							if obj == nil {
+								obj = info.Uses[id]
+							}
+							if obj != nil {
+								// A base captured from a loop variable keeps
+								// the loop-varying taint through the alias;
+								// the later Lock() call reports it.
+								if inLoopVars(base) {
+									aliases[obj] = loopSentinel + exprText(fset, base)
+								} else {
+									aliases[obj] = exprText(fset, base)
+								}
+							}
+						}
+					}
+					return true
+				case *ast.CallExpr:
+					sel, ok := n.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					switch sel.Sel.Name {
+					case "LockStripes":
+						if isShardLocks(info.Types[sel.X].Type) {
+							acquire(n, sel.X)
+						}
+					case "Lock":
+						// Direct: L.Stripes[i].Lock()
+						if base, ok := stripesIndexBase(info, sel.X); ok {
+							acquire(n, base)
+							return true
+						}
+						// Aliased: mu.Lock() where mu := &L.Stripes[i]
+						if id, ok := sel.X.(*ast.Ident); ok {
+							if text, ok := aliases[info.Uses[id]]; ok {
+								if strings.HasPrefix(text, loopSentinel) {
+									pass.Reportf(n.Pos(),
+										"stripe locks of loop-varying shard %s in %s: holding several shards' stripes is the cross-shard deadlock hash-slot routing forbids; use shardlock's ordered helpers (LockAllStripes) or confine to one shard",
+										strings.TrimPrefix(text, loopSentinel), name)
+									return true
+								}
+								if firstBase == "" {
+									firstBase = text
+								} else if firstBase != text {
+									pass.Reportf(n.Pos(),
+										"stripe locks of a second shard (%s after %s) in %s: code outside internal/cluster must not hold two shards' stripe locks simultaneously; route to one shard (CROSSSLOT) or use shardlock's ordered helpers",
+										text, firstBase, name)
+								}
+							}
+						}
+					}
+					return true
+				}
+				return true
+			}
+			inspectShallow(body, walk)
+		})
+	}
+}
+
+// loopSentinel prefixes an alias base captured from a loop variable.
+const loopSentinel = "\x00loop:"
+
+// stripesIndexBase matches the expression form <base>.Stripes[i] where
+// <base> is a shardlock.Locks, returning the base expression.
+func stripesIndexBase(info *types.Info, e ast.Expr) (ast.Expr, bool) {
+	idx, ok := e.(*ast.IndexExpr)
+	if !ok {
+		return nil, false
+	}
+	sel, ok := idx.X.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Stripes" {
+		return nil, false
+	}
+	if !isShardLocks(info.Types[sel.X].Type) {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// isShardLocks reports whether t is the Locks type of a package named
+// shardlock (by name, like regionMethod, so fixtures can stub the package
+// under the fixture module path).
+func isShardLocks(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Locks" && obj.Pkg() != nil && obj.Pkg().Name() == "shardlock"
+}

@@ -1,0 +1,45 @@
+// Stub of the real internal/cluster/shardlock package: shardconfine matches
+// the Locks type by (package name, type name), so the fixture module can
+// declare it here. The directory sits under cluster/, which also makes this
+// package itself exempt from the rule.
+package shardlock
+
+import "sync"
+
+const NumStripes = 4
+
+type Locks struct {
+	Exec    sync.RWMutex
+	Stripes [NumStripes]sync.Mutex
+}
+
+func (l *Locks) LockStripes(idx []int) {
+	for _, i := range idx {
+		l.Stripes[i].Lock()
+	}
+}
+
+func (l *Locks) UnlockStripes(idx []int) {
+	for i := len(idx) - 1; i >= 0; i-- {
+		l.Stripes[idx[i]].Unlock()
+	}
+}
+
+// LockAllStripes is the sanctioned cross-shard entry point: it may iterate
+// every shard precisely because this package owns the global order.
+func LockAllStripes(shards []*Locks) {
+	for _, l := range shards {
+		for i := range l.Stripes {
+			l.Stripes[i].Lock()
+		}
+	}
+}
+
+func UnlockAllStripes(shards []*Locks) {
+	for s := len(shards) - 1; s >= 0; s-- {
+		l := shards[s]
+		for i := len(l.Stripes) - 1; i >= 0; i-- {
+			l.Stripes[i].Unlock()
+		}
+	}
+}

@@ -80,3 +80,25 @@ func goodHelper(a, b *sync.Mutex) {
 func badHelper(a, b *sync.Mutex) {
 	lockBoth(a, b) // want "lockBoth of a in badHelper"
 }
+
+// invokeFieldUnlocking releases a lock reached through a field path of its
+// parameter — the sharded-dispatch helper shape (defer sh.locks.Exec.RUnlock()).
+func invokeFieldUnlocking(s *S, fn func()) {
+	defer s.mu.Unlock()
+	fn()
+}
+
+// goodFieldHandoff acquires through the same path the helper defer-releases:
+// the call site gets credit for exactly s.mu.
+func (s *S) goodFieldHandoff() {
+	s.mu.Lock()
+	invokeFieldUnlocking(s, func() {})
+}
+
+// badFieldHandoff hands the helper the wrong receiver: crediting s2.mu must
+// not release s.mu.
+func (s *S) badFieldHandoff(s2 *S) {
+	s.mu.Lock() // want "Lock of s.mu in badFieldHandoff"
+	invokeFieldUnlocking(s2, func() {})
+	s.mu.Unlock()
+}

@@ -1,0 +1,87 @@
+// Fixtures for the shardconfine analyzer: this package is not under
+// cluster/, so it must confine stripe acquisitions to one shard per scope.
+package shardconfine
+
+import "fixture/cluster/shardlock"
+
+type server struct {
+	shards []*shardlock.Locks
+}
+
+// badTwoShards holds two shards' stripes at once: the AB/BA deadlock shape
+// hash-slot routing exists to forbid.
+func (s *server) badTwoShards(idx []int) {
+	a, b := s.shards[0], s.shards[1]
+	a.LockStripes(idx)
+	b.LockStripes(idx) // want "stripe locks of a second shard \(b after a\)"
+	b.UnlockStripes(idx)
+	a.UnlockStripes(idx)
+}
+
+// badLoop acquires each shard's stripes from a loop over the shard slice —
+// the cumulative-hold form of the same deadlock.
+func (s *server) badLoop(idx []int) {
+	for _, l := range s.shards {
+		l.LockStripes(idx) // want "stripe locks of loop-varying shard l"
+	}
+}
+
+// badDirect is the two-shard shape through direct stripe indexing.
+func (s *server) badDirect() {
+	s.shards[0].Stripes[0].Lock()
+	s.shards[1].Stripes[1].Lock() // want "second shard .s.shards.1. after s.shards.0.."
+	s.shards[1].Stripes[1].Unlock()
+	s.shards[0].Stripes[0].Unlock()
+}
+
+// badAlias captures a loop-varying stripe through a local alias; the Lock
+// call is where the hold happens, so that is where it reports.
+func (s *server) badAlias() {
+	for _, l := range s.shards {
+		mu := &l.Stripes[0]
+		mu.Lock() // want "stripe locks of loop-varying shard l"
+		mu.Unlock()
+	}
+}
+
+// goodSingleShard: everything on one shard's lock block is fine, including
+// mixing LockStripes with direct and aliased stripe locks.
+func (s *server) goodSingleShard(idx []int) {
+	l := s.shards[0]
+	l.LockStripes(idx)
+	l.UnlockStripes(idx)
+	l.Stripes[1].Lock()
+	l.Stripes[1].Unlock()
+	mu := &l.Stripes[2]
+	mu.Lock()
+	mu.Unlock()
+}
+
+// goodIntraShardLoop: a loop over stripe indices of ONE shard is the normal
+// sorted-acquisition discipline, not a cross-shard hold.
+func (s *server) goodIntraShardLoop() {
+	l := s.shards[0]
+	for i := 0; i < shardlock.NumStripes; i++ {
+		l.Stripes[i].Lock()
+	}
+	for i := shardlock.NumStripes - 1; i >= 0; i-- {
+		l.Stripes[i].Unlock()
+	}
+}
+
+// goodHelper: cross-shard work goes through shardlock's ordered entry
+// points, which encode the global order once.
+func (s *server) goodHelper() {
+	shardlock.LockAllStripes(s.shards)
+	shardlock.UnlockAllStripes(s.shards)
+}
+
+// goodIgnored: the escape hatch still works, with a reason.
+func (s *server) goodIgnored(idx []int) {
+	a, b := s.shards[0], s.shards[1]
+	a.LockStripes(idx)
+	//pmemvet:ignore fixture exercising the suppression path
+	b.LockStripes(idx)
+	b.UnlockStripes(idx)
+	a.UnlockStripes(idx)
+}

@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/cluster/slot"
+	"repro/internal/kvstore"
+	"repro/internal/pmem"
+	"repro/internal/ralloc"
+	"repro/internal/server"
+	"repro/internal/ycsb"
+)
+
+// shardedStore is one opened shard of a bench cluster.
+type shardedStore struct {
+	heap  *ralloc.Heap
+	store *kvstore.Store
+}
+
+// openShards builds an N-shard in-process cluster holding total heap bytes
+// split evenly across shards — the constant-footprint discipline the
+// shard-scaling rows depend on: the 4-shard row must not win by owning 4x
+// the memory of the 1-shard row.
+func openShards(shards int, totalHeap uint64, records int, pcfg pmem.Config) ([]shardedStore, []server.ShardBackend, error) {
+	perHeap := totalHeap / uint64(shards)
+	perBuckets := records / shards
+	if perBuckets < 64 {
+		perBuckets = 64
+	}
+	ss := make([]shardedStore, shards)
+	backends := make([]server.ShardBackend, shards)
+	for i := range ss {
+		h, _, err := ralloc.Open("", ralloc.Config{SBRegion: perHeap, Pmem: pcfg})
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		a := h.AsAllocator()
+		store, root := kvstore.Open(a, a.NewHandle(), perBuckets)
+		h.SetRoot(0, root)
+		ss[i] = shardedStore{heap: h, store: store}
+		backends[i] = server.ShardBackend{Alloc: a, Store: store}
+	}
+	return ss, backends, nil
+}
+
+// MemcachedNetShards is MemcachedNet against an N-shard server: N
+// independent heaps behind the hash-slot router, total footprint equal to
+// totalHeap regardless of N (so the by-shards rows isolate the sharding
+// itself). Records load through the wire so every key takes the routed
+// path it will take under traffic.
+func MemcachedNetShards(t int, cfg MemcachedConfig, pipeline, shards int, totalHeap uint64, pcfg pmem.Config) (Result, error) {
+	if pipeline < 1 {
+		pipeline = 1
+	}
+	ss, backends, err := openShards(shards, totalHeap, cfg.Workload.Records, pcfg)
+	if err != nil {
+		return Result{}, err
+	}
+	defer func() {
+		for _, s := range ss {
+			s.heap.Close()
+		}
+	}()
+
+	sock := filepath.Join(os.TempDir(),
+		fmt.Sprintf("ralloc-shard-%d-%d.sock", os.Getpid(), netSockSeq.Add(1)))
+	os.Remove(sock)
+	l, err := net.Listen("unix", sock)
+	if err != nil {
+		return Result{}, fmt.Errorf("sharded bench listen: %w", err)
+	}
+	srv := server.NewSharded(backends, server.Config{})
+	go srv.Serve(l)
+	defer func() {
+		srv.Shutdown(5 * time.Second)
+		os.Remove(sock)
+	}()
+
+	// Load through a pipelining client: the router, not the loader, decides
+	// which shard holds each record.
+	lc, err := server.Dial("unix", sock)
+	if err != nil {
+		return Result{}, fmt.Errorf("sharded bench dial: %w", err)
+	}
+	defer lc.Close()
+	loader := ycsb.NewGenerator(cfg.Workload, 999)
+	var buf []byte
+	for i := 0; i < cfg.Workload.Records; {
+		batch := pipeline
+		if rest := cfg.Workload.Records - i; batch > rest {
+			batch = rest
+		}
+		for j := 0; j < batch; j++ {
+			buf = loader.Value(buf)
+			if err := lc.SendBytes([]byte("SET"), []byte(ycsb.KeyAt(i+j)), buf); err != nil {
+				return Result{}, fmt.Errorf("sharded bench load: %w", err)
+			}
+		}
+		if err := lc.Flush(); err != nil {
+			return Result{}, fmt.Errorf("sharded bench load flush: %w", err)
+		}
+		for j := 0; j < batch; j++ {
+			if rp, err := lc.Recv(); err != nil || rp.Err() != nil {
+				return Result{}, fmt.Errorf("sharded bench load reply: %v / %v", err, rp.Err())
+			}
+		}
+		i += batch
+	}
+
+	elapsed := runThreads(t, func(id int) {
+		c, err := server.Dial("unix", sock)
+		if err != nil {
+			panic(fmt.Sprintf("sharded bench dial: %v", err))
+		}
+		defer c.Close()
+		gen := ycsb.NewGenerator(cfg.Workload, int64(id)+1)
+		var vbuf []byte
+		for done := 0; done < cfg.OpsPerTh; {
+			batch := pipeline
+			if rest := cfg.OpsPerTh - done; batch > rest {
+				batch = rest
+			}
+			for i := 0; i < batch; i++ {
+				op := gen.Next()
+				switch op.Kind {
+				case ycsb.Read:
+					err = c.SendBytes([]byte("GET"), []byte(op.Key))
+				case ycsb.Update:
+					vbuf = gen.Value(vbuf)
+					err = c.SendBytes([]byte("SET"), []byte(op.Key), vbuf)
+				}
+				if err != nil {
+					panic(fmt.Sprintf("sharded bench send: %v", err))
+				}
+			}
+			if err := c.Flush(); err != nil {
+				panic(fmt.Sprintf("sharded bench flush: %v", err))
+			}
+			for i := 0; i < batch; i++ {
+				rp, err := c.Recv()
+				if err != nil {
+					panic(fmt.Sprintf("sharded bench recv: %v", err))
+				}
+				if err := rp.Err(); err != nil {
+					panic(fmt.Sprintf("sharded bench reply: %v", err))
+				}
+			}
+			done += batch
+		}
+	})
+	ops := uint64(t) * uint64(cfg.OpsPerTh)
+	res := Result{Allocator: "ralloc", Threads: t, Ops: ops, Elapsed: elapsed}
+	if snap := srv.LatencySnapshot(); snap.Count > 0 {
+		res.P50us = snap.Quantile(0.50) / 1e3
+		res.P99us = snap.Quantile(0.99) / 1e3
+	}
+	return res, nil
+}
+
+// RecoveryResult is one shard-count row of the crash-recovery scaling axis.
+type RecoveryResult struct {
+	Shards  int
+	Records int
+	// Wall is the elapsed time of the parallel attach+recover of every
+	// shard — what a client waits after kill -9. This is the number that
+	// scales with cores; it is the one recorded in BENCH_10.json.
+	Wall time.Duration
+	// Work sums the per-shard recovery durations as measured during the
+	// concurrent recovery. Each shard's duration includes time spent
+	// descheduled behind the other shards, so on few cores Work approaches
+	// shards x Wall — it bounds Wall from above, it is not CPU work.
+	Work time.Duration
+}
+
+// RecoveryByShards measures post-crash recovery of the same dataset held as
+// N shards: records keys are slot-routed onto N heaps (total footprint
+// totalHeap regardless of N), every region crashes (unflushed lines drop,
+// exactly kill -9), and the measured section re-attaches and GC-recovers
+// all shards in parallel. The return includes the verified record count —
+// a recovery that loses records is a bug, not a fast recovery.
+func RecoveryByShards(shards, records int, totalHeap uint64, pcfg pmem.Config) (RecoveryResult, error) {
+	pcfg.Mode = pmem.ModeCrashSim
+	ss, _, err := openShards(shards, totalHeap, records, pcfg)
+	if err != nil {
+		return RecoveryResult{}, err
+	}
+	w := ycsb.WorkloadA(records)
+	gen := ycsb.NewGenerator(w, 999)
+	hds := make([]alloc.Handle, shards)
+	for i, s := range ss {
+		hds[i] = s.heap.AsAllocator().NewHandle()
+	}
+	var buf []byte
+	for i := 0; i < records; i++ {
+		key := []byte(ycsb.KeyAt(i))
+		buf = gen.Value(buf)
+		sh := slot.ShardOf(key, shards)
+		if !ss[sh].store.SetBytes(hds[sh], key, buf) {
+			return RecoveryResult{}, fmt.Errorf("shard %d: load OOM at record %d", sh, i)
+		}
+	}
+	for i, s := range ss {
+		if err := s.heap.Region().Crash(); err != nil {
+			return RecoveryResult{}, fmt.Errorf("shard %d: crash: %w", i, err)
+		}
+	}
+
+	rcfg := ralloc.Config{SBRegion: totalHeap / uint64(shards), Pmem: pcfg}
+	stores := make([]*kvstore.Store, shards)
+	works := make([]time.Duration, shards)
+	errs := make([]error, shards)
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for i := range ss {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h2, dirty, err := ralloc.Attach(ss[i].heap.Region(), rcfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !dirty {
+				errs[i] = fmt.Errorf("shard %d not dirty after crash", i)
+				return
+			}
+			a2 := h2.AsAllocator()
+			root := h2.GetRoot(0, nil)
+			h2.GetRoot(0, kvstore.Filter(a2, root))
+			stats, err := h2.Recover()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			works[i] = stats.Duration
+			stores[i] = kvstore.Attach(a2, root)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	for _, err := range errs {
+		if err != nil {
+			return RecoveryResult{}, err
+		}
+	}
+	got := 0
+	for _, st := range stores {
+		got += st.Len()
+	}
+	if got != records {
+		return RecoveryResult{}, fmt.Errorf("recovered %d of %d records", got, records)
+	}
+	res := RecoveryResult{Shards: shards, Records: records, Wall: wall}
+	for _, d := range works {
+		res.Work += d
+	}
+	return res, nil
+}

@@ -1,0 +1,103 @@
+// Package shardlock defines the per-shard lock block — the checkpoint
+// barrier plus the striped read-modify-write mutexes — and the only
+// functions allowed to acquire locks across more than one shard at once.
+//
+// Lock discipline. A shard's locks order internally as Exec (read side for
+// commands, write side for the checkpoint fence) before Stripes (ascending
+// by index). Across shards the order is ascending by position in the
+// cluster's shard slice, stripes ascending within each shard. Code outside
+// internal/cluster must never hold two shards' stripe locks simultaneously
+// — cross-shard atomicity is exactly the deadlock shape hash-slot
+// partitioning exists to forbid (CROSSSLOT), and the ralloc-vet
+// `shardconfine` rule enforces it statically. The cross-shard entry points
+// below (LockAllStripes, RLockAll, ExecLockAll) encode the global order
+// once so FLUSHALL and the cluster-wide checkpoint fence can't each invent
+// their own.
+package shardlock
+
+import "sync"
+
+// NumStripes is the number of read-modify-write stripes per shard. 64
+// stripes keep the probability of false contention low at typical client
+// counts while the whole array stays two cache lines of mutex state.
+const NumStripes = 64
+
+// Locks is one shard's lock block.
+type Locks struct {
+	// Exec is the shard's checkpoint barrier: every command batch holds
+	// the read side for its shard, the checkpoint fence takes the write
+	// side — so a checkpoint cut never lands mid-command.
+	Exec sync.RWMutex
+	// Stripes serialize read-modify-write command execution per key hash.
+	Stripes [NumStripes]sync.Mutex
+}
+
+// LockStripes acquires this shard's stripes for the given indices, which
+// must be sorted ascending and deduplicated.
+func (l *Locks) LockStripes(idx []int) {
+	for _, i := range idx {
+		l.Stripes[i].Lock()
+	}
+}
+
+// UnlockStripes releases in reverse acquisition order.
+func (l *Locks) UnlockStripes(idx []int) {
+	for i := len(idx) - 1; i >= 0; i-- {
+		l.Stripes[idx[i]].Unlock()
+	}
+}
+
+// LockAllStripes acquires every stripe of every shard in global order —
+// ascending shard, ascending stripe. FLUSHALL uses it to make whole-keyspace
+// deletion atomic with respect to every striped writer on every shard.
+func LockAllStripes(shards []*Locks) {
+	for _, l := range shards {
+		for i := range l.Stripes {
+			l.Stripes[i].Lock()
+		}
+	}
+}
+
+// UnlockAllStripes releases in reverse global order.
+func UnlockAllStripes(shards []*Locks) {
+	for s := len(shards) - 1; s >= 0; s-- {
+		l := shards[s]
+		for i := len(l.Stripes) - 1; i >= 0; i-- {
+			l.Stripes[i].Unlock()
+		}
+	}
+}
+
+// RLockAll acquires every shard's barrier read side in ascending order, for
+// commands that touch the whole keyspace (FLUSHALL) and must not straddle
+// any shard's checkpoint cut.
+func RLockAll(shards []*Locks) {
+	for _, l := range shards {
+		l.Exec.RLock()
+	}
+}
+
+// RUnlockAll releases in reverse order.
+func RUnlockAll(shards []*Locks) {
+	for s := len(shards) - 1; s >= 0; s-- {
+		shards[s].Exec.RUnlock()
+	}
+}
+
+// ExecLockAll acquires every shard's barrier write side in ascending order.
+// This is the cluster-wide fence: with all write sides held no command is in
+// flight anywhere, so the replication stream offset is frozen and one
+// (id, offset) pair can stamp every shard's checkpoint as a single
+// consistent cut.
+func ExecLockAll(shards []*Locks) {
+	for _, l := range shards {
+		l.Exec.Lock()
+	}
+}
+
+// ExecUnlockAll releases in reverse order.
+func ExecUnlockAll(shards []*Locks) {
+	for s := len(shards) - 1; s >= 0; s-- {
+		shards[s].Exec.Unlock()
+	}
+}

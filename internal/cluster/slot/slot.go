@@ -1,0 +1,120 @@
+// Package slot implements the Redis-cluster hash-slot keyspace partition:
+// CRC16-XMODEM of the key (or of its {hash-tag}) modulo 16384 slots, and a
+// contiguous slot→shard range mapping. It also defines the composite SCAN
+// cursor that makes keyspace iteration resumable across shards without ever
+// revisiting one.
+//
+// The package is a pure leaf — no dependencies beyond the stdlib — so both
+// the serving layer and the cluster lifecycle layer can import it without
+// entangling their dependency graphs.
+package slot
+
+// Slots is the fixed size of the keyspace partition, matching Redis
+// cluster's 16384 hash slots. The slot of a key is stable across shard
+// counts; only the slot→shard range mapping changes with N.
+const Slots = 16384
+
+// MaxShards bounds the shard count so a shard index always fits in the low
+// byte of a SCAN cursor (see EncodeCursor).
+const MaxShards = 256
+
+// crc16tab is the CRC16-XMODEM (CCITT, poly 0x1021, init 0) table, the
+// exact polynomial Redis cluster uses, built once at package init.
+var crc16tab [256]uint16
+
+func init() {
+	for i := 0; i < 256; i++ {
+		crc := uint16(i) << 8
+		for b := 0; b < 8; b++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+		crc16tab[i] = crc
+	}
+}
+
+// CRC16 returns the CRC16-XMODEM checksum of b.
+func CRC16(b []byte) uint16 {
+	var crc uint16
+	for _, c := range b {
+		crc = crc<<8 ^ crc16tab[byte(crc>>8)^c]
+	}
+	return crc
+}
+
+// SlotOf maps a key to its hash slot. Redis hash-tag semantics apply: if the
+// key contains a '{' with a matching '}' after it and at least one byte
+// between them, only the bytes between the first such pair are hashed, so
+// callers can force related keys ("user:{42}:name", "user:{42}:age") into
+// one slot — and therefore one shard — making multi-key commands on them
+// legal at any shard count.
+func SlotOf(key []byte) uint16 {
+	if tag := hashTag(key); tag != nil {
+		key = tag
+	}
+	return CRC16(key) & (Slots - 1)
+}
+
+// hashTag returns the bytes between the first '{' and the next '}' after
+// it, or nil when the key has no non-empty tag.
+func hashTag(key []byte) []byte {
+	for i := 0; i < len(key); i++ {
+		if key[i] != '{' {
+			continue
+		}
+		for j := i + 1; j < len(key); j++ {
+			if key[j] == '}' {
+				if j == i+1 {
+					return nil // "{}" — empty tag, hash the whole key
+				}
+				return key[i+1 : j]
+			}
+		}
+		return nil // '{' with no closing '}'
+	}
+	return nil
+}
+
+// ShardOf maps a key to its shard index for an n-shard cluster. Shards own
+// contiguous slot ranges — shard s covers [s*Slots/n, (s+1)*Slots/n) — so
+// the mapping is order-preserving in slot space and every shard owns either
+// ⌊Slots/n⌋ or ⌈Slots/n⌉ slots. n must be in [1, MaxShards].
+func ShardOf(key []byte, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return ShardOfSlot(SlotOf(key), n)
+}
+
+// ShardOfSlot maps a hash slot to its shard index for an n-shard cluster.
+func ShardOfSlot(s uint16, n int) int {
+	return int(uint32(s) * uint32(n) / Slots)
+}
+
+// SCAN cursors compose a shard index and that shard's private cursor into
+// one opaque integer: cursor = inner<<8 | shard. Cursor 0 is the canonical
+// start (shard 0, inner 0) and also the canonical end, exactly like Redis.
+// A scan walks shard k to exhaustion (inner advancing, shard byte fixed),
+// then steps to shard k+1 at inner 0 — it never revisits an exhausted
+// shard, so the iteration is resumable and terminates after one pass even
+// while writers mutate the keyspace.
+
+// EncodeCursor packs a shard index and a per-shard inner cursor.
+func EncodeCursor(shard int, inner uint64) uint64 {
+	return inner<<8 | uint64(shard)
+}
+
+// DecodeCursor splits a composite cursor. ok is false when the shard index
+// is out of range for an n-shard cluster or the inner bits would have been
+// truncated by EncodeCursor.
+func DecodeCursor(cursor uint64, n int) (shard int, inner uint64, ok bool) {
+	shard = int(cursor & 0xff)
+	inner = cursor >> 8
+	if shard >= n || inner > (^uint64(0))>>8 {
+		return 0, 0, false
+	}
+	return shard, inner, true
+}

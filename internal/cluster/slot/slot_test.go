@@ -1,0 +1,85 @@
+package slot
+
+import "testing"
+
+func TestCRC16Vector(t *testing.T) {
+	// The reference vector from the Redis cluster spec.
+	if got := CRC16([]byte("123456789")); got != 0x31C3 {
+		t.Fatalf("CRC16(123456789) = %#x, want 0x31c3", got)
+	}
+	if got := CRC16(nil); got != 0 {
+		t.Fatalf("CRC16(nil) = %#x, want 0", got)
+	}
+}
+
+func TestSlotOfHashTag(t *testing.T) {
+	cases := []struct{ key, same string }{
+		{"user:{42}:name", "user:{42}:age"}, // tag forces co-location
+		{"{tag}a", "tag"},                   // tag hashes like the bare string
+		{"foo{", "foo{"},                    // unclosed brace: whole key
+		{"foo{}bar", "foo{}bar"},            // empty tag: whole key
+		{"{a}{b}", "a"},                     // first tag wins
+	}
+	for _, c := range cases {
+		if SlotOf([]byte(c.key)) != SlotOf([]byte(c.same)) {
+			t.Errorf("SlotOf(%q) != SlotOf(%q)", c.key, c.same)
+		}
+	}
+	if SlotOf([]byte("foo{}bar")) == SlotOf([]byte("")) {
+		t.Errorf("empty tag must not hash the empty string")
+	}
+}
+
+func TestShardOfRanges(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 16, MaxShards} {
+		counts := make([]int, n)
+		prev := 0
+		for s := 0; s < Slots; s++ {
+			sh := ShardOfSlot(uint16(s), n)
+			if sh < 0 || sh >= n {
+				t.Fatalf("n=%d slot=%d: shard %d out of range", n, s, sh)
+			}
+			if sh < prev {
+				t.Fatalf("n=%d slot=%d: shard %d not monotone (prev %d)", n, s, sh, prev)
+			}
+			prev = sh
+			counts[sh]++
+		}
+		lo, hi := Slots/n, (Slots+n-1)/n
+		for sh, c := range counts {
+			if c < lo || c > hi {
+				t.Fatalf("n=%d shard=%d owns %d slots, want %d..%d", n, sh, c, lo, hi)
+			}
+		}
+	}
+}
+
+func TestShardOfSingleShard(t *testing.T) {
+	for _, k := range []string{"", "a", "user:{42}:name", "xyzzy"} {
+		if got := ShardOf([]byte(k), 1); got != 0 {
+			t.Fatalf("ShardOf(%q, 1) = %d, want 0", k, got)
+		}
+	}
+}
+
+func TestCursorRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 4} {
+		for shard := 0; shard < n; shard++ {
+			for _, inner := range []uint64{0, 1, 7, 65535, 1 << 40} {
+				c := EncodeCursor(shard, inner)
+				gs, gi, ok := DecodeCursor(c, n)
+				if !ok || gs != shard || gi != inner {
+					t.Fatalf("n=%d round trip (%d,%d) -> %d -> (%d,%d,%v)",
+						n, shard, inner, c, gs, gi, ok)
+				}
+			}
+		}
+	}
+	if _, _, ok := DecodeCursor(EncodeCursor(3, 9), 1); ok {
+		t.Fatalf("shard 3 must not decode under n=1")
+	}
+	// Cursor 0 decodes as (0, 0) — the canonical start — at any n.
+	if s, i, ok := DecodeCursor(0, 4); !ok || s != 0 || i != 0 {
+		t.Fatalf("DecodeCursor(0) = (%d,%d,%v)", s, i, ok)
+	}
+}

@@ -449,6 +449,30 @@ func (m *HashMap) RangeMeta(fn func(key []byte, tag uint8, expireAt uint64, byte
 	}
 }
 
+// Buckets returns the bucket count, the coordinate space for cursor walks.
+func (m *HashMap) Buckets() uint64 { return m.nB }
+
+// RangeBucketMeta walks one bucket's chain under its stripe lock, calling
+// fn for every record — expired ones included — with its type tag and
+// expiry stamp. Cursor-based SCAN is built on this: a caller that walks
+// buckets [cursor, n) in order visits every key that existed for the whole
+// iteration exactly once, because a record never migrates between buckets
+// (the bucket count is fixed at construction).
+func (m *HashMap) RangeBucketMeta(b uint64, fn func(key []byte, tag uint8, expireAt uint64)) {
+	if b >= m.nB {
+		return
+	}
+	mu := m.stripeFor(b)
+	mu.Lock()
+	slot := m.buckets + b*8
+	off, _ := pptr.Unpack(slot, m.r.Load(slot))
+	for off != 0 {
+		fn(m.nodeKey(off), m.nodeTag(off), m.nodeExpire(off))
+		off, _ = pptr.Unpack(off, m.r.Load(off))
+	}
+	mu.Unlock()
+}
+
 // Filter returns the GC filter for the map header (bucket array → chains).
 func (m *HashMap) Filter() ralloc.Filter { return HashMapFilter(m.r) }
 

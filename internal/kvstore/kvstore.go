@@ -469,6 +469,38 @@ func (s *Store) Scan(fn func(key []byte, typ Type) bool) {
 	})
 }
 
+// ScanCursor walks the live keyspace from bucket `cursor`, emitting whole
+// buckets until at least `count` keys have been emitted (count is a soft
+// target, exactly like Redis's SCAN COUNT: a bucket is never split across
+// calls, so a resumed walk never skips or repeats a stable key). It returns
+// the bucket to resume from and whether the walk completed. Guarantees
+// match Redis: every key present for the whole iteration is returned at
+// least once; keys created or deleted mid-iteration may or may not appear.
+func (s *Store) ScanCursor(cursor uint64, count int, fn func(key []byte, typ Type)) (next uint64, done bool) {
+	now := s.now()
+	nb := s.m.Buckets()
+	if count < 1 {
+		count = 1
+	}
+	emitted := 0
+	for b := cursor; b < nb; b++ {
+		s.m.RangeBucketMeta(b, func(key []byte, tag uint8, at uint64) {
+			if at != 0 && int64(at) <= now {
+				return
+			}
+			emitted++
+			fn(key, typeFromTag(tag))
+		})
+		if emitted >= count {
+			if b+1 >= nb {
+				return 0, true
+			}
+			return b + 1, false
+		}
+	}
+	return 0, true
+}
+
 // TypeCounts is a per-type census of the live keyspace.
 type TypeCounts struct {
 	Strings, Hashes, Lists int

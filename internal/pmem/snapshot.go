@@ -124,6 +124,171 @@ const (
 	snapMaxRunLines = 1024
 )
 
+// OnlineSave is an online snapshot split into its phase boundaries, so a
+// caller coordinating several regions (the cluster layer) can run every
+// region's concurrent copy phase first, then cut them all under one shared
+// fence — producing N images that represent a single point in the global
+// command order — and only then publish. The lifecycle is
+// BeginOnlineSave → Cut (with mutators stopped) → Publish, with Abort valid
+// instead of either of the last two. SaveFileOnline composes the three for
+// the single-region case.
+type OnlineSave struct {
+	r         *Region
+	f         *os.File
+	t         *snapTracker
+	tmp, path string
+	st        SnapshotStats
+	cut       bool
+	released  bool // snapshot slot given back (Publish ran or Abort ran)
+}
+
+// BeginOnlineSave starts an online snapshot of the region: arms the write
+// barrier, streams the full image to a temp file and chases the dirty set
+// in bounded concurrent rounds — everything that runs while mutators keep
+// executing. The caller must finish with Cut+Publish or Abort; the region's
+// snapshot slot stays held (concurrent snapshots serialize) until then.
+func (r *Region) BeginOnlineSave(path string) (save *OnlineSave, err error) {
+	r.snapMu.Lock()
+	o := &OnlineSave{r: r, path: path, tmp: path + ".tmp"}
+	lines := r.size / LineBytes
+	o.t = &snapTracker{dirty: make([]uint32, lines)}
+	// Arm before the first line is read so no concurrent store can slip
+	// between read and barrier. The deferred Abort covers every failure —
+	// including a SnapshotHook panic (crash injection) — and is a no-op
+	// once the OnlineSave has been handed to the caller.
+	r.snap.Store(o.t)
+	defer func() {
+		if save == nil {
+			o.Abort()
+		}
+	}()
+
+	f, err := os.Create(o.tmp)
+	if err != nil {
+		return nil, err
+	}
+	o.f = f
+
+	bw := bufio.NewWriterSize(f, 1<<20)
+	id, off := r.ReplMeta()
+	if err := writeImageHeader(bw, r.size, r.cfg.Mode, imageFlagOnline, id, off); err != nil {
+		return nil, err
+	}
+	// Phase 1 — streaming copy of every line, concurrent with mutators.
+	var buf [LineBytes]byte
+	for l := uint64(0); l < lines; l++ {
+		if r.cfg.SnapshotHook != nil && l == lines/2 {
+			bw.Flush() // the injected kill sees a genuinely partial file
+			r.cfg.SnapshotHook(SnapCopy)
+		}
+		r.snapReadLine(l, buf[:])
+		if _, err := bw.Write(buf[:]); err != nil {
+			return nil, err
+		}
+	}
+	o.st.Lines = lines
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+
+	// Phase 2 — concurrent delta rounds: chase the write barrier until the
+	// dirty set is small or stops shrinking.
+	for round := 0; round < snapMaxDeltaRounds; round++ {
+		n, err := r.snapCopyDelta(o.t, f)
+		if err != nil {
+			return nil, err
+		}
+		o.st.Rounds++
+		o.st.Recopied += n
+		if r.cfg.SnapshotHook != nil {
+			r.cfg.SnapshotHook(SnapDelta)
+		}
+		if n <= snapDeltaCutoff {
+			break
+		}
+	}
+	return o, nil
+}
+
+// Cut finishes the snapshot's capture: the final delta copy, the
+// replication-metadata re-stamp (final now that mutators are drained — the
+// header written during Begin carried a pre-copy value) and the barrier
+// disarm. The caller must have stopped every region mutator before calling
+// and may release them as soon as Cut returns; after it the temp file is a
+// point-in-time image, pending Publish.
+func (o *OnlineSave) Cut() error {
+	r := o.r
+	if r.cfg.SnapshotHook != nil {
+		r.cfg.SnapshotHook(SnapFence)
+	}
+	n, err := r.snapCopyDelta(o.t, o.f)
+	o.st.Recopied += n
+	o.st.FenceRecopied = n
+	if err == nil {
+		var meta [16]byte
+		id, off := r.ReplMeta()
+		binary.LittleEndian.PutUint64(meta[:8], id)
+		binary.LittleEndian.PutUint64(meta[8:], off)
+		_, err = o.f.WriteAt(meta[:], replMetaHeaderOff)
+	}
+	r.snap.Store(nil)
+	o.cut = true
+	return err
+}
+
+// Publish makes the cut image durable and atomic: fsync, rename over the
+// previous image, directory sync — a crash at any point leaves either the
+// previous image or the new one, never a tear. It releases the region's
+// snapshot slot.
+func (o *OnlineSave) Publish() (SnapshotStats, error) {
+	r := o.r
+	f := o.f
+	o.f = nil
+	o.released = true
+	defer r.snapMu.Unlock()
+	if !o.cut {
+		f.Close()
+		os.Remove(o.tmp)
+		return o.st, fmt.Errorf("pmem: Publish before Cut")
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(o.tmp)
+		return o.st, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(o.tmp)
+		return o.st, err
+	}
+	if r.cfg.SnapshotHook != nil {
+		r.cfg.SnapshotHook(SnapRename)
+	}
+	if err := os.Rename(o.tmp, o.path); err != nil {
+		os.Remove(o.tmp)
+		return o.st, err
+	}
+	return o.st, syncDir(o.path)
+}
+
+// Abort abandons the snapshot: disarms the barrier, removes the temp file
+// and releases the region's snapshot slot. Safe after any failed phase,
+// including a failed Cut.
+// Abort is idempotent and a no-op after Publish, so callers may defer it
+// as a catch-all next to explicit success paths.
+func (o *OnlineSave) Abort() {
+	if o.released {
+		return
+	}
+	o.released = true
+	o.r.snap.Store(nil)
+	if o.f != nil {
+		o.f.Close()
+		o.f = nil
+	}
+	os.Remove(o.tmp)
+	o.r.snapMu.Unlock()
+}
+
 // SaveFileOnline checkpoints the region to path while mutators keep running,
 // calling fence(cut) exactly once at cut-over. fence must stop every region
 // mutator (the server acquires its checkpoint barrier's write side), invoke
@@ -137,108 +302,17 @@ const (
 // analog is the checkpointing process dying with the machine, and the
 // previous on-disk image is what recovers).
 func (r *Region) SaveFileOnline(path string, fence func(cut func() error) error) (SnapshotStats, error) {
-	r.snapMu.Lock()
-	defer r.snapMu.Unlock()
-
-	var st SnapshotStats
-	lines := r.size / LineBytes
-	t := &snapTracker{dirty: make([]uint32, lines)}
-	// Arm before the first line is read so no concurrent store can slip
-	// between read and barrier; disarm on every exit (the fence's cut
-	// disarms earlier on the success path, Store handles the nil fine).
-	r.snap.Store(t)
-	defer r.snap.Store(nil)
-
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	o, err := r.BeginOnlineSave(path)
 	if err != nil {
-		return st, err
+		return SnapshotStats{}, err
 	}
-	fail := func(err error) (SnapshotStats, error) {
-		f.Close()
-		os.Remove(tmp)
-		return st, err
+	// Deferred so a panic out of the fence (crash injection via
+	// SnapshotHook) still disarms the barrier and releases the slot.
+	defer o.Abort()
+	if err := fence(o.Cut); err != nil {
+		return o.st, err
 	}
-
-	bw := bufio.NewWriterSize(f, 1<<20)
-	id, off := r.ReplMeta()
-	if err := writeImageHeader(bw, r.size, r.cfg.Mode, imageFlagOnline, id, off); err != nil {
-		return fail(err)
-	}
-	// Phase 1 — streaming copy of every line, concurrent with mutators.
-	var buf [LineBytes]byte
-	for l := uint64(0); l < lines; l++ {
-		if r.cfg.SnapshotHook != nil && l == lines/2 {
-			bw.Flush() // the injected kill sees a genuinely partial file
-			r.cfg.SnapshotHook(SnapCopy)
-		}
-		r.snapReadLine(l, buf[:])
-		if _, err := bw.Write(buf[:]); err != nil {
-			return fail(err)
-		}
-	}
-	st.Lines = lines
-	if err := bw.Flush(); err != nil {
-		return fail(err)
-	}
-
-	// Phase 2 — concurrent delta rounds: chase the write barrier until the
-	// dirty set is small or stops shrinking.
-	for round := 0; round < snapMaxDeltaRounds; round++ {
-		n, err := r.snapCopyDelta(t, f)
-		if err != nil {
-			return fail(err)
-		}
-		st.Rounds++
-		st.Recopied += n
-		if r.cfg.SnapshotHook != nil {
-			r.cfg.SnapshotHook(SnapDelta)
-		}
-		if n <= snapDeltaCutoff {
-			break
-		}
-	}
-
-	// Phase 3 — cut-over: the caller stops mutators, we copy the final
-	// delta, re-stamp the replication metadata (final now that mutators are
-	// drained — the header written in phase 1 carried a pre-copy value) and
-	// disarm. After cut returns the file is a point-in-time image.
-	if err := fence(func() error {
-		if r.cfg.SnapshotHook != nil {
-			r.cfg.SnapshotHook(SnapFence)
-		}
-		n, err := r.snapCopyDelta(t, f)
-		st.Recopied += n
-		st.FenceRecopied = n
-		if err == nil {
-			var meta [16]byte
-			id, off := r.ReplMeta()
-			binary.LittleEndian.PutUint64(meta[:8], id)
-			binary.LittleEndian.PutUint64(meta[8:], off)
-			_, err = f.WriteAt(meta[:], replMetaHeaderOff)
-		}
-		r.snap.Store(nil)
-		return err
-	}); err != nil {
-		return fail(err)
-	}
-
-	// Phase 4 — durable publish, same discipline as SaveFile.
-	if err := f.Sync(); err != nil {
-		return fail(err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return st, err
-	}
-	if r.cfg.SnapshotHook != nil {
-		r.cfg.SnapshotHook(SnapRename)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return st, err
-	}
-	return st, syncDir(path)
+	return o.Publish()
 }
 
 // snapReadLine copies line l of the volatile image into b, word-atomically.

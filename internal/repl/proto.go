@@ -157,11 +157,23 @@ type Handshake struct {
 	Full   bool   // true: FULLRESYNC (image follows); false: CONTINUE
 	ID     uint64 // stream ID (FULLRESYNC only)
 	Offset uint64 // stream offset the feed will start/resume at
+	// Shards is the number of checkpoint images that follow a FULLRESYNC
+	// (one per shard of the primary's keyspace, streamed sequentially).
+	// The single-shard handshake omits the field on the wire — Shards is 1
+	// then — so single-shard peers from before the cluster layer
+	// interoperate unchanged.
+	Shards int
 }
 
-// WriteFullResync writes the full-resync handshake line.
-func WriteFullResync(w io.Writer, id, off uint64) error {
-	_, err := fmt.Fprintf(w, "+FULLRESYNC %016x %d\r\n", id, off)
+// WriteFullResync writes the full-resync handshake line. shards is the
+// number of images that follow; values <= 1 write the original two-field
+// line (byte-compatible with pre-cluster replicas).
+func WriteFullResync(w io.Writer, id, off uint64, shards int) error {
+	if shards <= 1 {
+		_, err := fmt.Fprintf(w, "+FULLRESYNC %016x %d\r\n", id, off)
+		return err
+	}
+	_, err := fmt.Fprintf(w, "+FULLRESYNC %016x %d %d\r\n", id, off, shards)
 	return err
 }
 
@@ -203,13 +215,21 @@ func ReadHandshake(br *bufio.Reader) (Handshake, error) {
 	}
 	fields := strings.Fields(string(line[1:]))
 	switch {
-	case len(fields) == 3 && fields[0] == "FULLRESYNC":
+	case (len(fields) == 3 || len(fields) == 4) && fields[0] == "FULLRESYNC":
 		id, err1 := strconv.ParseUint(fields[1], 16, 64)
 		off, err2 := strconv.ParseUint(fields[2], 10, 64)
 		if err1 != nil || err2 != nil {
 			return h, fmt.Errorf("%w: bad FULLRESYNC %q", ErrProto, line)
 		}
-		return Handshake{Full: true, ID: id, Offset: off}, nil
+		shards := 1
+		if len(fields) == 4 {
+			n, err := strconv.Atoi(fields[3])
+			if err != nil || n < 2 || n > 256 {
+				return h, fmt.Errorf("%w: bad FULLRESYNC shard count %q", ErrProto, line)
+			}
+			shards = n
+		}
+		return Handshake{Full: true, ID: id, Offset: off, Shards: shards}, nil
 	case len(fields) == 2 && fields[0] == "CONTINUE":
 		off, err := strconv.ParseUint(fields[1], 10, 64)
 		if err != nil {
@@ -352,6 +372,16 @@ func Dial(addr string) (net.Conn, error) {
 // consumed here: bootstrap runs before the heap exists, so applying must
 // wait for a served process — the backlog covers the gap.
 func BootstrapImage(addr, path string) (id, off uint64, err error) {
+	return BootstrapImages(addr, []string{path})
+}
+
+// BootstrapImages is BootstrapImage for a sharded keyspace: the primary
+// streams one image per shard after the FULLRESYNC line, and each is
+// published to the corresponding path. The primary's shard count must equal
+// len(paths) — a replica configured with a different -cluster-shards would
+// route keys differently and silently diverge, so the mismatch is an error
+// here, before any heap exists.
+func BootstrapImages(addr string, paths []string) (id, off uint64, err error) {
 	conn, err := Dial(addr)
 	if err != nil {
 		return 0, 0, err
@@ -368,10 +398,28 @@ func BootstrapImage(addr, path string) (id, off uint64, err error) {
 	if !h.Full {
 		return 0, 0, fmt.Errorf("%w: CONTINUE in response to PSYNC ? 0", ErrProto)
 	}
-	if err := saveImageAtomic(br, path); err != nil {
+	if err := checkShards(h, len(paths)); err != nil {
 		return 0, 0, err
 	}
+	for _, path := range paths {
+		if err := saveImageAtomic(br, path); err != nil {
+			return 0, 0, err
+		}
+	}
 	return h.ID, h.Offset, nil
+}
+
+// checkShards verifies the primary's advertised image count against the
+// replica's configured shard layout.
+func checkShards(h Handshake, want int) error {
+	got := h.Shards
+	if got == 0 {
+		got = 1
+	}
+	if got != want {
+		return fmt.Errorf("primary streams %d shard image(s), this replica is configured for %d", got, want)
+	}
+	return nil
 }
 
 // ProbeSync asks the primary whether the stream position (id, off) — a
@@ -382,6 +430,12 @@ func BootstrapImage(addr, path string) (id, off uint64, err error) {
 // that is then thrown away. Either way the returned ID/offset are the
 // position the on-disk image now corresponds to.
 func ProbeSync(addr, path string, id, off uint64) (partial bool, newID, newOff uint64, err error) {
+	return ProbeSyncN(addr, []string{path}, id, off)
+}
+
+// ProbeSyncN is ProbeSync for a sharded keyspace: a FULLRESYNC answer
+// streams one image per shard, published to the corresponding paths.
+func ProbeSyncN(addr string, paths []string, id, off uint64) (partial bool, newID, newOff uint64, err error) {
 	conn, err := Dial(addr)
 	if err != nil {
 		return false, 0, 0, err
@@ -403,8 +457,13 @@ func ProbeSync(addr, path string, id, off uint64) (partial bool, newID, newOff u
 	if !h.Full {
 		return true, id, h.Offset, nil
 	}
-	if err := saveImageAtomic(br, path); err != nil {
+	if err := checkShards(h, len(paths)); err != nil {
 		return false, 0, 0, err
+	}
+	for _, path := range paths {
+		if err := saveImageAtomic(br, path); err != nil {
+			return false, 0, 0, err
+		}
 	}
 	return false, h.ID, h.Offset, nil
 }

@@ -252,7 +252,7 @@ func TestNextEntriesBatches(t *testing.T) {
 // TestHandshakeRoundTrip: both handshake lines and the refusal parse back.
 func TestHandshakeRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteFullResync(&buf, 0xdeadbeef, 12345); err != nil {
+	if err := WriteFullResync(&buf, 0xdeadbeef, 12345, 1); err != nil {
 		t.Fatal(err)
 	}
 	h, err := ReadHandshake(bufio.NewReader(&buf))
@@ -368,7 +368,7 @@ func TestBootstrapImage(t *testing.T) {
 				if err != nil || len(args) != 3 || string(args[0]) != "PSYNC" {
 					return
 				}
-				WriteFullResync(conn, 0xfeed, 4242)
+				WriteFullResync(conn, 0xfeed, 4242, 1)
 				CopyImageChunks(conn, bytes.NewReader(img))
 			}(conn)
 		}
@@ -405,7 +405,7 @@ func TestBootstrapImage(t *testing.T) {
 		defer conn.Close()
 		br := bufio.NewReader(conn)
 		ReadEntry(br)
-		WriteFullResync(conn, 1, 0)
+		WriteFullResync(conn, 1, 0, 1)
 		fmt.Fprintf(conn, "$4\r\nabcd\r\n")
 		WriteAbort(conn, "draining")
 	}()

@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cluster/slot"
 	"repro/internal/kvstore"
 )
 
@@ -38,6 +39,7 @@ func commandDefs() []*Command {
 		{Name: "EXISTS", Arity: -2, Flags: FlagReadonly | FlagFast, Keys: KeySpec{1, -1, 1}, Handler: cmdExists},
 		{Name: "TYPE", Arity: 2, Flags: FlagReadonly | FlagFast, Keys: KeySpec{1, 1, 1}, Handler: cmdType},
 		{Name: "DBSIZE", Arity: 1, Flags: FlagReadonly | FlagFast, Handler: cmdDBSize},
+		{Name: "SCAN", Arity: -2, Flags: FlagReadonly, Handler: cmdScan},
 		{Name: "FLUSHALL", Arity: 1, Flags: FlagWrite | FlagLockAll, Handler: cmdFlushAll},
 
 		// Expiration. PEXPIREAT/PSETEXAT are the absolute-deadline forms
@@ -93,7 +95,7 @@ func cmdPing(ctx *Ctx) {
 func cmdEcho(ctx *Ctx) { ctx.w.bulk(ctx.args[1]) }
 
 func cmdGet(ctx *Ctx) {
-	v, ok, err := ctx.s.st.GetBytes(ctx.args[1])
+	v, ok, err := ctx.sh.st.GetBytes(ctx.args[1])
 	if err != nil {
 		writeStoreErr(ctx, err)
 		return
@@ -112,7 +114,7 @@ func cmdGet(ctx *Ctx) {
 // window (a SET landing there would be silently overwritten despite its
 // +OK). SET clears any TTL, like Redis.
 func cmdSet(ctx *Ctx) {
-	if !ctx.s.st.SetBytes(ctx.hd, ctx.args[1], ctx.args[2]) {
+	if !ctx.sh.st.SetBytes(ctx.hd, ctx.args[1], ctx.args[2]) {
 		ctx.w.errorf("out of memory")
 		return
 	}
@@ -122,9 +124,9 @@ func cmdSet(ctx *Ctx) {
 // cmdSetNX declines on an existing key of *any* type (Redis returns 0, not
 // WRONGTYPE: the value is never read).
 func cmdSetNX(ctx *Ctx) {
-	if ctx.s.st.TypeOf(ctx.args[1]) != kvstore.TypeNone {
+	if ctx.sh.st.TypeOf(ctx.args[1]) != kvstore.TypeNone {
 		ctx.w.integer(0)
-	} else if !ctx.s.st.SetBytes(ctx.hd, ctx.args[1], ctx.args[2]) {
+	} else if !ctx.sh.st.SetBytes(ctx.hd, ctx.args[1], ctx.args[2]) {
 		ctx.w.errorf("out of memory")
 	} else {
 		ctx.w.integer(1)
@@ -147,9 +149,9 @@ func cmdSetEx(ctx *Ctx) {
 		ctx.w.errorf("invalid expire time in '%s' command", name)
 		return
 	}
-	at := deadlineFrom(ctx.s.st.Now(), d, name == "setex")
+	at := deadlineFrom(ctx.sh.st.Now(), d, name == "setex")
 	ctx.prop = [][]byte{[]byte("PSETEXAT"), ctx.args[1], []byte(strconv.FormatInt(at, 10)), ctx.args[3]}
-	if !ctx.s.st.SetBytesExpire(ctx.hd, ctx.args[1], ctx.args[3], at) {
+	if !ctx.sh.st.SetBytesExpire(ctx.hd, ctx.args[1], ctx.args[3], at) {
 		ctx.w.errorf("out of memory")
 		return
 	}
@@ -159,14 +161,14 @@ func cmdSetEx(ctx *Ctx) {
 // cmdAppend preserves the key's TTL (Redis semantics): the rewrite carries
 // the old record's deadline into the new allocation.
 func cmdAppend(ctx *Ctx) {
-	old, deadline, _, err := ctx.s.st.GetBytesExpire(ctx.args[1])
+	old, deadline, _, err := ctx.sh.st.GetBytesExpire(ctx.args[1])
 	if err != nil {
 		writeStoreErr(ctx, err)
 		return
 	}
 	val := make([]byte, 0, len(old)+len(ctx.args[2]))
 	val = append(append(val, old...), ctx.args[2]...)
-	if !ctx.s.st.SetBytesExpire(ctx.hd, ctx.args[1], val, deadline) {
+	if !ctx.sh.st.SetBytesExpire(ctx.hd, ctx.args[1], val, deadline) {
 		ctx.w.errorf("out of memory")
 		return
 	}
@@ -177,12 +179,12 @@ func cmdAppend(ctx *Ctx) {
 // immortal record. Unlike plain SET it *reads* the old value, so a
 // non-string key is WRONGTYPE.
 func cmdGetSet(ctx *Ctx) {
-	old, ok, err := ctx.s.st.GetBytes(ctx.args[1])
+	old, ok, err := ctx.sh.st.GetBytes(ctx.args[1])
 	if err != nil {
 		writeStoreErr(ctx, err)
 		return
 	}
-	if !ctx.s.st.SetBytes(ctx.hd, ctx.args[1], ctx.args[2]) {
+	if !ctx.sh.st.SetBytes(ctx.hd, ctx.args[1], ctx.args[2]) {
 		ctx.w.errorf("out of memory")
 	} else if ok {
 		ctx.w.bulk(old)
@@ -193,7 +195,7 @@ func cmdGetSet(ctx *Ctx) {
 
 // cmdGetDel returns the value and deletes the key in one locked step.
 func cmdGetDel(ctx *Ctx) {
-	old, ok, err := ctx.s.st.GetBytes(ctx.args[1])
+	old, ok, err := ctx.sh.st.GetBytes(ctx.args[1])
 	if err != nil {
 		writeStoreErr(ctx, err)
 		return
@@ -202,7 +204,7 @@ func cmdGetDel(ctx *Ctx) {
 		ctx.w.nilBulk()
 		return
 	}
-	ctx.s.st.Delete(ctx.hd, string(ctx.args[1]))
+	ctx.sh.st.Delete(ctx.hd, string(ctx.args[1]))
 	ctx.w.bulk(old)
 }
 
@@ -213,7 +215,7 @@ func cmdGetDel(ctx *Ctx) {
 func cmdIncr(ctx *Ctx) {
 	key := ctx.args[1]
 	n := int64(0)
-	v, deadline, ok, err := ctx.s.st.GetBytesExpire(key)
+	v, deadline, ok, err := ctx.sh.st.GetBytesExpire(key)
 	if err != nil {
 		writeStoreErr(ctx, err)
 		return
@@ -227,7 +229,7 @@ func cmdIncr(ctx *Ctx) {
 		n = parsed
 	}
 	n++
-	if !ctx.s.st.SetBytesExpire(ctx.hd, key, []byte(strconv.FormatInt(n, 10)), deadline) {
+	if !ctx.sh.st.SetBytesExpire(ctx.hd, key, []byte(strconv.FormatInt(n, 10)), deadline) {
 		ctx.w.errorf("out of memory")
 		return
 	}
@@ -240,7 +242,7 @@ func cmdIncr(ctx *Ctx) {
 func cmdMGet(ctx *Ctx) {
 	ctx.w.arrayHeader(len(ctx.args) - 1)
 	for _, k := range ctx.args[1:] {
-		if v, ok, _ := ctx.s.st.GetBytes(k); ok {
+		if v, ok, _ := ctx.sh.st.GetBytes(k); ok {
 			ctx.w.bulk(v)
 		} else {
 			ctx.w.nilBulk()
@@ -257,7 +259,7 @@ func cmdMSet(ctx *Ctx) {
 		return
 	}
 	for i := 1; i < len(ctx.args); i += 2 {
-		if !ctx.s.st.SetBytes(ctx.hd, ctx.args[i], ctx.args[i+1]) {
+		if !ctx.sh.st.SetBytes(ctx.hd, ctx.args[i], ctx.args[i+1]) {
 			ctx.w.errorf("out of memory")
 			return
 		}
@@ -268,7 +270,7 @@ func cmdMSet(ctx *Ctx) {
 func cmdDel(ctx *Ctx) {
 	n := int64(0)
 	for _, k := range ctx.args[1:] {
-		if ctx.s.st.Delete(ctx.hd, string(k)) {
+		if ctx.sh.st.Delete(ctx.hd, string(k)) {
 			n++
 		}
 	}
@@ -279,7 +281,7 @@ func cmdDel(ctx *Ctx) {
 func cmdExists(ctx *Ctx) {
 	n := int64(0)
 	for _, k := range ctx.args[1:] {
-		if ctx.s.st.TypeOf(k) != kvstore.TypeNone {
+		if ctx.sh.st.TypeOf(k) != kvstore.TypeNone {
 			n++
 		}
 	}
@@ -290,18 +292,86 @@ func cmdExists(ctx *Ctx) {
 // string, hash, list, or none — through the same lazy-expiry policy as
 // every read, so an expired key reports none.
 func cmdType(ctx *Ctx) {
-	ctx.w.simple(ctx.s.st.TypeOf(ctx.args[1]).String())
+	ctx.w.simple(ctx.sh.st.TypeOf(ctx.args[1]).String())
 }
 
-func cmdDBSize(ctx *Ctx) { ctx.w.integer(int64(ctx.s.st.Len())) }
+// cmdDBSize sums the live record count over every shard. Reading each
+// shard's atomic length without locks is the pre-cluster behavior too — a
+// concurrent writer can always race the reply by one key.
+func cmdDBSize(ctx *Ctx) { ctx.w.integer(int64(ctx.s.keyspaceLen())) }
 
-// cmdFlushAll runs with every stripe held (FlagLockAll): no concurrent
-// writer can interleave. It purges through DeleteAll rather than a Range
-// walk, because Range now (correctly) hides expired records and object
-// payloads — and FLUSHALL must free those corpses and graphs too.
+// cmdFlushAll runs with every shard's barrier read side and every stripe of
+// every shard held (lockAllMode): no concurrent writer can interleave, on
+// any shard. It purges through DeleteAll rather than a Range walk, because
+// Range now (correctly) hides expired records and object payloads — and
+// FLUSHALL must free those corpses and graphs too.
 func cmdFlushAll(ctx *Ctx) {
-	ctx.s.st.DeleteAll(ctx.hd)
+	for i, sh := range ctx.s.shards {
+		sh.st.DeleteAll(ctx.handleFor(i))
+	}
 	ctx.w.simple("OK")
+}
+
+// cmdScan serves SCAN cursor [COUNT n]: an incremental, resumable walk of
+// the whole keyspace with the standard Redis contract — every key present
+// for the walk's entire duration is returned at least once, and a full
+// iteration terminates. The cursor encodes (shard, per-shard position): the
+// low byte selects the shard, the rest is that shard's bucket cursor, so a
+// resumed walk continues exactly where it stopped and never revisits a
+// finished shard. Within a shard the position is a hash-bucket index and a
+// reply always ends at a bucket boundary (kvstore.ScanCursor), which is what
+// makes the cursor stable across calls without per-connection state.
+func cmdScan(ctx *Ctx) {
+	cur, err := strconv.ParseUint(string(ctx.args[1]), 10, 64)
+	if err != nil {
+		ctx.w.errorf("invalid cursor")
+		return
+	}
+	count := 10
+	if len(ctx.args) > 2 {
+		if len(ctx.args) != 4 || !strings.EqualFold(string(ctx.args[2]), "COUNT") {
+			ctx.w.errorf("syntax error")
+			return
+		}
+		n, err := strconv.Atoi(string(ctx.args[3]))
+		if err != nil || n < 1 {
+			ctx.w.errorf("value is not an integer or out of range")
+			return
+		}
+		count = n
+	}
+	shardIdx, inner, ok := slot.DecodeCursor(cur, len(ctx.s.shards))
+	if !ok {
+		ctx.w.errorf("invalid cursor")
+		return
+	}
+	keys := make([][]byte, 0, count)
+	next := uint64(0)
+	for shardIdx < len(ctx.s.shards) {
+		if len(keys) >= count {
+			next = slot.EncodeCursor(shardIdx, inner)
+			break
+		}
+		sh := ctx.s.shards[shardIdx]
+		nin, done := sh.st.ScanCursor(inner, count-len(keys), func(key []byte, _ kvstore.Type) {
+			// The callback runs under the bucket's stripe lock and key
+			// aliases region memory that a concurrent DEL could recycle
+			// after the lock drops, so the reply needs its own copy.
+			keys = append(keys, append([]byte(nil), key...))
+		})
+		if !done {
+			next = slot.EncodeCursor(shardIdx, nin)
+			break
+		}
+		shardIdx++
+		inner = 0
+	}
+	ctx.w.arrayHeader(2)
+	ctx.w.bulk([]byte(strconv.FormatUint(next, 10)))
+	ctx.w.arrayHeader(len(keys))
+	for _, k := range keys {
+		ctx.w.bulk(k)
+	}
 }
 
 // cmdExpire serves EXPIRE (seconds) and PEXPIRE (milliseconds). Like
@@ -315,9 +385,9 @@ func cmdExpire(ctx *Ctx) {
 		ctx.w.errorf("value is not an integer or out of range")
 		return
 	}
-	at := deadlineFrom(ctx.s.st.Now(), d, name == "expire")
+	at := deadlineFrom(ctx.sh.st.Now(), d, name == "expire")
 	ctx.prop = [][]byte{[]byte("PEXPIREAT"), ctx.args[1], []byte(strconv.FormatInt(at, 10))}
-	if ctx.s.st.Expire(string(ctx.args[1]), at) {
+	if ctx.sh.st.Expire(string(ctx.args[1]), at) {
 		ctx.w.integer(1)
 	} else {
 		ctx.w.integer(0)
@@ -326,7 +396,7 @@ func cmdExpire(ctx *Ctx) {
 
 // cmdTTL serves TTL (seconds, rounded up like Redis) and PTTL.
 func cmdTTL(ctx *Ctx) {
-	ms := ctx.s.st.PTTL(string(ctx.args[1]))
+	ms := ctx.sh.st.PTTL(string(ctx.args[1]))
 	if ms < 0 || commandName(ctx.args) == "pttl" {
 		ctx.w.integer(ms)
 	} else {
@@ -335,7 +405,7 @@ func cmdTTL(ctx *Ctx) {
 }
 
 func cmdPersist(ctx *Ctx) {
-	if ctx.s.st.Persist(string(ctx.args[1])) {
+	if ctx.sh.st.Persist(string(ctx.args[1])) {
 		ctx.w.integer(1)
 	} else {
 		ctx.w.integer(0)
@@ -465,25 +535,18 @@ func infoSection(full, section string) (string, bool) {
 	return "", false
 }
 
-// cmdSave promotes the checkpoint barrier: wait out in-flight commands, then
-// checkpoint a consistent image. The handler runs under execMu's read side
-// (like every command) and RUnlocks around the write-side acquisition —
-// sync.RWMutex is not upgradable. SAVE is FlagDenyTxn: dropping the barrier
-// while EXEC holds a transaction's key stripes would deadlock against
-// writers blocked on those stripes still holding their read side.
+// cmdSave checkpoints every shard (see Server.Save for the single-fence vs
+// per-shard orchestration). SAVE is keyless, so dispatch gives it no barrier
+// of its own — Save takes each shard's write side itself, waiting out that
+// shard's in-flight commands. SAVE is FlagDenyTxn: taking a barrier while
+// EXEC holds a transaction's key stripes would deadlock against writers
+// blocked on those stripes still holding their read side.
 func cmdSave(ctx *Ctx) {
-	if ctx.s.cfg.Checkpoint == nil && ctx.s.cfg.CheckpointOnline == nil {
+	if !ctx.s.hasCheckpoint() {
 		ctx.w.errorf("no checkpoint configured (volatile heap)")
 		return
 	}
-	ctx.s.execMu.RUnlock()
-	// Re-acquire via defer: if Save panics (an embedder Checkpoint func can),
-	// a plain re-RLock on the normal path would be skipped during unwinding
-	// and dispatchBarrier's deferred RUnlock would throw on an unheld lock —
-	// a fatal, unrecoverable runtime error.
-	defer ctx.s.execMu.RLock()
-	err := ctx.s.Save()
-	if err != nil {
+	if err := ctx.s.Save(); err != nil {
 		ctx.w.errorf("checkpoint failed: %v", err)
 		return
 	}

@@ -56,7 +56,7 @@ func cmdHSet(ctx *Ctx) {
 		ctx.w.errorf("wrong number of arguments for 'hset' command")
 		return
 	}
-	created, err := ctx.s.st.HSet(ctx.hd, ctx.args[1], ctx.args[2:]...)
+	created, err := ctx.sh.st.HSet(ctx.hd, ctx.args[1], ctx.args[2:]...)
 	if err != nil {
 		writeStoreErr(ctx, err)
 		return
@@ -65,7 +65,7 @@ func cmdHSet(ctx *Ctx) {
 }
 
 func cmdHGet(ctx *Ctx) {
-	v, ok, err := ctx.s.st.HGet(ctx.args[1], ctx.args[2])
+	v, ok, err := ctx.sh.st.HGet(ctx.args[1], ctx.args[2])
 	if err != nil {
 		writeStoreErr(ctx, err)
 		return
@@ -78,7 +78,7 @@ func cmdHGet(ctx *Ctx) {
 }
 
 func cmdHDel(ctx *Ctx) {
-	removed, err := ctx.s.st.HDel(ctx.hd, ctx.args[1], ctx.args[2:]...)
+	removed, err := ctx.sh.st.HDel(ctx.hd, ctx.args[1], ctx.args[2:]...)
 	if err != nil {
 		writeStoreErr(ctx, err)
 		return
@@ -87,7 +87,7 @@ func cmdHDel(ctx *Ctx) {
 }
 
 func cmdHExists(ctx *Ctx) {
-	ok, err := ctx.s.st.HExists(ctx.args[1], ctx.args[2])
+	ok, err := ctx.sh.st.HExists(ctx.args[1], ctx.args[2])
 	if err != nil {
 		writeStoreErr(ctx, err)
 		return
@@ -100,7 +100,7 @@ func cmdHExists(ctx *Ctx) {
 }
 
 func cmdHLen(ctx *Ctx) {
-	n, err := ctx.s.st.HLen(ctx.args[1])
+	n, err := ctx.sh.st.HLen(ctx.args[1])
 	if err != nil {
 		writeStoreErr(ctx, err)
 		return
@@ -111,7 +111,7 @@ func cmdHLen(ctx *Ctx) {
 // cmdHGetAll replies a flat array of alternating field, value — empty for a
 // missing key, like Redis.
 func cmdHGetAll(ctx *Ctx) {
-	fields, values, err := ctx.s.st.HGetAll(ctx.args[1])
+	fields, values, err := ctx.sh.st.HGetAll(ctx.args[1])
 	if err != nil {
 		writeStoreErr(ctx, err)
 		return
@@ -129,9 +129,9 @@ func cmdLPush(ctx *Ctx) {
 	var n int
 	var err error
 	if ctx.args[0][0] == 'L' || ctx.args[0][0] == 'l' {
-		n, err = ctx.s.st.LPush(ctx.hd, ctx.args[1], ctx.args[2:]...)
+		n, err = ctx.sh.st.LPush(ctx.hd, ctx.args[1], ctx.args[2:]...)
 	} else {
-		n, err = ctx.s.st.RPush(ctx.hd, ctx.args[1], ctx.args[2:]...)
+		n, err = ctx.sh.st.RPush(ctx.hd, ctx.args[1], ctx.args[2:]...)
 	}
 	if err != nil {
 		writeStoreErr(ctx, err)
@@ -146,9 +146,9 @@ func cmdLPop(ctx *Ctx) {
 	var ok bool
 	var err error
 	if ctx.args[0][0] == 'L' || ctx.args[0][0] == 'l' {
-		v, ok, err = ctx.s.st.LPop(ctx.hd, ctx.args[1])
+		v, ok, err = ctx.sh.st.LPop(ctx.hd, ctx.args[1])
 	} else {
-		v, ok, err = ctx.s.st.RPop(ctx.hd, ctx.args[1])
+		v, ok, err = ctx.sh.st.RPop(ctx.hd, ctx.args[1])
 	}
 	if err != nil {
 		writeStoreErr(ctx, err)
@@ -162,7 +162,7 @@ func cmdLPop(ctx *Ctx) {
 }
 
 func cmdLLen(ctx *Ctx) {
-	n, err := ctx.s.st.LLen(ctx.args[1])
+	n, err := ctx.sh.st.LLen(ctx.args[1])
 	if err != nil {
 		writeStoreErr(ctx, err)
 		return
@@ -177,7 +177,7 @@ func cmdLRange(ctx *Ctx) {
 		ctx.w.errorf("value is not an integer or out of range")
 		return
 	}
-	vals, err := ctx.s.st.LRange(ctx.args[1], start, stop)
+	vals, err := ctx.sh.st.LRange(ctx.args[1], start, stop)
 	if err != nil {
 		writeStoreErr(ctx, err)
 		return

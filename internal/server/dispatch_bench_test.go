@@ -74,14 +74,18 @@ func benchArgs() [][][]byte {
 }
 
 // baselineExecute is the old Server.execute switch, GET/SET cases verbatim
-// (per-case arity check, per-case keyLock with a heap-allocated fnv hasher),
-// wrapped in the same per-command stats layer boundCmd.invoke applies.
+// (per-case arity check, per-case keyLock with a heap-allocated fnv hasher,
+// the per-command read-side checkpoint-barrier hold that handleConn's
+// dispatchBarrier used to take), wrapped in the same per-command stats layer
+// boundCmd.invoke applies.
 func (e *benchEnv) baselineExecute(w *respWriter, args [][]byte) {
 	s := e.srv
+	sh := s.shards[0]
 	e0 := w.errs
 	t0 := time.Now()
 	var st *cmdStats
 	name := strings.ToUpper(string(args[0]))
+	sh.locks.Exec.RLock()
 	switch name {
 	case "GET":
 		st = &e.baseGet
@@ -89,7 +93,7 @@ func (e *benchEnv) baselineExecute(w *respWriter, args [][]byte) {
 			w.errorf("wrong number of arguments for 'get' command")
 			break
 		}
-		if v, ok, _ := s.st.GetBytes(args[1]); ok {
+		if v, ok, _ := sh.st.GetBytes(args[1]); ok {
 			w.bulk(v)
 		} else {
 			w.nilBulk()
@@ -102,7 +106,7 @@ func (e *benchEnv) baselineExecute(w *respWriter, args [][]byte) {
 		}
 		mu := e.oldKeyLock(args[1])
 		mu.Lock()
-		ok := s.st.SetBytes(e.hd, args[1], args[2])
+		ok := sh.st.SetBytes(e.hd, args[1], args[2])
 		mu.Unlock()
 		if !ok {
 			w.errorf("out of memory")
@@ -112,6 +116,7 @@ func (e *benchEnv) baselineExecute(w *respWriter, args [][]byte) {
 	default:
 		w.errorf("unknown command '%s'", strings.ToLower(name))
 	}
+	sh.locks.Exec.RUnlock()
 	d := time.Since(t0)
 	if st != nil {
 		st.hist.Record(d)
@@ -129,7 +134,8 @@ func (e *benchEnv) baselineExecute(w *respWriter, args [][]byte) {
 func (e *benchEnv) oldKeyLock(key []byte) *sync.Mutex {
 	h := fnv.New64a()
 	h.Write(key)
-	return &e.srv.rmwMu[h.Sum64()%uint64(len(e.srv.rmwMu))]
+	stripes := &e.srv.shards[0].locks.Stripes
+	return &stripes[h.Sum64()%uint64(len(stripes))]
 }
 
 func (e *benchEnv) runRegistry(b *testing.B) {

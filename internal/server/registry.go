@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/alloc"
+	"repro/internal/cluster/shardlock"
 	"repro/internal/obs"
 )
 
@@ -38,10 +39,10 @@ const (
 	// FlagAdmin marks server-administration commands (SAVE, SHUTDOWN).
 	FlagAdmin
 	// FlagDenyTxn marks commands that may not be queued inside MULTI:
-	// SAVE drops the execMu read side (which would deadlock against the
-	// transaction's held key locks) and SHUTDOWN tears the connection
-	// down mid-queue. Queueing one replies an error and poisons the
-	// transaction (EXECABORT at EXEC), like Redis does for SUBSCRIBE.
+	// SAVE takes the checkpoint barrier's write side (which would deadlock
+	// against the transaction's held locks) and SHUTDOWN tears the
+	// connection down mid-queue. Queueing one replies an error and poisons
+	// the transaction (EXECABORT at EXEC), like Redis does for SUBSCRIBE.
 	FlagDenyTxn
 	// FlagTxnControl marks MULTI/EXEC/DISCARD themselves: they execute
 	// immediately even while a transaction is queuing.
@@ -122,6 +123,13 @@ type Ctx struct {
 	args [][]byte
 	cs   *connState
 	quit bool // set by SHUTDOWN; returned to the connection loop
+
+	// sh is the shard this invocation routed to (set by dispatch for keyed
+	// commands; nil for keyless ones). hds holds the connection's per-shard
+	// allocation handles; test harnesses that drive one shard directly may
+	// leave it nil and set hd themselves.
+	sh  *shard
+	hds []alloc.Handle
 
 	// fromLink marks invocations replayed from the replication link: they
 	// bypass the replica's -READONLY gate and are not re-propagated by the
@@ -353,9 +361,10 @@ func fnv64a(key []byte) uint64 {
 	return h
 }
 
-// stripeOf maps a key to its lock stripe index.
+// stripeOf maps a key to its lock stripe index (within whichever shard the
+// key routed to — the stripe hash and the slot hash are independent).
 func (s *Server) stripeOf(key []byte) int {
-	return int(fnv64a(key) % uint64(len(s.rmwMu)))
+	return int(fnv64a(key) % uint64(shardlock.NumStripes))
 }
 
 // appendStripes appends the sorted, deduplicated stripe indexes for keys to
@@ -381,35 +390,20 @@ func (s *Server) appendStripes(dst []int, keys [][]byte) []int {
 	return out
 }
 
-// allStripes is the FlagLockAll spec: every stripe, ascending.
+// allStripes is one shard's full stripe set, ascending (EXEC's lockAll
+// escalation at a single shard).
 func (s *Server) allStripes(dst []int) []int {
-	for i := range s.rmwMu {
+	for i := 0; i < shardlock.NumStripes; i++ {
 		dst = append(dst, i)
 	}
 	return dst
 }
 
-// lockStripes acquires the given (ascending, deduplicated) stripes.
-func (s *Server) lockStripes(stripes []int) {
-	for _, i := range stripes {
-		s.rmwMu[i].Lock()
-	}
-}
-
-func (s *Server) unlockStripes(stripes []int) {
-	for i := len(stripes) - 1; i >= 0; i-- {
-		s.rmwMu[stripes[i]].Unlock()
-	}
-}
-
 // commandStripes computes the stripes dispatch must hold for one command
 // invocation, into ctx's scratch buffers (stored back so the grown backing
-// arrays actually get reused across dispatches).
+// arrays actually get reused across dispatches). FlagLockAll commands never
+// reach here — dispatch sends them through the cross-shard helpers.
 func commandStripes(ctx *Ctx, c *Command) []int {
-	if c.Flags&FlagLockAll != 0 {
-		ctx.stripes = ctx.s.allStripes(ctx.stripes[:0])
-		return ctx.stripes
-	}
 	if c.Flags&FlagWrite == 0 || c.Keys.First == 0 {
 		return nil
 	}
@@ -507,34 +501,82 @@ func (s *Server) dispatch(ctx *Ctx, args [][]byte) (quit bool) {
 	}
 	ctx.args = args
 	ctx.quit = false
+	// Routing and the checkpoint barrier: keyed commands take their shard's
+	// barrier read side here (the write side is that shard's SAVE fence), so
+	// a checkpoint cut never lands mid-command and other shards' fences
+	// never stall this command. Keyless commands (PING, INFO, DBSIZE, SCAN,
+	// admin/replication control) take no barrier — they either read atomics
+	// and stripe-locked structures that tolerate concurrent cuts, or, like
+	// SAVE itself, acquire barriers of their own.
 	switch bc.lockMode {
 	case lockNone:
-		bc.invoke(ctx)
+		if bc.cmd.Keys.First == 0 {
+			ctx.sh = nil
+			bc.invoke(ctx)
+			break
+		}
+		sh, ok := s.routeKeys(ctx, bc.cmd, args)
+		if !ok {
+			return false
+		}
+		ctx.setShard(sh)
+		sh.locks.Exec.RLock()
+		invokeBarrier(ctx, bc, sh)
 	case lockSingleKey:
 		// Single-key write (SET/INCR/SETEX/…): one stripe, locked without
 		// building key or stripe slices.
-		mu := &s.rmwMu[s.stripeOf(args[1])]
+		sh := s.shardOf(args[1])
+		ctx.setShard(sh)
+		sh.locks.Exec.RLock()
+		mu := &sh.locks.Stripes[s.stripeOf(args[1])]
 		mu.Lock()
-		invokeUnlocking(ctx, bc, mu)
+		invokeUnlocking(ctx, bc, sh, mu)
+	case lockAllMode:
+		// Keyspace-wide mutation (FLUSHALL): every shard's barrier read
+		// side, then every stripe of every shard, in global order.
+		ctx.sh = nil
+		shardlock.RLockAll(s.locksAll)
+		shardlock.LockAllStripes(s.locksAll)
+		invokeAllUnlocking(ctx, bc)
 	default:
+		sh, ok := s.routeKeys(ctx, bc.cmd, args)
+		if !ok {
+			return false
+		}
+		ctx.setShard(sh)
 		stripes := commandStripes(ctx, bc.cmd)
-		s.lockStripes(stripes)
-		invokeStripedUnlocking(ctx, bc, stripes)
+		sh.locks.Exec.RLock()
+		sh.locks.LockStripes(stripes)
+		invokeStripedUnlocking(ctx, bc, sh, stripes)
 	}
 	return ctx.quit
 }
 
-// invokeUnlocking / invokeStripedUnlocking release dispatch's stripe locks
-// via defer (open-coded, so they stay off the benchmark gate's 5% budget): a
-// panicking handler — or a panicking Config.Middleware layer supplied by the
-// embedder — must fail one connection, not leave its stripes locked and
-// wedge every future writer on them.
-func invokeUnlocking(ctx *Ctx, bc *boundCmd, mu *sync.Mutex) {
+// The invoke* helpers release dispatch's barrier and stripe locks via defer
+// (open-coded, so they stay off the benchmark gate's 5% budget): a panicking
+// handler — or a panicking Config.Middleware layer supplied by the embedder
+// — must fail one connection, not leave its shard's locks held and wedge
+// every future writer (and SAVE fence) behind a dead connection.
+func invokeBarrier(ctx *Ctx, bc *boundCmd, sh *shard) {
+	defer sh.locks.Exec.RUnlock()
+	bc.invoke(ctx)
+}
+
+func invokeUnlocking(ctx *Ctx, bc *boundCmd, sh *shard, mu *sync.Mutex) {
+	defer sh.locks.Exec.RUnlock()
 	defer mu.Unlock()
 	bc.invoke(ctx)
 }
 
-func invokeStripedUnlocking(ctx *Ctx, bc *boundCmd, stripes []int) {
-	defer ctx.s.unlockStripes(stripes)
+func invokeStripedUnlocking(ctx *Ctx, bc *boundCmd, sh *shard, stripes []int) {
+	defer sh.locks.Exec.RUnlock()
+	defer sh.locks.UnlockStripes(stripes)
+	bc.invoke(ctx)
+}
+
+func invokeAllUnlocking(ctx *Ctx, bc *boundCmd) {
+	s := ctx.s
+	defer shardlock.RUnlockAll(s.locksAll)
+	defer shardlock.UnlockAllStripes(s.locksAll)
 	bc.invoke(ctx)
 }

@@ -150,7 +150,7 @@ func TestPanicReleasesLocks(t *testing.T) {
 				panicked = true
 			}
 		}()
-		e.srv.dispatchBarrier(ctx, bargs)
+		e.srv.dispatch(ctx, bargs)
 		return false
 	}
 
@@ -183,8 +183,8 @@ func TestPanicReleasesLocks(t *testing.T) {
 		if run(&connState{}, "MSET", "pa", "1", "pb", "2") {
 			t.Error("clean MSET panicked")
 		}
-		e.srv.execMu.Lock()
-		e.srv.execMu.Unlock()
+		e.srv.shards[0].locks.Exec.Lock()
+		e.srv.shards[0].locks.Exec.Unlock()
 	}()
 	select {
 	case <-ok:

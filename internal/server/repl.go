@@ -131,6 +131,12 @@ func (rs *replState) tap(c *Command, next Handler) Handler {
 			ctx.prop = nil
 		}
 		rs.feed.Append(args)
+		// Per-shard feed attribution. The entry carries no shard id on the
+		// wire — the id is derivable on both ends from the key — this
+		// counter just surfaces the write balance in INFO cluster/metrics.
+		if ctx.sh != nil {
+			ctx.sh.replWrites.Add(1)
+		}
 	}
 }
 
@@ -338,13 +344,19 @@ func (rs *replState) servePSync(conn net.Conn, id, off uint64, wantFull bool) {
 	}
 }
 
-// fullSync produces and streams a bootstrap image: pin the backlog (so the
-// bytes after the image's cut-over offset are still retained when the image
-// finishes streaming), checkpoint, stream the image with abort checks at
-// chunk boundaries, and return a cursor at the image's stamped offset.
+// fullSync produces and streams a bootstrap image per shard: pin the backlog
+// (so the bytes after the images' cut-over offset are still retained when
+// they finish streaming), checkpoint — Save's global cut stamps ONE
+// (id, offset) into every shard's image when there is more than one shard —
+// then stream the N images sequentially with abort checks at chunk
+// boundaries, and return a cursor at the common stamped offset. The
+// handshake advertises the shard count, so a replica with a different
+// -cluster-shards fails the bootstrap loudly instead of mis-routing keys.
 func (rs *replState) fullSync(bw *bufio.Writer, sd *replSender) (*repl.Cursor, error) {
-	if rs.s.cfg.OpenCheckpoint == nil {
-		return nil, errors.New("no checkpoint source configured (volatile heap)")
+	for _, sh := range rs.s.shards {
+		if sh.be.OpenCheckpoint == nil {
+			return nil, errors.New("no checkpoint source configured (volatile heap)")
+		}
 	}
 	rs.fullMu.Lock()
 	defer rs.fullMu.Unlock()
@@ -353,21 +365,39 @@ func (rs *replState) fullSync(bw *bufio.Writer, sd *replSender) (*repl.Cursor, e
 	if err := rs.s.Save(); err != nil {
 		return nil, err
 	}
-	img, err := rs.s.cfg.OpenCheckpoint()
-	if err != nil {
-		return nil, err
+	imgs := make([]*CheckpointImage, 0, len(rs.s.shards))
+	defer func() {
+		for _, img := range imgs {
+			img.R.Close()
+		}
+	}()
+	for _, sh := range rs.s.shards {
+		img, err := sh.be.OpenCheckpoint()
+		if err != nil {
+			return nil, err
+		}
+		imgs = append(imgs, img)
 	}
-	defer img.R.Close()
-	cur, ok := rs.feed.CursorAt(img.ReplOffset)
+	off := imgs[0].ReplOffset
+	for i, img := range imgs[1:] {
+		if img.ReplOffset != off {
+			// Cannot happen after a global-cut Save; a mismatch means the
+			// embedder wired independent per-shard checkpoint funcs.
+			return nil, fmt.Errorf("shard %d image offset %d diverges from shard 0's %d", i+1, img.ReplOffset, off)
+		}
+	}
+	cur, ok := rs.feed.CursorAt(off)
 	if !ok {
 		return nil, errors.New("checkpoint image offset outside the backlog")
 	}
-	if err := repl.WriteFullResync(bw, rs.feed.ID(), img.ReplOffset); err != nil {
+	if err := repl.WriteFullResync(bw, rs.feed.ID(), off, len(imgs)); err != nil {
 		return nil, err
 	}
 	t0 := time.Now()
-	if _, err := repl.CopyImageChunksAbort(bw, img.R, sd.abortReason); err != nil {
-		return nil, err
+	for _, img := range imgs {
+		if _, err := repl.CopyImageChunksAbort(bw, img.R, sd.abortReason); err != nil {
+			return nil, err
+		}
 	}
 	if err := bw.Flush(); err != nil {
 		return nil, err
@@ -408,7 +438,7 @@ var errFullResyncNeeded = errors.New("server: primary demands a full resync")
 type replicaLink struct {
 	rs   *replState
 	addr string
-	hd   alloc.Handle
+	hds  []alloc.Handle // one per shard: applied entries route like client writes
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -420,7 +450,10 @@ type replicaLink struct {
 }
 
 func (rs *replState) startLink(addr string) {
-	l := &replicaLink{rs: rs, addr: addr, hd: rs.s.a.NewHandle(), stop: make(chan struct{})}
+	l := &replicaLink{rs: rs, addr: addr, stop: make(chan struct{})}
+	for _, sh := range rs.s.shards {
+		l.hds = append(l.hds, sh.a.NewHandle())
+	}
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
 	rs.link = l
@@ -477,7 +510,7 @@ func (l *replicaLink) run() {
 	defer l.wg.Done()
 	// The link's Ctx applies entries through the normal dispatch pipeline
 	// with replies discarded: the primary already answered the client.
-	ctx := &Ctx{s: l.rs.s, hd: l.hd, w: newRespWriter(io.Discard), fromLink: true}
+	ctx := &Ctx{s: l.rs.s, hds: l.hds, hd: l.hds[0], w: newRespWriter(io.Discard), fromLink: true}
 	backoff := 50 * time.Millisecond
 	for !l.stopped() {
 		err := l.connectAndApply(ctx, &backoff)
@@ -579,7 +612,7 @@ func (l *replicaLink) apply(ctx *Ctx, args [][]byte, raw []byte) {
 	ok := false
 	if bc, found := rs.s.cmds[strings.ToUpper(string(args[0]))]; found && bc.cmd.Flags&FlagWrite != 0 {
 		e0 := ctx.w.errs
-		rs.s.dispatchBarrier(ctx, args)
+		rs.s.dispatch(ctx, args)
 		ok = ctx.w.errs == e0
 	}
 	if !ok {
@@ -613,11 +646,9 @@ func cmdReplicaOf(ctx *Ctx) {
 		return
 	}
 	if strings.EqualFold(string(ctx.args[1]), "no") && strings.EqualFold(string(ctx.args[2]), "one") {
-		// promote joins the link goroutine, and the link's apply loop needs
-		// the exec barrier's read side — which a pending writer (SAVE) would
-		// block behind ours. Drop the read side across the join, like SAVE.
-		ctx.s.execMu.RUnlock()
-		defer ctx.s.execMu.RLock()
+		// REPLICAOF is keyless, so dispatch gave it no barrier: joining the
+		// link goroutine (whose apply loop takes shard barriers of its own)
+		// cannot deadlock against a pending SAVE fence.
 		rs.promote()
 		ctx.w.simple("OK")
 		return
@@ -665,8 +696,8 @@ func cmdPSync(ctx *Ctx) {
 // cmdWait blocks until numreplicas connected replicas have acknowledged
 // everything the feed holds right now, or the timeout (milliseconds; 0
 // waits indefinitely) passes — replying with the count that acknowledged.
-// Like SAVE it drops the barrier's read side while blocking: a checkpoint
-// fence must not wait out a WAIT.
+// WAIT is keyless and holds no barrier while blocking: a checkpoint fence
+// never waits out a WAIT.
 func cmdWait(ctx *Ctx) {
 	num, err1 := strconv.Atoi(string(ctx.args[1]))
 	tmo, err2 := strconv.ParseInt(string(ctx.args[2]), 10, 64)
@@ -680,8 +711,6 @@ func cmdWait(ctx *Ctx) {
 		return
 	}
 	target := rs.feed.Offset()
-	ctx.s.execMu.RUnlock()
-	defer ctx.s.execMu.RLock()
 	var deadline time.Time
 	if tmo > 0 {
 		deadline = time.Now().Add(time.Duration(tmo) * time.Millisecond)
@@ -709,7 +738,7 @@ func cmdPExpireAt(ctx *Ctx) {
 	if at <= 0 {
 		at = 1
 	}
-	if ctx.s.st.Expire(string(ctx.args[1]), at) {
+	if ctx.sh.st.Expire(string(ctx.args[1]), at) {
 		ctx.w.integer(1)
 	} else {
 		ctx.w.integer(0)
@@ -727,7 +756,7 @@ func cmdPSetExAt(ctx *Ctx) {
 	if at <= 0 {
 		at = 1
 	}
-	if !ctx.s.st.SetBytesExpire(ctx.hd, ctx.args[1], ctx.args[3], at) {
+	if !ctx.sh.st.SetBytesExpire(ctx.hd, ctx.args[1], ctx.args[3], at) {
 		ctx.w.errorf("out of memory")
 		return
 	}
@@ -745,16 +774,6 @@ func (s *Server) ReplMeta() (id, off uint64) {
 		return 0, 0
 	}
 	return s.repl.feed.ID(), s.repl.feed.Offset()
-}
-
-// stampCheckpointOffset pins the feed position into the heap image being
-// cut. Runs under the barrier's write side (saveQuiesced / checkpointFence),
-// so the stamped offset is exactly the feed position the image's data
-// corresponds to — no write can be between the stamp and the cut.
-func (s *Server) stampCheckpointOffset() {
-	if s.repl != nil && s.cfg.CheckpointOffset != nil {
-		s.cfg.CheckpointOffset(s.repl.feed.ID(), s.repl.feed.Offset())
-	}
 }
 
 // replicationInfo renders the INFO replication section.

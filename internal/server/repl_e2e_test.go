@@ -5,6 +5,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"testing"
@@ -20,6 +21,18 @@ import (
 // one — its stale stream ID forces a full re-bootstrap, after which it
 // serves every write it was dead for.
 func TestE2EReplicationFailover(t *testing.T) {
+	runE2EReplicationFailover(t, 1)
+}
+
+// TestE2EReplicationFailoverCluster4 is the same drill at -cluster-shards 4:
+// bootstrap downloads four slot-partitioned images, partial resync replays a
+// feed whose entries carry derived shard ids, the old primary's rejoin
+// recovers a four-shard dataset after SIGKILL, and WAIT/INFO span shards.
+func TestE2EReplicationFailoverCluster4(t *testing.T) {
+	runE2EReplicationFailover(t, 4)
+}
+
+func runE2EReplicationFailover(t *testing.T, clusterShards int) {
 	if testing.Short() {
 		t.Skip("skipping subprocess e2e in -short mode")
 	}
@@ -38,7 +51,11 @@ func TestE2EReplicationFailover(t *testing.T) {
 	b := node{filepath.Join(dir, "b.heap"), filepath.Join(dir, "b.sock")}
 
 	serve := func(n node, extra ...string) *exec.Cmd {
-		args := append([]string{"-heap", n.heap, "-unix", n.sock, "-heapmb", "64", "-buckets", "8192"}, extra...)
+		args := []string{"-heap", n.heap, "-unix", n.sock, "-heapmb", "64", "-buckets", "8192"}
+		if clusterShards > 1 {
+			args = append(args, "-cluster-shards", strconv.Itoa(clusterShards))
+		}
+		args = append(args, extra...)
 		cmd := exec.Command(bin, args...)
 		cmd.Stdout = os.Stderr
 		cmd.Stderr = os.Stderr
@@ -86,12 +103,14 @@ func TestE2EReplicationFailover(t *testing.T) {
 		}
 	}
 
-	// -boundmb and -replicaof are mutually exclusive (LRU evictions are not
-	// replicated): the binary must refuse the combination at startup.
-	bad := exec.Command(bin, "-heap", filepath.Join(dir, "bad.heap"), "-unix",
-		filepath.Join(dir, "bad.sock"), "-boundmb", "8", "-replicaof", a.sock)
-	if out, err := bad.CombinedOutput(); err == nil {
-		t.Fatalf("-boundmb with -replicaof was accepted:\n%s", out)
+	if clusterShards == 1 {
+		// -boundmb and -replicaof are mutually exclusive (LRU evictions are
+		// not replicated): the binary must refuse the combination at startup.
+		bad := exec.Command(bin, "-heap", filepath.Join(dir, "bad.heap"), "-unix",
+			filepath.Join(dir, "bad.sock"), "-boundmb", "8", "-replicaof", a.sock)
+		if out, err := bad.CombinedOutput(); err == nil {
+			t.Fatalf("-boundmb with -replicaof was accepted:\n%s", out)
+		}
 	}
 
 	primary := serve(a)

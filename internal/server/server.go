@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/alloc"
+	"repro/internal/cluster/shardlock"
 	"repro/internal/kvstore"
 	"repro/internal/obs"
 )
@@ -145,20 +146,22 @@ var ErrServerClosed = errors.New("server: closed")
 
 // Server serves the RESP2 subset over a kvstore. One goroutine per
 // connection; pipelined commands are answered in order with batched writes.
+// The keyspace lives on one or more shards (see shard.go); every stored
+// field that used to be singular — allocator, store, checkpoint barrier,
+// stripe locks — is per shard.
 type Server struct {
-	a   alloc.Allocator
-	st  *kvstore.Store
 	cfg Config
 
-	// execMu is the checkpoint barrier: every command batch runs under
-	// RLock, SAVE under Lock, so a checkpoint never captures a half-done
-	// store operation.
-	execMu sync.RWMutex
+	// shards are the keyspace partitions, routed by hash slot; locksAll
+	// aliases their lock blocks in shard order for the cross-shard
+	// acquisition helpers (FLUSHALL, the cluster-wide checkpoint fence).
+	shards   []*shard
+	locksAll []*shardlock.Locks
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
 	conns     map[net.Conn]struct{}
-	handles   []alloc.Handle // pool: bounds handle count by peak concurrency
+	handles   [][]alloc.Handle // pool of per-shard handle vectors: bounds handle count by peak concurrency
 	closed    bool
 
 	wg   sync.WaitGroup
@@ -208,23 +211,29 @@ type Server struct {
 	// counters. Built once in New; read-only afterwards.
 	cmds map[string]*boundCmd
 
-	// rmwMu are the striped key locks the dispatch pipeline acquires for
-	// FlagWrite commands according to their declared KeySpec (all stripes
-	// for FlagLockAll), always in ascending stripe order so multi-key
-	// commands and EXEC's union locking are deadlock-free.
-	rmwMu [64]sync.Mutex
-
 	// repl is the replication state (feed, senders, link); nil when
 	// replication is disabled. See repl.go.
 	repl *replState
 }
 
 // New creates a server over an open store. The allocator must be the one the
-// store was opened on; the server draws per-connection handles from it.
+// store was opened on; the server draws per-connection handles from it. For
+// a multi-shard keyspace use NewSharded (shard.go).
 func New(a alloc.Allocator, st *kvstore.Store, cfg Config) *Server {
-	s := &Server{
-		a:         a,
-		st:        st,
+	return NewSharded([]ShardBackend{{
+		Alloc:            a,
+		Store:            st,
+		Checkpoint:       cfg.Checkpoint,
+		CheckpointOnline: cfg.CheckpointOnline,
+		OpenCheckpoint:   cfg.OpenCheckpoint,
+		CheckpointOffset: cfg.CheckpointOffset,
+	}}, cfg)
+}
+
+// newServer builds the shard-independent parts; NewSharded attaches the
+// shards and then calls finishInit.
+func newServer(cfg Config) *Server {
+	return &Server{
 		cfg:       cfg,
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
@@ -234,7 +243,19 @@ func New(a alloc.Allocator, st *kvstore.Store, cfg Config) *Server {
 		slowNs:    thresholdNs(cfg.SlowlogSlowerThan),
 		latNs:     thresholdNs(cfg.LatencyThreshold),
 	}
-	if cfg.ReplBacklogBytes > 0 || cfg.ReplicaOf != "" || cfg.OpenCheckpoint != nil {
+}
+
+// finishInit wires replication, binds the command registry, and starts the
+// background cycles, after the shards are in place.
+func (s *Server) finishInit() {
+	cfg := s.cfg
+	replWanted := cfg.ReplBacklogBytes > 0 || cfg.ReplicaOf != ""
+	for _, sh := range s.shards {
+		if sh.be.OpenCheckpoint != nil {
+			replWanted = true
+		}
+	}
+	if replWanted {
 		s.repl = newReplState(s)
 		// The tap goes last in Middleware so it wraps innermost — directly
 		// around the handler, inside the embedder's layers — and therefore
@@ -253,21 +274,25 @@ func New(a alloc.Allocator, st *kvstore.Store, cfg Config) *Server {
 	if s.repl != nil && cfg.ReplicaOf != "" {
 		s.repl.startLink(cfg.ReplicaOf)
 	}
-	return s
 }
 
 // expiryLoop is the active expiry cycle: every interval it reclaims up to
-// ActiveExpirySample expired records. Each round runs under the execMu read
-// side — concurrent with ordinary commands, quiesced by SAVE — so checkpoint
-// images never contain a torn reclamation, and the cycle's frees stop before
-// Shutdown/Abort return (no goroutine touches the heap afterwards).
+// ActiveExpirySample expired records per shard. Each shard's round runs
+// under that shard's checkpoint barrier read side — concurrent with ordinary
+// commands, quiesced by that shard's SAVE fence only — so checkpoint images
+// never contain a torn reclamation, other shards' fences never stall the
+// cycle, and the cycle's frees stop before Shutdown/Abort return (no
+// goroutine touches any heap afterwards).
 func (s *Server) expiryLoop() {
 	defer s.expiryWG.Done()
 	sample := s.cfg.ActiveExpirySample
 	if sample <= 0 {
 		sample = 20
 	}
-	hd := s.a.NewHandle()
+	hds := make([]alloc.Handle, len(s.shards))
+	for i, sh := range s.shards {
+		hds[i] = sh.a.NewHandle()
+	}
 	t := time.NewTicker(s.cfg.ActiveExpiryInterval)
 	defer t.Stop()
 	for {
@@ -283,7 +308,9 @@ func (s *Server) expiryLoop() {
 				continue
 			}
 			t0 := time.Now()
-			s.reclaimUnderBarrier(hd, sample)
+			for i, sh := range s.shards {
+				s.reclaimUnderBarrier(sh, hds[i], sample)
+			}
 			d := time.Since(t0)
 			s.expiryCycles.Add(1)
 			s.expiryLastNs.Store(int64(d))
@@ -292,33 +319,35 @@ func (s *Server) expiryLoop() {
 	}
 }
 
-// reclaimUnderBarrier runs one reclamation round under the checkpoint
-// barrier's read side, releasing it via defer so a panicking reclaim (a
-// corrupt free chain, say) cannot wedge SAVE behind a dead expiry goroutine.
-func (s *Server) reclaimUnderBarrier(hd alloc.Handle, sample int) {
-	s.execMu.RLock()
-	defer s.execMu.RUnlock()
+// reclaimUnderBarrier runs one shard's reclamation round under that shard's
+// checkpoint barrier read side, releasing it via defer so a panicking
+// reclaim (a corrupt free chain, say) cannot wedge SAVE behind a dead
+// expiry goroutine.
+func (s *Server) reclaimUnderBarrier(sh *shard, hd alloc.Handle, sample int) {
+	sh.locks.Exec.RLock()
+	defer sh.locks.Exec.RUnlock()
 	if s.repl == nil {
-		s.st.ReclaimExpired(hd, sample)
+		sh.st.ReclaimExpired(hd, sample)
 		return
 	}
 	// With replication on, each reclamation must reach the feed as a DEL in
 	// the same order it hit the store, which means holding the key's stripe
 	// lock across reclaim+append exactly like a client DEL would.
-	for _, cand := range s.st.ExpiredCandidates(sample) {
-		s.reclaimPropagate(hd, cand)
+	for _, cand := range sh.st.ExpiredCandidates(sample) {
+		s.reclaimPropagate(sh, hd, cand)
 	}
 }
 
 // reclaimPropagate reclaims one expired candidate under its stripe lock and,
 // if the key actually died (the deadline may have moved since sampling),
 // appends the equivalent DEL to the replication feed.
-func (s *Server) reclaimPropagate(hd alloc.Handle, cand kvstore.ExpiredCandidate) {
-	mu := &s.rmwMu[s.stripeOf([]byte(cand.Key))]
+func (s *Server) reclaimPropagate(sh *shard, hd alloc.Handle, cand kvstore.ExpiredCandidate) {
+	mu := &sh.locks.Stripes[s.stripeOf([]byte(cand.Key))]
 	mu.Lock()
 	defer mu.Unlock()
-	if s.st.ReclaimIfExpired(hd, cand.Key, cand.At) {
+	if sh.st.ReclaimIfExpired(hd, cand.Key, cand.At) {
 		s.repl.feed.Append([][]byte{[]byte("DEL"), []byte(cand.Key)})
+		sh.replWrites.Add(1)
 	}
 }
 
@@ -398,33 +427,37 @@ func isTemporary(err error) bool {
 	return false
 }
 
-// getHandle takes an allocation handle from the pool, minting one if empty.
-// Minting happens outside the server mutex: NewHandle may take allocator
-// locks of its own, and the pool pop is the only part that needs s.mu.
-func (s *Server) getHandle() alloc.Handle {
-	if hd, ok := s.pooledHandle(); ok {
-		return hd
+// getHandles takes a per-shard allocation handle vector from the pool,
+// minting one if empty. Minting happens outside the server mutex: NewHandle
+// may take allocator locks of its own, and the pool pop is the only part
+// that needs s.mu.
+func (s *Server) getHandles() []alloc.Handle {
+	if hds, ok := s.pooledHandles(); ok {
+		return hds
 	}
-	return s.a.NewHandle()
+	hds := make([]alloc.Handle, len(s.shards))
+	for i, sh := range s.shards {
+		hds[i] = sh.a.NewHandle()
+	}
+	return hds
 }
 
-func (s *Server) pooledHandle() (alloc.Handle, bool) {
+func (s *Server) pooledHandles() ([]alloc.Handle, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if n := len(s.handles); n > 0 {
-		hd := s.handles[n-1]
+		hds := s.handles[n-1]
 		s.handles = s.handles[:n-1]
-		return hd, true
+		return hds, true
 	}
-	var none alloc.Handle
-	return none, false
+	return nil, false
 }
 
-func (s *Server) putHandle(hd alloc.Handle) {
+func (s *Server) putHandles(hds []alloc.Handle) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.closed {
-		s.handles = append(s.handles, hd)
+		s.handles = append(s.handles, hds)
 	}
 }
 
@@ -444,8 +477,8 @@ func (s *Server) handleConn(c net.Conn) {
 		c.Close()
 	}()
 
-	hd := s.getHandle()
-	defer s.putHandle(hd)
+	hds := s.getHandles()
+	defer s.putHandles(hds)
 
 	// Handler panics are deliberately NOT recovered here: a panic that
 	// escapes dispatch may originate below the server — an allocator
@@ -456,7 +489,7 @@ func (s *Server) handleConn(c net.Conn) {
 	// for a wedged or silently corrupting process. The heap is
 	// crash-consistent at every instant, so process death is the designed
 	// containment: restart runs Open→Recover and resumes. Dispatch still
-	// releases the server's own stripe locks and the execMu read side via
+	// releases the routed shard's stripe locks and barrier read side via
 	// defer during unwinding, so a panic recovered *above* dispatch (an
 	// embedder wrapping Serve, a test or fuzz harness driving dispatch
 	// directly) observes no leaked server locks.
@@ -464,7 +497,7 @@ func (s *Server) handleConn(c net.Conn) {
 	w := newRespWriter(c)
 	// One Ctx and one transaction state per connection, reused across
 	// dispatches so the steady-state pipeline allocates nothing.
-	ctx := &Ctx{s: s, hd: hd, w: w, cs: &connState{}}
+	ctx := &Ctx{s: s, hds: hds, hd: hds[0], w: w, cs: &connState{}}
 	for {
 		args, err := r.ReadCommand()
 		if err != nil {
@@ -476,7 +509,7 @@ func (s *Server) handleConn(c net.Conn) {
 			return
 		}
 		s.commands.Add(1)
-		quit := s.dispatchBarrier(ctx, args)
+		quit := s.dispatch(ctx, args)
 		if ctx.hijack != nil {
 			// PSYNC: hand the raw connection to the replication sender. The
 			// conn stays tracked (Shutdown's force-close still reaches it)
@@ -533,17 +566,6 @@ func (s *Server) connCount() int {
 	return len(s.conns)
 }
 
-// dispatchBarrier runs one dispatch under the checkpoint barrier's read
-// side, releasing it via defer: a panicking handler must not leave the read
-// lock held, which would wedge every future SAVE (and Close) behind a dead
-// connection. cmdSave's RUnlock/RLock pair around the write-side acquisition
-// still balances against this defer.
-func (s *Server) dispatchBarrier(ctx *Ctx, args [][]byte) bool {
-	s.execMu.RLock()
-	defer s.execMu.RUnlock()
-	return s.dispatch(ctx, args)
-}
-
 // deadlineFrom converts a relative TTL (in seconds when seconds is true,
 // milliseconds otherwise) into an absolute unix-millisecond deadline,
 // saturating instead of overflowing on hostile magnitudes. The result is
@@ -576,25 +598,31 @@ func deadlineFrom(now, d int64, seconds bool) int64 {
 // poll, so cmdInfo requests the census only when the keyspace section (or
 // the whole block) is actually being returned.
 func (s *Server) info(census bool) string {
-	st := s.st.Stats()
+	st := s.statsAll()
 	nconns := s.connCount()
 	var b strings.Builder
 	fmt.Fprintf(&b, "# Server\r\n")
-	fmt.Fprintf(&b, "allocator:%s\r\n", s.a.Name())
+	fmt.Fprintf(&b, "allocator:%s\r\n", s.shards[0].a.Name())
 	fmt.Fprintf(&b, "uptime_in_seconds:%d\r\n", int(time.Since(s.start).Seconds()))
 	fmt.Fprintf(&b, "connected_clients:%d\r\n", nconns)
 	fmt.Fprintf(&b, "total_connections_received:%d\r\n", s.accepted.Load())
 	fmt.Fprintf(&b, "total_commands_processed:%d\r\n", s.commands.Load())
 	fmt.Fprintf(&b, "# Keyspace\r\n")
-	fmt.Fprintf(&b, "records:%d\r\n", s.st.Len())
+	fmt.Fprintf(&b, "records:%d\r\n", s.keyspaceLen())
 	if census {
 		// Per-type census of the live keyspace (the walk skips stamp-
 		// expired corpses, so these can sum below records until the cycle
 		// reclaims them).
-		tc := s.st.CountTypes()
+		var tc kvstore.TypeCounts
+		for _, sh := range s.shards {
+			c := sh.st.CountTypes()
+			tc.Strings += c.Strings
+			tc.Hashes += c.Hashes
+			tc.Lists += c.Lists
+		}
 		fmt.Fprintf(&b, "keys_string:%d\r\nkeys_hash:%d\r\nkeys_list:%d\r\n", tc.Strings, tc.Hashes, tc.Lists)
 	}
-	fmt.Fprintf(&b, "bounded:%v\r\n", s.st.Bounded())
+	fmt.Fprintf(&b, "bounded:%v\r\n", s.shards[0].st.Bounded())
 	fmt.Fprintf(&b, "bytes:%d\r\n", st.Bytes)
 	fmt.Fprintf(&b, "hits:%d\r\nmisses:%d\r\nsets:%d\r\ndeletes:%d\r\nevictions:%d\r\n",
 		st.Hits, st.Misses, st.Sets, st.Deletes, st.Evictions)
@@ -603,12 +631,56 @@ func (s *Server) info(census bool) string {
 		st.TTLd, st.Expired, st.Reclaimed, s.expiryCycles.Load(), s.expiryLastNs.Load()/1e3)
 	b.WriteString(s.persistenceInfo())
 	b.WriteString(s.replicationInfo())
+	b.WriteString(s.clusterInfo())
 	for _, sec := range s.cfg.InfoSections {
 		if strings.EqualFold(sec.Name, "persistence") {
 			continue // spliced into the builtin block above
 		}
 		fmt.Fprintf(&b, "# %s\r\n", infoTitle(sec.Name))
 		b.WriteString(sec.Render())
+	}
+	return b.String()
+}
+
+// keyspaceLen is the live record count summed over every shard.
+func (s *Server) keyspaceLen() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.st.Len()
+	}
+	return n
+}
+
+// statsAll sums every shard's store counters into one keyspace-wide view.
+func (s *Server) statsAll() kvstore.Stats {
+	var t kvstore.Stats
+	for _, sh := range s.shards {
+		st := sh.st.Stats()
+		t.Hits += st.Hits
+		t.Misses += st.Misses
+		t.Sets += st.Sets
+		t.Deletes += st.Deletes
+		t.Evictions += st.Evictions
+		t.Expired += st.Expired
+		t.Reclaimed += st.Reclaimed
+		t.TTLd += st.TTLd
+		t.Bytes += st.Bytes
+	}
+	return t
+}
+
+// clusterInfo renders the builtin "# Cluster" section: the shard count and
+// one line per shard with its live record count, byte footprint, checkpoint
+// count, last fence duration, and replication-feed attribution — the
+// per-shard balance view DBSIZE and INFO keyspace aggregate away.
+func (s *Server) clusterInfo() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Cluster\r\n")
+	fmt.Fprintf(&b, "cluster_shards:%d\r\n", len(s.shards))
+	for _, sh := range s.shards {
+		st := sh.st.Stats()
+		fmt.Fprintf(&b, "shard%d:records=%d,bytes=%d,checkpoints=%d,last_fence_us=%d,repl_writes=%d\r\n",
+			sh.idx, sh.st.Len(), st.Bytes, sh.saves.Load(), sh.fenceNs.Load()/1e3, sh.replWrites.Load())
 	}
 	return b.String()
 }
@@ -650,7 +722,7 @@ func infoTitle(name string) string {
 // test drives INFO with each of these and requires the reply to be exactly
 // that section.
 func (s *Server) Sections() []string {
-	names := []string{"server", "keyspace", "expires", "persistence", "replication", "commandstats", "latencystats"}
+	names := []string{"server", "keyspace", "expires", "persistence", "replication", "cluster", "commandstats", "latencystats"}
 	for _, sec := range s.cfg.InfoSections {
 		if !strings.EqualFold(sec.Name, "persistence") {
 			names = append(names, strings.ToLower(sec.Name))
@@ -773,82 +845,27 @@ func (s *Server) Collect(e *obs.Emitter) {
 	e.Value("ralloc_expiry_last_cycle_seconds", float64(s.expiryLastNs.Load())/1e9)
 
 	e.Family("ralloc_keyspace_records", "gauge", "Live records in the keyspace.")
-	e.Value("ralloc_keyspace_records", float64(s.st.Len()))
+	e.Value("ralloc_keyspace_records", float64(s.keyspaceLen()))
 	e.Family("ralloc_slowlog_length", "gauge", "Entries currently retained in the slow log.")
 	e.Value("ralloc_slowlog_length", float64(s.slow.Len()))
+
+	e.Family("ralloc_shard_count", "gauge", "Shards serving the keyspace.")
+	e.Value("ralloc_shard_count", float64(len(s.shards)))
+	e.Family("ralloc_shard_records", "gauge", "Live records per shard.")
+	e.Family("ralloc_shard_bytes", "gauge", "Record byte footprint per shard.")
+	e.Family("ralloc_shard_checkpoints_total", "counter", "Checkpoints completed per shard.")
+	e.Family("ralloc_shard_last_fence_seconds", "gauge", "Last checkpoint fence duration per shard.")
+	e.Family("ralloc_shard_repl_writes_total", "counter", "Replication feed entries attributed per shard.")
+	for _, sh := range s.shards {
+		idx := fmt.Sprintf("%d", sh.idx)
+		st := sh.st.Stats()
+		e.Value("ralloc_shard_records", float64(sh.st.Len()), "shard", idx)
+		e.Value("ralloc_shard_bytes", float64(st.Bytes), "shard", idx)
+		e.Value("ralloc_shard_checkpoints_total", float64(sh.saves.Load()), "shard", idx)
+		e.Value("ralloc_shard_last_fence_seconds", float64(sh.fenceNs.Load())/1e9, "shard", idx)
+		e.Value("ralloc_shard_repl_writes_total", float64(sh.replWrites.Load()), "shard", idx)
+	}
 	s.collectRepl(e)
-}
-
-// Save runs the configured checkpoint and produces a consistent persistent
-// image in which every acknowledged write is present. With CheckpointOnline
-// set the copy phases run concurrently with command execution and only the
-// cut-over fence excludes commands (recorded as the "checkpoint-fence"
-// LATENCY event); otherwise the quiesced path stops the world for the whole
-// write ("checkpoint-quiesce"). Telemetry is stamped only when the
-// checkpoint succeeds — a failed SAVE must not advance last_checkpoint_unix
-// or the completion counter, or an operator watching "time since last
-// checkpoint" would read a broken disk as a fresh checkpoint. Failures
-// count in checkpoint_errors alone.
-func (s *Server) Save() error {
-	if s.cfg.Checkpoint == nil && s.cfg.CheckpointOnline == nil {
-		return errors.New("server: no checkpoint configured")
-	}
-	t0 := time.Now()
-	var err error
-	var st CheckpointStats
-	if s.cfg.CheckpointOnline != nil {
-		st, err = s.cfg.CheckpointOnline(func(cut func() error) error {
-			return s.checkpointFence(t0, cut)
-		})
-	} else {
-		err = s.saveQuiesced(t0)
-	}
-	if err != nil {
-		s.saveErrs.Add(1)
-		return err
-	}
-	total := time.Since(t0)
-	s.saveTotalNs.Store(int64(total))
-	s.lastSaveUnix.Store(t0.Unix())
-	s.saves.Add(1)
-	s.saveLines.Add(st.Lines)
-	s.saveRecopied.Add(st.Recopied)
-	s.saveFenceRecopied.Store(st.FenceRecopied)
-	s.saveRounds.Store(int64(st.Rounds))
-	s.events.Record("checkpoint", t0, total)
-	return nil
-}
-
-func (s *Server) saveQuiesced(t0 time.Time) error {
-	s.execMu.Lock()
-	defer s.execMu.Unlock()
-	quiesce := time.Since(t0)
-	s.saveQuiesceNs.Store(int64(quiesce))
-	s.events.Record("checkpoint-quiesce", t0, quiesce)
-	s.stampCheckpointOffset()
-	return s.cfg.Checkpoint()
-}
-
-// checkpointFence is the online checkpoint's cut-over: it takes the write
-// side of the command barrier, runs the final delta (cut), and releases.
-// Commands are excluded only for this window — the fence duration is the
-// online path's whole stop-the-world cost, recorded as the
-// "checkpoint-fence" LATENCY event and the quiesce wait (time spent
-// acquiring the barrier against in-flight commands) as before.
-func (s *Server) checkpointFence(t0 time.Time, cut func() error) error {
-	s.execMu.Lock()
-	defer s.execMu.Unlock()
-	s.saveQuiesceNs.Store(int64(time.Since(t0)))
-	// The replication offset is stamped inside the fence: no write can land
-	// between the stamp and the cut, so the image's data corresponds exactly
-	// to the stamped feed position.
-	s.stampCheckpointOffset()
-	tf := time.Now()
-	err := cut()
-	fence := time.Since(tf)
-	s.saveFenceNs.Store(int64(fence))
-	s.events.Record("checkpoint-fence", tf, fence)
-	return err
 }
 
 // Shutdown gracefully drains the server: listeners close immediately, each

@@ -1,0 +1,362 @@
+package server
+
+// The cluster layer inside the server: one keyspace served from N
+// independent shards, each a full allocator + kvstore + checkpoint cadence +
+// expiry cycle behind its own lock block. Keys route by Redis-cluster hash
+// slot (CRC16 → 16384 slots → contiguous shard ranges, internal/cluster/slot)
+// in the dispatch pipeline via each command's KeySpec; multi-key commands
+// and MULTI/EXEC stay atomic within one shard and reply -CROSSSLOT across
+// shards; FLUSHALL/DBSIZE/SCAN/INFO fan out and merge. With one shard
+// (Server.New) everything below reduces to the pre-cluster behavior:
+// routing is a single branch, SAVE is the single-region checkpoint, and the
+// image format is unchanged.
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/cluster/shardlock"
+	"repro/internal/cluster/slot"
+	"repro/internal/kvstore"
+)
+
+// ShardBackend is one shard's storage surface: the open store plus the
+// checkpoint entry points for that shard's region. New wraps the Config's
+// single-heap checkpoint fields into one backend; NewSharded takes one
+// backend per shard.
+type ShardBackend struct {
+	// Alloc is the allocator the Store was opened on; the server draws this
+	// shard's per-connection handles from it.
+	Alloc alloc.Allocator
+	// Store is the shard's keyspace partition.
+	Store *kvstore.Store
+	// Checkpoint implements SAVE for this shard the quiesced way (the shard
+	// is stalled for the full image write). See Config.Checkpoint.
+	Checkpoint func() error
+	// CheckpointOnline implements SAVE as an online snapshot of this shard,
+	// taking precedence over Checkpoint. See Config.CheckpointOnline.
+	CheckpointOnline func(fence func(cut func() error) error) (CheckpointStats, error)
+	// CheckpointSteps exposes the online snapshot's phase boundaries —
+	// begin (runs inside this call, concurrent with commands), then the
+	// returned cut/publish/abort steps — so a multi-shard SAVE with
+	// replication enabled can cut every shard under ONE fence and stamp a
+	// single (id, offset) into all images. abort must be idempotent. Wired
+	// to pmem.Region.BeginOnlineSave by ralloc-serve; optional otherwise.
+	CheckpointSteps func() (cut func() error, publish func() (CheckpointStats, error), abort func(), err error)
+	// OpenCheckpoint opens this shard's current checkpoint image for
+	// streaming to a full-resyncing replica. See Config.OpenCheckpoint.
+	OpenCheckpoint func() (*CheckpointImage, error)
+	// CheckpointOffset stamps the replication position into this shard's
+	// region before an image cut. See Config.CheckpointOffset.
+	CheckpointOffset func(id, off uint64)
+}
+
+// shard is one shard's runtime state: its backend, its lock block (the
+// checkpoint barrier + stripe locks — the per-shard generalization of the
+// old server-wide execMu/rmwMu pair), and per-shard telemetry.
+type shard struct {
+	idx   int
+	a     alloc.Allocator
+	st    *kvstore.Store
+	be    ShardBackend
+	locks shardlock.Locks
+
+	// Per-shard checkpoint and feed telemetry, surfaced by the INFO cluster
+	// section and the ralloc_shard_* metric families.
+	saves        atomic.Uint64
+	lastSaveUnix atomic.Int64
+	fenceNs      atomic.Int64
+	// replWrites counts feed entries attributed to this shard. The feed's
+	// wire format is unchanged (byte-compatible with single-shard peers);
+	// the shard id of an entry is *derived* — both ends route the entry's
+	// key through the same slot mapping — so tagging costs no bytes and
+	// cannot disagree between primary and replica.
+	replWrites atomic.Uint64
+}
+
+// noteSave records one completed checkpoint of this shard.
+func (sh *shard) noteSave(t0 time.Time, st CheckpointStats) {
+	sh.saves.Add(1)
+	sh.lastSaveUnix.Store(t0.Unix())
+}
+
+// merge accumulates another shard's checkpoint stats (multi-shard SAVE
+// totals for the server-level counters).
+func (c *CheckpointStats) merge(o CheckpointStats) {
+	c.Lines += o.Lines
+	c.Recopied += o.Recopied
+	c.FenceRecopied += o.FenceRecopied
+	if o.Rounds > c.Rounds {
+		c.Rounds = o.Rounds
+	}
+}
+
+// NewSharded creates a server over N shard backends forming one keyspace.
+// len(backends) must be in [1, slot.MaxShards]; with one backend the server
+// behaves exactly like New. The Config's single-heap checkpoint fields
+// (Checkpoint, CheckpointOnline, OpenCheckpoint, CheckpointOffset) are
+// ignored — each backend carries its own.
+func NewSharded(backends []ShardBackend, cfg Config) *Server {
+	if len(backends) == 0 || len(backends) > slot.MaxShards {
+		panic(fmt.Sprintf("server: shard count %d outside [1, %d]", len(backends), slot.MaxShards))
+	}
+	s := newServer(cfg)
+	for i, be := range backends {
+		sh := &shard{idx: i, a: be.Alloc, st: be.Store, be: be}
+		s.shards = append(s.shards, sh)
+		s.locksAll = append(s.locksAll, &sh.locks)
+	}
+	s.finishInit()
+	return s
+}
+
+// shardOf maps a key to its shard. The single-shard fast path is one branch
+// — no CRC — which is what keeps the dispatch overhead gate honest at N=1.
+func (s *Server) shardOf(key []byte) *shard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	return s.shards[slot.ShardOf(key, len(s.shards))]
+}
+
+// setShard parks the routed shard (and its per-connection allocation
+// handle) in the Ctx for the handler. Test harnesses that drive dispatch
+// with a hand-built Ctx carry a single handle and no vector; they only ever
+// run one shard, so ctx.hd is already right.
+func (ctx *Ctx) setShard(sh *shard) {
+	ctx.sh = sh
+	if ctx.hds != nil {
+		ctx.hd = ctx.hds[sh.idx]
+	}
+}
+
+// handleFor returns the connection's allocation handle for shard i (fan-out
+// commands like FLUSHALL allocate on every shard).
+func (ctx *Ctx) handleFor(i int) alloc.Handle {
+	if ctx.hds != nil {
+		return ctx.hds[i]
+	}
+	return ctx.hd
+}
+
+// routeKeys maps a command's declared keys to their shard. With one shard
+// the answer is constant. Otherwise every key must land on the same shard —
+// the Redis cluster contract — or the command is refused with -CROSSSLOT
+// (hash tags, "user:{42}:a"/"user:{42}:b", are the client's tool for
+// co-locating related keys). On refusal the error is already written.
+func (s *Server) routeKeys(ctx *Ctx, c *Command, args [][]byte) (*shard, bool) {
+	if len(s.shards) == 1 {
+		return s.shards[0], true
+	}
+	if c.Keys.First == 1 && c.Keys.Last == 1 {
+		return s.shardOf(args[1]), true
+	}
+	ctx.keybuf = c.Keys.keys(ctx.keybuf[:0], args)
+	if len(ctx.keybuf) == 0 {
+		return s.shards[0], true
+	}
+	sh := s.shardOf(ctx.keybuf[0])
+	for _, k := range ctx.keybuf[1:] {
+		if s.shardOf(k) != sh {
+			ctx.w.errorKind("CROSSSLOT", "Keys in request don't hash to the same slot")
+			return nil, false
+		}
+	}
+	return sh, true
+}
+
+// hasCheckpoint reports whether any shard can serve SAVE.
+func (s *Server) hasCheckpoint() bool {
+	for _, sh := range s.shards {
+		if sh.be.Checkpoint != nil || sh.be.CheckpointOnline != nil || sh.be.CheckpointSteps != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Save runs the configured checkpoint(s) and produces consistent persistent
+// images in which every acknowledged write is present. One shard: exactly
+// the old single-heap behavior (online cut under the shard's fence, or the
+// quiesced stop-the-world path). Several shards without replication: each
+// shard checkpoints independently, so a fence only ever stalls 1/N of the
+// keyspace. Several shards with replication: all shards cut under one
+// cluster-wide fence so a single (id, offset) stamps every image — without
+// it the per-shard offsets would diverge and a replica restart could only
+// ever full-resync. Telemetry is stamped only on success — a failed SAVE
+// must not advance last_checkpoint_unix or the completion counter, or an
+// operator watching "time since last checkpoint" would read a broken disk
+// as a fresh checkpoint. Failures count in checkpoint_errors alone.
+func (s *Server) Save() error {
+	if !s.hasCheckpoint() {
+		return errors.New("server: no checkpoint configured")
+	}
+	t0 := time.Now()
+	var agg CheckpointStats
+	var err error
+	if len(s.shards) > 1 && s.repl != nil {
+		agg, err = s.saveGlobalCut(t0)
+	} else {
+		agg, err = s.saveIndependent(t0)
+	}
+	if err != nil {
+		s.saveErrs.Add(1)
+		return err
+	}
+	total := time.Since(t0)
+	s.saveTotalNs.Store(int64(total))
+	s.lastSaveUnix.Store(t0.Unix())
+	s.saves.Add(1)
+	s.saveLines.Add(agg.Lines)
+	s.saveRecopied.Add(agg.Recopied)
+	s.saveFenceRecopied.Store(agg.FenceRecopied)
+	s.saveRounds.Store(int64(agg.Rounds))
+	s.events.Record("checkpoint", t0, total)
+	return nil
+}
+
+// saveIndependent checkpoints each shard on its own fence, sequentially.
+// The independence is the point: every other shard keeps serving writes at
+// full speed while one shard's fence runs, so the cluster-wide stall budget
+// of a SAVE is one shard's fence at a time — 1/N of the old single-heap
+// stop surface.
+func (s *Server) saveIndependent(t0 time.Time) (CheckpointStats, error) {
+	var agg CheckpointStats
+	for _, sh := range s.shards {
+		st, err := s.saveShard(sh, t0)
+		if err != nil {
+			return agg, fmt.Errorf("shard %d: %w", sh.idx, err)
+		}
+		sh.noteSave(t0, st)
+		agg.merge(st)
+	}
+	return agg, nil
+}
+
+// saveShard checkpoints one shard: online when the backend supports it,
+// quiesced otherwise.
+func (s *Server) saveShard(sh *shard, t0 time.Time) (CheckpointStats, error) {
+	if sh.be.CheckpointOnline != nil {
+		return sh.be.CheckpointOnline(func(cut func() error) error {
+			return s.shardFence(sh, t0, cut)
+		})
+	}
+	if sh.be.Checkpoint == nil {
+		return CheckpointStats{}, errors.New("no checkpoint configured")
+	}
+	sh.locks.Exec.Lock()
+	defer sh.locks.Exec.Unlock()
+	quiesce := time.Since(t0)
+	s.saveQuiesceNs.Store(int64(quiesce))
+	s.events.Record("checkpoint-quiesce", t0, quiesce)
+	s.stampShardOffset(sh)
+	return CheckpointStats{}, sh.be.Checkpoint()
+}
+
+// shardFence is one shard's online cut-over: the write side of that shard's
+// command barrier, the replication-offset stamp, the final delta (cut), and
+// release. Commands on this shard are excluded only for this window; other
+// shards never notice. The fence duration is recorded as the
+// "checkpoint-fence" LATENCY event and in the shard's own gauge.
+func (s *Server) shardFence(sh *shard, t0 time.Time, cut func() error) error {
+	sh.locks.Exec.Lock()
+	defer sh.locks.Exec.Unlock()
+	s.saveQuiesceNs.Store(int64(time.Since(t0)))
+	// The replication offset is stamped inside the fence: no write can land
+	// on this shard between the stamp and the cut, so the image's data
+	// corresponds exactly to the stamped feed position.
+	s.stampShardOffset(sh)
+	tf := time.Now()
+	err := cut()
+	fence := time.Since(tf)
+	s.saveFenceNs.Store(int64(fence))
+	sh.fenceNs.Store(int64(fence))
+	s.events.Record("checkpoint-fence", tf, fence)
+	return err
+}
+
+// stampShardOffset pins the feed position into the shard's region before an
+// image cut. Runs under the barrier's write side (shardFence, saveShard's
+// quiesced path, or the global fence), so the stamped offset is exactly the
+// feed position the image's data corresponds to.
+func (s *Server) stampShardOffset(sh *shard) {
+	if s.repl != nil && sh.be.CheckpointOffset != nil {
+		sh.be.CheckpointOffset(s.repl.feed.ID(), s.repl.feed.Offset())
+	}
+}
+
+// onlineSaveSteps holds one shard's armed snapshot between the global
+// begin and its cut/publish.
+type onlineSaveSteps struct {
+	cut     func() error
+	publish func() (CheckpointStats, error)
+	abort   func()
+}
+
+// saveGlobalCut is the multi-shard SAVE with replication enabled: begin
+// every shard's online snapshot (full-image copy + delta rounds, all
+// concurrent with traffic), then take every shard's barrier write side in
+// ascending order — the only cluster-wide fence in the system — stamp ONE
+// (id, offset) pair into every region while the feed is frozen, cut every
+// shard, release, and publish. The N images therefore represent a single
+// point in the global command order, which is what lets a restarted replica
+// partial-resync from any of them with one offset.
+func (s *Server) saveGlobalCut(t0 time.Time) (CheckpointStats, error) {
+	var agg CheckpointStats
+	all := make([]onlineSaveSteps, 0, len(s.shards))
+	abortFrom := func(i int) {
+		for _, st := range all[i:] {
+			st.abort()
+		}
+	}
+	for _, sh := range s.shards {
+		if sh.be.CheckpointSteps == nil {
+			abortFrom(0)
+			return agg, fmt.Errorf("shard %d: online checkpoint steps not configured", sh.idx)
+		}
+		cut, publish, abort, err := sh.be.CheckpointSteps()
+		if err != nil {
+			abortFrom(0)
+			return agg, fmt.Errorf("shard %d: %w", sh.idx, err)
+		}
+		all = append(all, onlineSaveSteps{cut: cut, publish: publish, abort: abort})
+	}
+
+	shardlock.ExecLockAll(s.locksAll)
+	s.saveQuiesceNs.Store(int64(time.Since(t0)))
+	for _, sh := range s.shards {
+		s.stampShardOffset(sh)
+	}
+	tf := time.Now()
+	var cutErr error
+	for _, st := range all {
+		if cutErr = st.cut(); cutErr != nil {
+			break
+		}
+	}
+	fence := time.Since(tf)
+	shardlock.ExecUnlockAll(s.locksAll)
+	s.saveFenceNs.Store(int64(fence))
+	for _, sh := range s.shards {
+		sh.fenceNs.Store(int64(fence))
+	}
+	s.events.Record("checkpoint-fence", tf, fence)
+	if cutErr != nil {
+		abortFrom(0) // abort is idempotent; already-cut shards just discard their temp image
+		return agg, cutErr
+	}
+
+	for i, st := range all {
+		cst, err := st.publish()
+		if err != nil {
+			abortFrom(i + 1)
+			return agg, fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.shards[i].noteSave(t0, cst)
+		agg.merge(cst)
+	}
+	return agg, nil
+}

@@ -13,11 +13,20 @@ package server
 //     stripes if a FlagLockAll command is queued), sorted and deduplicated —
 //     the same deadlock-ordered discipline as single multi-key commands — so
 //     no concurrent writer observes or interleaves a half-applied queue.
-//   - The whole EXEC runs under one execMu read-side hold (the connection
-//     loop's), so a SAVE checkpoint can never capture a torn transaction:
+//   - The whole EXEC runs under one read-side hold of its shard's checkpoint
+//     barrier, so a SAVE checkpoint can never capture a torn transaction:
 //     the persisted image contains each acknowledged EXEC wholly or not at
 //     all. That is the crash-consistency story the mid-EXEC SIGKILL e2e
 //     (txn_e2e_test.go) pins down.
+//
+// With more than one shard a transaction is additionally confined to one
+// shard, enforced at queue time: the first keyed command fixes the
+// transaction's shard, any later key routing elsewhere poisons the queue
+// with -CROSSSLOT, and FlagLockAll commands (whole-keyspace, every shard)
+// are refused outright. One shard's barrier plus its stripe union then give
+// the same atomicity as before — and the confinement is what keeps EXEC off
+// the cross-shard lock-ordering problem entirely (see shardlock's package
+// comment).
 
 // queuedCmd is one validated command awaiting EXEC.
 type queuedCmd struct {
@@ -51,11 +60,15 @@ type connState struct {
 	dirty       bool // queue-time validation failed; EXEC must abort
 	queue       []queuedCmd
 	queuedBytes int // cumulative argument bytes retained by queue
+	// txShard pins the transaction to one shard: 0 means not yet fixed
+	// (only keyless commands queued so far), otherwise shard index + 1.
+	txShard int
 }
 
 func (cs *connState) reset() {
 	cs.inTxn = false
 	cs.dirty = false
+	cs.txShard = 0
 	// Zero the entries before truncating: queue[:0] alone keeps every
 	// queued args slice reachable through the backing array, so a
 	// long-lived idle connection would retain its last transaction's
@@ -66,8 +79,8 @@ func (cs *connState) reset() {
 }
 
 // enqueue admits one already-validated (lookup + arity) command to the
-// queue. DenyTxn commands poison the transaction instead: SAVE would drop
-// the execMu read side mid-EXEC and SHUTDOWN would tear the connection down.
+// queue. DenyTxn commands poison the transaction instead: SAVE would take
+// the checkpoint barrier mid-EXEC and SHUTDOWN would tear the connection down.
 // The queue retains args past this call, which is safe because ReadCommand's
 // documented contract is that every returned slice is freshly allocated,
 // never a view into a reused read buffer.
@@ -90,6 +103,30 @@ func (cs *connState) enqueue(ctx *Ctx, bc *boundCmd, args [][]byte) {
 		cs.dirty = true
 		ctx.w.errorf("transaction queue limit (%d bytes) reached", maxTxnQueueBytes)
 		return
+	}
+	// Shard confinement (multi-shard only): every keyed command must route
+	// to the transaction's one shard, fixed by the first keyed command
+	// queued. Whole-keyspace commands span every shard by definition and
+	// cannot be confined.
+	if s := ctx.s; s != nil && len(s.shards) > 1 {
+		if bc.cmd.Flags&FlagLockAll != 0 {
+			cs.dirty = true
+			ctx.w.errorKind("CROSSSLOT", bc.cmd.Name+" inside MULTI cannot be confined to one shard")
+			return
+		}
+		if bc.cmd.Keys.First != 0 {
+			sh, ok := s.routeKeys(ctx, bc.cmd, args)
+			if !ok {
+				cs.dirty = true
+				return // routeKeys already wrote the CROSSSLOT error
+			}
+			if cs.txShard != 0 && cs.txShard != sh.idx+1 {
+				cs.dirty = true
+				ctx.w.errorKind("CROSSSLOT", "Keys in request don't hash to the same slot")
+				return
+			}
+			cs.txShard = sh.idx + 1
+		}
 	}
 	cs.queuedBytes += sz
 	cs.queue = append(cs.queue, queuedCmd{bc: bc, args: args})
@@ -154,21 +191,33 @@ func cmdExec(ctx *Ctx) {
 	}
 	ctx.txstripe = stripes
 
+	// The transaction's shard: fixed at queue time, shard 0 when only
+	// keyless commands were queued (no key locks taken, but the barrier
+	// hold still keeps the reply array un-torn by SAVE's fence).
+	sh := ctx.s.shards[0]
+	if cs.txShard != 0 {
+		sh = ctx.s.shards[cs.txShard-1]
+	}
+
 	ctx.w.arrayHeader(len(cs.queue))
 	// reset via defer, like the stripe unlocks: a panic mid-EXEC recovered
 	// above dispatch must not leave the connection inTxn with the
 	// partially-executed queue still queued (a later EXEC would re-apply
 	// the already-run prefix).
 	defer cs.reset()
-	execQueue(ctx, cs.queue, stripes)
+	ctx.setShard(sh)
+	sh.locks.Exec.RLock()
+	execQueue(ctx, sh, cs.queue, stripes)
 }
 
-// execQueue runs the queued commands under the union stripes, unlocking via
-// defer: a panicking handler (or embedder-supplied middleware) must not
-// leave key stripes locked server-wide after the panic is recovered upstream.
-func execQueue(ctx *Ctx, queue []queuedCmd, stripes []int) {
-	ctx.s.lockStripes(stripes)
-	defer ctx.s.unlockStripes(stripes)
+// execQueue runs the queued commands under the shard's checkpoint barrier
+// and the union stripes, unlocking via defer: a panicking handler (or
+// embedder-supplied middleware) must not leave the shard's locks held after
+// the panic is recovered upstream.
+func execQueue(ctx *Ctx, sh *shard, queue []queuedCmd, stripes []int) {
+	defer sh.locks.Exec.RUnlock()
+	sh.locks.LockStripes(stripes)
+	defer sh.locks.UnlockStripes(stripes)
 	outer := ctx.args
 	defer func() { ctx.args = outer }()
 	for _, q := range queue {
